@@ -1,0 +1,68 @@
+"""Shared benchmark configuration.
+
+Scale is controlled by ``REPRO_BENCH_SCALE``:
+
+* ``small`` (default) — minutes-scale run that preserves every qualitative
+  shape the paper reports.
+* ``paper`` — the evaluation's full sizes (798 / 1314 entry workloads,
+  1000×50 fuzz writes); expect ~30–45 minutes on one core, comparable to
+  the single-vCPU numbers in Table 3.
+"""
+
+import os
+from dataclasses import dataclass
+
+import pytest
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    name: str
+    inst1_entries: int
+    inst2_entries: int
+    fuzz_writes: int
+    fuzz_updates_per_write: int
+    campaign_fuzz_writes: int
+    campaign_entries: int
+
+
+SCALES = {
+    "small": BenchScale(
+        name="small",
+        inst1_entries=150,
+        inst2_entries=250,
+        fuzz_writes=100,
+        fuzz_updates_per_write=50,
+        campaign_fuzz_writes=15,
+        campaign_entries=70,
+    ),
+    "paper": BenchScale(
+        name="paper",
+        inst1_entries=798,
+        inst2_entries=1314,
+        fuzz_writes=1000,
+        fuzz_updates_per_write=50,
+        campaign_fuzz_writes=25,
+        campaign_entries=90,
+    ),
+}
+
+
+@pytest.fixture(scope="session")
+def scale() -> BenchScale:
+    return SCALES[os.environ.get("REPRO_BENCH_SCALE", "small")]
+
+
+def print_table(title: str, headers, rows) -> None:
+    """Render a paper-style table to stdout (visible with pytest -s or in
+    the benchmark run's captured output)."""
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows)) if rows else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,162 @@
+"""Table 3 — performance of p4-symbolic and p4-fuzzer.
+
+The paper (single vCPU, containerized):
+
+    P4 Prog.  Entries  Generation (w/cache)  Testing
+    Inst1     798      413 s (14 s)          58 s
+    Inst2     1314     1099 s (6 s)          64 s
+
+    P4 Prog.  Fuzzed Entries  Entries/s
+    Inst1     50384           97
+    Inst2     48521           96
+
+We measure the same quantities on our substrate (ToR = Inst1, WAN = Inst2).
+Absolute numbers differ — the paper drives Z3 and a hardware switch; we
+drive a pure-Python QF_BV solver and a software stack — but the shape must
+hold: generation dominates testing by an order of magnitude, caching cuts
+generation by well over 10×, and fuzzer throughput is roughly constant
+across programs.
+
+Run with REPRO_BENCH_SCALE=paper for the full 798/1314-entry workloads.
+"""
+
+import time
+
+from conftest import print_table
+
+from repro.bmv2.entries import decode_table_entry
+from repro.fuzzer import FuzzerConfig, P4Fuzzer
+from repro.p4.p4info import build_p4info
+from repro.p4.programs import build_tor_program, build_wan_program
+from repro.switch import PinsSwitchStack
+from repro.switchv import SwitchVHarness
+from repro.symbolic.cache import PacketCache
+from repro.workloads import production_like_entries
+
+PAPER_SYMBOLIC = {"Inst1": (798, 413, 14, 58), "Inst2": (1314, 1099, 6, 64)}
+PAPER_FUZZER = {"Inst1": (50384, 97), "Inst2": (48521, 96)}
+
+
+def _symbolic_run(build, total_entries):
+    """One p4-symbolic cycle: cold generation, cached generation, testing."""
+    program = build()
+    p4info = build_p4info(program)
+    entries = production_like_entries(p4info, total=total_entries, seed=1)
+    cache = PacketCache()
+
+    cold_stack = PinsSwitchStack(program)
+    harness = SwitchVHarness(program, cold_stack, cache=cache)
+    report_cold = harness.validate_data_plane(entries, exercise_update_path=False)
+    cold = report_cold.data_plane
+
+    warm_stack = PinsSwitchStack(program)
+    harness_warm = SwitchVHarness(program, warm_stack, cache=cache)
+    report_warm = harness_warm.validate_data_plane(entries, exercise_update_path=False)
+    warm = report_warm.data_plane
+
+    assert report_cold.ok, report_cold.incidents.summary_lines()
+    assert report_warm.ok, report_warm.incidents.summary_lines()
+    assert warm.cache_hit
+    return {
+        "entries": len(entries),
+        "generation": cold.generation_seconds,
+        "generation_cached": warm.generation_seconds,
+        "testing": cold.testing_seconds + warm.testing_seconds,
+        "packets": cold.packets_tested,
+    }
+
+
+def _fuzzer_run(build, writes, updates_per_write):
+    program = build()
+    p4info = build_p4info(program)
+    stack = PinsSwitchStack(program)
+    # At paper scale the installed state reaches tens of thousands of
+    # entries; reading all of it back after every write turns the
+    # throughput benchmark into a read benchmark.  Thin the oracle's
+    # read-back cadence for long runs (statuses are still judged on every
+    # update).
+    read_back_every = 1 if writes <= 200 else 10
+    fuzzer = P4Fuzzer(
+        p4info,
+        stack,
+        FuzzerConfig(
+            num_writes=writes,
+            updates_per_write=updates_per_write,
+            seed=1,
+            read_back_every=read_back_every,
+        ),
+    )
+    result = fuzzer.run()
+    assert result.incidents.count == 0, result.incidents.summary_lines()
+    return {
+        "entries": result.updates_sent,
+        "per_second": result.updates_per_second,
+    }
+
+
+def test_table3_symbolic_inst1(benchmark, scale):
+    stats = benchmark.pedantic(
+        _symbolic_run, args=(build_tor_program, scale.inst1_entries), rounds=1, iterations=1
+    )
+    _report_symbolic("Inst1", stats, scale)
+
+
+def test_table3_symbolic_inst2(benchmark, scale):
+    stats = benchmark.pedantic(
+        _symbolic_run, args=(build_wan_program, scale.inst2_entries), rounds=1, iterations=1
+    )
+    _report_symbolic("Inst2", stats, scale)
+
+
+def _report_symbolic(name, stats, scale):
+    paper_entries, paper_gen, paper_cached, paper_test = PAPER_SYMBOLIC[name]
+    print_table(
+        f"Table 3 (top, {name}): p4-symbolic [{scale.name} scale]",
+        ["P4 Prog.", "Entries", "Generation", "w/ cache", "Testing"],
+        [
+            (
+                name,
+                stats["entries"],
+                f"{stats['generation']:.0f}s",
+                f"{stats['generation_cached']:.2f}s",
+                f"{stats['testing']:.1f}s",
+            ),
+            (f"{name} (paper)", paper_entries, f"{paper_gen}s", f"{paper_cached}s", f"{paper_test}s"),
+        ],
+    )
+    # Shape assertions.
+    assert stats["generation"] > stats["testing"], "generation must dominate testing"
+    assert stats["generation"] / max(stats["generation_cached"], 1e-9) > 10, (
+        "caching must cut generation by far more than 10x"
+    )
+
+
+def test_table3_fuzzer_throughput(benchmark, scale):
+    def run_both():
+        return {
+            "Inst1": _fuzzer_run(build_tor_program, scale.fuzz_writes, scale.fuzz_updates_per_write),
+            "Inst2": _fuzzer_run(build_wan_program, scale.fuzz_writes, scale.fuzz_updates_per_write),
+        }
+
+    stats = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    rows = []
+    for name in ("Inst1", "Inst2"):
+        paper_entries, paper_rate = PAPER_FUZZER[name]
+        rows.append(
+            (
+                name,
+                stats[name]["entries"],
+                f"{stats[name]['per_second']:.0f}",
+                paper_entries,
+                paper_rate,
+            )
+        )
+    print_table(
+        f"Table 3 (bottom): p4-fuzzer [{scale.name} scale]",
+        ["P4 Prog.", "Fuzzed Entries", "Entries/s", "paper entries", "paper e/s"],
+        rows,
+    )
+    # Shape: throughput roughly constant across programs (within 2x).
+    r1 = stats["Inst1"]["per_second"]
+    r2 = stats["Inst2"]["per_second"]
+    assert 0.5 <= r1 / r2 <= 2.0

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Bug-hunt campaign: seed the Appendix-A bug catalogue and let SwitchV hunt.
+
+For each implemented fault, builds a switch with that fault enabled (model
+bugs transform the model instead; simulator bugs flip BMv2 flags), runs
+SwitchV, and reports what found it — the live machinery behind the Table 1
+benchmark.  Also runs the §6.2 trivial test suite for the Table 2 contrast:
+watch how many catalogue bugs the six traditional tests miss.
+
+Run:  python examples/bug_hunt_campaign.py [pins|cerberus]
+"""
+
+import sys
+import time
+from collections import Counter
+
+from repro.switch.faults import faults_for_stack
+from repro.switchv.campaign import CampaignConfig, run_fault_campaign
+
+
+def main() -> None:
+    stack_kind = sys.argv[1] if len(sys.argv) > 1 else "pins"
+    config = CampaignConfig(
+        fuzz_writes=20, fuzz_updates_per_write=25, workload_entries=80, seed=11
+    )
+    faults = faults_for_stack(stack_kind)
+    print(f"hunting {len(faults)} seeded bugs in the {stack_kind} stack\n")
+    print(f"{'fault':38s} {'component':22s} {'found by':22s} {'trivial suite'}")
+    print("-" * 104)
+
+    by_component = Counter()
+    by_tool = Counter()
+    trivially_found = 0
+    start = time.perf_counter()
+    for fault in faults:
+        outcome = run_fault_campaign(fault.name, stack_kind, config)
+        tools = "+".join(outcome.detected_by) if outcome.detected else "NOT DETECTED"
+        trivial = outcome.trivial_first_failure or "-"
+        if outcome.trivial_first_failure:
+            trivially_found += 1
+        print(f"{fault.name:38s} {fault.component:22s} {tools:22s} {trivial}")
+        if outcome.detected:
+            by_component[fault.component] += 1
+            for tool in outcome.detected_by:
+                by_tool[tool] += 1
+
+    print("-" * 104)
+    print(f"\ndetected {sum(by_component.values())}/{len(faults)} "
+          f"in {time.perf_counter() - start:.0f}s")
+    print("by component:", dict(by_component))
+    print("by tool:", dict(by_tool))
+    print(f"trivial suite would find {trivially_found}/{len(faults)} "
+          f"({trivially_found / len(faults):.0%}) — the paper reports 51% for "
+          "PINS and 22% for Cerberus")
+
+
+if __name__ == "__main__":
+    main()

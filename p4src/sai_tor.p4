@@ -1,0 +1,293 @@
+// P4 model: sai_tor (role: ToR)
+@role("ToR")
+@parser("ethernet_ipv4_ipv6")
+
+header ethernet_t {
+    bit<48> dst_addr;
+    bit<48> src_addr;
+    bit<16> ether_type;
+}
+
+header ipv4_t {
+    bit<4> version;
+    bit<4> ihl;
+    bit<6> dscp;
+    bit<2> ecn;
+    bit<16> total_len;
+    bit<16> identification;
+    bit<3> flags;
+    bit<13> frag_offset;
+    bit<8> ttl;
+    bit<8> protocol;
+    bit<16> header_checksum;
+    bit<32> src_addr;
+    bit<32> dst_addr;
+}
+
+header ipv6_t {
+    bit<4> version;
+    bit<6> dscp;
+    bit<2> ecn;
+    bit<20> flow_label;
+    bit<16> payload_length;
+    bit<8> next_header;
+    bit<8> hop_limit;
+    bit<128> src_addr;
+    bit<128> dst_addr;
+}
+
+header icmp_t {
+    bit<8> type;
+    bit<8> code;
+    bit<16> checksum;
+}
+
+header tcp_t {
+    bit<16> src_port;
+    bit<16> dst_port;
+    bit<32> seq_no;
+    bit<32> ack_no;
+    bit<4> data_offset;
+    bit<4> res;
+    bit<8> flags;
+    bit<16> window;
+    bit<16> checksum;
+    bit<16> urgent_ptr;
+}
+
+header udp_t {
+    bit<16> src_port;
+    bit<16> dst_port;
+    bit<16> hdr_length;
+    bit<16> checksum;
+}
+
+struct metadata_t {
+    bit<16> vrf_id;
+    bit<16> nexthop_id;
+    bit<16> wcmp_group_id;
+    bit<16> router_interface_id;
+    bit<16> neighbor_id;
+    bit<1> l3_admit;
+    bit<1> is_ipv4;
+    bit<1> is_ipv6;
+    bit<16> mirror_session_id;
+    bit<1> route_hit;
+}
+
+control sai_tor_ingress(inout headers_t headers,
+                                inout metadata_t meta) {
+    action admit_to_l3() {
+        meta.l3_admit = 1w1;
+    }
+    action NoAction() {
+    }
+    action set_vrf(@refers_to(vrf_tbl, vrf_id) bit<16> vrf_id) {
+        meta.vrf_id = vrf_id;
+    }
+    action drop() {
+        standard.drop = 1w1;
+    }
+    action set_nexthop_id(@refers_to(nexthop_tbl, nexthop_id) bit<16> nexthop_id) {
+        meta.nexthop_id = nexthop_id;
+        meta.route_hit = 1w1;
+    }
+    action set_wcmp_group_id(@refers_to(wcmp_group_tbl, wcmp_group_id) bit<16> wcmp_group_id) {
+        meta.wcmp_group_id = wcmp_group_id;
+        meta.route_hit = 1w1;
+    }
+    action trap() {
+        standard.punt = 1w1;
+        standard.drop = 1w1;
+    }
+    action set_ip_nexthop(@refers_to(router_interface_tbl, router_interface_id) @refers_to(neighbor_tbl, router_interface_id) bit<16> router_interface_id, @refers_to(neighbor_tbl, neighbor_id) bit<16> neighbor_id) {
+        meta.router_interface_id = router_interface_id;
+        meta.neighbor_id = neighbor_id;
+    }
+    action set_dst_mac(bit<48> dst_mac) {
+        ethernet.dst_addr = dst_mac;
+    }
+    action set_port_and_src_mac(bit<16> port, bit<48> src_mac) {
+        standard.egress_port = port;
+        ethernet.src_addr = src_mac;
+    }
+    action acl_copy() {
+        standard.punt = 1w1;
+    }
+    action acl_mirror(@refers_to(mirror_session_tbl, mirror_session_id) bit<16> mirror_session_id) {
+        meta.mirror_session_id = mirror_session_id;
+    }
+    action set_mirror_port(bit<16> port) {
+        standard.mirror_port = port;
+    }
+    action set_clone_session(bit<16> session_id) {
+        standard.mirror_session = session_id;
+    }
+    table l3_admit_tbl {
+        key = {
+            ethernet.dst_addr : ternary @name("dst_mac");
+            standard.ingress_port : optional @name("in_port");
+        }
+        actions = { admit_to_l3 };
+        const default_action = NoAction;
+        size = 128;
+    }
+    @entry_restriction("dst_ip::mask != 0 -> is_ipv4 == 1")
+    table acl_pre_ingress_tbl {
+        key = {
+            ethernet.src_addr : ternary @name("src_mac");
+            ipv4.dst_addr : ternary @name("dst_ip");
+            meta.is_ipv4 : optional @name("is_ipv4");
+            standard.ingress_port : optional @name("in_port");
+        }
+        actions = { set_vrf };
+        const default_action = NoAction;
+        size = 128;
+    }
+    @entry_restriction("vrf_id != 0")
+    @resource_table
+    table vrf_tbl {
+        key = {
+            meta.vrf_id : exact @name("vrf_id");
+        }
+        actions = { NoAction };
+        const default_action = NoAction;
+        size = 64;
+    }
+    table ipv4_tbl {
+        key = {
+            meta.vrf_id : exact @name("vrf_id") @refers_to(vrf_tbl, vrf_id);
+            ipv4.dst_addr : lpm @name("ipv4_dst");
+        }
+        actions = { drop, set_nexthop_id, set_wcmp_group_id, trap };
+        const default_action = drop;
+        size = 1024;
+    }
+    table ipv6_tbl {
+        key = {
+            meta.vrf_id : exact @name("vrf_id") @refers_to(vrf_tbl, vrf_id);
+            ipv6.dst_addr : lpm @name("ipv6_dst");
+        }
+        actions = { drop, set_nexthop_id, set_wcmp_group_id, trap };
+        const default_action = drop;
+        size = 1024;
+    }
+    table wcmp_group_tbl {
+        key = {
+            meta.wcmp_group_id : exact @name("wcmp_group_id");
+        }
+        actions = { set_nexthop_id };
+        const default_action = NoAction;
+        size = 128;
+        implementation = action_selector(wcmp_group_selector, 128);
+    }
+    table nexthop_tbl {
+        key = {
+            meta.nexthop_id : exact @name("nexthop_id");
+        }
+        actions = { set_ip_nexthop };
+        const default_action = NoAction;
+        size = 256;
+    }
+    table neighbor_tbl {
+        key = {
+            meta.router_interface_id : exact @name("router_interface_id") @refers_to(router_interface_tbl, router_interface_id);
+            meta.neighbor_id : exact @name("neighbor_id");
+        }
+        actions = { set_dst_mac };
+        const default_action = drop;
+        size = 256;
+    }
+    table router_interface_tbl {
+        key = {
+            meta.router_interface_id : exact @name("router_interface_id");
+        }
+        actions = { set_port_and_src_mac };
+        const default_action = NoAction;
+        size = 64;
+    }
+    @entry_restriction("(dst_ip::mask != 0 -> is_ipv4 == 1) && (dst_ipv6::mask != 0 -> is_ipv6 == 1) && (ttl::mask != 0 -> is_ipv4 == 1) && (icmp_type::mask != 0 -> (ip_protocol::mask != 0 && ip_protocol == 1)) && (is_ipv4::mask == 0 || is_ipv4::mask == 1) && (is_ipv6::mask == 0 || is_ipv6::mask == 1)")
+    table acl_ingress_tbl {
+        key = {
+            meta.is_ipv4 : ternary @name("is_ipv4");
+            meta.is_ipv6 : ternary @name("is_ipv6");
+            ipv4.dst_addr : ternary @name("dst_ip");
+            ipv6.dst_addr : ternary @name("dst_ipv6");
+            ipv4.ttl : ternary @name("ttl");
+            ipv4.protocol : ternary @name("ip_protocol");
+            icmp.type : ternary @name("icmp_type");
+            tcp.dst_port : ternary @name("l4_dst_port");
+        }
+        actions = { drop, trap, acl_copy, acl_mirror };
+        const default_action = NoAction;
+        size = 128;
+    }
+    table mirror_session_tbl {
+        key = {
+            meta.mirror_session_id : exact @name("mirror_session_id");
+        }
+        actions = { set_mirror_port };
+        const default_action = NoAction;
+        size = 4;
+    }
+    @logical_table
+    table mirror_port_to_clone_session_tbl {
+        key = {
+            standard.mirror_port : exact @name("mirror_port");
+        }
+        actions = { set_clone_session };
+        const default_action = NoAction;
+        size = 64;
+    }
+    apply {
+        if @label("classify_ipv4") (ipv4.isValid()) {
+            meta.is_ipv4 = 1w1;
+        }
+        if @label("classify_ipv6") (ipv6.isValid()) {
+            meta.is_ipv6 = 1w1;
+        }
+        if @label("ttl_trap") (((ipv4.isValid() && (ipv4.ttl <= 8w1)) || (ipv6.isValid() && (ipv6.hop_limit <= 8w1)))) {
+            standard.punt = 1w1;
+            standard.drop = 1w1;
+        }
+        if @label("broadcast_drop") ((ipv4.isValid() && (ipv4.dst_addr == 32w4294967295))) {
+            standard.drop = 1w1;
+        }
+        if @label("not_dropped_gate") ((standard.drop == 1w0)) {
+            l3_admit_tbl.apply();
+            acl_pre_ingress_tbl.apply();
+            vrf_tbl.apply();
+            if @label("l3_admit_gate") ((meta.l3_admit == 1w1)) {
+                if @label("route_ipv4") (ipv4.isValid()) {
+                    ipv4_tbl.apply();
+                } else {
+                    if @label("route_ipv6") (ipv6.isValid()) {
+                        ipv6_tbl.apply();
+                    }
+                }
+            }
+            if @label("resolution_gate") ((meta.route_hit == 1w1)) {
+                if @label("wcmp_gate") ((meta.wcmp_group_id != 16w0)) {
+                    wcmp_group_tbl.apply();
+                }
+                nexthop_tbl.apply();
+                neighbor_tbl.apply();
+                if @label("resolution_not_dropped") ((standard.drop == 1w0)) {
+                    router_interface_tbl.apply();
+                    if @label("ttl_decrement") (ipv4.isValid()) {
+                        ipv4.ttl = (ipv4.ttl - 8w1);
+                    } else {
+                        if @label("hop_limit_decrement") (ipv6.isValid()) {
+                            ipv6.hop_limit = (ipv6.hop_limit - 8w1);
+                        }
+                    }
+                }
+            }
+            acl_ingress_tbl.apply();
+            if @label("mirror_gate") ((meta.mirror_session_id != 16w0)) {
+                mirror_session_tbl.apply();
+                mirror_port_to_clone_session_tbl.apply();
+            }
+        }
+    }
+}

@@ -1,0 +1,126 @@
+// P4 model: toy_router (role: toy)
+@role("toy")
+@parser("ethernet_ipv4_ipv6")
+
+header ethernet_t {
+    bit<48> dst_addr;
+    bit<48> src_addr;
+    bit<16> ether_type;
+}
+
+header ipv4_t {
+    bit<4> version;
+    bit<4> ihl;
+    bit<6> dscp;
+    bit<2> ecn;
+    bit<16> total_len;
+    bit<16> identification;
+    bit<3> flags;
+    bit<13> frag_offset;
+    bit<8> ttl;
+    bit<8> protocol;
+    bit<16> header_checksum;
+    bit<32> src_addr;
+    bit<32> dst_addr;
+}
+
+header ipv6_t {
+    bit<4> version;
+    bit<6> dscp;
+    bit<2> ecn;
+    bit<20> flow_label;
+    bit<16> payload_length;
+    bit<8> next_header;
+    bit<8> hop_limit;
+    bit<128> src_addr;
+    bit<128> dst_addr;
+}
+
+header icmp_t {
+    bit<8> type;
+    bit<8> code;
+    bit<16> checksum;
+}
+
+header tcp_t {
+    bit<16> src_port;
+    bit<16> dst_port;
+    bit<32> seq_no;
+    bit<32> ack_no;
+    bit<4> data_offset;
+    bit<4> res;
+    bit<8> flags;
+    bit<16> window;
+    bit<16> checksum;
+    bit<16> urgent_ptr;
+}
+
+header udp_t {
+    bit<16> src_port;
+    bit<16> dst_port;
+    bit<16> hdr_length;
+    bit<16> checksum;
+}
+
+struct metadata_t {
+    bit<16> vrf_id;
+    bit<16> nexthop_id;
+    bit<16> wcmp_group_id;
+    bit<16> router_interface_id;
+    bit<16> neighbor_id;
+    bit<1> l3_admit;
+    bit<1> is_ipv4;
+    bit<1> is_ipv6;
+    bit<16> mirror_session_id;
+    bit<1> route_hit;
+}
+
+control toy_router_ingress(inout headers_t headers,
+                                inout metadata_t meta) {
+    action set_vrf(@refers_to(vrf_tbl, vrf_id) bit<16> vrf_id) {
+        meta.vrf_id = vrf_id;
+    }
+    action NoAction() {
+    }
+    action drop() {
+        standard.drop = 1w1;
+    }
+    action set_nexthop_id(bit<16> nexthop_id) {
+        meta.nexthop_id = nexthop_id;
+        standard.egress_port = nexthop_id;
+    }
+    table pre_ingress_tbl {
+        key = {
+            standard.ingress_port : optional @name("in_port");
+        }
+        actions = { set_vrf };
+        const default_action = NoAction;
+        size = 16;
+    }
+    @entry_restriction("vrf_id != 0")
+    @resource_table
+    table vrf_tbl {
+        key = {
+            meta.vrf_id : exact @name("vrf_id");
+        }
+        actions = { NoAction };
+        const default_action = NoAction;
+        size = 16;
+    }
+    table ipv4_tbl {
+        key = {
+            meta.vrf_id : exact @name("vrf_id") @refers_to(vrf_tbl, vrf_id);
+            ipv4.dst_addr : lpm @name("ipv4_dst");
+        }
+        actions = { drop, set_nexthop_id };
+        const default_action = drop;
+        size = 32;
+    }
+    apply {
+        pre_ingress_tbl.apply();
+        vrf_tbl.apply();
+        if @label("ipv4_gate") (ipv4.isValid()) {
+            ipv4_tbl.apply();
+        }
+    }
+}

@@ -1,0 +1,22 @@
+"""SwitchV — automated SDN switch validation with P4 models.
+
+A complete Python reproduction of Dak Albab et al., SIGCOMM 2022, including
+every substrate the paper's system runs on:
+
+* :mod:`repro.smt` — a from-scratch QF_BV SMT solver (the Z3 role),
+* :mod:`repro.p4` — P4 models, P4Info, P4-constraints, role instantiations,
+  and a P4 text printer/parser,
+* :mod:`repro.p4rt` — the P4Runtime protocol layer,
+* :mod:`repro.bmv2` — a behavioral-model simulator,
+* :mod:`repro.switch` — the layered PINS switch under test, with the
+  paper's Appendix-A bug catalogue as injectable faults,
+* :mod:`repro.fuzzer` — p4-fuzzer (control-plane API validation, §4),
+* :mod:`repro.symbolic` — p4-symbolic (data-plane validation, §5),
+* :mod:`repro.switchv` — the end-to-end harness, trivial suite, campaigns,
+* :mod:`repro.controller` — a mini SDN controller using the same contract,
+* :mod:`repro.workloads` — production-like table states and bug data.
+
+Start with :class:`repro.switchv.SwitchVHarness`; see README.md.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,38 @@
+"""repro.bmv2 — a behavioral-model P4 simulator.
+
+Plays the role of the BMv2 simple_switch in the paper: an independent
+interpreter of the P4 model that SwitchV uses as the data-plane reference.
+Given a program, installed table entries and an input packet, it produces
+the packet's fate (egress port / drop / punt / mirror copies and the
+rewritten header fields).
+
+Hashing is handled per §5: the simulator supports a *round-robin* hash mode
+used to enumerate the full set of admissible behaviours for
+non-deterministic constructs (WCMP member selection), and a *seeded* mode
+that mimics a concrete ASIC hash.
+
+* :mod:`repro.bmv2.packet` — concrete packets: field maps plus wire
+  encode/decode for the supported parser patterns.
+* :mod:`repro.bmv2.entries` — decoded, model-level table entries and the
+  wire → model conversion (shared with the switch stack).
+* :mod:`repro.bmv2.interpreter` — the single-packet interpreter.
+* :mod:`repro.bmv2.simulator` — behaviour-set collection and the
+  user-facing ``Bmv2Simulator``.
+"""
+
+from repro.bmv2.entries import DecodedAction, DecodedActionSet, DecodedMatch, InstalledEntry, decode_table_entry
+from repro.bmv2.packet import Packet, parse_packet, deparse_packet
+from repro.bmv2.simulator import Behavior, Bmv2Simulator
+
+__all__ = [
+    "Behavior",
+    "Bmv2Simulator",
+    "DecodedAction",
+    "DecodedActionSet",
+    "DecodedMatch",
+    "InstalledEntry",
+    "Packet",
+    "decode_table_entry",
+    "deparse_packet",
+    "parse_packet",
+]

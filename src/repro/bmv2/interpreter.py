@@ -1,0 +1,448 @@
+"""The single-packet P4 model interpreter.
+
+Executes a :class:`~repro.p4.ast.P4Program` on a concrete packet given the
+installed table entries, producing the packet's fate plus an execution
+trace (which entries were hit, which branches taken) used for coverage
+accounting and incident reports.
+
+Match semantics follow the P4Runtime specification:
+
+* a candidate entry must match on every *present* clause (omitted
+  lpm/ternary/optional clauses are wildcards);
+* in tables with ternary/optional keys, the highest numeric priority wins;
+* otherwise, if the table has an LPM key, the longest prefix wins;
+* exact-only tables have at most one candidate.
+
+Hashing (WCMP member selection) is delegated to a :class:`HashProvider`:
+the round-robin provider enumerates behaviours (§5 "Hashing"), the seeded
+provider mimics a concrete ASIC hash.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field as dc_field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.bmv2.entries import DecodedAction, DecodedActionSet, InstalledEntry
+from repro.bmv2.packet import Packet
+from repro.p4 import ast
+from repro.p4.ast import (
+    BinOp,
+    BoolOp,
+    Cmp,
+    Const,
+    FieldRef,
+    HashExpr,
+    If,
+    IsValid,
+    P4Program,
+    Param,
+    Seq,
+    Statement,
+    Table,
+    TableApply,
+)
+
+
+class InterpreterError(RuntimeError):
+    """An internal inconsistency while executing the model."""
+
+
+# ----------------------------------------------------------------------
+# Hash providers
+# ----------------------------------------------------------------------
+
+
+class HashProvider:
+    """Strategy for resolving black-box hashes (member selection)."""
+
+    def select_weighted(
+        self, label: str, packet_fields: Mapping[str, int], weights: Sequence[int]
+    ) -> int:
+        """Pick a member index given per-member weights."""
+        raise NotImplementedError
+
+    def value(self, label: str, packet_fields: Mapping[str, int], width: int) -> int:
+        raise NotImplementedError
+
+
+class RoundRobinHash(HashProvider):
+    """Deterministic rotation parameterised by a round index.
+
+    Running the interpreter with round = 0, 1, 2, ... enumerates the set of
+    possible behaviours of every non-deterministic construct.  Selection
+    rotates over *distinct* members — weights shape a distribution, which is
+    unobservable for a single packet, so enumerating members is what
+    matters for the admissible-behaviour set.
+    """
+
+    def __init__(self, round_index: int = 0) -> None:
+        self.round_index = round_index
+
+    def select_weighted(
+        self, label: str, packet_fields: Mapping[str, int], weights: Sequence[int]
+    ) -> int:
+        if not weights:
+            raise InterpreterError("selection over an empty member set")
+        return self.round_index % len(weights)
+
+    def value(self, label: str, packet_fields: Mapping[str, int], width: int) -> int:
+        return self.round_index & ((1 << width) - 1)
+
+
+class SeededHash(HashProvider):
+    """A concrete, vendor-style hash: CRC32 over selected field bytes.
+
+    Models the real ASIC whose exact algorithm the P4 model deliberately
+    does not specify.
+    """
+
+    def __init__(self, seed: int = 0, fields: Sequence[str] = ()) -> None:
+        self.seed = seed
+        self.fields = tuple(fields) or (
+            "ipv4.src_addr",
+            "ipv4.dst_addr",
+            "ipv4.protocol",
+            "ipv6.src_addr",
+            "ipv6.dst_addr",
+        )
+
+    def _digest(self, packet_fields: Mapping[str, int]) -> int:
+        material = bytearray(self.seed.to_bytes(4, "big"))
+        for name in self.fields:
+            value = packet_fields.get(name, 0)
+            material += value.to_bytes((value.bit_length() + 7) // 8 or 1, "big")
+        return zlib.crc32(bytes(material))
+
+    def select_weighted(
+        self, label: str, packet_fields: Mapping[str, int], weights: Sequence[int]
+    ) -> int:
+        if not weights:
+            raise InterpreterError("selection over an empty member set")
+        total = sum(weights)
+        point = self._digest(packet_fields) % total
+        for index, weight in enumerate(weights):
+            point -= weight
+            if point < 0:
+                return index
+        return len(weights) - 1  # pragma: no cover - arithmetic guarantee
+
+    def value(self, label: str, packet_fields: Mapping[str, int], width: int) -> int:
+        return self._digest(packet_fields) & ((1 << width) - 1)
+
+
+# ----------------------------------------------------------------------
+# Execution results
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ExecutionTrace:
+    """What happened during one interpretation, for coverage/incidents."""
+
+    # (table name, entry identity or None for miss/default, action name)
+    table_hits: List[Tuple[str, Optional[Tuple], str]] = dc_field(default_factory=list)
+    # (branch label, taken?)
+    branches: List[Tuple[str, bool]] = dc_field(default_factory=list)
+
+    def entries_hit(self) -> List[Tuple[str, Tuple]]:
+        return [(t, e) for t, e, _a in self.table_hits if e is not None]
+
+
+@dataclass
+class PacketResult:
+    """The fate of one packet."""
+
+    packet: Packet  # final (possibly rewritten) packet
+    egress_port: Optional[int]  # None when dropped
+    punted: bool
+    mirror_copies: List[Tuple[int, Packet]] = dc_field(default_factory=list)
+    trace: ExecutionTrace = dc_field(default_factory=ExecutionTrace)
+
+    @property
+    def dropped(self) -> bool:
+        return self.egress_port is None
+
+    def behavior_signature(self) -> Tuple:
+        """A hashable summary for behaviour-set comparison (§5 "Hashing").
+
+        Deliberately excludes the trace: two executions with the same
+        externally visible outcome are the same behaviour.  A packet that is
+        dropped without being punted or mirrored has no observable contents,
+        so its signature normalises them away.
+        """
+        if self.egress_port is None and not self.punted and not self.mirror_copies:
+            return (None, False, None, ())
+        return (
+            self.egress_port,
+            self.punted,
+            self.packet.signature(),
+            tuple(sorted((port, pkt.signature()) for port, pkt in self.mirror_copies)),
+        )
+
+    def __repr__(self) -> str:
+        fate = "DROP" if self.dropped else f"port {self.egress_port}"
+        extra = " +punt" if self.punted else ""
+        if self.mirror_copies:
+            extra += f" +{len(self.mirror_copies)} mirror"
+        return f"PacketResult({fate}{extra})"
+
+
+# ----------------------------------------------------------------------
+# The interpreter
+# ----------------------------------------------------------------------
+
+TableState = Mapping[str, Sequence[InstalledEntry]]
+
+
+class Interpreter:
+    """Executes a P4 program on packets against a table state.
+
+    The two boolean knobs reproduce real BMv2 defects from the paper's
+    Cerberus campaign (Table 1 lists 4 simulator bugs); they are only ever
+    enabled through fault injection:
+
+    * ``optional_absent_matches_zero`` — an omitted optional match is
+      treated as "must equal zero" instead of wildcard;
+    * ``lpm_shortest_prefix_wins`` — the LPM comparator is inverted.
+    """
+
+    def __init__(
+        self,
+        program: P4Program,
+        state: TableState,
+        hash_provider: Optional[HashProvider] = None,
+        optional_absent_matches_zero: bool = False,
+        lpm_shortest_prefix_wins: bool = False,
+        tie_break_round: int = 0,
+    ) -> None:
+        self.program = program
+        self.state = state
+        self.hash_provider = hash_provider or SeededHash()
+        self.optional_absent_matches_zero = optional_absent_matches_zero
+        self.lpm_shortest_prefix_wins = lpm_shortest_prefix_wins
+        # Among same-priority candidates the P4Runtime spec does not fix a
+        # winner, and real switches reorder ties when entries are modified
+        # (remove + re-add in the agent).  The behaviour-set enumeration
+        # rotates this index to visit every tied candidate.
+        self.tie_break_round = tie_break_round
+        self._tables_by_name = {t.name: t for t in program.tables()}
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def run(self, packet: Packet, ingress_port: int) -> PacketResult:
+        fields: Dict[str, int] = {path: 0 for path in self.program.all_field_paths()}
+        fields.update(packet.fields)
+        fields["standard.ingress_port"] = ingress_port
+        valid = set(packet.valid_headers)
+        trace = ExecutionTrace()
+
+        self._run_block(self.program.ingress, fields, valid, trace)
+        dropped = bool(fields.get("standard.drop"))
+        if not dropped:
+            self._run_block(self.program.egress, fields, valid, trace)
+            dropped = bool(fields.get("standard.drop"))
+
+        out_packet = Packet(
+            fields={
+                path: value
+                for path, value in fields.items()
+                if "." in path and path.split(".", 1)[0] in valid
+            },
+            valid_headers=valid,
+            payload=packet.payload,
+        )
+        punted = bool(fields.get("standard.punt"))
+        egress: Optional[int] = None
+        if not dropped:
+            egress = fields.get("standard.egress_port", 0)
+            if egress == 0:
+                # No forwarding decision was made: the model drops.
+                egress = None
+        mirror_copies: List[Tuple[int, Packet]] = []
+        mirror_port = fields.get("standard.mirror_port", 0)
+        if mirror_port:
+            mirror_copies.append((mirror_port, out_packet.copy()))
+        return PacketResult(
+            packet=out_packet,
+            egress_port=egress,
+            punted=punted,
+            mirror_copies=mirror_copies,
+            trace=trace,
+        )
+
+    # ------------------------------------------------------------------
+    # Control flow
+    # ------------------------------------------------------------------
+    def _run_block(self, block: Seq, fields, valid, trace) -> None:
+        for node in block:
+            if isinstance(node, TableApply):
+                self._apply_table(node.table, fields, valid, trace)
+            elif isinstance(node, If):
+                taken = self._eval_bool(node.cond, fields, valid)
+                trace.branches.append((node.label or repr(node.cond), taken))
+                self._run_block(node.then_block if taken else node.else_block, fields, valid, trace)
+            elif isinstance(node, Statement):
+                self._execute_statement(node, fields, valid, params={})
+            else:  # pragma: no cover - defensive
+                raise InterpreterError(f"unknown control node {node!r}")
+
+    # ------------------------------------------------------------------
+    # Table application
+    # ------------------------------------------------------------------
+    def _apply_table(self, table: Table, fields, valid, trace) -> None:
+        entries = self.state.get(table.name, ())
+        winner = self._match(table, entries, fields)
+        if winner is None:
+            trace.table_hits.append((table.name, None, table.default_action.name))
+            self._execute_action_body(table.default_action.body, fields, valid, params={})
+            return
+        action = winner.action
+        if isinstance(action, DecodedActionSet):
+            weights = [weight for _member, weight in action.members]
+            index = self.hash_provider.select_weighted(
+                f"selector:{table.name}", fields, weights
+            )
+            chosen, _weight = action.members[index]
+            trace.table_hits.append((table.name, winner.identity(), chosen.name))
+            self._invoke_named_action(table, chosen, fields, valid)
+        else:
+            trace.table_hits.append((table.name, winner.identity(), action.name))
+            self._invoke_named_action(table, action, fields, valid)
+
+    def _match(
+        self, table: Table, entries: Sequence[InstalledEntry], fields
+    ) -> Optional[InstalledEntry]:
+        candidates: List[Tuple[int, InstalledEntry]] = []
+        for order, entry in enumerate(entries):
+            if self._entry_matches(table, entry, fields):
+                candidates.append((order, entry))
+        if not candidates:
+            return None
+        if table.requires_priority:
+            # Highest priority wins; equal-priority ties are under-specified
+            # (see tie_break_round) — rotate among the tied candidates.
+            top = max(entry.priority for _order, entry in candidates)
+            tied = [entry for _order, entry in candidates if entry.priority == top]
+            return tied[self.tie_break_round % len(tied)]
+        lpm_keys = [k.key_name for k in table.keys if k.kind is ast.MatchKind.LPM]
+        if lpm_keys:
+            key_name = lpm_keys[0]
+
+            def prefix_of(entry: InstalledEntry) -> int:
+                m = entry.match(key_name)
+                length = m.prefix_len if m is not None and m.present else -1
+                if self.lpm_shortest_prefix_wins:
+                    return -length  # seeded simulator bug: inverted order
+                return length
+
+            return max(candidates, key=lambda item: (prefix_of(item[1]), -item[0]))[1]
+        return candidates[0][1]
+
+    def _entry_matches(self, table: Table, entry: InstalledEntry, fields) -> bool:
+        for key in table.keys:
+            m = entry.match(key.key_name)
+            if m is None or not m.present:
+                if (
+                    self.optional_absent_matches_zero
+                    and key.kind is ast.MatchKind.OPTIONAL
+                    and fields.get(key.field.path, 0) != 0
+                ):
+                    return False  # seeded simulator bug
+                continue  # wildcard
+            value = fields.get(key.field.path, 0)
+            if m.mask:
+                if (value & m.mask) != (m.value & m.mask):
+                    return False
+            elif value != m.value:
+                return False
+        return True
+
+    def _invoke_named_action(self, table: Table, decoded: DecodedAction, fields, valid) -> None:
+        action = table.action(decoded.name) if decoded.name in table.action_names else None
+        if action is None:
+            if decoded.name == table.default_action.name:
+                action = table.default_action
+            else:
+                raise InterpreterError(
+                    f"entry in {table.name} references unknown action {decoded.name}"
+                )
+        self._execute_action_body(action.body, fields, valid, params=decoded.param_map())
+
+    def _execute_action_body(self, body, fields, valid, params) -> None:
+        for stmt in body:
+            self._execute_statement(stmt, fields, valid, params)
+
+    def _execute_statement(self, stmt: Statement, fields, valid, params) -> None:
+        value = self._eval_expr(stmt.value, fields, valid, params)
+        width = self.program.field_width(stmt.dest.path)
+        fields[stmt.dest.path] = value & ((1 << width) - 1)
+
+    # ------------------------------------------------------------------
+    # Expression evaluation
+    # ------------------------------------------------------------------
+    def _eval_expr(self, expr, fields, valid, params) -> int:
+        if isinstance(expr, Const):
+            return expr.value & ((1 << expr.width) - 1)
+        if isinstance(expr, FieldRef):
+            return fields.get(expr.path, 0)
+        if isinstance(expr, Param):
+            if expr.name not in params:
+                raise InterpreterError(f"unbound action parameter {expr.name}")
+            return params[expr.name]
+        if isinstance(expr, BinOp):
+            left = self._eval_expr(expr.left, fields, valid, params)
+            right = self._eval_expr(expr.right, fields, valid, params)
+            width = self._expr_width(expr.left, params)
+            mask = (1 << width) - 1
+            if expr.op == "+":
+                return (left + right) & mask
+            if expr.op == "-":
+                return (left - right) & mask
+            if expr.op == "&":
+                return left & right
+            if expr.op == "|":
+                return left | right
+            if expr.op == "^":
+                return left ^ right
+            raise InterpreterError(f"unknown binary op {expr.op}")
+        if isinstance(expr, HashExpr):
+            return self.hash_provider.value(expr.label, fields, expr.width)
+        raise InterpreterError(f"unknown expression {expr!r}")
+
+    def _expr_width(self, expr, params) -> int:
+        if isinstance(expr, Const):
+            return expr.width
+        if isinstance(expr, FieldRef):
+            return self.program.field_width(expr.path)
+        if isinstance(expr, BinOp):
+            return self._expr_width(expr.left, params)
+        if isinstance(expr, HashExpr):
+            return expr.width
+        if isinstance(expr, Param):
+            return 64  # parameters carry their declared width at decode time
+        raise InterpreterError(f"cannot determine width of {expr!r}")
+
+    def _eval_bool(self, cond, fields, valid) -> bool:
+        if isinstance(cond, IsValid):
+            return cond.header in valid
+        if isinstance(cond, Cmp):
+            left = self._eval_expr(cond.left, fields, valid, {})
+            right = self._eval_expr(cond.right, fields, valid, {})
+            return {
+                "==": left == right,
+                "!=": left != right,
+                "<": left < right,
+                "<=": left <= right,
+                ">": left > right,
+                ">=": left >= right,
+            }[cond.op]
+        if isinstance(cond, BoolOp):
+            if cond.op == "and":
+                return all(self._eval_bool(a, fields, valid) for a in cond.args)
+            if cond.op == "or":
+                return any(self._eval_bool(a, fields, valid) for a in cond.args)
+            return not self._eval_bool(cond.args[0], fields, valid)
+        raise InterpreterError(f"unknown condition {cond!r}")

@@ -1,0 +1,296 @@
+"""Concrete packets: field maps with wire encode/decode.
+
+A :class:`Packet` is a mapping from dotted field paths (``"ipv4.dst_addr"``)
+to unsigned integers, plus the set of valid headers and an opaque payload.
+The parser patterns here are the "semi-hardcoded parser patterns of
+interest" from §5: Ethernet, then IPv4 or IPv6 by ether type, then
+ICMP/TCP/UDP by protocol.
+
+The same encode/decode is used by the switch under test, the BMv2
+simulator, and packet-io (PacketIn/PacketOut payloads), so a disagreement
+between switch and simulator is never a serialization artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.p4.programs.common import (
+    ETHERTYPE_IPV4,
+    ETHERTYPE_IPV6,
+    IP_PROTOCOL_ICMP,
+    IP_PROTOCOL_TCP,
+    IP_PROTOCOL_UDP,
+    STANDARD_HEADERS,
+)
+
+_HEADERS_BY_NAME = {h.name: h for h in STANDARD_HEADERS}
+
+
+class PacketError(ValueError):
+    """Raised for malformed packets (truncated headers, bad versions)."""
+
+
+@dataclass
+class Packet:
+    """A concrete packet: header fields, validity, and payload."""
+
+    fields: Dict[str, int] = field(default_factory=dict)
+    valid_headers: Set[str] = field(default_factory=set)
+    payload: bytes = b""
+
+    def get(self, path: str, default: int = 0) -> int:
+        return self.fields.get(path, default)
+
+    def set(self, path: str, value: int) -> None:
+        self.fields[path] = value
+
+    def is_valid(self, header: str) -> bool:
+        return header in self.valid_headers
+
+    def copy(self) -> "Packet":
+        return Packet(
+            fields=dict(self.fields),
+            valid_headers=set(self.valid_headers),
+            payload=self.payload,
+        )
+
+    def signature(self) -> Tuple:
+        """A hashable identity of header contents (for behaviour comparison)."""
+        return (
+            tuple(sorted(self.valid_headers)),
+            tuple(sorted(self.fields.items())),
+            self.payload,
+        )
+
+    def __repr__(self) -> str:
+        hdrs = "/".join(sorted(self.valid_headers)) or "raw"
+        return f"Packet({hdrs}, {len(self.payload)}B payload)"
+
+
+# ----------------------------------------------------------------------
+# Bit-level encode/decode helpers
+# ----------------------------------------------------------------------
+
+
+class _BitReader:
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._bitpos = 0
+
+    @property
+    def remaining_bits(self) -> int:
+        return len(self._data) * 8 - self._bitpos
+
+    def read(self, width: int) -> int:
+        if width > self.remaining_bits:
+            raise PacketError(f"truncated packet: wanted {width} bits, have {self.remaining_bits}")
+        value = 0
+        for _ in range(width):
+            byte = self._data[self._bitpos // 8]
+            bit = (byte >> (7 - (self._bitpos % 8))) & 1
+            value = (value << 1) | bit
+            self._bitpos += 1
+        return value
+
+    def rest(self) -> bytes:
+        if self._bitpos % 8 != 0:
+            raise PacketError("header stack not byte aligned")
+        return self._data[self._bitpos // 8 :]
+
+
+class _BitWriter:
+    def __init__(self) -> None:
+        self._bits: List[int] = []
+
+    def write(self, value: int, width: int) -> None:
+        for i in range(width - 1, -1, -1):
+            self._bits.append((value >> i) & 1)
+
+    def finish(self) -> bytes:
+        if len(self._bits) % 8 != 0:
+            raise PacketError("header stack not byte aligned")
+        out = bytearray()
+        for i in range(0, len(self._bits), 8):
+            byte = 0
+            for bit in self._bits[i : i + 8]:
+                byte = (byte << 1) | bit
+            out.append(byte)
+        return bytes(out)
+
+
+def _read_header(reader: _BitReader, packet: Packet, header_name: str) -> None:
+    header = _HEADERS_BY_NAME[header_name]
+    for fname, width in header.fields:
+        packet.fields[f"{header_name}.{fname}"] = reader.read(width)
+    packet.valid_headers.add(header_name)
+
+
+def _write_header(writer: _BitWriter, packet: Packet, header_name: str) -> None:
+    header = _HEADERS_BY_NAME[header_name]
+    for fname, width in header.fields:
+        writer.write(packet.get(f"{header_name}.{fname}"), width)
+
+
+# ----------------------------------------------------------------------
+# Parser patterns (§5 "Limitations": semi-hardcoded parsers)
+# ----------------------------------------------------------------------
+
+
+def parse_packet(data: bytes, pattern: str = "ethernet_ipv4_ipv6") -> Packet:
+    """Parse wire bytes into a :class:`Packet` using a registered pattern."""
+    if pattern != "ethernet_ipv4_ipv6":
+        raise PacketError(f"unknown parser pattern {pattern!r}")
+    packet = Packet()
+    reader = _BitReader(data)
+    _read_header(reader, packet, "ethernet")
+    ether_type = packet.get("ethernet.ether_type")
+    protocol: Optional[int] = None
+    if ether_type == ETHERTYPE_IPV4:
+        _read_header(reader, packet, "ipv4")
+        protocol = packet.get("ipv4.protocol")
+    elif ether_type == ETHERTYPE_IPV6:
+        _read_header(reader, packet, "ipv6")
+        protocol = packet.get("ipv6.next_header")
+    if protocol == IP_PROTOCOL_ICMP:
+        _read_header(reader, packet, "icmp")
+    elif protocol == IP_PROTOCOL_TCP:
+        _read_header(reader, packet, "tcp")
+    elif protocol == IP_PROTOCOL_UDP:
+        _read_header(reader, packet, "udp")
+    packet.payload = reader.rest()
+    return packet
+
+
+_DEPARSE_ORDER = ("ethernet", "ipv4", "ipv6", "icmp", "tcp", "udp")
+
+
+def deparse_packet(packet: Packet) -> bytes:
+    """Serialize a packet back to wire bytes (valid headers in order)."""
+    writer = _BitWriter()
+    for header in _DEPARSE_ORDER:
+        if packet.is_valid(header):
+            _write_header(writer, packet, header)
+    return writer.finish() + packet.payload
+
+
+# ----------------------------------------------------------------------
+# Packet construction helpers
+# ----------------------------------------------------------------------
+
+
+def make_ipv4_packet(
+    dst_addr: int,
+    src_addr: int = 0x0A000001,
+    ttl: int = 64,
+    protocol: int = IP_PROTOCOL_UDP,
+    dst_mac: int = 0x00AABBCCDDEE,
+    src_mac: int = 0x001122334455,
+    dscp: int = 0,
+    l4_dst_port: int = 443,
+    payload: bytes = b"payload",
+) -> Packet:
+    """A well-formed IPv4/UDP (or TCP/ICMP) packet for tests and examples."""
+    packet = Packet(payload=payload)
+    packet.valid_headers.add("ethernet")
+    packet.fields.update(
+        {
+            "ethernet.dst_addr": dst_mac,
+            "ethernet.src_addr": src_mac,
+            "ethernet.ether_type": ETHERTYPE_IPV4,
+        }
+    )
+    packet.valid_headers.add("ipv4")
+    packet.fields.update(
+        {
+            "ipv4.version": 4,
+            "ipv4.ihl": 5,
+            "ipv4.dscp": dscp,
+            "ipv4.ecn": 0,
+            "ipv4.total_len": 20 + len(payload),
+            "ipv4.identification": 0,
+            "ipv4.flags": 0,
+            "ipv4.frag_offset": 0,
+            "ipv4.ttl": ttl,
+            "ipv4.protocol": protocol,
+            "ipv4.header_checksum": 0,
+            "ipv4.src_addr": src_addr,
+            "ipv4.dst_addr": dst_addr,
+        }
+    )
+    if protocol == IP_PROTOCOL_UDP:
+        packet.valid_headers.add("udp")
+        packet.fields.update(
+            {
+                "udp.src_port": 10000,
+                "udp.dst_port": l4_dst_port,
+                "udp.hdr_length": 8 + len(payload),
+                "udp.checksum": 0,
+            }
+        )
+    elif protocol == IP_PROTOCOL_TCP:
+        packet.valid_headers.add("tcp")
+        packet.fields.update(
+            {
+                "tcp.src_port": 10000,
+                "tcp.dst_port": l4_dst_port,
+                "tcp.seq_no": 0,
+                "tcp.ack_no": 0,
+                "tcp.data_offset": 5,
+                "tcp.res": 0,
+                "tcp.flags": 0x02,
+                "tcp.window": 0xFFFF,
+                "tcp.checksum": 0,
+                "tcp.urgent_ptr": 0,
+            }
+        )
+    elif protocol == IP_PROTOCOL_ICMP:
+        packet.valid_headers.add("icmp")
+        packet.fields.update({"icmp.type": 8, "icmp.code": 0, "icmp.checksum": 0})
+    return packet
+
+
+def make_ipv6_packet(
+    dst_addr: int,
+    src_addr: int = 0x20010DB8_00000000_00000000_00000001,
+    hop_limit: int = 64,
+    next_header: int = IP_PROTOCOL_UDP,
+    dst_mac: int = 0x00AABBCCDDEE,
+    src_mac: int = 0x001122334455,
+    payload: bytes = b"payload",
+) -> Packet:
+    packet = Packet(payload=payload)
+    packet.valid_headers.add("ethernet")
+    packet.fields.update(
+        {
+            "ethernet.dst_addr": dst_mac,
+            "ethernet.src_addr": src_mac,
+            "ethernet.ether_type": ETHERTYPE_IPV6,
+        }
+    )
+    packet.valid_headers.add("ipv6")
+    packet.fields.update(
+        {
+            "ipv6.version": 6,
+            "ipv6.dscp": 0,
+            "ipv6.ecn": 0,
+            "ipv6.flow_label": 0,
+            "ipv6.payload_length": len(payload),
+            "ipv6.next_header": next_header,
+            "ipv6.hop_limit": hop_limit,
+            "ipv6.src_addr": src_addr,
+            "ipv6.dst_addr": dst_addr,
+        }
+    )
+    if next_header == IP_PROTOCOL_UDP:
+        packet.valid_headers.add("udp")
+        packet.fields.update(
+            {
+                "udp.src_port": 10000,
+                "udp.dst_port": 443,
+                "udp.hdr_length": 8 + len(payload),
+                "udp.checksum": 0,
+            }
+        )
+    return packet

@@ -1,0 +1,17 @@
+"""repro.controller — a minimal Orion-style SDN controller.
+
+The paper's ecosystem (Figure 1) has the P4 model serving as a
+switch-agnostic *contract* between the switch and the SDN controller.
+This package provides the controller side of that contract: a small
+intent layer (routes, ACLs, mirrors) that compiles intents into P4Runtime
+entries, batches them with the same @refers_to-aware batcher SwitchV uses
+(§3 "Batching Table Entries": "as well as when the controller programs the
+switch"), and keeps a shadow copy of switch state.
+
+Used by the examples and the end-to-end integration tests; deliberately
+small — SwitchV, not the controller, is the paper's contribution.
+"""
+
+from repro.controller.controller import Controller, RouteIntent
+
+__all__ = ["Controller", "RouteIntent"]

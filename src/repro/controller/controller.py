@@ -1,0 +1,162 @@
+"""The mini controller: intents → P4Runtime entries → batched writes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.fuzzer.batching import make_batches, order_inserts
+from repro.p4.p4info import P4Info
+from repro.p4rt.messages import TableEntry, Update, UpdateType, WriteRequest
+from repro.p4rt.service import P4RuntimeService
+from repro.p4rt.status import Status
+from repro.workloads.entries import EntryBuilder
+
+
+@dataclass(frozen=True)
+class RouteIntent:
+    """A routing intent: prefix → out-port via a fresh nexthop chain."""
+
+    prefix: int
+    prefix_len: int
+    port: int
+    vrf: int = 1
+
+
+@dataclass
+class ProgrammingResult:
+    accepted: int = 0
+    rejected: List[Tuple[TableEntry, Status]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.rejected
+
+
+class Controller:
+    """Programs a switch through its P4Runtime contract."""
+
+    def __init__(self, p4info: P4Info, switch: P4RuntimeService) -> None:
+        self.p4info = p4info
+        self.switch = switch
+        self.builder = EntryBuilder(p4info)
+        # Shadow state: what we believe is installed.
+        self.shadow: Dict[Tuple, TableEntry] = {}
+        self._next_object_id = 1
+        self._port_nexthop: Dict[int, int] = {}
+
+    def connect(self) -> Status:
+        """Push the pipeline config (the contract handshake)."""
+        return self.switch.set_forwarding_pipeline_config(self.p4info)
+
+    # ------------------------------------------------------------------
+    # Intent compilation
+    # ------------------------------------------------------------------
+    def _allocate_id(self) -> int:
+        oid = self._next_object_id
+        self._next_object_id += 1
+        return oid
+
+    def compile_fabric_base(self, ports: Sequence[int], vrf: int = 1) -> List[TableEntry]:
+        """Base fabric state: RIF/neighbor/nexthop per port + VRF + admit."""
+        b = self.builder
+        entries: List[TableEntry] = []
+        for port in ports:
+            oid = self._allocate_id()
+            entries.append(
+                b.exact(
+                    "router_interface_tbl",
+                    {"router_interface_id": oid},
+                    "set_port_and_src_mac",
+                    {"port": port, "src_mac": 0x00AA_0000_0000 + port},
+                )
+            )
+            entries.append(
+                b.exact(
+                    "neighbor_tbl",
+                    {"router_interface_id": oid, "neighbor_id": oid},
+                    "set_dst_mac",
+                    {"dst_mac": 0x00BB_0000_0000 + port},
+                )
+            )
+            entries.append(
+                b.exact(
+                    "nexthop_tbl",
+                    {"nexthop_id": oid},
+                    "set_ip_nexthop",
+                    {"router_interface_id": oid, "neighbor_id": oid},
+                )
+            )
+            self._port_nexthop[port] = oid
+        entries.append(b.exact("vrf_tbl", {"vrf_id": vrf}, "NoAction"))
+        entries.append(
+            b.ternary("acl_pre_ingress_tbl", {}, "set_vrf", {"vrf_id": vrf}, priority=1)
+        )
+        entries.append(b.ternary("l3_admit_tbl", {}, "admit_to_l3", priority=1))
+        return entries
+
+    def compile_route(self, intent: RouteIntent) -> List[TableEntry]:
+        nexthop = self._port_nexthop.get(intent.port)
+        if nexthop is None:
+            raise KeyError(f"no nexthop provisioned for port {intent.port}")
+        return [
+            self.builder.lpm(
+                "ipv4_tbl",
+                {"vrf_id": intent.vrf},
+                "ipv4_dst",
+                intent.prefix,
+                intent.prefix_len,
+                "set_nexthop_id",
+                {"nexthop_id": nexthop},
+            )
+        ]
+
+    # ------------------------------------------------------------------
+    # Programming
+    # ------------------------------------------------------------------
+    def program(self, entries: Sequence[TableEntry]) -> ProgrammingResult:
+        """Install entries, dependency-ordered and batch-safe (§3)."""
+        result = ProgrammingResult()
+        updates = order_inserts(
+            self.p4info, [Update(UpdateType.INSERT, e) for e in entries]
+        )
+        for batch in make_batches(self.p4info, updates):
+            response = self.switch.write(WriteRequest(updates=tuple(batch)))
+            for update, status in zip(batch, response.statuses):
+                if status.ok:
+                    result.accepted += 1
+                    self.shadow[update.entry.match_key()] = update.entry
+                else:
+                    result.rejected.append((update.entry, status))
+        return result
+
+    def install_fabric(self, ports: Sequence[int], routes: Sequence[RouteIntent]) -> ProgrammingResult:
+        self._port_nexthop = {}
+        entries = self.compile_fabric_base(ports)
+        for intent in routes:
+            entries.extend(self.compile_route(intent))
+        return self.program(entries)
+
+    def withdraw(self, entries: Sequence[TableEntry]) -> ProgrammingResult:
+        """Delete entries (referrers first, per the reverse dependency order)."""
+        result = ProgrammingResult()
+        updates = [Update(UpdateType.DELETE, e) for e in entries]
+        updates.reverse()
+        for batch in make_batches(self.p4info, updates):
+            response = self.switch.write(WriteRequest(updates=tuple(batch)))
+            for update, status in zip(batch, response.statuses):
+                if status.ok:
+                    result.accepted += 1
+                    self.shadow.pop(update.entry.match_key(), None)
+                else:
+                    result.rejected.append((update.entry, status))
+        return result
+
+    def audit(self) -> bool:
+        """Compare the shadow state against the switch's read-back."""
+        from repro.p4rt.messages import ReadRequest
+
+        observed = {
+            e.match_key() for e in self.switch.read(ReadRequest(table_id=0)).entries
+        }
+        return observed == set(self.shadow)

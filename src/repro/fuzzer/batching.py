@@ -1,0 +1,112 @@
+"""Dependency-respecting batch assembly (§4.4).
+
+A single Write RPC's updates may execute in any order, so a batch must
+contain only independent updates: no update may reference a value exported
+by another update in the same batch, touch the same entry identity, or
+delete something a sibling references.  The batcher analyses @refers_to
+edges (via :class:`ReferenceGraph`) and greedily packs updates into the
+earliest compatible batch — the same mechanism the paper uses for control
+plane testing, for installing data-plane test state, and in the controller.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.p4.constraints.refs import ReferenceGraph
+from repro.p4.p4info import P4Info
+from repro.p4rt.messages import Update
+
+
+def _conflicts(refs: ReferenceGraph, a: Update, b: Update) -> bool:
+    """Whether two updates may not share a batch."""
+    if a.entry.match_key() == b.entry.match_key():
+        return True  # same entry identity: order matters
+    # a references a value exported by b (or vice versa): the insert must
+    # land in an earlier batch than the referrer, the delete in a later one.
+    if refs.depends_on(a.entry, b.entry) or refs.depends_on(b.entry, a.entry):
+        return True
+    return False
+
+
+def make_batches(
+    p4info: P4Info, updates: Sequence[Update], max_batch_size: int = 50
+) -> List[List[Update]]:
+    """Greedily pack updates into order-independent batches.
+
+    Updates are kept in their generated order across batches (so an insert
+    that a later update references lands in an earlier batch), while each
+    batch is internally unordered-safe.
+    """
+    refs = ReferenceGraph(p4info)
+    batches: List[List[Update]] = []
+    for update in updates:
+        placed = False
+        # A batch is eligible only if the update conflicts with nothing in
+        # it AND nothing in any *later* batch conflicts... since we append
+        # in generation order, it suffices to scan from the last batch
+        # backwards and stop at the first conflict.
+        for index in range(len(batches) - 1, -1, -1):
+            batch = batches[index]
+            if any(_conflicts(refs, update, other) for other in batch):
+                # Must go strictly after this batch.
+                target = index + 1
+                placed = True
+                break
+        else:
+            target = 0
+            placed = True
+        while True:
+            if target == len(batches):
+                batches.append([update])
+                break
+            if len(batches[target]) < max_batch_size and not any(
+                _conflicts(refs, update, other) for other in batches[target]
+            ):
+                batches[target].append(update)
+                break
+            target += 1
+    return batches
+
+
+def order_inserts(p4info: P4Info, updates: Sequence[Update]) -> List[Update]:
+    """Topologically order INSERT updates so dependencies come first.
+
+    Callers assembling a state from scratch (the harness install path, the
+    controller) may list entries in any order; referenced entries must be
+    installed before their referrers.  Reference cycles cannot arise from
+    @refers_to in well-formed programs; if one does, the residue is
+    appended in the original order.
+    """
+    refs = ReferenceGraph(p4info)
+    remaining = list(updates)
+    ordered: List[Update] = []
+    available = refs.collect_state(())
+    while remaining:
+        progress = []
+        stuck = []
+        for update in remaining:
+            if refs.dangling_references(update.entry, available):
+                stuck.append(update)
+            else:
+                progress.append(update)
+        if not progress:
+            ordered.extend(stuck)  # cycle or genuinely dangling: keep order
+            break
+        for update in progress:
+            ordered.append(update)
+            exported = refs.exported_keyset(update.entry)
+            if exported is not None:
+                available.add(*exported)
+        remaining = stuck
+    return ordered
+
+
+def verify_batch_independence(p4info: P4Info, batch: Sequence[Update]) -> bool:
+    """Check a batch contains no dependent pair (used by tests)."""
+    refs = ReferenceGraph(p4info)
+    for i, a in enumerate(batch):
+        for b in batch[i + 1 :]:
+            if _conflicts(refs, a, b):
+                return False
+    return True

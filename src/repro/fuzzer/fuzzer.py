@@ -1,0 +1,197 @@
+"""The p4-fuzzer campaign driver (Figure 5).
+
+Generates a stream of valid updates, mutates a fraction into interestingly
+invalid ones, packs everything into independent batches, sends the batches
+to the switch, and feeds responses plus state read-backs to the oracle.
+Statistics (update counts, throughput) back the Table 3 benchmark.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.fuzzer.batching import make_batches
+from repro.fuzzer.generator import RequestGenerator
+from repro.fuzzer.mutations import MUST_REJECT, apply_random_mutation
+from repro.fuzzer.oracle import Oracle
+from repro.p4.p4info import P4Info
+from repro.p4rt.messages import ReadRequest, Update, WriteRequest
+from repro.p4rt.service import P4RuntimeService
+from repro.switchv.report import Incident, IncidentKind, IncidentLog
+
+
+@dataclass
+class FuzzerConfig:
+    """Knobs for one campaign; defaults follow §6.3 (1000 writes × ~50)."""
+
+    num_writes: int = 1000
+    updates_per_write: int = 50
+    mutation_probability: float = 0.3
+    seed: int = 0xF0222
+    valid_ports: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8)
+    # None = full catalogue; [] = no mutations (pure valid fuzzing);
+    # a list = restrict to those mutations (ablation experiments).
+    mutations: Optional[List[str]] = None
+    constraint_aware: bool = False
+    # Read the switch state back after every batch (the oracle's design);
+    # lowering frequency trades confidence for speed.
+    read_back_every: int = 1
+
+
+@dataclass
+class FuzzResult:
+    """Campaign outcome and statistics."""
+
+    incidents: IncidentLog = field(default_factory=IncidentLog)
+    updates_sent: int = 0
+    valid_updates: int = 0
+    invalid_updates: int = 0
+    writes_sent: int = 0
+    elapsed_seconds: float = 0.0
+    mutation_counts: Dict[str, int] = field(default_factory=dict)
+    # The entries the oracle believes installed when the campaign ended,
+    # and the subset that was MODIFY-ed at least once.  Feeding these to
+    # p4-symbolic (the §7 extension) exercises control paths only reachable
+    # through update churn.
+    final_entries: List = field(default_factory=list)
+    modified_entries: List = field(default_factory=list)
+
+    @property
+    def updates_per_second(self) -> float:
+        if self.elapsed_seconds == 0:
+            return 0.0
+        return self.updates_sent / self.elapsed_seconds
+
+
+class P4Fuzzer:
+    """Drives one control-plane validation campaign against a switch."""
+
+    def __init__(
+        self,
+        p4info: P4Info,
+        switch: P4RuntimeService,
+        config: Optional[FuzzerConfig] = None,
+    ) -> None:
+        self.p4info = p4info
+        self.switch = switch
+        self.config = config or FuzzerConfig()
+        self.rng = random.Random(self.config.seed)
+        self.generator = RequestGenerator(
+            p4info,
+            self.rng,
+            valid_ports=self.config.valid_ports,
+            constraint_aware=self.config.constraint_aware,
+        )
+        self.oracle = Oracle(p4info)
+        self._modified_keys = set()
+
+    # ------------------------------------------------------------------
+    # Campaign
+    # ------------------------------------------------------------------
+    def run(self) -> FuzzResult:
+        result = FuzzResult()
+        start = time.perf_counter()
+
+        status = self.switch.set_forwarding_pipeline_config(self.p4info)
+        if not status.ok:
+            result.incidents.report(
+                Incident(
+                    kind=IncidentKind.PIPELINE_CONFIG,
+                    summary=f"pipeline config push rejected: {status.code.name}",
+                    expected="OK",
+                    observed=status.message,
+                    source="p4-fuzzer",
+                )
+            )
+            result.elapsed_seconds = time.perf_counter() - start
+            return result
+
+        for write_index in range(self.config.num_writes):
+            updates = self._generate_wave(result)
+            if not updates:
+                continue
+            batches = make_batches(self.p4info, updates, self.config.updates_per_write)
+            for batch in batches:
+                self._send_batch(batch, write_index, result)
+            result.writes_sent += len(batches)
+        result.elapsed_seconds = time.perf_counter() - start
+        result.final_entries = self.oracle.installed_entries()
+        result.modified_entries = [
+            entry
+            for entry in result.final_entries
+            if entry.match_key() in self._modified_keys
+        ]
+        return result
+
+    def _generate_wave(self, result: FuzzResult) -> List[Update]:
+        updates: List[Update] = []
+        for _ in range(self.config.updates_per_write):
+            update = self.generator.generate_update()
+            if update is None:
+                continue
+            mutate = (
+                self.config.mutations != []
+                and self.rng.random() < self.config.mutation_probability
+            )
+            if mutate:
+                mutated = apply_random_mutation(
+                    self.rng, self.p4info, update, allowed=self.config.mutations
+                )
+                if mutated is not None:
+                    result.mutation_counts[mutated.mutation] = (
+                        result.mutation_counts.get(mutated.mutation, 0) + 1
+                    )
+                    if mutated.expectation == MUST_REJECT:
+                        result.invalid_updates += 1
+                    else:
+                        result.valid_updates += 1
+                    updates.append(mutated.update)
+                    continue
+            result.valid_updates += 1
+            updates.append(update)
+        return updates
+
+    def _send_batch(self, batch: List[Update], write_index: int, result: FuzzResult) -> None:
+        request = WriteRequest(updates=tuple(batch))
+        try:
+            response = self.switch.write(request)
+        except Exception as exc:  # a crash is itself a finding
+            result.incidents.report(
+                Incident(
+                    kind=IncidentKind.SWITCH_UNRESPONSIVE,
+                    summary=f"switch raised {type(exc).__name__} during write",
+                    observed=str(exc),
+                    source="p4-fuzzer",
+                )
+            )
+            return
+        result.updates_sent += len(batch)
+
+        # Without a fresh read-back (None), the oracle judges statuses only
+        # and projects its expected state forward.
+        read_back = None
+        if self.config.read_back_every and write_index % self.config.read_back_every == 0:
+            try:
+                read_back = list(self.switch.read(ReadRequest(table_id=0)).entries)
+            except Exception as exc:
+                result.incidents.report(
+                    Incident(
+                        kind=IncidentKind.SWITCH_UNRESPONSIVE,
+                        summary=f"switch raised {type(exc).__name__} during read",
+                        observed=str(exc),
+                        source="p4-fuzzer",
+                    )
+                )
+                return
+
+        for update, status in zip(batch, response.statuses):
+            if status.ok and update.type.value == "MODIFY":
+                self._modified_keys.add(update.entry.match_key())
+
+        log = self.oracle.judge_batch(batch, response, read_back)
+        result.incidents.extend(log)
+        # Keep the generator's view in sync with the oracle's adopted state.
+        self.generator.state.replace_all(self.oracle.installed_entries())

@@ -1,0 +1,430 @@
+"""Valid request generation (§4.1).
+
+The generator analyses the P4Info catalogue — table types, match kinds and
+widths, permitted actions, @refers_to edges — and produces control-plane
+updates that "violate no obvious rules in the P4Runtime specification":
+values fit their declared bit sizes, actions come from the table's
+permitted set, selector tables get weighted one-shot action sets, and
+referring fields pick values exported by entries the fuzzer believes are
+installed.
+
+Constraint compliance is *not* enforced by default, matching the paper
+("we currently do not enforce constraint compliance, and thus frequently
+generate invalid requests for tables with constraints"); the
+constraint-aware mode sketched in §7 is available via
+``constraint_aware=True`` and is exercised by the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.p4.ast import MatchKind
+from repro.p4.constraints import parse_constraint
+from repro.p4.constraints.lang import ConstraintSyntaxError
+from repro.p4.constraints.refs import ReferenceGraph
+from repro.p4.constraints.symbolic import SymbolicKeySet, encode_constraint
+from repro.p4.p4info import P4Info, TableInfo
+from repro.p4rt import codec
+from repro.p4rt.messages import (
+    ActionInvocation,
+    ActionProfileAction,
+    ActionProfileActionSet,
+    FieldMatch,
+    TableEntry,
+    Update,
+    UpdateType,
+)
+from repro.smt import Result, Solver
+
+
+# Heuristics for parameters that denote switch resources rather than
+# arbitrary bit patterns.  The fuzzer's Invalid-Resource mutation perturbs
+# exactly these.
+PORT_PARAM_NAMES = ("port",)
+
+
+@dataclass
+class GeneratorState:
+    """The fuzzer's view of what is installed (fed back from the oracle).
+
+    ``version`` increments on every mutation so consumers can cache derived
+    structures (the generator's referenceable-state index)."""
+
+    entries: Dict[Tuple, TableEntry] = field(default_factory=dict)
+    version: int = 0
+
+    def install(self, entry: TableEntry) -> None:
+        self.entries[entry.match_key()] = entry
+        self.version += 1
+
+    def remove(self, entry: TableEntry) -> None:
+        self.entries.pop(entry.match_key(), None)
+        self.version += 1
+
+    def replace_all(self, entries: Sequence[TableEntry]) -> None:
+        self.entries = {e.match_key(): e for e in entries}
+        self.version += 1
+
+    def in_table(self, table_id: int) -> List[TableEntry]:
+        return [e for e in self.entries.values() if e.table_id == table_id]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class RequestGenerator:
+    """Generates syntactically valid updates for a P4Info catalogue."""
+
+    def __init__(
+        self,
+        p4info: P4Info,
+        rng: random.Random,
+        valid_ports: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8),
+        constraint_aware: bool = False,
+    ) -> None:
+        self.p4info = p4info
+        self.rng = rng
+        self.valid_ports = tuple(valid_ports)
+        self.refs = ReferenceGraph(p4info)
+        self.state = GeneratorState()
+        self._available_cache = None
+        self._available_version = -1
+        self.constraint_aware = constraint_aware
+        self._constraints = {}
+        for tid, table in p4info.tables.items():
+            if table.entry_restriction:
+                try:
+                    self._constraints[tid] = parse_constraint(table.entry_restriction)
+                except ConstraintSyntaxError:
+                    pass
+        self._constraint_models: Dict[int, List[Dict[str, int]]] = {}
+
+    # ------------------------------------------------------------------
+    # Update generation
+    # ------------------------------------------------------------------
+    def generate_update(self) -> Optional[Update]:
+        """One valid update: mostly inserts, sometimes modify/delete."""
+        roll = self.rng.random()
+        if roll < 0.75 or not self.state.entries:
+            return self.generate_insert()
+        if roll < 0.87:
+            return self.generate_modify()
+        return self.generate_delete()
+
+    def generate_insert(self, table_id: Optional[int] = None) -> Optional[Update]:
+        table = self._pick_table(table_id)
+        if table is None:
+            return None
+        entry = self.generate_entry(table)
+        if entry is None:
+            return None
+        return Update(UpdateType.INSERT, entry)
+
+    def generate_modify(self) -> Optional[Update]:
+        candidates = [
+            e
+            for e in self.state.entries.values()
+            if self.p4info.tables.get(e.table_id) is not None
+        ]
+        if not candidates:
+            return None
+        existing = self.rng.choice(candidates)
+        table = self.p4info.tables[existing.table_id]
+        action = self._generate_action(table)
+        if action is None:
+            return None
+        return Update(
+            UpdateType.MODIFY,
+            TableEntry(
+                table_id=existing.table_id,
+                matches=existing.matches,
+                action=action,
+                priority=existing.priority,
+            ),
+        )
+
+    def generate_delete(self) -> Optional[Update]:
+        candidates = list(self.state.entries.values())
+        if not candidates:
+            return None
+        # Prefer deleting entries nothing else references, so valid deletes
+        # mostly succeed; deleting referenced entries is also valid (the
+        # switch must reject it cleanly) and is kept at low probability.
+        existing = self.rng.choice(candidates)
+        return Update(UpdateType.DELETE, existing)
+
+    # ------------------------------------------------------------------
+    # Entry generation
+    # ------------------------------------------------------------------
+    def generate_entry(self, table: TableInfo) -> Optional[TableEntry]:
+        matches = []
+        if self.constraint_aware and table.id in self._constraints:
+            key_plan = self._constraint_compliant_keys(table)
+            if key_plan is None:
+                return None
+        else:
+            key_plan = None
+        for mf in table.match_fields:
+            match = self._generate_match(table, mf, key_plan)
+            if match is ...:  # unable to satisfy a reference
+                return None
+            if match is not None:
+                matches.append(match)
+        action = self._generate_action(table)
+        if action is None:
+            return None
+        priority = self.rng.randint(1, 64) if table.requires_priority else 0
+        return TableEntry(
+            table_id=table.id,
+            matches=tuple(matches),
+            action=action,
+            priority=priority,
+        )
+
+    def _pick_table(self, table_id: Optional[int]) -> Optional[TableInfo]:
+        if table_id is not None:
+            return self.p4info.tables.get(table_id)
+        tables = list(self.p4info.tables.values())
+        if not tables:
+            return None
+        # Weight towards tables whose references are satisfiable right now.
+        satisfiable = [t for t in tables if self._references_satisfiable(t)]
+        pool = satisfiable or tables
+        return self.rng.choice(pool)
+
+    def _available(self):
+        if self._available_cache is None or self._available_version != self.state.version:
+            self._available_cache = self.refs.collect_state(self.state.entries.values())
+            self._available_version = self.state.version
+        return self._available_cache
+
+    def _references_satisfiable(self, table: TableInfo) -> bool:
+        available = self._available()
+        for mf in table.match_fields:
+            target = self.refs.edges.get((table.name, mf.name))
+            if target and not self._referenced_values(*target):
+                return False
+        for aid in table.action_ids:
+            action = self.p4info.actions[aid]
+            for target_table, pairs in self.refs.action_reference_groups(
+                action.name
+            ).items():
+                demanded_keys = {key for _param, key in pairs}
+                if not any(
+                    demanded_keys <= {k for k, _v in keyset}
+                    for keyset in available.keysets(target_table)
+                ):
+                    return False
+        return True
+
+    def _referenced_values(self, target_table: str, target_key: str) -> List[int]:
+        values: List[int] = []
+        for keyset in self._available().keysets(target_table):
+            for key, value in keyset:
+                if key == target_key:
+                    values.append(value)
+        return values
+
+    def _random_value(self, bitwidth: int) -> int:
+        # Bias towards small values and boundary patterns, which exercise
+        # canonical encoding and reserved-value handling.
+        roll = self.rng.random()
+        if roll < 0.4:
+            return self.rng.randint(0, min(15, (1 << bitwidth) - 1))
+        if roll < 0.5:
+            return (1 << bitwidth) - 1
+        return self.rng.getrandbits(bitwidth)
+
+    def _generate_match(self, table: TableInfo, mf, key_plan) -> Optional[FieldMatch]:
+        target = self.refs.edges.get((table.name, mf.name))
+        if key_plan is not None and mf.name in key_plan:
+            planned = key_plan[mf.name]
+            if planned is None:
+                return None  # key omitted (wildcard)
+            value, mask, prefix_len = planned
+            return self._emit_match(mf, value, mask, prefix_len)
+        if target is not None:
+            values = self._referenced_values(*target)
+            if not values:
+                return ...  # sentinel: cannot satisfy the reference
+            value = self.rng.choice(values)
+            return FieldMatch(mf.id, "exact", codec.encode(value, mf.bitwidth))
+        if mf.match_type is MatchKind.EXACT:
+            return FieldMatch(
+                mf.id, "exact", codec.encode(self._random_value(mf.bitwidth), mf.bitwidth)
+            )
+        if mf.match_type is MatchKind.LPM:
+            if self.rng.random() < 0.15:
+                return None  # wildcard: omit
+            prefix_len = self.rng.randint(1, mf.bitwidth)
+            mask = codec.mask_for_prefix(prefix_len, mf.bitwidth)
+            value = self._random_value(mf.bitwidth) & mask
+            return FieldMatch(
+                mf.id, "lpm", codec.encode(value, mf.bitwidth), prefix_len=prefix_len
+            )
+        if mf.match_type is MatchKind.TERNARY:
+            if self.rng.random() < 0.3:
+                return None  # wildcard: omit
+            if self.rng.random() < 0.5:
+                mask = (1 << mf.bitwidth) - 1
+            else:
+                mask = self.rng.getrandbits(mf.bitwidth) or 1
+            value = self._random_value(mf.bitwidth) & mask
+            return FieldMatch(
+                mf.id,
+                "ternary",
+                codec.encode(value, mf.bitwidth),
+                mask=codec.encode(mask, mf.bitwidth),
+            )
+        # OPTIONAL
+        if self.rng.random() < 0.4:
+            return None
+        return FieldMatch(
+            mf.id, "optional", codec.encode(self._random_value(mf.bitwidth), mf.bitwidth)
+        )
+
+    def _emit_match(self, mf, value: int, mask: int, prefix_len: int) -> Optional[FieldMatch]:
+        if mf.match_type is MatchKind.EXACT:
+            return FieldMatch(mf.id, "exact", codec.encode(value, mf.bitwidth))
+        if mf.match_type is MatchKind.LPM:
+            if prefix_len == 0:
+                return None
+            return FieldMatch(
+                mf.id, "lpm", codec.encode(value, mf.bitwidth), prefix_len=prefix_len
+            )
+        if mf.match_type is MatchKind.TERNARY:
+            if mask == 0:
+                return None
+            return FieldMatch(
+                mf.id,
+                "ternary",
+                codec.encode(value, mf.bitwidth),
+                mask=codec.encode(mask, mf.bitwidth),
+            )
+        if mask == 0:
+            return None
+        return FieldMatch(mf.id, "optional", codec.encode(value, mf.bitwidth))
+
+    # ------------------------------------------------------------------
+    # Actions
+    # ------------------------------------------------------------------
+    def _generate_action(self, table: TableInfo):
+        if not table.action_ids:
+            return None
+        if table.implementation_id:
+            members = []
+            for _ in range(self.rng.randint(1, 4)):
+                inv = self._generate_invocation(table)
+                if inv is None:
+                    return None
+                members.append(
+                    ActionProfileAction(action=inv, weight=self.rng.randint(1, 8))
+                )
+            return ActionProfileActionSet(actions=tuple(members))
+        return self._generate_invocation(table)
+
+    def _generate_invocation(self, table: TableInfo) -> Optional[ActionInvocation]:
+        action = self.p4info.actions[self.rng.choice(list(table.action_ids))]
+        assigned = self._plan_reference_params(action)
+        if assigned is None:
+            return None
+        params: List[Tuple[int, bytes]] = []
+        for p in action.params:
+            if p.name in assigned:
+                value = assigned[p.name]
+            elif p.name in PORT_PARAM_NAMES:
+                value = self.rng.choice(self.valid_ports)
+            else:
+                value = self._random_value(p.bitwidth)
+            params.append((p.id, codec.encode(value, p.bitwidth)))
+        return ActionInvocation(action_id=action.id, params=tuple(params))
+
+    def _plan_reference_params(self, action) -> Optional[Dict[str, int]]:
+        """Choose values for referring parameters, keyset-consistently.
+
+        Composite references demand that all parameters referring to the
+        same table jointly name one of its entries, so the planner picks a
+        concrete installed keyset per group (most-constrained group first)
+        and keeps later groups consistent with already-assigned parameters.
+        Returns None when some group cannot be satisfied.
+        """
+        groups = self.refs.action_reference_groups(action.name)
+        if not groups:
+            return {}
+        available = self._available()
+        assigned: Dict[str, int] = {}
+        ordered = sorted(groups.items(), key=lambda item: -len(item[1]))
+        for target_table, pairs in ordered:
+            candidates = []
+            for keyset in available.keysets(target_table):
+                values = dict(keyset)
+                if not all(key in values for _param, key in pairs):
+                    continue
+                if any(
+                    param in assigned and assigned[param] != values[key]
+                    for param, key in pairs
+                ):
+                    continue
+                candidates.append(values)
+            if not candidates:
+                return None
+            chosen = self.rng.choice(candidates)
+            for param, key in pairs:
+                assigned[param] = chosen[key]
+        return assigned
+
+    # ------------------------------------------------------------------
+    # Constraint-aware key planning (§7 extension, SMT-backed)
+    # ------------------------------------------------------------------
+    def _constraint_compliant_keys(
+        self, table: TableInfo
+    ) -> Optional[Dict[str, Optional[Tuple[int, int, int]]]]:
+        """Sample a model of the table's constraint + well-formedness.
+
+        Returns key name -> (value, mask, prefix_len), or None for an
+        omitted key.  Models are cached and perturbed cheaply; a fresh SMT
+        solve only happens when the cache is cold.
+        """
+        cached = self._constraint_models.get(table.id)
+        if not cached:
+            solver = Solver()
+            keys = SymbolicKeySet(table)
+            solver.add(keys.wellformedness())
+            solver.add(encode_constraint(self._constraints[table.id], keys))
+            models: List[Dict[str, int]] = []
+            # Collect a few diverse models by blocking previous ones.
+            for _ in range(4):
+                if solver.check() is not Result.SAT:
+                    break
+                model = solver.model()
+                models.append(dict(model))
+                # Block this exact assignment of the value variables.
+                from repro.smt import terms as T
+
+                blockers = []
+                for mf in table.match_fields:
+                    var = keys.value_vars[mf.name]
+                    blockers.append(var.ne(model.get(var.name, 0)))
+                if blockers:
+                    solver.add(T.or_(*blockers))
+                else:
+                    break
+            if not models:
+                return None
+            self._constraint_models[table.id] = models
+            cached = models
+        model = self.rng.choice(cached)
+        plan: Dict[str, Optional[Tuple[int, int, int]]] = {}
+        for mf in table.match_fields:
+            base = f"{table.name}.{mf.name}"
+            value = model.get(f"{base}::value", 0)
+            mask = model.get(f"{base}::mask", 0)
+            prefix_len = model.get(f"{base}::prefix_length", 0)
+            if mf.match_type is not MatchKind.EXACT and mask == 0:
+                plan[mf.name] = None
+            else:
+                plan[mf.name] = (value, mask, prefix_len)
+        return plan

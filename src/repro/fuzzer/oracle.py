@@ -1,0 +1,424 @@
+"""The P4Runtime oracle (§4.3).
+
+Encodes the P4Runtime specification instantiated for a given P4 program and
+judges whether the switch's observable behaviour is *admissible* — never
+predicting a single outcome, because the spec under-specifies (resource
+rejections, batch ordering).  To avoid tracking the exponential set of
+valid states across a request sequence, the oracle follows the paper's
+design: after each batch it reads the switch's state back, checks that the
+observed state is a valid successor of the previous one given the reported
+per-update statuses, then adopts it and forgets history.
+
+The oracle deliberately shares no validation code with the switch's
+P4Runtime layer: it classifies updates with the reference decoder
+(:func:`repro.bmv2.entries.decode_table_entry`), so a disagreement between
+the two implementations of the spec surfaces as an incident either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bmv2.entries import EntryDecodeError, InstalledEntry, decode_table_entry
+from repro.p4.constraints import parse_constraint
+from repro.p4.constraints.evaluator import evaluate_constraint
+from repro.p4.constraints.lang import ConstraintSyntaxError
+from repro.p4.constraints.refs import ReferenceGraph
+from repro.p4.p4info import P4Info
+from repro.p4rt.messages import TableEntry, Update, UpdateType, WriteResponse
+from repro.p4rt.status import Code, Status
+from repro.switchv.report import Incident, IncidentKind, IncidentLog
+
+
+@dataclass(frozen=True)
+class Classified:
+    """The oracle's verdict on one update, before seeing the response."""
+
+    update: Update
+    # "invalid": must be rejected.  "valid": state-dependent rules apply.
+    validity: str
+    reason: str = ""
+    decoded: Optional[InstalledEntry] = None
+
+
+class Oracle:
+    """Judges responses and read-backs against the instantiated spec."""
+
+    def __init__(self, p4info: P4Info) -> None:
+        self.p4info = p4info
+        self.refs = ReferenceGraph(p4info)
+        self._constraints = {}
+        for tid, table in p4info.tables.items():
+            if table.entry_restriction:
+                try:
+                    self._constraints[tid] = parse_constraint(table.entry_restriction)
+                except ConstraintSyntaxError:
+                    pass
+        # The adopted switch state: entry identity -> wire entry.
+        self.expected: Dict[Tuple, TableEntry] = {}
+        # Incrementally maintained referenceable state (mirrors expected).
+        self._available = self.refs.collect_state(())
+
+    # ------------------------------------------------------------------
+    # Classification (syntactic validity + constraint compliance, §4)
+    # ------------------------------------------------------------------
+    def classify(self, update: Update) -> Classified:
+        try:
+            decoded = decode_table_entry(self.p4info, update.entry)
+        except EntryDecodeError as exc:
+            return Classified(update, "invalid", reason=exc.reason)
+        constraint = self._constraints.get(update.entry.table_id)
+        if constraint is not None and update.type is not UpdateType.DELETE:
+            if not evaluate_constraint(constraint, decoded.key_values()):
+                return Classified(update, "invalid", reason="constraint_violation")
+        return Classified(update, "valid", decoded=decoded)
+
+    # ------------------------------------------------------------------
+    # Batch judging
+    # ------------------------------------------------------------------
+    def judge_batch(
+        self,
+        updates: Sequence[Update],
+        response: WriteResponse,
+        read_back: Optional[Sequence[TableEntry]] = None,
+    ) -> IncidentLog:
+        """Judge one batch's statuses and, if provided, the post-batch
+        read-back (pass ``None`` to skip the read comparison)."""
+        log = IncidentLog()
+        if len(response.statuses) != len(updates):
+            log.report(
+                Incident(
+                    kind=IncidentKind.SWITCH_UNRESPONSIVE,
+                    summary="response cardinality mismatch",
+                    expected=f"{len(updates)} statuses",
+                    observed=f"{len(response.statuses)} statuses",
+                    source="p4-fuzzer",
+                )
+            )
+            return log
+
+        for update, status in zip(updates, response.statuses):
+            self._judge_update(update, status, log)
+
+        if read_back is not None:
+            self._judge_read_back(read_back, log)
+        return log
+
+    def _judge_update(self, update: Update, status: Status, log: IncidentLog) -> None:
+        classified = self.classify(update)
+        entry = update.entry
+        key = entry.match_key()
+
+        if classified.validity == "invalid":
+            if status.ok:
+                log.report(
+                    Incident(
+                        kind=IncidentKind.INVALID_REQUEST_ACCEPTED,
+                        summary=f"{update.type.value} with {classified.reason} accepted",
+                        expected="rejection (request is invalid)",
+                        observed="OK",
+                        test_input=repr(entry),
+                        source="p4-fuzzer",
+                    )
+                )
+                # The switch claims it applied the entry; adopt it so the
+                # read-back comparison stays coherent.
+                self._apply(update)
+            return
+
+        # Valid update: state-dependent admissibility.
+        if update.type is UpdateType.INSERT:
+            self._judge_insert(update, status, log)
+        elif update.type is UpdateType.MODIFY:
+            self._judge_modify(update, status, log)
+        else:
+            self._judge_delete(update, status, log)
+
+    def _judge_insert(self, update: Update, status: Status, log: IncidentLog) -> None:
+        entry = update.entry
+        key = entry.match_key()
+        table = self.p4info.tables[entry.table_id]
+        exists = key in self.expected
+        dangling = self.refs.dangling_references(entry, self._available_values())
+        table_count = sum(1 for k in self.expected if self._key_table(k) == entry.table_id)
+
+        if exists:
+            if status.ok:
+                log.report(
+                    Incident(
+                        kind=IncidentKind.INVALID_REQUEST_ACCEPTED,
+                        summary=f"duplicate insert into {table.name} accepted",
+                        expected="ALREADY_EXISTS",
+                        observed="OK",
+                        test_input=repr(entry),
+                        source="p4-fuzzer",
+                    )
+                )
+            elif status.code is not Code.ALREADY_EXISTS:
+                log.report(
+                    Incident(
+                        kind=IncidentKind.WRONG_ERROR_CODE,
+                        summary=f"duplicate insert into {table.name} rejected with "
+                        f"{status.code.name}",
+                        expected="ALREADY_EXISTS",
+                        observed=status.code.name,
+                        source="p4-fuzzer",
+                    )
+                )
+            return
+        if dangling:
+            if status.ok:
+                ref = dangling[0]
+                log.report(
+                    Incident(
+                        kind=IncidentKind.INVALID_REQUEST_ACCEPTED,
+                        summary=f"insert with dangling reference to "
+                        f"{ref.target_table}.{ref.target_key} accepted",
+                        expected="rejection (referential integrity)",
+                        observed="OK",
+                        test_input=repr(entry),
+                        source="p4-fuzzer",
+                    )
+                )
+                self._apply(update)
+            return
+        if status.ok:
+            self._apply(update)
+            return
+        if status.code is Code.RESOURCE_EXHAUSTED:
+            if table_count < table.size:
+                log.report(
+                    Incident(
+                        kind=IncidentKind.VALID_REQUEST_REJECTED,
+                        summary=f"insert into {table.name} hit RESOURCE_EXHAUSTED below "
+                        f"the guaranteed size ({table_count}/{table.size})",
+                        expected=f"acceptance up to {table.size} entries",
+                        observed=status.message,
+                        test_input=repr(entry),
+                        source="p4-fuzzer",
+                    )
+                )
+            return  # beyond the guarantee, rejection is admissible
+        log.report(
+            Incident(
+                kind=IncidentKind.VALID_REQUEST_REJECTED,
+                summary=f"valid insert into {table.name} rejected: "
+                f"{status.code.name}",
+                expected="OK",
+                observed=f"{status.code.name}: {status.message}",
+                test_input=repr(entry),
+                source="p4-fuzzer",
+            )
+        )
+
+    def _judge_modify(self, update: Update, status: Status, log: IncidentLog) -> None:
+        entry = update.entry
+        key = entry.match_key()
+        table = self.p4info.tables[entry.table_id]
+        exists = key in self.expected
+        dangling = self.refs.dangling_references(entry, self._available_values())
+        if not exists:
+            if status.ok:
+                log.report(
+                    Incident(
+                        kind=IncidentKind.INVALID_REQUEST_ACCEPTED,
+                        summary=f"modify of non-existent entry in {table.name} accepted",
+                        expected="NOT_FOUND",
+                        observed="OK",
+                        source="p4-fuzzer",
+                    )
+                )
+                self._apply(update)
+            elif status.code is not Code.NOT_FOUND:
+                log.report(
+                    Incident(
+                        kind=IncidentKind.WRONG_ERROR_CODE,
+                        summary=f"modify of non-existent entry in {table.name} rejected "
+                        f"with {status.code.name}",
+                        expected="NOT_FOUND",
+                        observed=status.code.name,
+                        source="p4-fuzzer",
+                    )
+                )
+            return
+        if dangling:
+            if status.ok:
+                log.report(
+                    Incident(
+                        kind=IncidentKind.INVALID_REQUEST_ACCEPTED,
+                        summary=f"modify with dangling reference in {table.name} accepted",
+                        expected="rejection (referential integrity)",
+                        observed="OK",
+                        source="p4-fuzzer",
+                    )
+                )
+                self._apply(update)
+            return
+        if status.ok:
+            self._apply(update)
+            return
+        log.report(
+            Incident(
+                kind=IncidentKind.VALID_REQUEST_REJECTED,
+                summary=f"valid modify in {table.name} rejected: {status.code.name}",
+                expected="OK",
+                observed=f"{status.code.name}: {status.message}",
+                test_input=repr(entry),
+                source="p4-fuzzer",
+            )
+        )
+
+    def _judge_delete(self, update: Update, status: Status, log: IncidentLog) -> None:
+        entry = update.entry
+        key = entry.match_key()
+        table = self.p4info.tables[entry.table_id]
+        exists = key in self.expected
+        if not exists:
+            if status.ok:
+                log.report(
+                    Incident(
+                        kind=IncidentKind.INVALID_REQUEST_ACCEPTED,
+                        summary=f"delete of non-existent entry in {table.name} accepted",
+                        expected="NOT_FOUND",
+                        observed="OK",
+                        source="p4-fuzzer",
+                    )
+                )
+            elif status.code not in (Code.NOT_FOUND, Code.ABORTED):
+                log.report(
+                    Incident(
+                        kind=IncidentKind.WRONG_ERROR_CODE,
+                        summary=f"delete of non-existent entry in {table.name} rejected "
+                        f"with {status.code.name}",
+                        expected="NOT_FOUND",
+                        observed=status.code.name,
+                        source="p4-fuzzer",
+                    )
+                )
+            return
+        if self._delete_would_orphan(key):
+            if status.ok:
+                log.report(
+                    Incident(
+                        kind=IncidentKind.INVALID_REQUEST_ACCEPTED,
+                        summary=f"delete orphaning references in {table.name} accepted",
+                        expected="rejection (referential integrity)",
+                        observed="OK",
+                        source="p4-fuzzer",
+                    )
+                )
+                self._apply(update)
+            return
+        if status.ok:
+            self._apply(update)
+            return
+        log.report(
+            Incident(
+                kind=IncidentKind.VALID_REQUEST_REJECTED,
+                summary=f"valid delete in {table.name} rejected: {status.code.name}",
+                expected="OK",
+                observed=f"{status.code.name}: {status.message}",
+                test_input=repr(entry),
+                source="p4-fuzzer",
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Read-back validation
+    # ------------------------------------------------------------------
+    def _judge_read_back(self, read_back: Sequence[TableEntry], log: IncidentLog) -> None:
+        observed: Dict[Tuple, TableEntry] = {}
+        for entry in read_back:
+            observed[entry.match_key()] = entry
+        missing = [k for k in self.expected if k not in observed]
+        extra = [k for k in observed if k not in self.expected]
+        for key in missing[:5]:
+            table = self.p4info.tables.get(self._key_table(key))
+            log.report(
+                Incident(
+                    kind=IncidentKind.READBACK_MISMATCH,
+                    summary=f"entry missing from read-back of "
+                    f"{table.name if table else key[0]}",
+                    expected=repr(self.expected[key]),
+                    observed="absent",
+                    source="p4-fuzzer",
+                )
+            )
+        for key in extra[:5]:
+            table = self.p4info.tables.get(self._key_table(key))
+            log.report(
+                Incident(
+                    kind=IncidentKind.READBACK_MISMATCH,
+                    summary=f"unexpected entry in read-back of "
+                    f"{table.name if table else key[0]}",
+                    expected="absent",
+                    observed=repr(observed[key]),
+                    source="p4-fuzzer",
+                )
+            )
+        for key, entry in self.expected.items():
+            other = observed.get(key)
+            if other is None:
+                continue
+            if not self._same_entry(entry, other):
+                log.report(
+                    Incident(
+                        kind=IncidentKind.READBACK_MISMATCH,
+                        summary=f"entry content differs in read-back "
+                        f"(table 0x{entry.table_id:08x})",
+                        expected=repr(entry),
+                        observed=repr(other),
+                        source="p4-fuzzer",
+                    )
+                )
+        # Adopt the observed state so bookkeeping stays coherent even after
+        # a mismatch (the paper's "forget the prior state" step).
+        self.expected = observed
+        self._available = self.refs.collect_state(observed.values())
+
+    def _same_entry(self, a: TableEntry, b: TableEntry) -> bool:
+        try:
+            da = decode_table_entry(self.p4info, a)
+            db = decode_table_entry(self.p4info, b)
+        except EntryDecodeError:
+            return False
+        return da == db
+
+    # ------------------------------------------------------------------
+    # State helpers
+    # ------------------------------------------------------------------
+    def _apply(self, update: Update) -> None:
+        key = update.entry.match_key()
+        if update.type is UpdateType.DELETE:
+            removed = self.expected.pop(key, None)
+            if removed is not None:
+                exported = self.refs.exported_keyset(removed)
+                if exported is not None:
+                    self._available.remove(*exported)
+        else:
+            if key not in self.expected:
+                exported = self.refs.exported_keyset(update.entry)
+                if exported is not None:
+                    self._available.add(*exported)
+            self.expected[key] = update.entry
+
+    @staticmethod
+    def _key_table(key: Tuple) -> int:
+        return key[0]
+
+    def _available_values(self):
+        return self._available
+
+    def _delete_would_orphan(self, key: Tuple) -> bool:
+        remaining = self.refs.collect_state(
+            entry for other_key, entry in self.expected.items() if other_key != key
+        )
+        return any(
+            self.refs.dangling_references(entry, remaining)
+            for other_key, entry in self.expected.items()
+            if other_key != key
+        )
+
+    def installed_entries(self) -> List[TableEntry]:
+        return list(self.expected.values())

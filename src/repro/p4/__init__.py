@@ -1,0 +1,70 @@
+"""repro.p4 — P4 models of fixed-function switches (§3 of the paper).
+
+The paper's key idea is to use P4 programs as machine-readable formal
+specifications of both the control-plane API and data-plane behaviour of a
+switch.  This package provides:
+
+* :mod:`repro.p4.ast` — the program IR: headers, metadata, match-action
+  tables (exact/lpm/ternary/optional keys), actions, expressions,
+  control-flow (`if`/table application), and the parser abstraction.
+* :mod:`repro.p4.p4info` — the P4Info catalogue generated from a program
+  (numeric IDs for tables/actions/match-fields/params), mirroring what the
+  P4Runtime standard derives from a compiled P4 program.
+* :mod:`repro.p4.constraints` — the P4-constraints extension:
+  ``@entry_restriction`` expression language (parser, concrete evaluator,
+  symbolic encoder) and ``@refers_to`` referential-integrity annotations.
+* :mod:`repro.p4.programs` — the SAI-shaped role-specific model
+  instantiations used throughout the evaluation: ToR ("Inst1"),
+  WAN ("Inst2"), and the Cerberus-style encap/decap pipeline.
+"""
+
+from repro.p4.ast import (
+    Action,
+    ActionProfile,
+    ActionRef,
+    BinOp,
+    BoolOp,
+    Cmp,
+    Const,
+    FieldRef,
+    HashExpr,
+    HeaderType,
+    If,
+    IsValid,
+    MatchKind,
+    P4Program,
+    Param,
+    ParserSpec,
+    Seq,
+    Statement,
+    Table,
+    TableApply,
+    TableKey,
+)
+from repro.p4.p4info import P4Info, build_p4info
+
+__all__ = [
+    "Action",
+    "ActionProfile",
+    "ActionRef",
+    "BinOp",
+    "BoolOp",
+    "Cmp",
+    "Const",
+    "FieldRef",
+    "HashExpr",
+    "HeaderType",
+    "If",
+    "IsValid",
+    "MatchKind",
+    "P4Info",
+    "P4Program",
+    "Param",
+    "ParserSpec",
+    "Seq",
+    "Statement",
+    "Table",
+    "TableApply",
+    "TableKey",
+    "build_p4info",
+]

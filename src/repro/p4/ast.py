@@ -1,0 +1,544 @@
+"""The P4 model IR.
+
+This is a faithful subset of P4-16 sufficient for the SwitchV use case
+(§3 "P4 Language Features"): headers and metadata, match-action tables with
+``exact``/``lpm``/``ternary``/``optional`` keys, actions built from
+assignments and primitives, single-pass control flow (``if`` + table
+application; no loops, no table reuse), and a restricted parser abstraction.
+Header stacks, unions and registers are deliberately absent — the paper did
+not need them either.
+
+All behaviour-bearing nodes are pure data; the concrete interpreter
+(:mod:`repro.bmv2.interpreter`) and the symbolic executor
+(:mod:`repro.symbolic.executor`) both walk this AST.
+
+Field naming convention: dotted paths, e.g. ``"ipv4.dst_addr"`` for header
+fields, ``"meta.vrf_id"`` for user metadata and ``"standard.egress_port"``
+for standard/intrinsic metadata.  Primitive effects (drop, punt to CPU,
+mirroring) desugar to assignments on reserved standard-metadata fields so
+that both interpreters only ever execute assignments.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+# ----------------------------------------------------------------------
+# Reserved standard-metadata fields.
+# ----------------------------------------------------------------------
+
+STANDARD_FIELDS: Dict[str, int] = {
+    "standard.ingress_port": 16,
+    "standard.egress_port": 16,
+    "standard.drop": 1,
+    "standard.punt": 1,  # packet-in: copy/redirect to the controller
+    "standard.mirror_port": 16,  # SAI mirroring target port (0 = none)
+    "standard.mirror_session": 16,  # logical clone-session id (modeling artifact)
+    "standard.vlan_id": 12,
+}
+
+CPU_PORT = 0xFFF0  # distinguished port value meaning "the controller"
+DROP_PORT = 0xFFFF  # distinguished port value meaning "dropped"
+
+
+class MatchKind(enum.Enum):
+    """P4Runtime match kinds supported by the model."""
+
+    EXACT = "exact"
+    LPM = "lpm"
+    TERNARY = "ternary"
+    OPTIONAL = "optional"
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FieldRef:
+    """A reference to a header/metadata field by dotted path."""
+
+    path: str
+
+    def __repr__(self) -> str:
+        return self.path
+
+
+@dataclass(frozen=True)
+class Const:
+    """An integer literal with an explicit width."""
+
+    value: int
+    width: int
+
+    def __repr__(self) -> str:
+        return f"{self.value}w{self.width}"
+
+
+@dataclass(frozen=True)
+class Param:
+    """A reference to an action parameter (valid only in action bodies)."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"${self.name}"
+
+
+@dataclass(frozen=True)
+class BinOp:
+    """Bitvector binary operation: ``+ - & | ^`` (same-width operands)."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True)
+class HashExpr:
+    """A black-box hash over the given fields (§3 "Hashing").
+
+    The paper models hashing as an unspecified free operation: the symbolic
+    executor treats the result as an unconstrained variable, and BMv2 is run
+    with round-robin hashing to enumerate the set of admissible behaviours.
+    ``width`` is the bit-width of the hash output.
+    """
+
+    fields: Tuple[FieldRef, ...]
+    width: int
+    label: str = "hash"
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f.path for f in self.fields)
+        return f"{self.label}({inner})"
+
+
+Expr = Union[FieldRef, Const, Param, BinOp, HashExpr]
+
+
+# Boolean expressions (conditions in `if` statements).
+
+
+@dataclass(frozen=True)
+class Cmp:
+    """Comparison producing a boolean: op in ``== != < <= > >=`` (unsigned)."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True)
+class IsValid:
+    """Header validity test, e.g. ``headers.ipv4.isValid()``."""
+
+    header: str
+
+    def __repr__(self) -> str:
+        return f"{self.header}.isValid()"
+
+
+@dataclass(frozen=True)
+class BoolOp:
+    """Boolean connective over conditions: op in ``and or not``."""
+
+    op: str
+    args: Tuple["BoolExpr", ...]
+
+    def __repr__(self) -> str:
+        if self.op == "not":
+            return f"!({self.args[0]!r})"
+        joiner = f" {self.op} "
+        return "(" + joiner.join(repr(a) for a in self.args) + ")"
+
+
+BoolExpr = Union[Cmp, IsValid, BoolOp]
+
+
+def and_(*args: BoolExpr) -> BoolExpr:
+    return BoolOp("and", tuple(args))
+
+
+def or_(*args: BoolExpr) -> BoolExpr:
+    return BoolOp("or", tuple(args))
+
+
+def not_(arg: BoolExpr) -> BoolExpr:
+    return BoolOp("not", (arg,))
+
+
+# ----------------------------------------------------------------------
+# Statements (action bodies)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Statement:
+    """An assignment ``dest := value``.
+
+    This is the only statement kind: drop/punt/mirror primitives are
+    constructed via the helpers below and desugar to assignments on
+    standard-metadata fields.
+    """
+
+    dest: FieldRef
+    value: Expr
+
+    def __repr__(self) -> str:
+        return f"{self.dest!r} := {self.value!r}"
+
+
+def assign(dest: str, value: Expr) -> Statement:
+    return Statement(FieldRef(dest), value)
+
+
+def mark_to_drop() -> Statement:
+    return assign("standard.drop", Const(1, 1))
+
+
+def punt_to_cpu() -> Statement:
+    return assign("standard.punt", Const(1, 1))
+
+
+def set_egress_port(value: Expr) -> Statement:
+    return assign("standard.egress_port", value)
+
+
+def mirror_to(port: Expr) -> Statement:
+    return assign("standard.mirror_port", port)
+
+
+# ----------------------------------------------------------------------
+# Actions
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ActionParamSpec:
+    """Declared action parameter: name, bit width, optional @refers_to.
+
+    ``refers_to`` is a single ``(table, key)`` pair or a tuple of them: a
+    parameter may participate in references to several tables (the SAI-P4
+    pattern where a next hop's ``router_interface_id`` refers to both the
+    RIF table and — jointly with ``neighbor_id`` — the neighbor table).
+    Parameters of one action referring to the same table form a *composite*
+    reference: a single entry must match all of them (see
+    :mod:`repro.p4.constraints.refs`).
+    """
+
+    name: str
+    width: int
+    refers_to: Optional[Tuple] = None  # (table, key) or ((table, key), ...)
+
+    def references(self) -> Tuple[Tuple[str, str], ...]:
+        """The parameter's reference edges, normalised to a tuple of pairs."""
+        if self.refers_to is None:
+            return ()
+        if self.refers_to and isinstance(self.refers_to[0], str):
+            return (self.refers_to,)
+        return tuple(self.refers_to)
+
+
+@dataclass(frozen=True)
+class Action:
+    """A P4 action: named parameters and a straight-line body."""
+
+    name: str
+    params: Tuple[ActionParamSpec, ...] = ()
+    body: Tuple[Statement, ...] = ()
+
+    def param(self, name: str) -> ActionParamSpec:
+        for p in self.params:
+            if p.name == name:
+                return p
+        raise KeyError(f"action {self.name} has no parameter {name}")
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{p.name}:{p.width}" for p in self.params)
+        return f"action {self.name}({params})"
+
+
+NO_ACTION = Action("NoAction")
+
+
+# ----------------------------------------------------------------------
+# Tables
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TableKey:
+    """A match key: the field it matches, the match kind, and annotations."""
+
+    field: FieldRef
+    kind: MatchKind
+    name: Optional[str] = None  # P4Runtime match-field name; defaults to path
+    refers_to: Optional[Tuple[str, str]] = None  # @refers_to(table, key)
+
+    @property
+    def key_name(self) -> str:
+        return self.name if self.name is not None else self.field.path
+
+
+@dataclass(frozen=True)
+class ActionProfile:
+    """One-shot action-selector implementation (WCMP groups, §4.2).
+
+    Tables with an action profile map an entry to a *set* of weighted
+    actions; member selection happens via the black-box hash.
+    """
+
+    name: str
+    max_group_size: int = 256
+    selector_fields: Tuple[FieldRef, ...] = ()
+
+
+@dataclass(frozen=True)
+class ActionRef:
+    """An action allowed in a table, with scope annotations."""
+
+    action: Action
+    # Actions annotated @defaultonly may only be used as the default action;
+    # @tableonly actions may not be used as the default action.
+    default_only: bool = False
+    table_only: bool = False
+
+
+@dataclass(frozen=True)
+class Table:
+    """A match-action table (one SAI object, §3)."""
+
+    name: str
+    keys: Tuple[TableKey, ...]
+    actions: Tuple[ActionRef, ...]
+    default_action: Action = NO_ACTION
+    size: int = 1024  # minimum guaranteed capacity (resource limit)
+    entry_restriction: Optional[str] = None  # P4-constraints source text
+    implementation: Optional[ActionProfile] = None
+    const_default: bool = True
+    # Tables whose P4 semantics is a no-op but whose switch semantics
+    # allocates a bounded internal resource (§3 "Bounded Internal
+    # Resources"), e.g. the VRF table.
+    is_resource_table: bool = False
+    # Logical tables that are modeling artifacts not programmable by the
+    # controller (§3 "Mirror Sessions").
+    is_logical: bool = False
+
+    def key(self, name: str) -> TableKey:
+        for k in self.keys:
+            if k.key_name == name:
+                return k
+        raise KeyError(f"table {self.name} has no key {name}")
+
+    def action(self, name: str) -> Action:
+        for ref in self.actions:
+            if ref.action.name == name:
+                return ref.action
+        raise KeyError(f"table {self.name} has no action {name}")
+
+    @property
+    def action_names(self) -> List[str]:
+        return [ref.action.name for ref in self.actions]
+
+    @property
+    def has_ternary_or_optional(self) -> bool:
+        return any(k.kind in (MatchKind.TERNARY, MatchKind.OPTIONAL) for k in self.keys)
+
+    @property
+    def requires_priority(self) -> bool:
+        """Per the P4Runtime spec, entries need an explicit priority iff the
+        table has at least one ternary/optional (range) key."""
+        return self.has_ternary_or_optional
+
+    def __repr__(self) -> str:
+        return f"table {self.name}[{len(self.keys)} keys, {len(self.actions)} actions]"
+
+
+# ----------------------------------------------------------------------
+# Control flow
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TableApply:
+    """Apply a table at this point in the pipeline."""
+
+    table: Table
+
+    def __repr__(self) -> str:
+        return f"{self.table.name}.apply()"
+
+
+@dataclass(frozen=True)
+class If:
+    """Conditional: ``if (cond) then_block else else_block``."""
+
+    cond: BoolExpr
+    then_block: "Seq"
+    else_block: "Seq"
+    # Stable label used by coverage bookkeeping; derived from position if
+    # not given.
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class Seq:
+    """A block of control-flow nodes executed in order."""
+
+    nodes: Tuple[Union[TableApply, If, Statement], ...] = ()
+
+    def __iter__(self):
+        return iter(self.nodes)
+
+
+def seq(*nodes) -> Seq:
+    return Seq(tuple(nodes))
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ParserSpec:
+    """Semi-hardcoded parser (§5 "Limitations").
+
+    The paper deprioritised generic parsers and relied on hardcoded support
+    for the parser patterns of interest.  We model the parser as the name of
+    a registered pattern from :mod:`repro.bmv2.headers`; both the concrete
+    and symbolic sides share the pattern registry.
+    """
+
+    pattern: str = "ethernet_ipv4_ipv6"
+
+
+# ----------------------------------------------------------------------
+# The program
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HeaderType:
+    """A header type: ordered (field name, bit width) pairs."""
+
+    name: str
+    fields: Tuple[Tuple[str, int], ...]
+
+    @property
+    def bit_width(self) -> int:
+        return sum(w for _, w in self.fields)
+
+    def field_width(self, name: str) -> int:
+        for fname, width in self.fields:
+            if fname == name:
+                return width
+        raise KeyError(f"header {self.name} has no field {name}")
+
+
+@dataclass(frozen=True)
+class P4Program:
+    """A complete P4 model: the formal specification of one switch role."""
+
+    name: str
+    headers: Tuple[HeaderType, ...]
+    metadata: Tuple[Tuple[str, int], ...]  # user metadata: (name, width)
+    parser: ParserSpec
+    ingress: Seq
+    egress: Seq = field(default_factory=Seq)
+    role: str = "unspecified"
+
+    # ------------------------------------------------------------------
+    # Lookup helpers
+    # ------------------------------------------------------------------
+    def header(self, name: str) -> HeaderType:
+        for h in self.headers:
+            if h.name == name:
+                return h
+        raise KeyError(f"program {self.name} has no header {name}")
+
+    def field_width(self, path: str) -> int:
+        """Bit width of a dotted field path (header, meta or standard)."""
+        if path in STANDARD_FIELDS:
+            return STANDARD_FIELDS[path]
+        prefix, _, fname = path.partition(".")
+        if prefix == "meta":
+            for name, width in self.metadata:
+                if name == fname:
+                    return width
+            raise KeyError(f"program {self.name} has no metadata field {fname}")
+        return self.header(prefix).field_width(fname)
+
+    def tables(self) -> List[Table]:
+        """All tables in pipeline order (ingress then egress)."""
+        out: List[Table] = []
+
+        def walk(block: Seq) -> None:
+            for node in block:
+                if isinstance(node, TableApply):
+                    if node.table not in out:
+                        out.append(node.table)
+                elif isinstance(node, If):
+                    walk(node.then_block)
+                    walk(node.else_block)
+
+        walk(self.ingress)
+        walk(self.egress)
+        return out
+
+    def programmable_tables(self) -> List[Table]:
+        """Tables exposed via the control-plane API (excludes logical ones)."""
+        return [t for t in self.tables() if not t.is_logical]
+
+    def table(self, name: str) -> Table:
+        for t in self.tables():
+            if t.name == name:
+                return t
+        raise KeyError(f"program {self.name} has no table {name}")
+
+    def actions(self) -> List[Action]:
+        """All distinct actions across tables, in first-seen order."""
+        out: List[Action] = []
+        seen = set()
+        for t in self.tables():
+            for ref in t.actions:
+                if ref.action.name not in seen:
+                    seen.add(ref.action.name)
+                    out.append(ref.action)
+        return out
+
+    def conditionals(self) -> List[If]:
+        """All `if` nodes, in pipeline order, with stable indices."""
+        out: List[If] = []
+
+        def walk(block: Seq) -> None:
+            for node in block:
+                if isinstance(node, If):
+                    out.append(node)
+                    walk(node.then_block)
+                    walk(node.else_block)
+
+        walk(self.ingress)
+        walk(self.egress)
+        return out
+
+    def all_field_paths(self) -> List[str]:
+        """Every addressable field path: headers, metadata, standard."""
+        out: List[str] = []
+        for h in self.headers:
+            out.extend(f"{h.name}.{fname}" for fname, _ in h.fields)
+        out.extend(f"meta.{name}" for name, _ in self.metadata)
+        out.extend(STANDARD_FIELDS)
+        return out
+
+    def __repr__(self) -> str:
+        return f"P4Program({self.name}, role={self.role}, {len(self.tables())} tables)"

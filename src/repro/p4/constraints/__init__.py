@@ -1,0 +1,34 @@
+"""repro.p4.constraints — the P4-constraints extension (§3).
+
+P4Runtime is deliberately permissive; fixed-function hardware is not.  The
+paper bridges the gap with two annotation mechanisms that become part of the
+controller contract:
+
+* ``@entry_restriction("<expr>")`` on a table — a boolean expression over
+  the table's match keys that every entry must satisfy (e.g.
+  ``"vrf_id != 0"`` to protect the hardware-reserved default VRF).
+  This package implements the expression language: a hand-written
+  lexer/recursive-descent parser (:mod:`repro.p4.constraints.lang`), a
+  concrete evaluator used by the switch's P4Runtime layer and the fuzzer's
+  oracle (:mod:`repro.p4.constraints.evaluator`), and a symbolic encoder
+  into SMT terms used for constraint-compliant entry generation
+  (:mod:`repro.p4.constraints.symbolic` — the paper sketches a BDD-based
+  mechanism in §7; we use the same SMT backend as p4-symbolic).
+
+* ``@refers_to(table, key)`` on a key or action parameter — referential
+  integrity between tables (:mod:`repro.p4.constraints.refs`): entries may
+  not dangle, deletes may not orphan, and batches must not mix dependent
+  updates (§3 "Batching Table Entries", §4.4).
+"""
+
+from repro.p4.constraints.lang import ConstraintSyntaxError, parse_constraint
+from repro.p4.constraints.evaluator import KeyValue, check_entry_against_constraint
+from repro.p4.constraints.refs import ReferenceGraph
+
+__all__ = [
+    "ConstraintSyntaxError",
+    "KeyValue",
+    "ReferenceGraph",
+    "check_entry_against_constraint",
+    "parse_constraint",
+]

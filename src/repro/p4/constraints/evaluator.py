@@ -1,0 +1,107 @@
+"""Concrete evaluation of @entry_restriction constraints against entries.
+
+The switch's P4Runtime layer enforces these at run time (§3
+"P4-Constraints"); the fuzzer's oracle evaluates them to decide whether a
+generated request was *constraint compliant* (§4 "Valid and Invalid
+Requests").  Both call :func:`check_entry_against_constraint`.
+
+Key semantics (matching the open-source p4-constraints tool):
+
+* an omitted lpm/ternary/optional key is a wildcard: value 0, mask 0,
+  prefix_length 0;
+* ``key`` / ``key::value`` is the match value;
+* ``key::mask`` is the ternary mask (for lpm keys, the mask implied by the
+  prefix length);
+* ``key::prefix_length`` is the LPM prefix length;
+* comparisons are unsigned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.p4.constraints.lang import (
+    CAnd,
+    CBool,
+    CCmp,
+    CExpr,
+    CInt,
+    CKey,
+    CNot,
+    COr,
+)
+
+
+class ConstraintEvalError(ValueError):
+    """Raised when a constraint references an unknown key or accessor."""
+
+
+@dataclass(frozen=True)
+class KeyValue:
+    """Decoded view of one match key's contribution to an entry."""
+
+    value: int = 0
+    mask: int = 0
+    prefix_len: int = 0
+    present: bool = False  # whether the entry supplied this field match
+
+    def accessor(self, name: str) -> int:
+        if name == "value":
+            return self.value
+        if name == "mask":
+            return self.mask
+        if name == "prefix_length":
+            return self.prefix_len
+        raise ConstraintEvalError(f"unknown accessor {name}")
+
+
+def evaluate_constraint(expr: CExpr, keys: Mapping[str, KeyValue]) -> bool:
+    """Evaluate a parsed constraint against decoded key values."""
+
+    def operand(node) -> int:
+        if isinstance(node, CInt):
+            return node.value
+        if isinstance(node, CKey):
+            kv = keys.get(node.name)
+            if kv is None:
+                raise ConstraintEvalError(f"constraint references unknown key {node.name}")
+            return kv.accessor(node.accessor)
+        raise ConstraintEvalError(f"bad operand {node!r}")
+
+    def walk(node) -> bool:
+        if isinstance(node, CBool):
+            return node.value
+        if isinstance(node, CCmp):
+            left = operand(node.left)
+            right = operand(node.right)
+            return {
+                "==": left == right,
+                "!=": left != right,
+                "<": left < right,
+                "<=": left <= right,
+                ">": left > right,
+                ">=": left >= right,
+            }[node.op]
+        if isinstance(node, CNot):
+            return not walk(node.arg)
+        if isinstance(node, CAnd):
+            return all(walk(a) for a in node.args)
+        if isinstance(node, COr):
+            return any(walk(a) for a in node.args)
+        raise ConstraintEvalError(f"bad constraint node {node!r}")
+
+    return walk(expr)
+
+
+def check_entry_against_constraint(
+    expr: CExpr, keys: Mapping[str, KeyValue]
+) -> Optional[str]:
+    """Returns None if the entry satisfies the constraint, else a reason."""
+    try:
+        ok = evaluate_constraint(expr, keys)
+    except ConstraintEvalError as exc:
+        return f"constraint evaluation failed: {exc}"
+    if ok:
+        return None
+    return f"entry violates @entry_restriction {expr!r}"

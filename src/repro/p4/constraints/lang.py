@@ -1,0 +1,297 @@
+"""The @entry_restriction expression language: lexer, parser, AST.
+
+Grammar (precedence low to high, mirroring the open-source p4-constraints
+grammar closely enough for every restriction in our models):
+
+    expr     := implies
+    implies  := or ( '->' implies )?          (right associative)
+    or       := and ( '||' and )*
+    and      := unary ( '&&' unary )*
+    unary    := '!' unary | comparison
+    compare  := operand ( ('=='|'!='|'<'|'<='|'>'|'>=') operand )?
+    operand  := INT | 'true' | 'false' | key | '(' expr ')'
+    key      := IDENT ('.' IDENT)* ('::' ACCESSOR)?
+
+Keys refer to the enclosing table's match keys by name.  Accessors expose
+the sub-structure of non-exact matches:
+
+    vrf_id                value of an exact key
+    dst_addr::prefix_length   LPM prefix length
+    in_port::mask         ternary mask
+    in_port::value        ternary value (same as the bare name)
+
+Integer literals may be decimal, hex (0x...) or binary (0b...).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Tuple, Union
+
+
+class ConstraintSyntaxError(ValueError):
+    """Raised when an @entry_restriction string fails to parse."""
+
+
+# ----------------------------------------------------------------------
+# AST
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CKey:
+    """Reference to a match key, possibly with an accessor."""
+
+    name: str  # the key name as written (dotted)
+    accessor: str = "value"  # "value" | "mask" | "prefix_length"
+
+    def __repr__(self) -> str:
+        if self.accessor == "value":
+            return self.name
+        return f"{self.name}::{self.accessor}"
+
+
+@dataclass(frozen=True)
+class CInt:
+    value: int
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class CBool:
+    value: bool
+
+    def __repr__(self) -> str:
+        return "true" if self.value else "false"
+
+
+@dataclass(frozen=True)
+class CCmp:
+    op: str  # == != < <= > >=
+    left: Union[CKey, CInt]
+    right: Union[CKey, CInt]
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True)
+class CNot:
+    arg: "CExpr"
+
+    def __repr__(self) -> str:
+        return f"!({self.arg!r})"
+
+
+@dataclass(frozen=True)
+class CAnd:
+    args: Tuple["CExpr", ...]
+
+    def __repr__(self) -> str:
+        return "(" + " && ".join(repr(a) for a in self.args) + ")"
+
+
+@dataclass(frozen=True)
+class COr:
+    args: Tuple["CExpr", ...]
+
+    def __repr__(self) -> str:
+        return "(" + " || ".join(repr(a) for a in self.args) + ")"
+
+
+CExpr = Union[CBool, CCmp, CNot, CAnd, COr]
+
+
+# ----------------------------------------------------------------------
+# Lexer
+# ----------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>\#[^\n]*|//[^\n]*)
+  | (?P<hex>0[xX][0-9a-fA-F]+)
+  | (?P<bin>0[bB][01]+)
+  | (?P<int>\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*(\.[A-Za-z_][A-Za-z0-9_]*)*)
+  | (?P<accessor>::)
+  | (?P<op>->|==|!=|<=|>=|&&|\|\||[!<>()])
+    """,
+    re.VERBOSE,
+)
+
+_ACCESSORS = ("value", "mask", "prefix_length")
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise ConstraintSyntaxError(f"unexpected character {text[pos]!r} at offset {pos}")
+        pos = m.end()
+        kind = m.lastgroup
+        if kind in ("ws", "comment"):
+            continue
+        tokens.append((kind, m.group()))
+    tokens.append(("eof", ""))
+    return tokens
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, tokens: List[Tuple[str, str]]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    def peek(self) -> Tuple[str, str]:
+        return self._tokens[self._pos]
+
+    def advance(self) -> Tuple[str, str]:
+        tok = self._tokens[self._pos]
+        self._pos += 1
+        return tok
+
+    def expect(self, text: str) -> None:
+        kind, value = self.advance()
+        if value != text:
+            raise ConstraintSyntaxError(f"expected {text!r}, found {value!r}")
+
+    # expr := implies
+    def parse_expr(self) -> CExpr:
+        return self.parse_implies()
+
+    def parse_implies(self) -> CExpr:
+        left = self.parse_or()
+        if self.peek()[1] == "->":
+            self.advance()
+            right = self.parse_implies()
+            return COr((CNot(left), right))
+        return left
+
+    def parse_or(self) -> CExpr:
+        args = [self.parse_and()]
+        while self.peek()[1] == "||":
+            self.advance()
+            args.append(self.parse_and())
+        if len(args) == 1:
+            return args[0]
+        return COr(tuple(args))
+
+    def parse_and(self) -> CExpr:
+        args = [self.parse_unary()]
+        while self.peek()[1] == "&&":
+            self.advance()
+            args.append(self.parse_unary())
+        if len(args) == 1:
+            return args[0]
+        return CAnd(tuple(args))
+
+    def parse_unary(self) -> CExpr:
+        if self.peek()[1] == "!":
+            self.advance()
+            return CNot(self.parse_unary())
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> CExpr:
+        left = self.parse_operand()
+        kind, value = self.peek()
+        if value in ("==", "!=", "<", "<=", ">", ">="):
+            self.advance()
+            right = self.parse_operand()
+            if isinstance(left, CBool) or isinstance(right, CBool):
+                raise ConstraintSyntaxError("comparisons require integer operands")
+            # Sub-expression comparisons are not supported (nor needed).
+            if not isinstance(left, (CKey, CInt)) or not isinstance(right, (CKey, CInt)):
+                raise ConstraintSyntaxError("comparison operands must be keys or literals")
+            return CCmp(value, left, right)
+        # A bare operand must be a boolean literal or parenthesised boolean.
+        if isinstance(left, (CBool, CCmp, CNot, CAnd, COr)):
+            return left
+        raise ConstraintSyntaxError(f"expected a comparison after {left!r}")
+
+    def parse_operand(self):
+        kind, value = self.peek()
+        if kind in ("int", "hex", "bin"):
+            self.advance()
+            return CInt(int(value, 0))
+        if kind == "ident":
+            if value == "true":
+                self.advance()
+                return CBool(True)
+            if value == "false":
+                self.advance()
+                return CBool(False)
+            self.advance()
+            accessor = "value"
+            if self.peek()[1] == "::":
+                self.advance()
+                akind, aval = self.advance()
+                if akind != "ident" or aval not in _ACCESSORS:
+                    raise ConstraintSyntaxError(
+                        f"unknown accessor ::{aval}; expected one of {_ACCESSORS}"
+                    )
+                accessor = aval
+            return CKey(value, accessor)
+        if value == "(":
+            self.advance()
+            inner = self.parse_expr()
+            self.expect(")")
+            return inner
+        raise ConstraintSyntaxError(f"unexpected token {value!r}")
+
+    def parse_complete(self) -> CExpr:
+        expr = self.parse_expr()
+        kind, value = self.peek()
+        if kind != "eof":
+            raise ConstraintSyntaxError(f"trailing input starting at {value!r}")
+        if not isinstance(expr, (CBool, CCmp, CNot, CAnd, COr)):
+            raise ConstraintSyntaxError("constraint must be a boolean expression")
+        return expr
+
+
+def parse_constraint(text: str) -> CExpr:
+    """Parse an @entry_restriction expression; raises ConstraintSyntaxError."""
+    return _Parser(_tokenize(text)).parse_complete()
+
+
+def normalize_constraint_text(text: str) -> str:
+    """Canonical single-line form of a restriction: comments stripped,
+    whitespace collapsed.  Used wherever the restriction string becomes part
+    of an artifact (P4Info fingerprints, printed P4 text) so that layout
+    differences don't change the contract."""
+    lines = []
+    for line in text.splitlines():
+        for marker in ("//", "#"):
+            index = line.find(marker)
+            if index != -1:
+                line = line[:index]
+        lines.append(line)
+    return " ".join(" ".join(lines).split())
+
+
+def keys_mentioned(expr: CExpr) -> List[str]:
+    """All key names referenced by the constraint (no duplicates, in order)."""
+    out: List[str] = []
+
+    def walk(node) -> None:
+        if isinstance(node, CCmp):
+            for side in (node.left, node.right):
+                if isinstance(side, CKey) and side.name not in out:
+                    out.append(side.name)
+        elif isinstance(node, CNot):
+            walk(node.arg)
+        elif isinstance(node, (CAnd, COr)):
+            for a in node.args:
+                walk(a)
+
+    walk(expr)
+    return out

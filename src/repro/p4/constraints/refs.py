@@ -1,0 +1,299 @@
+"""@refers_to referential integrity (§3, §4.4).
+
+A ``@refers_to(table, key)`` annotation on a match key or action parameter
+means the annotated value must equal the value of an *existing* entry's key
+in the referenced table.  When several parameters of one action refer to
+different keys of the *same* table, they form a **composite reference**:
+one entry of that table must match all of them jointly (the SAI pattern —
+a next hop's ``(router_interface_id, neighbor_id)`` pair must name an
+existing neighbor entry, not merely two values that appear somewhere).
+
+Three subsystems consume this graph:
+
+* the switch's P4Runtime layer rejects dangling inserts and orphaning
+  deletes;
+* p4-fuzzer's request generator picks referenced values from installed
+  entries (consistent keysets for composites) or deliberately dangling
+  values (the Invalid Reference mutation);
+* the batcher sequences dependent updates into different batches, because a
+  single Write's updates may execute in any order (§4 Example 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.p4.p4info import P4Info
+from repro.p4rt import codec
+from repro.p4rt.messages import (
+    ActionInvocation,
+    ActionProfileActionSet,
+    TableEntry,
+)
+
+# One entry's referenceable identity in a table: the set of (key, value)
+# pairs its match contributes.
+KeySet = FrozenSet[Tuple[str, int]]
+
+
+@dataclass(frozen=True)
+class Reference:
+    """One outgoing reference: possibly-composite (key, value) demands."""
+
+    source: str  # "<table>.<key>" or "<action>"
+    target_table: str
+    pairs: Tuple[Tuple[str, int], ...]  # (target key, value), jointly required
+
+    @property
+    def target_key(self) -> str:
+        """First referenced key (for single-pair references / messages)."""
+        return self.pairs[0][0]
+
+    @property
+    def value(self) -> int:
+        """First referenced value (for single-pair references / messages)."""
+        return self.pairs[0][1]
+
+
+class AvailableState:
+    """The referenceable keysets of a set of installed entries.
+
+    Refcounted (distinct entries can export identical keysets, e.g. two
+    priorities over the same matches) and incrementally maintainable, so
+    long campaigns avoid rebuilding it per update.
+    """
+
+    def __init__(self) -> None:
+        self._by_table: Dict[str, Dict[KeySet, int]] = {}
+
+    def add(self, table: str, keyset: KeySet) -> None:
+        counts = self._by_table.setdefault(table, {})
+        counts[keyset] = counts.get(keyset, 0) + 1
+
+    def remove(self, table: str, keyset: KeySet) -> None:
+        counts = self._by_table.get(table)
+        if not counts or keyset not in counts:
+            return
+        counts[keyset] -= 1
+        if counts[keyset] <= 0:
+            del counts[keyset]
+
+    def satisfies(self, reference: Reference) -> bool:
+        demanded = set(reference.pairs)
+        keysets = self._by_table.get(reference.target_table)
+        if not keysets:
+            return False
+        return any(demanded <= keyset for keyset in keysets)
+
+    def keysets(self, table: str) -> List[KeySet]:
+        # Canonical order: dict iteration depends on insertion history, and
+        # consumers feed these into seeded random choices — determinism of
+        # fuzz campaigns requires a stable order here.
+        return sorted(self._by_table.get(table, ()), key=lambda ks: sorted(ks))
+
+    def copy(self) -> "AvailableState":
+        clone = AvailableState()
+        clone._by_table = {t: dict(c) for t, c in self._by_table.items()}
+        return clone
+
+    def __contains__(self, item: Tuple[str, str, int]) -> bool:
+        table, key, value = item
+        return any((key, value) in keyset for keyset in self._by_table.get(table, ()))
+
+
+class ReferenceGraph:
+    """The static reference structure of a P4 program plus query helpers."""
+
+    def __init__(self, p4info: P4Info) -> None:
+        self._p4info = p4info
+        # Match-key edges: (table name, key name) -> (target table, key).
+        self._key_edges: Dict[Tuple[str, str], Tuple[str, str]] = {}
+        for (source, field), target in p4info.references.items():
+            if p4info.table_by_name(source) is not None:
+                self._key_edges[(source, field)] = target
+        # Action edges, grouped into composites per target table:
+        # action name -> target table -> [(param name, target key)].
+        self._action_edges: Dict[str, Dict[str, List[Tuple[str, str]]]] = {}
+        for action in p4info.actions.values():
+            groups: Dict[str, List[Tuple[str, str]]] = {}
+            for param in action.params:
+                for table, key in param.refers_to:
+                    groups.setdefault(table, []).append((param.name, key))
+            if groups:
+                self._action_edges[action.name] = groups
+
+    @property
+    def edges(self) -> Dict[Tuple[str, str], Tuple[str, str]]:
+        """All reference edges, one representative target per source."""
+        out = dict(self._key_edges)
+        for action_name, groups in self._action_edges.items():
+            for table, pairs in groups.items():
+                for param_name, key in pairs:
+                    out[(action_name, param_name)] = (table, key)
+        return out
+
+    def action_reference_groups(self, action_name: str) -> Dict[str, List[Tuple[str, str]]]:
+        """target table -> [(param name, target key)] for one action."""
+        return {t: list(pairs) for t, pairs in self._action_edges.get(action_name, {}).items()}
+
+    def targets_of_table(self, table_name: str) -> List[Tuple[str, str]]:
+        """Tables/keys that entries of ``table_name`` may reference."""
+        out: List[Tuple[str, str]] = []
+        info = self._p4info.table_by_name(table_name)
+        if info is None:
+            return out
+        for (source, _field), target in self._key_edges.items():
+            if source == table_name:
+                out.append(target)
+        for aid in info.action_ids:
+            action = self._p4info.actions[aid]
+            for table, pairs in self._action_edges.get(action.name, {}).items():
+                out.extend((table, key) for _param, key in pairs)
+        return out
+
+    def is_referenced_table(self, table_name: str) -> bool:
+        """Whether any edge points *at* this table."""
+        if any(t == table_name for (t, _k) in self._key_edges.values()):
+            return True
+        return any(
+            table_name in groups for groups in self._action_edges.values()
+        )
+
+    # ------------------------------------------------------------------
+    # Entry-level reference extraction
+    # ------------------------------------------------------------------
+    def references_of(self, entry: TableEntry) -> List[Reference]:
+        """All outgoing references of an entry (keys + action composites).
+
+        Values that fail to decode are skipped: a malformed entry will be
+        rejected on syntactic grounds before integrity is consulted.
+        """
+        table = self._p4info.tables.get(entry.table_id)
+        if table is None:
+            return []
+        out: List[Reference] = []
+        for match in entry.matches:
+            mf = table.match_field_by_id(match.field_id)
+            if mf is None:
+                continue
+            target = self._key_edges.get((table.name, mf.name))
+            if target is None:
+                continue
+            try:
+                value = codec.decode(match.value, mf.bitwidth, strict=False)
+            except codec.CodecError:
+                continue
+            out.append(
+                Reference(
+                    source=f"{table.name}.{mf.name}",
+                    target_table=target[0],
+                    pairs=((target[1], value),),
+                )
+            )
+        out.extend(self._action_references(entry))
+        return out
+
+    def _action_references(self, entry: TableEntry) -> List[Reference]:
+        invocations: List[ActionInvocation] = []
+        if isinstance(entry.action, ActionInvocation):
+            invocations = [entry.action]
+        elif isinstance(entry.action, ActionProfileActionSet):
+            invocations = [m.action for m in entry.action.actions]
+        out: List[Reference] = []
+        for inv in invocations:
+            action = self._p4info.actions.get(inv.action_id)
+            if action is None:
+                continue
+            values: Dict[str, int] = {}
+            for pid, data in inv.params:
+                pinfo = action.param_by_id(pid)
+                if pinfo is None:
+                    continue
+                try:
+                    values[pinfo.name] = codec.decode(data, pinfo.bitwidth, strict=False)
+                except codec.CodecError:
+                    continue
+            for target_table, pairs in self._action_edges.get(action.name, {}).items():
+                demanded = tuple(
+                    (key, values[param_name])
+                    for param_name, key in pairs
+                    if param_name in values
+                )
+                if demanded:
+                    out.append(
+                        Reference(
+                            source=action.name,
+                            target_table=target_table,
+                            pairs=demanded,
+                        )
+                    )
+        return out
+
+    # ------------------------------------------------------------------
+    # Values exported by an entry (what others may refer to)
+    # ------------------------------------------------------------------
+    def exported_keyset(self, entry: TableEntry) -> Optional[Tuple[str, KeySet]]:
+        """The (table, keyset) this entry makes referenceable, if any."""
+        table = self._p4info.tables.get(entry.table_id)
+        if table is None:
+            return None
+        pairs = []
+        for match in entry.matches:
+            mf = table.match_field_by_id(match.field_id)
+            if mf is None:
+                continue
+            try:
+                value = codec.decode(match.value, mf.bitwidth, strict=False)
+            except codec.CodecError:
+                continue
+            pairs.append((mf.name, value))
+        if not pairs:
+            return None
+        return (table.name, frozenset(pairs))
+
+    def exported_values(self, entry: TableEntry) -> List[Tuple[str, str, int]]:
+        """(table, key, value) triples this entry makes referenceable."""
+        exported = self.exported_keyset(entry)
+        if exported is None:
+            return []
+        table, keyset = exported
+        return [(table, key, value) for key, value in keyset]
+
+    def collect_state(self, entries: Iterable[TableEntry]) -> AvailableState:
+        """The referenceable state of a set of installed entries."""
+        state = AvailableState()
+        for entry in entries:
+            exported = self.exported_keyset(entry)
+            if exported is not None:
+                state.add(*exported)
+        return state
+
+    # ------------------------------------------------------------------
+    # Integrity checks against a state
+    # ------------------------------------------------------------------
+    def dangling_references(
+        self, entry: TableEntry, available: AvailableState
+    ) -> List[Reference]:
+        """References of ``entry`` not satisfied by ``available``."""
+        return [
+            ref for ref in self.references_of(entry) if not available.satisfies(ref)
+        ]
+
+    def depends_on(self, entry: TableEntry, other: TableEntry) -> bool:
+        """Whether ``entry`` references a keyset exported by ``other``.
+
+        Used by the batcher: two such entries must not share a batch.  A
+        composite reference depends on ``other`` if any demanded pair is
+        provided by it.
+        """
+        exported = self.exported_keyset(other)
+        if exported is None:
+            return False
+        table, keyset = exported
+        for ref in self.references_of(entry):
+            if ref.target_table != table:
+                continue
+            if any(pair in keyset for pair in ref.pairs):
+                return True
+        return False

@@ -1,0 +1,137 @@
+"""Symbolic encoding of @entry_restriction constraints into SMT terms.
+
+§7 of the paper describes ongoing work to make p4-fuzzer *constraint aware*
+via binary decision diagrams: sample constraint-compliant entries, and
+mutate one node to produce entries that violate exactly the constraint.
+We implement the same capability on the SMT backend already built for
+p4-symbolic: encode the constraint over per-key bitvector variables, solve
+for a model (a compliant entry), or solve the negation (an
+"interestingly" non-compliant entry).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.p4.constraints.lang import CAnd, CBool, CCmp, CExpr, CInt, CKey, CNot, COr
+from repro.p4.p4info import TableInfo
+from repro.p4.ast import MatchKind
+from repro.smt import terms as T
+
+
+class SymbolicKeySet:
+    """SMT variables for every accessor of every key of a table."""
+
+    def __init__(self, table: TableInfo) -> None:
+        self.table = table
+        self.value_vars: Dict[str, T.Term] = {}
+        self.mask_vars: Dict[str, T.Term] = {}
+        self.prefix_vars: Dict[str, T.Term] = {}
+        for mf in table.match_fields:
+            base = f"{table.name}.{mf.name}"
+            self.value_vars[mf.name] = T.bv_var(f"{base}::value", mf.bitwidth)
+            self.mask_vars[mf.name] = T.bv_var(f"{base}::mask", mf.bitwidth)
+            # Prefix length fits in 16 bits for any realistic field.
+            self.prefix_vars[mf.name] = T.bv_var(f"{base}::prefix_length", 16)
+
+    def accessor_term(self, key: str, accessor: str) -> T.Term:
+        if accessor == "value":
+            return self.value_vars[key]
+        if accessor == "mask":
+            return self.mask_vars[key]
+        if accessor == "prefix_length":
+            return self.prefix_vars[key]
+        raise KeyError(f"unknown accessor {accessor}")
+
+    def wellformedness(self) -> T.Term:
+        """Structural constraints the solver must respect per match kind.
+
+        * exact keys: mask is all-ones, prefix is the full width;
+        * lpm keys: prefix_length <= width, mask is derived, and masked-out
+          bits of the value are zero (canonical form);
+        * ternary keys: masked-out value bits are zero (canonical form);
+        * optional keys: mask is all-ones or all-zeros.
+        """
+        clauses = []
+        for mf in self.table.match_fields:
+            value = self.value_vars[mf.name]
+            mask = self.mask_vars[mf.name]
+            prefix = self.prefix_vars[mf.name]
+            width = mf.bitwidth
+            ones = T.bv_const((1 << width) - 1, width)
+            if mf.match_type is MatchKind.EXACT:
+                clauses.append(mask.eq(ones))
+                clauses.append(prefix.eq(T.bv_const(width, 16)))
+            elif mf.match_type is MatchKind.LPM:
+                clauses.append(prefix.ule(T.bv_const(width, 16)))
+                # mask == prefix-derived mask, encoded as a chain of ites.
+                derived = T.bv_const(0, width)
+                for plen in range(width, 0, -1):
+                    mval = ((1 << plen) - 1) << (width - plen)
+                    derived = T.ite(
+                        prefix.eq(T.bv_const(plen, 16)),
+                        T.bv_const(mval, width),
+                        derived,
+                    )
+                clauses.append(mask.eq(derived))
+                clauses.append((value & ~mask).eq(T.bv_const(0, width)))
+            elif mf.match_type is MatchKind.TERNARY:
+                clauses.append((value & ~mask).eq(T.bv_const(0, width)))
+                clauses.append(prefix.eq(T.bv_const(0, 16)))
+            else:  # OPTIONAL: present (exact) or absent (wildcard)
+                clauses.append(T.or_(mask.eq(ones), mask.eq(T.bv_const(0, width))))
+                clauses.append((value & ~mask).eq(T.bv_const(0, width)))
+                clauses.append(prefix.eq(T.bv_const(0, 16)))
+        return T.and_(*clauses) if clauses else T.TRUE
+
+
+def encode_constraint(expr: CExpr, keys: SymbolicKeySet) -> T.Term:
+    """Translate a parsed constraint into an SMT boolean term."""
+
+    def operand(node, width_hint: int) -> T.Term:
+        if isinstance(node, CInt):
+            return T.bv_const(node.value, width_hint)
+        if isinstance(node, CKey):
+            return keys.accessor_term(node.name, node.accessor)
+        raise TypeError(f"bad operand {node!r}")
+
+    def operand_width(node) -> int:
+        if isinstance(node, CKey):
+            return keys.accessor_term(node.name, node.accessor).width
+        return 0
+
+    def walk(node) -> T.Term:
+        if isinstance(node, CBool):
+            return T.TRUE if node.value else T.FALSE
+        if isinstance(node, CCmp):
+            width = max(operand_width(node.left), operand_width(node.right))
+            if width == 0:
+                width = 32  # literal-vs-literal comparison
+            left = operand(node.left, width)
+            right = operand(node.right, width)
+            # Align widths by zero-extension (constraint semantics are
+            # unsigned).
+            if left.width < width:
+                left = T.zext(left, width - left.width)
+            if right.width < width:
+                right = T.zext(right, width - right.width)
+            if node.op == "==":
+                return left.eq(right)
+            if node.op == "!=":
+                return left.ne(right)
+            if node.op == "<":
+                return left.ult(right)
+            if node.op == "<=":
+                return left.ule(right)
+            if node.op == ">":
+                return right.ult(left)
+            return right.ule(left)
+        if isinstance(node, CNot):
+            return T.not_(walk(node.arg))
+        if isinstance(node, CAnd):
+            return T.and_(*[walk(a) for a in node.args])
+        if isinstance(node, COr):
+            return T.or_(*[walk(a) for a in node.args])
+        raise TypeError(f"bad constraint node {node!r}")
+
+    return walk(expr)

@@ -1,0 +1,167 @@
+"""P4-16 pretty-printer: IR → P4 source text.
+
+The paper leans on P4 programs being *living documentation* that engineers
+consult.  This module renders any :class:`~repro.p4.ast.P4Program` as
+P4-16-style source (the dialect of Figure 2: `@entry_restriction` /
+`@refers_to` annotations, match-action tables, a single ingress control),
+and :mod:`repro.p4.parser` parses that dialect back into the IR — the
+round trip is property-tested, so the text really is the model.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.p4 import ast
+from repro.p4.constraints.lang import normalize_constraint_text
+from repro.p4.ast import (
+    BinOp,
+    BoolOp,
+    Cmp,
+    Const,
+    FieldRef,
+    HashExpr,
+    If,
+    IsValid,
+    P4Program,
+    Param,
+    Seq,
+    Statement,
+    Table,
+    TableApply,
+)
+
+
+def _expr(e) -> str:
+    if isinstance(e, Const):
+        return f"{e.width}w{e.value}"
+    if isinstance(e, FieldRef):
+        return e.path
+    if isinstance(e, Param):
+        return e.name
+    if isinstance(e, BinOp):
+        return f"({_expr(e.left)} {e.op} {_expr(e.right)})"
+    if isinstance(e, HashExpr):
+        inner = ", ".join(f.path for f in e.fields)
+        return f"hash<{e.width}>({e.label}; {inner})"
+    raise TypeError(f"unprintable expression {e!r}")
+
+
+def _cond(c) -> str:
+    if isinstance(c, IsValid):
+        return f"{c.header}.isValid()"
+    if isinstance(c, Cmp):
+        return f"({_expr(c.left)} {c.op} {_expr(c.right)})"
+    if isinstance(c, BoolOp):
+        if c.op == "not":
+            return f"!{_cond(c.args[0])}"
+        joiner = " && " if c.op == "and" else " || "
+        return "(" + joiner.join(_cond(a) for a in c.args) + ")"
+    raise TypeError(f"unprintable condition {c!r}")
+
+
+def _param(p: ast.ActionParamSpec) -> str:
+    annotations = "".join(
+        f"@refers_to({table}, {key}) " for table, key in p.references()
+    )
+    return f"{annotations}bit<{p.width}> {p.name}"
+
+
+def _action(action: ast.Action, out: List[str]) -> None:
+    params = ", ".join(_param(p) for p in action.params)
+    out.append(f"    action {action.name}({params}) {{")
+    for stmt in action.body:
+        out.append(f"        {stmt.dest.path} = {_expr(stmt.value)};")
+    out.append("    }")
+
+
+def _table(table: Table, out: List[str]) -> None:
+    if table.entry_restriction:
+        restriction = normalize_constraint_text(table.entry_restriction)
+        out.append(f'    @entry_restriction("{restriction}")')
+    if table.is_resource_table:
+        out.append("    @resource_table")
+    if table.is_logical:
+        out.append("    @logical_table")
+    out.append(f"    table {table.name} {{")
+    out.append("        key = {")
+    for key in table.keys:
+        annotation = ""
+        if key.refers_to is not None:
+            annotation = f" @refers_to({key.refers_to[0]}, {key.refers_to[1]})"
+        out.append(
+            f"            {key.field.path} : {key.kind.value}"
+            f" @name(\"{key.key_name}\"){annotation};"
+        )
+    out.append("        }")
+    actions = ", ".join(ref.action.name for ref in table.actions)
+    out.append(f"        actions = {{ {actions} }};")
+    out.append(f"        const default_action = {table.default_action.name};")
+    out.append(f"        size = {table.size};")
+    if table.implementation is not None:
+        impl = table.implementation
+        out.append(
+            f"        implementation = action_selector({impl.name}, {impl.max_group_size});"
+        )
+    out.append("    }")
+
+
+def _block(block: Seq, out: List[str], indent: int) -> None:
+    pad = " " * indent
+    for node in block:
+        if isinstance(node, TableApply):
+            out.append(f"{pad}{node.table.name}.apply();")
+        elif isinstance(node, If):
+            label = f" @label(\"{node.label}\")" if node.label else ""
+            out.append(f"{pad}if{label} ({_cond(node.cond)}) {{")
+            _block(node.then_block, out, indent + 4)
+            if node.else_block.nodes:
+                out.append(f"{pad}}} else {{")
+                _block(node.else_block, out, indent + 4)
+            out.append(f"{pad}}}")
+        elif isinstance(node, Statement):
+            out.append(f"{pad}{node.dest.path} = {_expr(node.value)};")
+
+
+def print_program(program: P4Program) -> str:
+    """Render a program as P4-16-style source text."""
+    out: List[str] = []
+    out.append(f"// P4 model: {program.name} (role: {program.role})")
+    out.append(f'@role("{program.role}")')
+    out.append(f'@parser("{program.parser.pattern}")')
+    out.append("")
+    for header in program.headers:
+        out.append(f"header {header.name}_t {{")
+        for fname, width in header.fields:
+            out.append(f"    bit<{width}> {fname};")
+        out.append("}")
+        out.append("")
+    out.append("struct metadata_t {")
+    for name, width in program.metadata:
+        out.append(f"    bit<{width}> {name};")
+    out.append("}")
+    out.append("")
+    out.append(f"control {program.name}_ingress(inout headers_t headers,")
+    out.append("                                inout metadata_t meta) {")
+    emitted = set()
+    for table in program.tables():
+        for ref in tuple(table.actions) + (ast.ActionRef(table.default_action),):
+            if ref.action.name in emitted:
+                continue
+            emitted.add(ref.action.name)
+            _action(ref.action, out)
+    for table in program.tables():
+        _table(table, out)
+    out.append("    apply {")
+    _block(program.ingress, out, 8)
+    out.append("    }")
+    out.append("}")
+    if program.egress.nodes:
+        out.append("")
+        out.append(f"control {program.name}_egress(inout headers_t headers,")
+        out.append("                               inout metadata_t meta) {")
+        out.append("    apply {")
+        _block(program.egress, out, 8)
+        out.append("    }")
+        out.append("}")
+    return "\n".join(out) + "\n"

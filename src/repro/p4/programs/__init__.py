@@ -1,0 +1,31 @@
+"""Role-specific P4 model instantiations (§3 "Role Specific Instantiations").
+
+The paper builds one P4 model per deployment role, instantiated from a
+common SAI-shaped component library.  We mirror that structure:
+
+* :mod:`repro.p4.programs.common` — the shared component library: headers,
+  the L3 routing flow (VRF → IPv4/IPv6 LPM → WCMP → nexthop → neighbor →
+  router-interface), mirroring, and trap logic.
+* :mod:`repro.p4.programs.tor` — the ToR instantiation ("Inst1" in
+  Table 3): the common flow plus the ToR-specific ACL key combination.
+* :mod:`repro.p4.programs.wan` — the WAN instantiation ("Inst2"): a
+  different ACL key combination plus an egress ACL stage.
+* :mod:`repro.p4.programs.cerberus` — the Cerberus-style pipeline: more
+  involved forwarding with IPv4 tunnel encap/decap (§6: "more complex, with
+  more involved forwarding pipelines and additional features such as
+  encapsulation and decapsulation").
+* :mod:`repro.p4.programs.toy` — the Figure 2 fragment (vrf_tbl +
+  ipv4_tbl), used by unit tests and the quickstart example.
+"""
+
+from repro.p4.programs.tor import build_tor_program
+from repro.p4.programs.wan import build_wan_program
+from repro.p4.programs.cerberus import build_cerberus_program
+from repro.p4.programs.toy import build_toy_program
+
+__all__ = [
+    "build_cerberus_program",
+    "build_tor_program",
+    "build_toy_program",
+    "build_wan_program",
+]

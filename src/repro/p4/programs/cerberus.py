@@ -1,0 +1,210 @@
+"""The Cerberus-style pipeline model.
+
+§6: the Cerberus P4 programs "were more complex, with more involved
+forwarding pipelines and additional features such as encapsulation and
+decapsulation".  This instantiation extends the common flow with IP-in-IP
+tunnel encap/decap tables.  Header push/pop is abstracted: encapsulation is
+modeled as an outer-address rewrite plus a tunnel flag — enough to express
+(and detect!) the paper's endianness bug, where the switch software
+reversed the destination IP used for encapsulation.
+"""
+
+from __future__ import annotations
+
+from repro.p4 import ast
+from repro.p4.ast import (
+    ActionParamSpec,
+    ActionRef,
+    Action,
+    Cmp,
+    Const,
+    FieldRef,
+    If,
+    IsValid,
+    MatchKind,
+    NO_ACTION,
+    P4Program,
+    ParserSpec,
+    Seq,
+    Table,
+    TableApply,
+    TableKey,
+    assign,
+    seq,
+)
+from repro.p4.programs import common as lib
+
+CERBERUS_METADATA = lib.COMMON_METADATA + (
+    ("tunnel_id", 16),
+    ("encapped", 1),
+    ("decapped", 1),
+)
+
+ACTION_SET_NEXTHOP_AND_TUNNEL = Action(
+    "set_nexthop_id_and_tunnel",
+    params=(
+        ActionParamSpec("nexthop_id", 16, refers_to=("nexthop_tbl", "nexthop_id")),
+        ActionParamSpec("tunnel_id", 16, refers_to=("tunnel_tbl", "tunnel_id")),
+    ),
+    body=(
+        assign("meta.nexthop_id", ast.Param("nexthop_id")),
+        assign("meta.tunnel_id", ast.Param("tunnel_id")),
+        assign("meta.route_hit", Const(1, 1)),
+    ),
+)
+
+# Header push/pop is abstracted: the encapsulation depth rides in the IPv4
+# identification field (incremented on encap, decremented on decap), which
+# keeps the effect externally observable without modeling header stacks.
+ACTION_IP_IN_IP_ENCAP = Action(
+    "set_ip_in_ip_encap",
+    params=(
+        ActionParamSpec("encap_src_ip", 32),
+        ActionParamSpec("encap_dst_ip", 32),
+    ),
+    body=(
+        assign("ipv4.src_addr", ast.Param("encap_src_ip")),
+        assign("ipv4.dst_addr", ast.Param("encap_dst_ip")),
+        assign(
+            "ipv4.identification",
+            ast.BinOp("+", FieldRef("ipv4.identification"), Const(1, 16)),
+        ),
+        assign("meta.encapped", Const(1, 1)),
+    ),
+)
+
+ACTION_DECAP = Action(
+    "decap",
+    body=(
+        assign(
+            "ipv4.identification",
+            ast.BinOp("-", FieldRef("ipv4.identification"), Const(1, 16)),
+        ),
+        assign("meta.decapped", Const(1, 1)),
+    ),
+)
+
+
+def tunnel_table(size: int = 64) -> Table:
+    return Table(
+        name="tunnel_tbl",
+        keys=(TableKey(FieldRef("meta.tunnel_id"), MatchKind.EXACT, name="tunnel_id"),),
+        actions=(ActionRef(ACTION_IP_IN_IP_ENCAP),),
+        default_action=NO_ACTION,
+        size=size,
+        entry_restriction="tunnel_id != 0",
+    )
+
+
+def decap_table(size: int = 64) -> Table:
+    return Table(
+        name="decap_tbl",
+        keys=(
+            TableKey(FieldRef("ipv4.dst_addr"), MatchKind.TERNARY, name="dst_ip"),
+            TableKey(FieldRef("standard.ingress_port"), MatchKind.OPTIONAL, name="in_port"),
+        ),
+        actions=(ActionRef(ACTION_DECAP),),
+        default_action=NO_ACTION,
+        size=size,
+    )
+
+
+CERBERUS_ACL_RESTRICTION = """
+    (dst_ip::mask != 0 -> is_ipv4 == 1) &&
+    (ttl::mask != 0 -> is_ipv4 == 1) &&
+    (is_ipv4::mask == 0 || is_ipv4::mask == 1)
+"""
+
+
+def cerberus_acl_table(size: int = 256) -> Table:
+    return Table(
+        name="acl_ingress_tbl",
+        keys=(
+            TableKey(FieldRef("meta.is_ipv4"), MatchKind.TERNARY, name="is_ipv4"),
+            TableKey(FieldRef("ipv4.dst_addr"), MatchKind.TERNARY, name="dst_ip"),
+            TableKey(FieldRef("ipv4.ttl"), MatchKind.TERNARY, name="ttl"),
+            TableKey(FieldRef("udp.dst_port"), MatchKind.TERNARY, name="l4_dst_port"),
+        ),
+        actions=(
+            ActionRef(lib.ACTION_DROP),
+            ActionRef(lib.ACTION_TRAP),
+            ActionRef(lib.ACTION_COPY_TO_CPU),
+        ),
+        default_action=NO_ACTION,
+        size=size,
+        entry_restriction=CERBERUS_ACL_RESTRICTION,
+    )
+
+
+def cerberus_ipv4_table(size: int = 2048) -> Table:
+    """Cerberus routing: nexthop-or-tunnel actions on top of the common set."""
+    base = lib.ipv4_table(size=size)
+    return Table(
+        name=base.name,
+        keys=base.keys,
+        actions=base.actions + (ActionRef(ACTION_SET_NEXTHOP_AND_TUNNEL),),
+        default_action=base.default_action,
+        size=size,
+    )
+
+
+def build_cerberus_program() -> P4Program:
+    vrf = lib.vrf_table()
+    l3_admit = lib.l3_admit_table()
+    pre_ingress = lib.acl_pre_ingress_table()
+    ipv4 = cerberus_ipv4_table()
+    ipv6 = lib.ipv6_table()
+    wcmp = lib.wcmp_group_table()
+    nexthop = lib.nexthop_table()
+    neighbor = lib.neighbor_table()
+    rif = lib.router_interface_table()
+    tunnel = tunnel_table()
+    decap = decap_table()
+    acl = cerberus_acl_table()
+    mirror = lib.mirror_session_table()
+    clone = lib.clone_session_logical_table()
+
+    encap_block = If(
+        cond=Cmp("!=", FieldRef("meta.tunnel_id"), Const(0, 16)),
+        then_block=seq(TableApply(tunnel)),
+        else_block=seq(),
+        label="encap_gate",
+    )
+
+    decap_block = If(
+        cond=IsValid("ipv4"),
+        then_block=seq(TableApply(decap)),
+        else_block=seq(),
+        label="decap_gate",
+    )
+
+    ingress = Seq(
+        tuple(
+            lib.classifier_block()
+            + [
+                lib.ttl_trap_block(),
+                lib.broadcast_drop_block(),
+                lib.not_dropped_gate(
+                    decap_block,
+                    TableApply(l3_admit),
+                    TableApply(pre_ingress),
+                    TableApply(vrf),
+                    lib.routing_block(ipv4, ipv6),
+                    lib.resolution_block(wcmp, nexthop, neighbor, rif),
+                    encap_block,
+                    TableApply(acl),
+                    lib.mirroring_block(mirror, clone),
+                ),
+            ]
+        )
+    )
+
+    return P4Program(
+        name="cerberus",
+        headers=lib.STANDARD_HEADERS,
+        metadata=CERBERUS_METADATA,
+        parser=ParserSpec("ethernet_ipv4_ipv6"),
+        ingress=ingress,
+        egress=Seq(),
+        role="Cerberus",
+    )

@@ -1,0 +1,635 @@
+"""The common P4 component library shared by all role instantiations.
+
+§3: "We simplify the effort required to design and maintain these
+instantiations by grouping all common components into a common P4 library,
+and instantiating from it using macros and preprocessors."  Here the
+"macros" are Python builder functions parameterised by the role-specific
+bits (ACL key combinations, table sizes).
+
+The modeled pipeline follows the SAI object model:
+
+    l3_admit → acl_pre_ingress (assigns VRF) → vrf_tbl (resource table)
+      → ipv4/ipv6 LPM routing → wcmp_group (one-shot selector)
+      → nexthop → neighbor → router_interface → acl_ingress → mirroring
+
+plus fixed traps (TTL ≤ 1 punt) and the mirror-session logical table
+(§3 "Mirror Sessions").
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.p4 import ast
+from repro.p4.ast import (
+    Action,
+    ActionParamSpec,
+    ActionProfile,
+    ActionRef,
+    BinOp,
+    Cmp,
+    Const,
+    FieldRef,
+    HeaderType,
+    If,
+    IsValid,
+    MatchKind,
+    NO_ACTION,
+    Table,
+    TableApply,
+    TableKey,
+    assign,
+    mark_to_drop,
+    mirror_to,
+    punt_to_cpu,
+    seq,
+)
+
+# ----------------------------------------------------------------------
+# Headers
+# ----------------------------------------------------------------------
+
+ETHERNET = HeaderType(
+    "ethernet",
+    (
+        ("dst_addr", 48),
+        ("src_addr", 48),
+        ("ether_type", 16),
+    ),
+)
+
+IPV4 = HeaderType(
+    "ipv4",
+    (
+        ("version", 4),
+        ("ihl", 4),
+        ("dscp", 6),
+        ("ecn", 2),
+        ("total_len", 16),
+        ("identification", 16),
+        ("flags", 3),
+        ("frag_offset", 13),
+        ("ttl", 8),
+        ("protocol", 8),
+        ("header_checksum", 16),
+        ("src_addr", 32),
+        ("dst_addr", 32),
+    ),
+)
+
+IPV6 = HeaderType(
+    "ipv6",
+    (
+        ("version", 4),
+        ("dscp", 6),
+        ("ecn", 2),
+        ("flow_label", 20),
+        ("payload_length", 16),
+        ("next_header", 8),
+        ("hop_limit", 8),
+        ("src_addr", 128),
+        ("dst_addr", 128),
+    ),
+)
+
+ICMP = HeaderType(
+    "icmp",
+    (
+        ("type", 8),
+        ("code", 8),
+        ("checksum", 16),
+    ),
+)
+
+TCP = HeaderType(
+    "tcp",
+    (
+        ("src_port", 16),
+        ("dst_port", 16),
+        ("seq_no", 32),
+        ("ack_no", 32),
+        ("data_offset", 4),
+        ("res", 4),
+        ("flags", 8),
+        ("window", 16),
+        ("checksum", 16),
+        ("urgent_ptr", 16),
+    ),
+)
+
+UDP = HeaderType(
+    "udp",
+    (
+        ("src_port", 16),
+        ("dst_port", 16),
+        ("hdr_length", 16),
+        ("checksum", 16),
+    ),
+)
+
+STANDARD_HEADERS: Tuple[HeaderType, ...] = (ETHERNET, IPV4, IPV6, ICMP, TCP, UDP)
+
+# Shared user metadata: (name, width).
+COMMON_METADATA: Tuple[Tuple[str, int], ...] = (
+    ("vrf_id", 16),
+    ("nexthop_id", 16),
+    ("wcmp_group_id", 16),
+    ("router_interface_id", 16),
+    ("neighbor_id", 16),
+    ("l3_admit", 1),
+    ("is_ipv4", 1),
+    ("is_ipv6", 1),
+    ("mirror_session_id", 16),
+    ("route_hit", 1),
+)
+
+# Ether types used by the parsers and models.
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_IPV6 = 0x86DD
+IP_PROTOCOL_ICMP = 1
+IP_PROTOCOL_TCP = 6
+IP_PROTOCOL_UDP = 17
+
+# ----------------------------------------------------------------------
+# Actions
+# ----------------------------------------------------------------------
+
+ACTION_DROP = Action("drop", body=(mark_to_drop(),))
+
+ACTION_TRAP = Action(
+    "trap",
+    body=(punt_to_cpu(), mark_to_drop()),
+)
+
+ACTION_COPY_TO_CPU = Action("acl_copy", body=(punt_to_cpu(),))
+
+ACTION_SET_VRF = Action(
+    "set_vrf",
+    params=(ActionParamSpec("vrf_id", 16, refers_to=("vrf_tbl", "vrf_id")),),
+    body=(assign("meta.vrf_id", ast.Param("vrf_id")),),
+)
+
+ACTION_ADMIT_TO_L3 = Action(
+    "admit_to_l3",
+    body=(assign("meta.l3_admit", Const(1, 1)),),
+)
+
+ACTION_SET_NEXTHOP_ID = Action(
+    "set_nexthop_id",
+    params=(ActionParamSpec("nexthop_id", 16, refers_to=("nexthop_tbl", "nexthop_id")),),
+    body=(
+        assign("meta.nexthop_id", ast.Param("nexthop_id")),
+        assign("meta.route_hit", Const(1, 1)),
+    ),
+)
+
+ACTION_SET_WCMP_GROUP_ID = Action(
+    "set_wcmp_group_id",
+    params=(
+        ActionParamSpec("wcmp_group_id", 16, refers_to=("wcmp_group_tbl", "wcmp_group_id")),
+    ),
+    body=(
+        assign("meta.wcmp_group_id", ast.Param("wcmp_group_id")),
+        assign("meta.route_hit", Const(1, 1)),
+    ),
+)
+
+ACTION_SET_NEXTHOP = Action(
+    "set_ip_nexthop",
+    params=(
+        # The RIF parameter participates in two references: the RIF table
+        # itself, and — jointly with neighbor_id — the neighbor table.  The
+        # pair (router_interface_id, neighbor_id) must name an existing
+        # neighbor entry (a composite reference, the SAI-P4 pattern).
+        ActionParamSpec(
+            "router_interface_id",
+            16,
+            refers_to=(
+                ("router_interface_tbl", "router_interface_id"),
+                ("neighbor_tbl", "router_interface_id"),
+            ),
+        ),
+        ActionParamSpec("neighbor_id", 16, refers_to=("neighbor_tbl", "neighbor_id")),
+    ),
+    body=(
+        assign("meta.router_interface_id", ast.Param("router_interface_id")),
+        assign("meta.neighbor_id", ast.Param("neighbor_id")),
+    ),
+)
+
+ACTION_SET_DST_MAC = Action(
+    "set_dst_mac",
+    params=(ActionParamSpec("dst_mac", 48),),
+    body=(assign("ethernet.dst_addr", ast.Param("dst_mac")),),
+)
+
+ACTION_SET_PORT_AND_SRC_MAC = Action(
+    "set_port_and_src_mac",
+    params=(
+        ActionParamSpec("port", 16),
+        ActionParamSpec("src_mac", 48),
+    ),
+    body=(
+        assign("standard.egress_port", ast.Param("port")),
+        assign("ethernet.src_addr", ast.Param("src_mac")),
+    ),
+)
+
+ACTION_MIRROR = Action(
+    "acl_mirror",
+    params=(
+        ActionParamSpec(
+            "mirror_session_id", 16, refers_to=("mirror_session_tbl", "mirror_session_id")
+        ),
+    ),
+    body=(assign("meta.mirror_session_id", ast.Param("mirror_session_id")),),
+)
+
+ACTION_SET_MIRROR_PORT = Action(
+    "set_mirror_port",
+    params=(ActionParamSpec("port", 16),),
+    body=(mirror_to(ast.Param("port")),),
+)
+
+# The logical table translating a mirror target port to a clone-session id
+# (§3 "Mirror Sessions") is a modeling artifact; its single action feeds the
+# clone API.
+ACTION_SET_CLONE_SESSION = Action(
+    "set_clone_session",
+    params=(ActionParamSpec("session_id", 16),),
+    body=(assign("standard.mirror_session", ast.Param("session_id")),),
+)
+
+
+# ----------------------------------------------------------------------
+# Table builders
+# ----------------------------------------------------------------------
+
+
+def vrf_table(size: int = 64) -> Table:
+    """The VRF resource table (Figure 2): a P4 no-op whose PINS semantics is
+    VRF allocation.  VRF 0 is reserved by the hardware."""
+    return Table(
+        name="vrf_tbl",
+        keys=(TableKey(FieldRef("meta.vrf_id"), MatchKind.EXACT, name="vrf_id"),),
+        actions=(ActionRef(NO_ACTION),),
+        default_action=NO_ACTION,
+        size=size,
+        entry_restriction="vrf_id != 0",
+        is_resource_table=True,
+    )
+
+
+def l3_admit_table(size: int = 128) -> Table:
+    return Table(
+        name="l3_admit_tbl",
+        keys=(
+            TableKey(FieldRef("ethernet.dst_addr"), MatchKind.TERNARY, name="dst_mac"),
+            TableKey(FieldRef("standard.ingress_port"), MatchKind.OPTIONAL, name="in_port"),
+        ),
+        actions=(ActionRef(ACTION_ADMIT_TO_L3),),
+        default_action=NO_ACTION,
+        size=size,
+    )
+
+
+def acl_pre_ingress_table(size: int = 128) -> Table:
+    """Pre-ingress ACL assigning the VRF; role-agnostic keys."""
+    return Table(
+        name="acl_pre_ingress_tbl",
+        keys=(
+            TableKey(FieldRef("ethernet.src_addr"), MatchKind.TERNARY, name="src_mac"),
+            TableKey(FieldRef("ipv4.dst_addr"), MatchKind.TERNARY, name="dst_ip"),
+            TableKey(FieldRef("meta.is_ipv4"), MatchKind.OPTIONAL, name="is_ipv4"),
+            TableKey(FieldRef("standard.ingress_port"), MatchKind.OPTIONAL, name="in_port"),
+        ),
+        actions=(ActionRef(ACTION_SET_VRF),),
+        default_action=NO_ACTION,
+        size=size,
+        entry_restriction="dst_ip::mask != 0 -> is_ipv4 == 1",
+    )
+
+
+def ipv4_table(size: int = 1024) -> Table:
+    return Table(
+        name="ipv4_tbl",
+        keys=(
+            TableKey(
+                FieldRef("meta.vrf_id"),
+                MatchKind.EXACT,
+                name="vrf_id",
+                refers_to=("vrf_tbl", "vrf_id"),
+            ),
+            TableKey(FieldRef("ipv4.dst_addr"), MatchKind.LPM, name="ipv4_dst"),
+        ),
+        actions=(
+            ActionRef(ACTION_DROP),
+            ActionRef(ACTION_SET_NEXTHOP_ID),
+            ActionRef(ACTION_SET_WCMP_GROUP_ID),
+            ActionRef(ACTION_TRAP),
+        ),
+        default_action=ACTION_DROP,
+        size=size,
+    )
+
+
+def ipv6_table(size: int = 1024) -> Table:
+    return Table(
+        name="ipv6_tbl",
+        keys=(
+            TableKey(
+                FieldRef("meta.vrf_id"),
+                MatchKind.EXACT,
+                name="vrf_id",
+                refers_to=("vrf_tbl", "vrf_id"),
+            ),
+            TableKey(FieldRef("ipv6.dst_addr"), MatchKind.LPM, name="ipv6_dst"),
+        ),
+        actions=(
+            ActionRef(ACTION_DROP),
+            ActionRef(ACTION_SET_NEXTHOP_ID),
+            ActionRef(ACTION_SET_WCMP_GROUP_ID),
+            ActionRef(ACTION_TRAP),
+        ),
+        default_action=ACTION_DROP,
+        size=size,
+    )
+
+
+def wcmp_group_table(size: int = 128, max_group_size: int = 128) -> Table:
+    """WCMP groups: a one-shot action-selector table (§4.2).
+
+    Member selection hashes the 5-tuple; the hash is a black box (§3).
+    """
+    selector = ActionProfile(
+        name="wcmp_group_selector",
+        max_group_size=max_group_size,
+        selector_fields=(
+            FieldRef("ipv4.src_addr"),
+            FieldRef("ipv4.dst_addr"),
+            FieldRef("ipv4.protocol"),
+        ),
+    )
+    return Table(
+        name="wcmp_group_tbl",
+        keys=(
+            TableKey(FieldRef("meta.wcmp_group_id"), MatchKind.EXACT, name="wcmp_group_id"),
+        ),
+        actions=(ActionRef(ACTION_SET_NEXTHOP_ID),),
+        default_action=NO_ACTION,
+        size=size,
+        implementation=selector,
+    )
+
+
+def nexthop_table(size: int = 256) -> Table:
+    return Table(
+        name="nexthop_tbl",
+        keys=(
+            TableKey(FieldRef("meta.nexthop_id"), MatchKind.EXACT, name="nexthop_id"),
+        ),
+        actions=(ActionRef(ACTION_SET_NEXTHOP),),
+        default_action=NO_ACTION,
+        size=size,
+    )
+
+
+def neighbor_table(size: int = 256) -> Table:
+    """Neighbor resolution.
+
+    The default action drops: a next hop pointing at a (RIF, neighbor)
+    pair with no neighbor entry blackholes in hardware, and the model must
+    say so.  (@refers_to is per-key, so the *pair* can dangle even when
+    each value exists somewhere in the table.)
+    """
+    return Table(
+        name="neighbor_tbl",
+        keys=(
+            TableKey(
+                FieldRef("meta.router_interface_id"),
+                MatchKind.EXACT,
+                name="router_interface_id",
+                refers_to=("router_interface_tbl", "router_interface_id"),
+            ),
+            TableKey(FieldRef("meta.neighbor_id"), MatchKind.EXACT, name="neighbor_id"),
+        ),
+        actions=(ActionRef(ACTION_SET_DST_MAC),),
+        default_action=ACTION_DROP,
+        size=size,
+    )
+
+
+def router_interface_table(size: int = 64) -> Table:
+    return Table(
+        name="router_interface_tbl",
+        keys=(
+            TableKey(
+                FieldRef("meta.router_interface_id"),
+                MatchKind.EXACT,
+                name="router_interface_id",
+            ),
+        ),
+        actions=(ActionRef(ACTION_SET_PORT_AND_SRC_MAC),),
+        default_action=NO_ACTION,
+        size=size,
+    )
+
+
+def mirror_session_table(size: int = 4) -> Table:
+    return Table(
+        name="mirror_session_tbl",
+        keys=(
+            TableKey(
+                FieldRef("meta.mirror_session_id"), MatchKind.EXACT, name="mirror_session_id"
+            ),
+        ),
+        actions=(ActionRef(ACTION_SET_MIRROR_PORT),),
+        default_action=NO_ACTION,
+        size=size,
+    )
+
+
+def clone_session_logical_table() -> Table:
+    """Logical port→clone-session table (§3 "Mirror Sessions"): correctly
+    models the effect of cloning without expressing how it is done, and is
+    not programmable by the controller."""
+    return Table(
+        name="mirror_port_to_clone_session_tbl",
+        keys=(
+            TableKey(FieldRef("standard.mirror_port"), MatchKind.EXACT, name="mirror_port"),
+        ),
+        actions=(ActionRef(ACTION_SET_CLONE_SESSION),),
+        default_action=NO_ACTION,
+        size=64,
+        is_logical=True,
+    )
+
+
+# ----------------------------------------------------------------------
+# Pipeline assembly
+# ----------------------------------------------------------------------
+
+
+def classifier_block() -> List:
+    """Initial statements deriving is_ipv4/is_ipv6 metadata from validity."""
+    return [
+        If(
+            cond=IsValid("ipv4"),
+            then_block=seq(assign("meta.is_ipv4", Const(1, 1))),
+            else_block=seq(),
+            label="classify_ipv4",
+        ),
+        If(
+            cond=IsValid("ipv6"),
+            then_block=seq(assign("meta.is_ipv6", Const(1, 1))),
+            else_block=seq(),
+            label="classify_ipv6",
+        ),
+    ]
+
+
+def ttl_trap_block() -> If:
+    """Fixed-function trap: IP packets with TTL / hop limit 0 or 1 are
+    punted.
+
+    §6.1 recounts a chip swap introducing a built-in trap for TTL ≤ 1 that
+    the old model missed; the model (now) encodes it explicitly.
+    """
+    return If(
+        cond=ast.or_(
+            ast.and_(
+                IsValid("ipv4"),
+                Cmp("<=", FieldRef("ipv4.ttl"), Const(1, 8)),
+            ),
+            ast.and_(
+                IsValid("ipv6"),
+                Cmp("<=", FieldRef("ipv6.hop_limit"), Const(1, 8)),
+            ),
+        ),
+        then_block=seq(punt_to_cpu(), mark_to_drop()),
+        else_block=seq(),
+        label="ttl_trap",
+    )
+
+
+def broadcast_drop_block() -> If:
+    """The chip silently drops IPv4 limited-broadcast packets; the model
+    must reflect that (an Appendix-A model bug was exactly this omission)."""
+    return If(
+        cond=ast.and_(
+            IsValid("ipv4"),
+            Cmp("==", FieldRef("ipv4.dst_addr"), Const(0xFFFFFFFF, 32)),
+        ),
+        then_block=seq(mark_to_drop()),
+        else_block=seq(),
+        label="broadcast_drop",
+    )
+
+
+def not_dropped_gate(*nodes) -> If:
+    """Guard the post-trap pipeline on the packet not being dropped.
+
+    The fixed-function traps (TTL, broadcast) terminate processing in
+    hardware; the model expresses the same by gating everything after them
+    on ``standard.drop == 0`` — the SAI-P4 idiom for early termination.
+    """
+    return If(
+        cond=Cmp("==", FieldRef("standard.drop"), Const(0, 1)),
+        then_block=seq(*nodes),
+        else_block=seq(),
+        label="not_dropped_gate",
+    )
+
+
+def routing_block(ipv4_tbl: Table, ipv6_tbl: Table) -> If:
+    """The L3 routing flow guarded by l3_admit."""
+    return If(
+        cond=Cmp("==", FieldRef("meta.l3_admit"), Const(1, 1)),
+        then_block=seq(
+            If(
+                cond=IsValid("ipv4"),
+                then_block=seq(TableApply(ipv4_tbl)),
+                else_block=seq(
+                    If(
+                        cond=IsValid("ipv6"),
+                        then_block=seq(TableApply(ipv6_tbl)),
+                        else_block=seq(),
+                        label="route_ipv6",
+                    )
+                ),
+                label="route_ipv4",
+            ),
+        ),
+        else_block=seq(),
+        label="l3_admit_gate",
+    )
+
+
+def resolution_block(
+    wcmp_tbl: Table, nexthop_tbl: Table, neighbor_tbl: Table, rif_tbl: Table
+) -> If:
+    """Nexthop resolution: WCMP → nexthop → neighbor → RIF, then TTL
+    decrement, all guarded on a route having been hit.
+
+    A neighbor miss drops (see :func:`neighbor_table`) and terminates
+    resolution in hardware, so the RIF rewrite and the TTL decrement are
+    additionally gated on the packet not having been dropped.
+    """
+    return If(
+        cond=Cmp("==", FieldRef("meta.route_hit"), Const(1, 1)),
+        then_block=seq(
+            If(
+                cond=Cmp("!=", FieldRef("meta.wcmp_group_id"), Const(0, 16)),
+                then_block=seq(TableApply(wcmp_tbl)),
+                else_block=seq(),
+                label="wcmp_gate",
+            ),
+            TableApply(nexthop_tbl),
+            TableApply(neighbor_tbl),
+            If(
+                cond=Cmp("==", FieldRef("standard.drop"), Const(0, 1)),
+                then_block=seq(
+                    TableApply(rif_tbl),
+                    If(
+                        cond=IsValid("ipv4"),
+                        then_block=seq(
+                            assign(
+                                "ipv4.ttl", BinOp("-", FieldRef("ipv4.ttl"), Const(1, 8))
+                            )
+                        ),
+                        else_block=seq(
+                            If(
+                                cond=IsValid("ipv6"),
+                                then_block=seq(
+                                    assign(
+                                        "ipv6.hop_limit",
+                                        BinOp(
+                                            "-",
+                                            FieldRef("ipv6.hop_limit"),
+                                            Const(1, 8),
+                                        ),
+                                    )
+                                ),
+                                else_block=seq(),
+                                label="hop_limit_decrement",
+                            )
+                        ),
+                        label="ttl_decrement",
+                    ),
+                ),
+                else_block=seq(),
+                label="resolution_not_dropped",
+            ),
+        ),
+        else_block=seq(),
+        label="resolution_gate",
+    )
+
+
+def mirroring_block(mirror_tbl: Table, clone_tbl: Table) -> If:
+    return If(
+        cond=Cmp("!=", FieldRef("meta.mirror_session_id"), Const(0, 16)),
+        then_block=seq(TableApply(mirror_tbl), TableApply(clone_tbl)),
+        else_block=seq(),
+        label="mirror_gate",
+    )

@@ -1,0 +1,106 @@
+"""The ToR role instantiation ("Inst1" in Table 3).
+
+Top-of-rack switches in the modeled fabric need: the common L3 routing
+flow, an ingress ACL matching on the ToR key combination (packet type,
+destination IP, L4 destination port, TTL, ICMP type), and mirroring.
+The ACL constraint encodes the TCAM key-combination restriction of §3
+"Role Specific Instantiations": fields of one protocol may only be matched
+on packets of that protocol.
+"""
+
+from __future__ import annotations
+
+from repro.p4.ast import (
+    ActionRef,
+    FieldRef,
+    MatchKind,
+    NO_ACTION,
+    P4Program,
+    ParserSpec,
+    Seq,
+    Table,
+    TableApply,
+    TableKey,
+)
+from repro.p4.programs import common as lib
+
+TOR_ACL_RESTRICTION = """
+    // Matching IPv4 fields is only sensible on IPv4 packets, etc.
+    (dst_ip::mask != 0 -> is_ipv4 == 1) &&
+    (dst_ipv6::mask != 0 -> is_ipv6 == 1) &&
+    (ttl::mask != 0 -> is_ipv4 == 1) &&
+    (icmp_type::mask != 0 -> (ip_protocol::mask != 0 && ip_protocol == 1)) &&
+    // Only entire-field matches on packet-type bits are representable.
+    (is_ipv4::mask == 0 || is_ipv4::mask == 1) &&
+    (is_ipv6::mask == 0 || is_ipv6::mask == 1)
+"""
+
+
+def tor_acl_ingress_table(size: int = 128) -> Table:
+    return Table(
+        name="acl_ingress_tbl",
+        keys=(
+            TableKey(FieldRef("meta.is_ipv4"), MatchKind.TERNARY, name="is_ipv4"),
+            TableKey(FieldRef("meta.is_ipv6"), MatchKind.TERNARY, name="is_ipv6"),
+            TableKey(FieldRef("ipv4.dst_addr"), MatchKind.TERNARY, name="dst_ip"),
+            TableKey(FieldRef("ipv6.dst_addr"), MatchKind.TERNARY, name="dst_ipv6"),
+            TableKey(FieldRef("ipv4.ttl"), MatchKind.TERNARY, name="ttl"),
+            TableKey(FieldRef("ipv4.protocol"), MatchKind.TERNARY, name="ip_protocol"),
+            TableKey(FieldRef("icmp.type"), MatchKind.TERNARY, name="icmp_type"),
+            TableKey(FieldRef("tcp.dst_port"), MatchKind.TERNARY, name="l4_dst_port"),
+        ),
+        actions=(
+            ActionRef(lib.ACTION_DROP),
+            ActionRef(lib.ACTION_TRAP),
+            ActionRef(lib.ACTION_COPY_TO_CPU),
+            ActionRef(lib.ACTION_MIRROR),
+        ),
+        default_action=NO_ACTION,
+        size=size,
+        entry_restriction=TOR_ACL_RESTRICTION,
+    )
+
+
+def build_tor_program() -> P4Program:
+    """Construct the ToR model. Tables are fresh instances per call."""
+    vrf = lib.vrf_table()
+    l3_admit = lib.l3_admit_table()
+    pre_ingress = lib.acl_pre_ingress_table()
+    ipv4 = lib.ipv4_table()
+    ipv6 = lib.ipv6_table()
+    wcmp = lib.wcmp_group_table()
+    nexthop = lib.nexthop_table()
+    neighbor = lib.neighbor_table()
+    rif = lib.router_interface_table()
+    acl_ingress = tor_acl_ingress_table()
+    mirror = lib.mirror_session_table()
+    clone = lib.clone_session_logical_table()
+
+    ingress = Seq(
+        tuple(
+            lib.classifier_block()
+            + [
+                lib.ttl_trap_block(),
+                lib.broadcast_drop_block(),
+                lib.not_dropped_gate(
+                    TableApply(l3_admit),
+                    TableApply(pre_ingress),
+                    TableApply(vrf),
+                    lib.routing_block(ipv4, ipv6),
+                    lib.resolution_block(wcmp, nexthop, neighbor, rif),
+                    TableApply(acl_ingress),
+                    lib.mirroring_block(mirror, clone),
+                ),
+            ]
+        )
+    )
+
+    return P4Program(
+        name="sai_tor",
+        headers=lib.STANDARD_HEADERS,
+        metadata=lib.COMMON_METADATA,
+        parser=ParserSpec("ethernet_ipv4_ipv6"),
+        ingress=ingress,
+        egress=Seq(),
+        role="ToR",
+    )

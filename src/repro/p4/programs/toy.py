@@ -1,0 +1,106 @@
+"""The Figure 2 toy program: vrf_tbl + ipv4_tbl.
+
+A minimal routing flow used by unit tests, documentation examples, and the
+quickstart.  It exercises every interesting mechanism — exact and LPM keys,
+@entry_restriction, @refers_to, a conditional — without the bulk of the
+full SAI models.
+"""
+
+from __future__ import annotations
+
+from repro.p4 import ast
+from repro.p4.ast import (
+    Action,
+    ActionParamSpec,
+    ActionRef,
+    FieldRef,
+    If,
+    IsValid,
+    MatchKind,
+    NO_ACTION,
+    P4Program,
+    ParserSpec,
+    Seq,
+    Table,
+    TableApply,
+    TableKey,
+    assign,
+    seq,
+)
+from repro.p4.programs import common as lib
+
+ACTION_SET_NEXTHOP_PORT = Action(
+    "set_nexthop_id",
+    params=(ActionParamSpec("nexthop_id", 16),),
+    body=(
+        assign("meta.nexthop_id", ast.Param("nexthop_id")),
+        # The toy program forwards directly out of the port numbered by the
+        # nexthop id.
+        assign("standard.egress_port", ast.Param("nexthop_id")),
+    ),
+)
+
+
+def build_toy_program() -> P4Program:
+    vrf_tbl = Table(
+        name="vrf_tbl",
+        keys=(TableKey(FieldRef("meta.vrf_id"), MatchKind.EXACT, name="vrf_id"),),
+        actions=(ActionRef(NO_ACTION),),
+        default_action=NO_ACTION,
+        size=16,
+        entry_restriction="vrf_id != 0",
+        is_resource_table=True,
+    )
+    # Assigns the VRF from the ingress port; plays the role of the
+    # pre-ingress ACL in the full models (metadata starts at zero, so
+    # something must establish a non-zero VRF before routing).
+    pre_tbl = Table(
+        name="pre_ingress_tbl",
+        keys=(
+            TableKey(FieldRef("standard.ingress_port"), MatchKind.OPTIONAL, name="in_port"),
+        ),
+        actions=(ActionRef(lib.ACTION_SET_VRF),),
+        default_action=NO_ACTION,
+        size=16,
+    )
+    ipv4_tbl = Table(
+        name="ipv4_tbl",
+        keys=(
+            TableKey(
+                FieldRef("meta.vrf_id"),
+                MatchKind.EXACT,
+                name="vrf_id",
+                refers_to=("vrf_tbl", "vrf_id"),
+            ),
+            TableKey(FieldRef("ipv4.dst_addr"), MatchKind.LPM, name="ipv4_dst"),
+        ),
+        actions=(
+            ActionRef(lib.ACTION_DROP),
+            ActionRef(ACTION_SET_NEXTHOP_PORT),
+        ),
+        default_action=lib.ACTION_DROP,
+        size=32,
+    )
+
+    ingress = Seq(
+        (
+            TableApply(pre_tbl),
+            TableApply(vrf_tbl),
+            If(
+                cond=IsValid("ipv4"),
+                then_block=seq(TableApply(ipv4_tbl)),
+                else_block=seq(),
+                label="ipv4_gate",
+            ),
+        )
+    )
+
+    return P4Program(
+        name="toy_router",
+        headers=lib.STANDARD_HEADERS,
+        metadata=lib.COMMON_METADATA,
+        parser=ParserSpec("ethernet_ipv4_ipv6"),
+        ingress=ingress,
+        egress=Seq(),
+        role="toy",
+    )

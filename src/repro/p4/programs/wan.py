@@ -1,0 +1,122 @@
+"""The WAN role instantiation ("Inst2" in Table 3).
+
+WAN-facing switches match on a different ACL key combination (source
+prefix, DSCP, ingress port, ether type) and add an egress ACL stage.  The
+routing flow is shared with the ToR model, with larger route tables —
+WAN routing state dominates the Inst2 workload's 1314 entries.
+"""
+
+from __future__ import annotations
+
+from repro.p4.ast import (
+    ActionRef,
+    FieldRef,
+    MatchKind,
+    NO_ACTION,
+    P4Program,
+    ParserSpec,
+    Seq,
+    Table,
+    TableApply,
+    TableKey,
+)
+from repro.p4.programs import common as lib
+
+WAN_ACL_RESTRICTION = """
+    (src_ip::mask != 0 -> is_ipv4 == 1) &&
+    (src_ipv6::mask != 0 -> is_ipv6 == 1) &&
+    (dscp::mask != 0 -> (is_ipv4 == 1 || is_ipv6 == 1)) &&
+    (is_ipv4::mask == 0 || is_ipv4::mask == 1) &&
+    (is_ipv6::mask == 0 || is_ipv6::mask == 1)
+"""
+
+WAN_EGRESS_ACL_RESTRICTION = """
+    (dst_ip::mask != 0 -> is_ipv4 == 1)
+"""
+
+
+def wan_acl_ingress_table(size: int = 256) -> Table:
+    return Table(
+        name="acl_ingress_tbl",
+        keys=(
+            TableKey(FieldRef("meta.is_ipv4"), MatchKind.TERNARY, name="is_ipv4"),
+            TableKey(FieldRef("meta.is_ipv6"), MatchKind.TERNARY, name="is_ipv6"),
+            TableKey(FieldRef("ipv4.src_addr"), MatchKind.TERNARY, name="src_ip"),
+            TableKey(FieldRef("ipv6.src_addr"), MatchKind.TERNARY, name="src_ipv6"),
+            TableKey(FieldRef("ipv4.dscp"), MatchKind.TERNARY, name="dscp"),
+            TableKey(FieldRef("ethernet.ether_type"), MatchKind.TERNARY, name="ether_type"),
+            TableKey(FieldRef("standard.ingress_port"), MatchKind.OPTIONAL, name="in_port"),
+        ),
+        actions=(
+            ActionRef(lib.ACTION_DROP),
+            ActionRef(lib.ACTION_TRAP),
+            ActionRef(lib.ACTION_COPY_TO_CPU),
+            ActionRef(lib.ACTION_MIRROR),
+        ),
+        default_action=NO_ACTION,
+        size=size,
+        entry_restriction=WAN_ACL_RESTRICTION,
+    )
+
+
+def wan_acl_egress_table(size: int = 128) -> Table:
+    return Table(
+        name="acl_egress_tbl",
+        keys=(
+            TableKey(FieldRef("meta.is_ipv4"), MatchKind.TERNARY, name="is_ipv4"),
+            TableKey(FieldRef("ipv4.dst_addr"), MatchKind.TERNARY, name="dst_ip"),
+            TableKey(FieldRef("standard.egress_port"), MatchKind.OPTIONAL, name="out_port"),
+        ),
+        actions=(ActionRef(lib.ACTION_DROP),),
+        default_action=NO_ACTION,
+        size=size,
+        entry_restriction=WAN_EGRESS_ACL_RESTRICTION,
+    )
+
+
+def build_wan_program() -> P4Program:
+    """Construct the WAN model. Tables are fresh instances per call."""
+    vrf = lib.vrf_table(size=128)
+    l3_admit = lib.l3_admit_table()
+    pre_ingress = lib.acl_pre_ingress_table()
+    ipv4 = lib.ipv4_table(size=4096)
+    ipv6 = lib.ipv6_table(size=4096)
+    wcmp = lib.wcmp_group_table(size=256)
+    nexthop = lib.nexthop_table(size=512)
+    neighbor = lib.neighbor_table(size=512)
+    rif = lib.router_interface_table()
+    acl_ingress = wan_acl_ingress_table()
+    acl_egress = wan_acl_egress_table()
+    mirror = lib.mirror_session_table()
+    clone = lib.clone_session_logical_table()
+
+    ingress = Seq(
+        tuple(
+            lib.classifier_block()
+            + [
+                lib.ttl_trap_block(),
+                lib.broadcast_drop_block(),
+                lib.not_dropped_gate(
+                    TableApply(l3_admit),
+                    TableApply(pre_ingress),
+                    TableApply(vrf),
+                    lib.routing_block(ipv4, ipv6),
+                    lib.resolution_block(wcmp, nexthop, neighbor, rif),
+                    TableApply(acl_ingress),
+                    lib.mirroring_block(mirror, clone),
+                ),
+            ]
+        )
+    )
+
+    egress = Seq((TableApply(acl_egress),))
+
+    return P4Program(
+        name="sai_wan",
+        headers=lib.STANDARD_HEADERS,
+        metadata=lib.COMMON_METADATA,
+        parser=ParserSpec("ethernet_ipv4_ipv6"),
+        ingress=ingress,
+        egress=egress,
+        role="WAN",
+    )

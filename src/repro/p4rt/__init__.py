@@ -1,0 +1,52 @@
+"""repro.p4rt — the P4Runtime protocol layer.
+
+The paper's control-plane contract is the P4Runtime standard instantiated
+for a given P4 program.  We reproduce the protocol's *semantics* in-process
+(the gRPC transport is irrelevant to every behaviour SwitchV checks):
+
+* :mod:`repro.p4rt.codec` — canonical bytestring encoding of match values
+  (the P4Runtime "canonical binary representation": minimal-length, no
+  redundant leading zero bytes).
+* :mod:`repro.p4rt.status` — gRPC-style status codes used by Write/Read
+  responses, including per-update statuses inside a batch.
+* :mod:`repro.p4rt.messages` — WriteRequest / Update / TableEntry /
+  FieldMatch / ActionInvocation / ActionProfileActionSet / ReadRequest /
+  PacketIn / PacketOut message dataclasses.
+* :mod:`repro.p4rt.service` — the abstract service interface a switch
+  exposes, plus a direct in-process client.
+"""
+
+from repro.p4rt.messages import (
+    ActionInvocation,
+    ActionProfileAction,
+    ActionProfileActionSet,
+    FieldMatch,
+    PacketIn,
+    PacketOut,
+    ReadRequest,
+    ReadResponse,
+    TableEntry,
+    Update,
+    UpdateType,
+    WriteRequest,
+    WriteResponse,
+)
+from repro.p4rt.status import Code, Status
+
+__all__ = [
+    "ActionInvocation",
+    "ActionProfileAction",
+    "ActionProfileActionSet",
+    "Code",
+    "FieldMatch",
+    "PacketIn",
+    "PacketOut",
+    "ReadRequest",
+    "ReadResponse",
+    "Status",
+    "TableEntry",
+    "Update",
+    "UpdateType",
+    "WriteRequest",
+    "WriteResponse",
+]

@@ -1,0 +1,78 @@
+"""Canonical binary representation of P4Runtime values.
+
+The P4Runtime specification requires match values and action parameters to
+be transmitted as bytestrings in *canonical* form: big-endian, with no
+redundant leading zero octets, and never empty (the value 0 is the single
+byte ``0x00``).  Servers must reject non-canonical values.
+
+This tiny module is load-bearing: the paper's Appendix A lists a real
+toolchain bug ("Incorrect handling of zero bytes in IDs") in exactly this
+layer, and p4-fuzzer mutations deliberately produce non-canonical encodings
+to probe it.
+"""
+
+from __future__ import annotations
+
+
+class CodecError(ValueError):
+    """A value failed canonical-form validation."""
+
+
+def encode(value: int, bitwidth: int) -> bytes:
+    """Encode ``value`` canonically for a field of width ``bitwidth``."""
+    if value < 0:
+        raise CodecError(f"P4Runtime values are unsigned, got {value}")
+    if bitwidth <= 0:
+        raise CodecError(f"bitwidth must be positive, got {bitwidth}")
+    if value >= 1 << bitwidth:
+        raise CodecError(f"value {value} does not fit in {bitwidth} bits")
+    if value == 0:
+        return b"\x00"
+    length = (value.bit_length() + 7) // 8
+    return value.to_bytes(length, "big")
+
+
+def decode(data: bytes, bitwidth: int, strict: bool = True) -> int:
+    """Decode a canonical bytestring.
+
+    With ``strict=True`` (what a compliant server does) non-canonical input —
+    empty strings, redundant leading zero bytes, or values exceeding the
+    field width — raises :class:`CodecError`.  With ``strict=False`` the raw
+    integer is returned if it fits; this models lenient implementations and
+    lets the fuzzer's oracle distinguish "rejected for non-canonicity" from
+    "rejected for overflow".
+    """
+    if len(data) == 0:
+        raise CodecError("empty bytestring is not a canonical value")
+    value = int.from_bytes(data, "big")
+    if strict and not is_canonical(data):
+        raise CodecError(f"non-canonical encoding: {data!r}")
+    if value >= 1 << bitwidth:
+        raise CodecError(f"decoded value {value} exceeds {bitwidth}-bit field")
+    return value
+
+
+def is_canonical(data: bytes) -> bool:
+    """Whether ``data`` is in canonical form (minimal length, non-empty)."""
+    if len(data) == 0:
+        return False
+    if len(data) == 1:
+        return True
+    return data[0] != 0
+
+
+def canonicalize(data: bytes) -> bytes:
+    """Re-encode arbitrary bytes into canonical form."""
+    if len(data) == 0:
+        return b"\x00"
+    stripped = data.lstrip(b"\x00")
+    return stripped if stripped else b"\x00"
+
+
+def mask_for_prefix(prefix_len: int, bitwidth: int) -> int:
+    """The integer mask selecting the top ``prefix_len`` bits of a field."""
+    if not 0 <= prefix_len <= bitwidth:
+        raise CodecError(f"prefix length {prefix_len} out of range for width {bitwidth}")
+    if prefix_len == 0:
+        return 0
+    return ((1 << prefix_len) - 1) << (bitwidth - prefix_len)

@@ -1,0 +1,217 @@
+"""P4Runtime message dataclasses.
+
+These mirror the protobuf messages of the P4Runtime specification closely
+enough that every behaviour SwitchV exercises — batched writes, one-shot
+action selector programming, canonical-byte validation, read-backs,
+packet-io — has the same shape here.  Values are stored as *raw bytes*, not
+integers: p4-fuzzer mutations deliberately construct non-canonical and
+overlong encodings, and the switch under test must be able to receive them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple, Union
+
+from repro.p4rt import codec
+
+
+class UpdateType(enum.Enum):
+    INSERT = "INSERT"
+    MODIFY = "MODIFY"
+    DELETE = "DELETE"
+
+
+@dataclass(frozen=True)
+class FieldMatch:
+    """One match-field clause inside a table entry.
+
+    Exactly one of the kind-specific payloads is meaningful, selected by
+    ``kind``:
+
+    * ``exact``: ``value``
+    * ``lpm``: ``value`` + ``prefix_len``
+    * ``ternary``: ``value`` + ``mask``
+    * ``optional``: ``value``
+
+    Per the P4Runtime spec, omitting a ternary/optional/lpm field match means
+    wildcard; exact fields are mandatory.  ``kind`` is what the *client*
+    claims — a mutation may deliberately mislabel it.
+    """
+
+    field_id: int
+    kind: str  # "exact" | "lpm" | "ternary" | "optional"
+    value: bytes
+    mask: bytes = b""
+    prefix_len: int = 0
+
+    def canonical(self) -> "FieldMatch":
+        return replace(
+            self,
+            value=codec.canonicalize(self.value),
+            mask=codec.canonicalize(self.mask) if self.mask else b"",
+        )
+
+    def __repr__(self) -> str:
+        if self.kind == "exact":
+            return f"FieldMatch(#{self.field_id} == {self.value.hex()})"
+        if self.kind == "lpm":
+            return f"FieldMatch(#{self.field_id} lpm {self.value.hex()}/{self.prefix_len})"
+        if self.kind == "ternary":
+            return f"FieldMatch(#{self.field_id} &&& {self.value.hex()}/{self.mask.hex()})"
+        return f"FieldMatch(#{self.field_id} optional {self.value.hex()})"
+
+
+@dataclass(frozen=True)
+class ActionInvocation:
+    """A single action with concrete arguments: (param_id, raw bytes)."""
+
+    action_id: int
+    params: Tuple[Tuple[int, bytes], ...] = ()
+
+    def param(self, param_id: int) -> Optional[bytes]:
+        for pid, data in self.params:
+            if pid == param_id:
+                return data
+        return None
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"#{pid}={data.hex()}" for pid, data in self.params)
+        return f"Action(0x{self.action_id:08x}; {inner})"
+
+
+@dataclass(frozen=True)
+class ActionProfileAction:
+    """One weighted member of a one-shot action set."""
+
+    action: ActionInvocation
+    weight: int
+    watch_port: int = 0
+
+
+@dataclass(frozen=True)
+class ActionProfileActionSet:
+    """One-shot action-selector programming (§4.2): a set of weighted actions."""
+
+    actions: Tuple[ActionProfileAction, ...] = ()
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{a.action!r}*{a.weight}" for a in self.actions)
+        return f"ActionSet[{inner}]"
+
+
+TableAction = Union[ActionInvocation, ActionProfileActionSet]
+
+
+@dataclass(frozen=True)
+class TableEntry:
+    """A table entry as carried in Write updates and Read responses."""
+
+    table_id: int
+    matches: Tuple[FieldMatch, ...] = ()
+    action: Optional[TableAction] = None
+    priority: int = 0
+    metadata: bytes = b""  # opaque controller cookie
+
+    def match_key(self) -> Tuple:
+        """The entry's identity for INSERT/MODIFY/DELETE matching.
+
+        Per the P4Runtime spec an entry is identified by (table, canonical
+        field matches, priority) — the action is not part of the key.
+        """
+        canon = tuple(
+            sorted(
+                (m.field_id, m.kind, codec.canonicalize(m.value), codec.canonicalize(m.mask) if m.mask else b"", m.prefix_len)
+                for m in self.matches
+            )
+        )
+        return (self.table_id, canon, self.priority)
+
+    def match_by_field(self, field_id: int) -> Optional[FieldMatch]:
+        for m in self.matches:
+            if m.field_id == field_id:
+                return m
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"TableEntry(0x{self.table_id:08x}, {list(self.matches)!r}, "
+            f"{self.action!r}, prio={self.priority})"
+        )
+
+
+@dataclass(frozen=True)
+class Update:
+    """One element of a batched write."""
+
+    type: UpdateType
+    entry: TableEntry
+
+    def __repr__(self) -> str:
+        return f"Update({self.type.value}, {self.entry!r})"
+
+
+@dataclass(frozen=True)
+class WriteRequest:
+    """A batched write RPC.
+
+    The spec allows the switch to execute the updates of one request in any
+    order (§4 Example 2) — the oracle and the batcher both hinge on this.
+    """
+
+    updates: Tuple[Update, ...] = ()
+    device_id: int = 1
+    election_id: int = 1
+
+    def __len__(self) -> int:
+        return len(self.updates)
+
+
+@dataclass(frozen=True)
+class WriteResponse:
+    """Outcome of a Write: one status per update (P4Runtime error details)."""
+
+    statuses: Tuple["StatusLike", ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return all(s.ok for s in self.statuses)
+
+
+# Avoid importing Status at module import time in type position only.
+from repro.p4rt.status import Status as StatusLike  # noqa: E402
+
+
+@dataclass(frozen=True)
+class ReadRequest:
+    """Wildcard read: table_id == 0 means 'all tables'."""
+
+    table_id: int = 0
+    device_id: int = 1
+
+
+@dataclass(frozen=True)
+class ReadResponse:
+    entries: Tuple[TableEntry, ...] = ()
+
+    def by_table(self, table_id: int) -> List[TableEntry]:
+        return [e for e in self.entries if e.table_id == table_id]
+
+
+@dataclass(frozen=True)
+class PacketOut:
+    """Controller -> switch packet injection."""
+
+    payload: bytes
+    egress_port: int
+    submit_to_ingress: bool = False
+
+
+@dataclass(frozen=True)
+class PacketIn:
+    """Switch -> controller punted packet."""
+
+    payload: bytes
+    ingress_port: int
+    target_egress_port: int = 0

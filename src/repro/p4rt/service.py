@@ -1,0 +1,92 @@
+"""The P4Runtime service interface and an in-process client.
+
+In the deployed system this is a gRPC service; every semantic SwitchV
+validates lives above the transport, so we model the service as an abstract
+base class that switch stacks implement directly.  The client adds the
+connection conveniences a controller or test harness wants (single-update
+writes, full-state reads) without changing semantics.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Sequence
+
+from repro.p4.p4info import P4Info
+from repro.p4rt.messages import (
+    PacketIn,
+    PacketOut,
+    ReadRequest,
+    ReadResponse,
+    TableEntry,
+    Update,
+    UpdateType,
+    WriteRequest,
+    WriteResponse,
+)
+from repro.p4rt.status import Status
+
+
+class P4RuntimeService(abc.ABC):
+    """What a P4Runtime-speaking switch exposes to the controller."""
+
+    @abc.abstractmethod
+    def set_forwarding_pipeline_config(self, p4info: P4Info) -> Status:
+        """Push the P4Info contract (the 'Set P4Info' step of §6.2)."""
+
+    @abc.abstractmethod
+    def write(self, request: WriteRequest) -> WriteResponse:
+        """Apply a batch of updates; per-update statuses are returned."""
+
+    @abc.abstractmethod
+    def read(self, request: ReadRequest) -> ReadResponse:
+        """Read back installed entries (wildcard read if table_id == 0)."""
+
+    @abc.abstractmethod
+    def packet_out(self, packet: PacketOut) -> Status:
+        """Inject a packet from the controller into the switch."""
+
+    @abc.abstractmethod
+    def drain_packet_ins(self) -> List[PacketIn]:
+        """Collect packets the switch punted to the controller."""
+
+
+class P4RuntimeClient:
+    """Thin convenience wrapper over a service (the controller side)."""
+
+    def __init__(self, service: P4RuntimeService, device_id: int = 1) -> None:
+        self._service = service
+        self._device_id = device_id
+
+    def set_pipeline(self, p4info: P4Info) -> Status:
+        return self._service.set_forwarding_pipeline_config(p4info)
+
+    def write_updates(self, updates: Sequence[Update]) -> WriteResponse:
+        request = WriteRequest(updates=tuple(updates), device_id=self._device_id)
+        return self._service.write(request)
+
+    def insert(self, entry: TableEntry) -> Status:
+        response = self.write_updates([Update(UpdateType.INSERT, entry)])
+        return response.statuses[0]
+
+    def modify(self, entry: TableEntry) -> Status:
+        response = self.write_updates([Update(UpdateType.MODIFY, entry)])
+        return response.statuses[0]
+
+    def delete(self, entry: TableEntry) -> Status:
+        response = self.write_updates([Update(UpdateType.DELETE, entry)])
+        return response.statuses[0]
+
+    def read_all(self) -> List[TableEntry]:
+        return list(self._service.read(ReadRequest(table_id=0)).entries)
+
+    def read_table(self, table_id: int) -> List[TableEntry]:
+        return list(self._service.read(ReadRequest(table_id=table_id)).entries)
+
+    def packet_out(self, payload: bytes, egress_port: int, submit_to_ingress: bool = False) -> Status:
+        return self._service.packet_out(
+            PacketOut(payload=payload, egress_port=egress_port, submit_to_ingress=submit_to_ingress)
+        )
+
+    def drain_packet_ins(self) -> List[PacketIn]:
+        return self._service.drain_packet_ins()

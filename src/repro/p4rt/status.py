@@ -1,0 +1,113 @@
+"""gRPC-style status codes for P4Runtime responses.
+
+P4Runtime reports the outcome of a Write RPC as a gRPC status; for batched
+writes, a failed RPC carries one nested status per update (the
+``Error details`` mechanism).  The oracle reasons about these codes, so we
+keep the exact gRPC numeric values and names.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List
+
+
+class Code(enum.IntEnum):
+    """The subset of gRPC status codes used by the P4Runtime specification."""
+
+    OK = 0
+    CANCELLED = 1
+    UNKNOWN = 2
+    INVALID_ARGUMENT = 3
+    DEADLINE_EXCEEDED = 4
+    NOT_FOUND = 5
+    ALREADY_EXISTS = 6
+    PERMISSION_DENIED = 7
+    RESOURCE_EXHAUSTED = 8
+    FAILED_PRECONDITION = 9
+    ABORTED = 10
+    OUT_OF_RANGE = 11
+    UNIMPLEMENTED = 12
+    INTERNAL = 13
+    UNAVAILABLE = 14
+
+
+@dataclass(frozen=True)
+class Status:
+    """A single status: code plus human-readable message."""
+
+    code: Code = Code.OK
+    message: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.code is Code.OK
+
+    def __repr__(self) -> str:
+        if self.ok:
+            return "Status(OK)"
+        return f"Status({self.code.name}: {self.message})"
+
+
+OK = Status()
+
+
+def invalid_argument(message: str) -> Status:
+    return Status(Code.INVALID_ARGUMENT, message)
+
+
+def not_found(message: str) -> Status:
+    return Status(Code.NOT_FOUND, message)
+
+
+def already_exists(message: str) -> Status:
+    return Status(Code.ALREADY_EXISTS, message)
+
+
+def resource_exhausted(message: str) -> Status:
+    return Status(Code.RESOURCE_EXHAUSTED, message)
+
+
+def failed_precondition(message: str) -> Status:
+    return Status(Code.FAILED_PRECONDITION, message)
+
+
+def internal(message: str) -> Status:
+    return Status(Code.INTERNAL, message)
+
+
+def unimplemented(message: str) -> Status:
+    return Status(Code.UNIMPLEMENTED, message)
+
+
+@dataclass
+class BatchStatus:
+    """Outcome of a batched Write: overall status + per-update statuses.
+
+    Per the P4Runtime specification, if any update fails the overall code is
+    the code of the *first* failing update (implementations vary; the oracle
+    only relies on the per-update statuses), and every update gets an
+    individual status.  A compliant switch applies updates independently —
+    partial application is allowed across a batch, but each single update is
+    atomic.
+    """
+
+    per_update: List[Status] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(s.ok for s in self.per_update)
+
+    @property
+    def overall(self) -> Status:
+        for s in self.per_update:
+            if not s.ok:
+                return s
+        return OK
+
+    def __repr__(self) -> str:
+        if self.ok:
+            return f"BatchStatus(OK x{len(self.per_update)})"
+        bad = sum(1 for s in self.per_update if not s.ok)
+        return f"BatchStatus({bad}/{len(self.per_update)} failed: {self.overall!r})"

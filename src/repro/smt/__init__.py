@@ -1,0 +1,54 @@
+"""repro.smt — a from-scratch SMT solver for quantifier-free bitvectors.
+
+This package replaces Z3 in the SwitchV reproduction.  p4-symbolic (§5 of the
+paper) only requires the decidable theory of fixed-width bitvectors with
+equality, so we implement exactly that:
+
+* :mod:`repro.smt.terms` — an immutable, hash-consed term language (booleans
+  and bitvectors) together with a concrete evaluator used for model
+  validation and property tests.
+* :mod:`repro.smt.simplify` — constant folding and local rewriting.
+* :mod:`repro.smt.bitblast` — Tseitin bit-blasting of terms into CNF.
+* :mod:`repro.smt.sat` — a CDCL SAT solver (two-watched literals, VSIDS,
+  first-UIP clause learning, Luby restarts) that supports solving under
+  assumptions, which p4-symbolic uses to pose many coverage queries against
+  a single bit-blasted program encoding.
+* :mod:`repro.smt.solver` — the user-facing ``Solver`` with model extraction.
+"""
+
+import sys as _sys
+
+# Terms over large table states nest deeply (one guarded ite per entry, so a
+# 1300-entry table produces ~1300-deep chains); the recursive bit-blaster and
+# evaluator need more stack than CPython's default 1000 frames.
+_sys.setrecursionlimit(max(_sys.getrecursionlimit(), 200_000))
+
+from repro.smt.terms import (
+    BV,
+    BoolSort,
+    BVSort,
+    FALSE,
+    TRUE,
+    Term,
+    bool_var,
+    bv_const,
+    bv_var,
+    evaluate,
+)
+from repro.smt.solver import Model, Result, Solver
+
+__all__ = [
+    "BV",
+    "BVSort",
+    "BoolSort",
+    "FALSE",
+    "Model",
+    "Result",
+    "Solver",
+    "TRUE",
+    "Term",
+    "bool_var",
+    "bv_const",
+    "bv_var",
+    "evaluate",
+]

@@ -1,0 +1,191 @@
+"""Term simplification: bottom-up constant folding and local rewrites.
+
+The builders in :mod:`repro.smt.terms` already fold fully-constant
+applications at construction time; this pass additionally normalises terms
+built from partially-concrete inputs (common in p4-symbolic, where table
+entries substitute constants into guard templates) before bit-blasting.
+
+Rules implemented (beyond construction-time folding):
+
+* ``x & 0 -> 0``, ``x & ~0 -> x``, ``x | 0 -> x``, ``x | ~0 -> ~0``
+* ``x ^ 0 -> x``, ``x + 0 -> x``, ``x - 0 -> x``, ``x * 1 -> x``, ``x * 0 -> 0``
+* ``eq(x, x) -> true`` (via hash-consing identity)
+* ``ite`` with constant condition or identical branches collapses
+* nested extracts/extensions fold
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.smt import terms as T
+
+
+def simplify(term: T.Term) -> T.Term:
+    """Return an equivalent, usually smaller, term."""
+    cache: Dict[T.Term, T.Term] = {}
+
+    def go(t: T.Term) -> T.Term:
+        hit = cache.get(t)
+        if hit is not None:
+            return hit
+        if not t.args:
+            cache[t] = t
+            return t
+        args = tuple(go(a) for a in t.args)
+        result = _rebuild(t, args)
+        cache[t] = result
+        return result
+
+    return go(term)
+
+
+def _is_zero(t: T.Term) -> bool:
+    return t.is_const and t.value == 0
+
+
+def _is_ones(t: T.Term) -> bool:
+    return t.is_const and t.is_bv and t.value == (1 << t.width) - 1
+
+
+def _is_one(t: T.Term) -> bool:
+    return t.is_const and t.value == 1
+
+
+def _rebuild(t: T.Term, args) -> T.Term:
+    op = t.op
+    # Boolean connectives: the builders already fold/flatten.
+    if op == T.OP_NOT:
+        return T.not_(args[0])
+    if op == T.OP_AND:
+        return T.and_(*args)
+    if op == T.OP_OR:
+        return T.or_(*args)
+    if op == T.OP_XOR:
+        return T.xor(args[0], args[1])
+    if op == T.OP_EQ:
+        return T.eq(args[0], args[1])
+    if op == T.OP_ITE:
+        return T.ite(args[0], args[1], args[2])
+    if op == T.OP_ULT:
+        a, b = args
+        if a.is_const and b.is_const:
+            return T.bool_const(a.value < b.value)
+        if _is_zero(b):
+            return T.FALSE  # nothing is unsigned-less-than zero
+        return a.ult(b)
+    if op == T.OP_ULE:
+        a, b = args
+        if a.is_const and b.is_const:
+            return T.bool_const(a.value <= b.value)
+        if _is_zero(a):
+            return T.TRUE
+        if _is_ones(b):
+            return T.TRUE
+        return a.ule(b)
+    if op == T.OP_SLT:
+        a, b = args
+        return a.slt(b)
+    if op == T.OP_SLE:
+        a, b = args
+        return a.sle(b)
+    # Bitvector ops.
+    if op == T.OP_BVAND:
+        a, b = args
+        if a.is_const and b.is_const:
+            return T.bv_const(a.value & b.value, a.width)
+        if _is_zero(a) or _is_zero(b):
+            return T.bv_const(0, a.width)
+        if _is_ones(a):
+            return b
+        if _is_ones(b):
+            return a
+        if a is b:
+            return a
+        return a & b
+    if op == T.OP_BVOR:
+        a, b = args
+        if a.is_const and b.is_const:
+            return T.bv_const(a.value | b.value, a.width)
+        if _is_zero(a):
+            return b
+        if _is_zero(b):
+            return a
+        if _is_ones(a) or _is_ones(b):
+            return T.bv_const((1 << a.width) - 1, a.width)
+        if a is b:
+            return a
+        return a | b
+    if op == T.OP_BVXOR:
+        a, b = args
+        if a.is_const and b.is_const:
+            return T.bv_const(a.value ^ b.value, a.width)
+        if _is_zero(a):
+            return b
+        if _is_zero(b):
+            return a
+        if a is b:
+            return T.bv_const(0, a.width)
+        return a ^ b
+    if op == T.OP_BVADD:
+        a, b = args
+        if a.is_const and b.is_const:
+            return T.bv_const(a.value + b.value, a.width)
+        if _is_zero(a):
+            return b
+        if _is_zero(b):
+            return a
+        return a + b
+    if op == T.OP_BVSUB:
+        a, b = args
+        if a.is_const and b.is_const:
+            return T.bv_const(a.value - b.value, a.width)
+        if _is_zero(b):
+            return a
+        if a is b:
+            return T.bv_const(0, a.width)
+        return a - b
+    if op == T.OP_BVMUL:
+        a, b = args
+        if a.is_const and b.is_const:
+            return T.bv_const(a.value * b.value, a.width)
+        if _is_zero(a) or _is_zero(b):
+            return T.bv_const(0, a.width)
+        if _is_one(a):
+            return b
+        if _is_one(b):
+            return a
+        return a * b
+    if op == T.OP_BVNOT:
+        (a,) = args
+        if a.is_const:
+            return T.bv_const(~a.value, a.width)
+        if a.op == T.OP_BVNOT:
+            return a.args[0]
+        return ~a
+    if op == T.OP_BVNEG:
+        (a,) = args
+        if a.is_const:
+            return T.bv_const(-a.value, a.width)
+        return T.Term(T.OP_BVNEG, (a,), None, a.sort)
+    if op == T.OP_BVSHL:
+        return T.shl(args[0], t.payload)
+    if op == T.OP_BVLSHR:
+        return T.lshr(args[0], t.payload)
+    if op == T.OP_CONCAT:
+        return T.concat(*args)
+    if op == T.OP_EXTRACT:
+        hi, lo = t.payload
+        (a,) = args
+        # extract of zext/concat simplifies when fully inside one part.
+        if a.op == T.OP_ZEXT and hi < a.args[0].width:
+            return T.extract(a.args[0], hi, lo)
+        if a.op == T.OP_ZEXT and lo >= a.args[0].width:
+            return T.bv_const(0, hi - lo + 1)
+        return T.extract(a, hi, lo)
+    if op == T.OP_ZEXT:
+        return T.zext(args[0], t.payload)
+    if op == T.OP_SEXT:
+        return T.sext(args[0], t.payload)
+    # Fallback: rebuild verbatim.
+    return T.Term(op, args, t.payload, t.sort)

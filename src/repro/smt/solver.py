@@ -1,0 +1,152 @@
+"""User-facing SMT solver for quantifier-free bitvector formulas.
+
+The :class:`Solver` mirrors the slice of the Z3 Python API that p4-symbolic
+needs: assert boolean terms, check satisfiability (optionally under
+assumptions), and extract models.  Internally the formula is bit-blasted
+once; each :meth:`check` call with assumptions reuses the encoding and the
+SAT solver's learned clauses, which is what makes iterating over hundreds of
+per-entry coverage goals tractable.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Mapping, Optional
+
+from repro.smt import terms as T
+from repro.smt.bitblast import BitBlaster
+from repro.smt.sat import SatSolver
+from repro.smt.simplify import simplify
+
+
+class Result(enum.Enum):
+    SAT = "sat"
+    UNSAT = "unsat"
+
+
+class Model(Mapping[str, int]):
+    """A satisfying assignment: variable name -> integer value.
+
+    Bool variables map to 0/1.  Variables never mentioned in the formula are
+    absent; :func:`repro.smt.terms.evaluate` treats missing names as 0.
+    """
+
+    def __init__(self, values: Dict[str, int]) -> None:
+        self._values = dict(values)
+
+    def __getitem__(self, name: str) -> int:
+        return self._values[name]
+
+    def __iter__(self):
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def evaluate(self, term: T.Term) -> int:
+        """Evaluate an arbitrary term under this model."""
+        return T.evaluate(term, self._values)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._values.items()))
+        return f"Model({inner})"
+
+
+class Solver:
+    """An incremental QF_BV solver.
+
+    Usage::
+
+        s = Solver()
+        x = bv_var("x", 8)
+        s.add(x.ult(10))
+        assert s.check() is Result.SAT
+        assert s.model()["x"] < 10
+    """
+
+    def __init__(self, simplify_terms: bool = True) -> None:
+        self._sat = SatSolver()
+        self._blaster = BitBlaster(self._sat)
+        self._simplify = simplify_terms
+        self._assertions: List[T.Term] = []
+        self._last_result: Optional[Result] = None
+        self._var_sorts: Dict[str, T.Sort] = {}
+
+    # ------------------------------------------------------------------
+    # Assertions
+    # ------------------------------------------------------------------
+    def add(self, *constraints: T.Term) -> None:
+        """Assert one or more boolean terms."""
+        for c in constraints:
+            if not c.is_bool:
+                raise TypeError(f"assertions must be boolean, got {c.sort!r}")
+            if self._simplify:
+                c = simplify(c)
+            self._assertions.append(c)
+            self._var_sorts.update(T.free_variables(c))
+            self._blaster.assert_term(c)
+            self._last_result = None
+
+    @property
+    def assertions(self) -> List[T.Term]:
+        return list(self._assertions)
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    def check(self, *assumptions: T.Term) -> Result:
+        """Check satisfiability of the assertions, under optional assumptions.
+
+        Assumption terms are encoded (and cached) but not permanently
+        asserted, so successive checks with different assumptions reuse the
+        same encoding.
+        """
+        assumption_lits = []
+        for a in assumptions:
+            if not a.is_bool:
+                raise TypeError(f"assumptions must be boolean, got {a.sort!r}")
+            if self._simplify:
+                a = simplify(a)
+            if a is T.FALSE:
+                self._last_result = Result.UNSAT
+                return self._last_result
+            if a is T.TRUE:
+                continue
+            self._var_sorts.update(T.free_variables(a))
+            assumption_lits.append(self._blaster.literal_for(a))
+        sat = self._sat.solve(assumption_lits)
+        self._last_result = Result.SAT if sat else Result.UNSAT
+        return self._last_result
+
+    def model(self) -> Model:
+        """The model from the last successful :meth:`check`."""
+        if self._last_result is not Result.SAT:
+            raise RuntimeError("model() requires a preceding SAT check()")
+        values: Dict[str, int] = {}
+        for name, sort in self._var_sorts.items():
+            bits = self._blaster.variable_bits(name)
+            if bits is None:
+                # Variable was simplified away entirely; any value works.
+                values[name] = 0
+                continue
+            value = 0
+            for i, lit in enumerate(bits):
+                bit = self._sat.model_value(lit >> 1)
+                if lit & 1:
+                    bit = not bit
+                if bit:
+                    value |= 1 << i
+            values[name] = value
+        return Model(values)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> Dict[str, int]:
+        return {
+            "conflicts": self._sat.conflicts,
+            "decisions": self._sat.decisions,
+            "propagations": self._sat.propagations,
+            "sat_vars": self._sat.num_vars,
+        }

@@ -1,0 +1,29 @@
+"""repro.switch — the switch under test (the PINS stack of Figure 4).
+
+SwitchV is a *differential* validator: it needs a real switch whose
+behaviour is implemented independently of the P4 model.  This package is
+that switch: a layered software stack with the same layer boundaries as
+PINS —
+
+    P4Runtime server  →  Orchestration agent  →  SyncD  →  SAI  →  ASIC
+
+plus the switch's Linux host environment (daemons that interact with
+packet-io) and a gNMI-ish config layer.  The ASIC's forwarding pipeline is
+hand-coded fixed-function logic (tries, TCAMs, hash-based WCMP) — it never
+consults the P4 AST, exactly like real hardware.
+
+Fault injection (:mod:`repro.switch.faults`) reintroduces the bug
+catalogue of the paper's Appendix A into the layer where each bug lived,
+which is what lets the benchmarks regenerate Table 1 (bugs by component),
+Table 2 (trivial-suite detectability) and Figure 7 (resolution times).
+
+For programs that do not fit the SAI shape (e.g. the toy program) and for
+harness self-tests, :mod:`repro.switch.reference` provides a
+model-faithful switch that interprets the P4 program directly.
+"""
+
+from repro.switch.faults import Fault, FaultRegistry
+from repro.switch.reference import ReferenceSwitch
+from repro.switch.stack import PinsSwitchStack
+
+__all__ = ["Fault", "FaultRegistry", "PinsSwitchStack", "ReferenceSwitch"]

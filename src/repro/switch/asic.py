@@ -1,0 +1,597 @@
+"""The fixed-function ASIC simulation.
+
+This is the bottom of the stack: hand-coded forwarding structures (route
+tries per VRF, TCAM-style ACL stages, hash-based WCMP) behind a narrow
+programming API.  Crucially it never consults the P4 AST — like real
+silicon, its pipeline is rigid and merely *modeled* by the P4 program, so a
+SwitchV incident always reflects a genuine semantic disagreement between
+two independent implementations.
+
+The pipeline, in order (capabilities gated by :class:`AsicProfile`):
+
+    classify → TTL trap → broadcast drop → decap → L3 admit →
+    pre-ingress ACL (VRF assignment) → LPM routing → WCMP/nexthop/RIF
+    resolution (TTL decrement, MAC rewrite) → tunnel encap → ingress ACL →
+    mirroring → egress ACL
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.bmv2.packet import Packet
+from repro.switch.faults import FaultRegistry
+
+
+class AsicError(Exception):
+    """A programming operation the ASIC cannot honor."""
+
+    def __init__(self, reason: str, detail: str = "") -> None:
+        super().__init__(f"{reason}: {detail}" if detail else reason)
+        self.reason = reason
+        self.detail = detail
+
+
+# ----------------------------------------------------------------------
+# Profiles and configuration
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AclKeySpec:
+    """One TCAM key extractor: the packet field backing an ACL match key."""
+
+    name: str
+    field_path: str
+    bitwidth: int
+
+
+@dataclass
+class AclStageConfig:
+    """One ACL stage's configuration (pushed with the P4 program)."""
+
+    name: str  # "pre_ingress" | "ingress" | "egress"
+    keys: List[AclKeySpec]
+    capacity: int = 128
+
+
+@dataclass
+class AsicProfile:
+    """Chip capabilities: ports, table capacities, optional features."""
+
+    ports: Tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8)
+    vrf_capacity: int = 64
+    route_capacity: int = 8192
+    nexthop_capacity: int = 512
+    neighbor_capacity: int = 512
+    rif_capacity: int = 64
+    wcmp_group_capacity: int = 256
+    wcmp_member_capacity: int = 2048
+    mirror_session_capacity: int = 4
+    tunnel_capacity: int = 64
+    supports_tunnel: bool = False
+    hash_seed: int = 0x5EED
+
+
+# ----------------------------------------------------------------------
+# Programmed state records
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RouteTarget:
+    """What a route resolves to."""
+
+    kind: str  # "drop" | "trap" | "nexthop" | "wcmp"
+    nexthop_id: int = 0
+    wcmp_group_id: int = 0
+    tunnel_id: int = 0  # Cerberus: encap after resolution
+
+
+@dataclass(frozen=True)
+class AclHwEntry:
+    """A TCAM entry: value/mask per key plus a priority and an action."""
+
+    entry_id: int
+    priority: int
+    # key name -> (value, mask); absent keys are wildcards.
+    matches: Tuple[Tuple[str, Tuple[int, int]], ...]
+    action: str  # "drop" | "trap" | "copy" | "mirror" | "set_vrf"
+    action_arg: int = 0
+
+    def match_map(self) -> Dict[str, Tuple[int, int]]:
+        return dict(self.matches)
+
+
+@dataclass
+class _AclStage:
+    config: AclStageConfig
+    entries: Dict[int, AclHwEntry] = field(default_factory=dict)
+    # Capacity actually consumed; can exceed len(entries) under the
+    # acl_invalid_cleanup_leak fault.
+    consumed: int = 0
+
+
+# ----------------------------------------------------------------------
+# The ASIC
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class AsicResult:
+    """Outcome of pushing one packet through the pipeline."""
+
+    packet: Packet
+    egress_port: Optional[int]
+    punted: bool
+    mirror_copies: List[Tuple[int, Packet]] = field(default_factory=list)
+
+    @property
+    def dropped(self) -> bool:
+        return self.egress_port is None
+
+
+class AsicSim:
+    """The programmable state plus the rigid forwarding pipeline."""
+
+    def __init__(self, profile: AsicProfile, faults: Optional[FaultRegistry] = None) -> None:
+        self.profile = profile
+        self.faults = faults or FaultRegistry()
+        self.vrfs: Set[int] = set()
+        # (vrf, ip_version) -> {(prefix_value, prefix_len): RouteTarget}
+        self.routes: Dict[Tuple[int, int], Dict[Tuple[int, int], RouteTarget]] = {}
+        self.nexthops: Dict[int, Tuple[int, int]] = {}  # nh -> (rif, neighbor)
+        self.neighbors: Dict[Tuple[int, int], int] = {}  # (rif, nb) -> dst mac
+        self.rifs: Dict[int, Tuple[int, int]] = {}  # rif -> (port, src mac)
+        self.wcmp_groups: Dict[int, List[Tuple[int, int]]] = {}  # gid -> [(nh, w)]
+        self.wcmp_members_used = 0
+        self.mirror_sessions: Dict[int, int] = {}  # session -> port
+        self.tunnels: Dict[int, Tuple[int, int]] = {}  # tid -> (src ip, dst ip)
+        self.acl_stages: Dict[str, _AclStage] = {}
+        # Ports administratively up (gNMI-controlled).
+        self.ports_up: Set[int] = set(profile.ports)
+        self._acl_entry_seq = 0
+
+    # ------------------------------------------------------------------
+    # Configuration (SetForwardingPipelineConfig time)
+    # ------------------------------------------------------------------
+    def configure_acl_stage(self, config: AclStageConfig) -> None:
+        self.acl_stages[config.name] = _AclStage(config=config)
+
+    # ------------------------------------------------------------------
+    # Resource programming (SAI-facing)
+    # ------------------------------------------------------------------
+    def create_vrf(self, vrf_id: int) -> None:
+        if vrf_id in self.vrfs:
+            raise AsicError("exists", f"vrf {vrf_id}")
+        if len(self.vrfs) >= self.profile.vrf_capacity:
+            raise AsicError("no_resources", "vrf capacity")
+        self.vrfs.add(vrf_id)
+
+    def remove_vrf(self, vrf_id: int) -> None:
+        if self.faults.enabled("vrf_delete_fails"):
+            raise AsicError("internal", "ALPM flag prevents VRF removal")
+        if vrf_id not in self.vrfs:
+            raise AsicError("not_found", f"vrf {vrf_id}")
+        self.vrfs.discard(vrf_id)
+
+    def add_route(
+        self, vrf_id: int, ip_version: int, prefix: int, prefix_len: int, target: RouteTarget
+    ) -> None:
+        table = self.routes.setdefault((vrf_id, ip_version), {})
+        key = (prefix, prefix_len)
+        if key in table:
+            raise AsicError("exists", f"route {prefix:#x}/{prefix_len}")
+        total = sum(len(t) for t in self.routes.values())
+        if total >= self.profile.route_capacity:
+            raise AsicError("no_resources", "route capacity")
+        table[key] = target
+
+    def modify_route(
+        self, vrf_id: int, ip_version: int, prefix: int, prefix_len: int, target: RouteTarget
+    ) -> None:
+        table = self.routes.setdefault((vrf_id, ip_version), {})
+        key = (prefix, prefix_len)
+        if key not in table:
+            raise AsicError("not_found", f"route {prefix:#x}/{prefix_len}")
+        table[key] = target
+
+    def del_route(self, vrf_id: int, ip_version: int, prefix: int, prefix_len: int) -> None:
+        table = self.routes.setdefault((vrf_id, ip_version), {})
+        key = (prefix, prefix_len)
+        if key not in table:
+            raise AsicError("not_found", f"route {prefix:#x}/{prefix_len}")
+        del table[key]
+
+    def create_nexthop(self, nh_id: int, rif_id: int, neighbor_id: int) -> None:
+        if nh_id in self.nexthops:
+            raise AsicError("exists", f"nexthop {nh_id}")
+        if len(self.nexthops) >= self.profile.nexthop_capacity:
+            raise AsicError("no_resources", "nexthop capacity")
+        self.nexthops[nh_id] = (rif_id, neighbor_id)
+
+    def modify_nexthop(self, nh_id: int, rif_id: int, neighbor_id: int) -> None:
+        if nh_id not in self.nexthops:
+            raise AsicError("not_found", f"nexthop {nh_id}")
+        self.nexthops[nh_id] = (rif_id, neighbor_id)
+
+    def remove_nexthop(self, nh_id: int) -> None:
+        if nh_id not in self.nexthops:
+            raise AsicError("not_found", f"nexthop {nh_id}")
+        del self.nexthops[nh_id]
+
+    def set_neighbor(self, rif_id: int, neighbor_id: int, dst_mac: int) -> None:
+        if len(self.neighbors) >= self.profile.neighbor_capacity and (
+            (rif_id, neighbor_id) not in self.neighbors
+        ):
+            raise AsicError("no_resources", "neighbor capacity")
+        self.neighbors[(rif_id, neighbor_id)] = dst_mac
+
+    def remove_neighbor(self, rif_id: int, neighbor_id: int) -> None:
+        if (rif_id, neighbor_id) not in self.neighbors:
+            raise AsicError("not_found", f"neighbor ({rif_id},{neighbor_id})")
+        del self.neighbors[(rif_id, neighbor_id)]
+
+    def create_rif(self, rif_id: int, port: int, src_mac: int) -> None:
+        if rif_id in self.rifs:
+            raise AsicError("exists", f"rif {rif_id}")
+        capacity = self.profile.rif_capacity
+        if self.faults.enabled("model_rif_guarantee_too_high"):
+            # The "new chip": far fewer router interfaces than the model
+            # guarantees.
+            capacity = 4
+        if len(self.rifs) >= capacity:
+            raise AsicError("no_resources", "rif capacity")
+        self.rifs[rif_id] = (port, src_mac)
+
+    def modify_rif(self, rif_id: int, port: int, src_mac: int) -> None:
+        if rif_id not in self.rifs:
+            raise AsicError("not_found", f"rif {rif_id}")
+        self.rifs[rif_id] = (port, src_mac)
+
+    def remove_rif(self, rif_id: int) -> None:
+        if rif_id not in self.rifs:
+            raise AsicError("not_found", f"rif {rif_id}")
+        del self.rifs[rif_id]
+
+    def create_wcmp_group(self, gid: int, members: Sequence[Tuple[int, int]]) -> None:
+        if gid in self.wcmp_groups:
+            raise AsicError("exists", f"wcmp group {gid}")
+        if len(self.wcmp_groups) >= self.profile.wcmp_group_capacity:
+            raise AsicError("no_resources", "wcmp group capacity")
+        weight_total = sum(w for _nh, w in members)
+        if self.wcmp_members_used + weight_total > self.profile.wcmp_member_capacity:
+            raise AsicError("no_resources", "wcmp member capacity")
+        self.wcmp_groups[gid] = list(members)
+        self.wcmp_members_used += weight_total
+
+    def replace_wcmp_group(self, gid: int, members: Sequence[Tuple[int, int]]) -> None:
+        if gid not in self.wcmp_groups:
+            raise AsicError("not_found", f"wcmp group {gid}")
+        old_total = sum(w for _nh, w in self.wcmp_groups[gid])
+        new_total = sum(w for _nh, w in members)
+        if self.wcmp_members_used - old_total + new_total > self.profile.wcmp_member_capacity:
+            raise AsicError("no_resources", "wcmp member capacity")
+        self.wcmp_groups[gid] = list(members)
+        self.wcmp_members_used += new_total - old_total
+
+    def remove_wcmp_group(self, gid: int) -> None:
+        if gid not in self.wcmp_groups:
+            raise AsicError("not_found", f"wcmp group {gid}")
+        self.wcmp_members_used -= sum(w for _nh, w in self.wcmp_groups[gid])
+        del self.wcmp_groups[gid]
+
+    def set_mirror_session(self, session_id: int, port: int) -> None:
+        if session_id not in self.mirror_sessions and (
+            len(self.mirror_sessions) >= self.profile.mirror_session_capacity
+        ):
+            raise AsicError("no_resources", "mirror session capacity")
+        self.mirror_sessions[session_id] = port
+
+    def remove_mirror_session(self, session_id: int) -> None:
+        if session_id not in self.mirror_sessions:
+            raise AsicError("not_found", f"mirror session {session_id}")
+        del self.mirror_sessions[session_id]
+
+    def create_tunnel(self, tunnel_id: int, src_ip: int, dst_ip: int) -> None:
+        if not self.profile.supports_tunnel:
+            raise AsicError("unsupported", "chip has no tunnel engine")
+        if tunnel_id in self.tunnels:
+            raise AsicError("exists", f"tunnel {tunnel_id}")
+        if len(self.tunnels) >= self.profile.tunnel_capacity:
+            raise AsicError("no_resources", "tunnel capacity")
+        self.tunnels[tunnel_id] = (src_ip, dst_ip)
+
+    def remove_tunnel(self, tunnel_id: int) -> None:
+        if tunnel_id not in self.tunnels:
+            raise AsicError("not_found", f"tunnel {tunnel_id}")
+        if self.faults.enabled("tunnel_delete_leaves_state"):
+            # The encap rewrite stays live in hardware; only bookkeeping is
+            # updated, so new creates still fail with "exists".
+            return
+        del self.tunnels[tunnel_id]
+
+    # ------------------------------------------------------------------
+    # ACL programming
+    # ------------------------------------------------------------------
+    def acl_add(
+        self,
+        stage_name: str,
+        priority: int,
+        matches: Dict[str, Tuple[int, int]],
+        action: str,
+        action_arg: int = 0,
+    ) -> int:
+        stage = self.acl_stages.get(stage_name)
+        if stage is None:
+            raise AsicError("unsupported", f"no ACL stage {stage_name}")
+        for key in matches:
+            if not any(spec.name == key for spec in stage.config.keys):
+                raise AsicError("unsupported", f"stage {stage_name} has no key {key}")
+        if stage.consumed >= stage.config.capacity:
+            raise AsicError("no_resources", f"acl stage {stage_name} capacity")
+        self._acl_entry_seq += 1
+        entry_id = self._acl_entry_seq
+        stage.entries[entry_id] = AclHwEntry(
+            entry_id=entry_id,
+            priority=priority,
+            matches=tuple(sorted(matches.items())),
+            action=action,
+            action_arg=action_arg,
+        )
+        stage.consumed += 1
+        return entry_id
+
+    def acl_remove(self, stage_name: str, entry_id: int) -> None:
+        stage = self.acl_stages.get(stage_name)
+        if stage is None or entry_id not in stage.entries:
+            raise AsicError("not_found", f"acl entry {entry_id}")
+        del stage.entries[entry_id]
+        if not self.faults.enabled("acl_invalid_cleanup_leak"):
+            stage.consumed -= 1
+
+    def acl_leak_slot(self, stage_name: str) -> None:
+        """Model a rejected programming attempt that still consumed a slot
+        (the acl_invalid_cleanup_leak fault's mechanism)."""
+        stage = self.acl_stages.get(stage_name)
+        if stage is not None:
+            stage.consumed += 1
+
+    # ------------------------------------------------------------------
+    # Forwarding pipeline
+    # ------------------------------------------------------------------
+    def forward(self, packet: Packet, in_port: int) -> AsicResult:
+        pkt = packet.copy()
+        punted = False
+        dropped = False
+        mirror_session = 0
+        vrf_id = 0
+        egress_port: Optional[int] = None
+
+        if in_port not in self.ports_up and in_port in self.profile.ports:
+            return AsicResult(packet=pkt, egress_port=None, punted=False)
+
+        is_ipv4 = pkt.is_valid("ipv4")
+        is_ipv6 = pkt.is_valid("ipv6")
+
+        # Fixed-function TTL trap (present on the modeled chip generation).
+        ttl = pkt.get("ipv4.ttl") if is_ipv4 else pkt.get("ipv6.hop_limit")
+        if (is_ipv4 or is_ipv6) and ttl <= 1:
+            return AsicResult(packet=pkt, egress_port=None, punted=True)
+
+        # The chip silently drops limited-broadcast IPv4 packets.
+        if is_ipv4 and pkt.get("ipv4.dst_addr") == 0xFFFFFFFF:
+            return AsicResult(packet=pkt, egress_port=None, punted=False)
+
+        # Decapsulation (Cerberus chips only).  Encapsulation depth is
+        # carried in the identification field (the repo's abstraction of
+        # header push/pop; see DESIGN.md).
+        if self.profile.supports_tunnel and is_ipv4:
+            decap_stage = self.acl_stages.get("decap")
+            if decap_stage is not None:
+                hit = self._acl_lookup(decap_stage, pkt, in_port, egress_port=0)
+                if hit is not None and hit.action == "decap":
+                    pkt.set(
+                        "ipv4.identification",
+                        (pkt.get("ipv4.identification") - 1) & 0xFFFF,
+                    )
+
+        # L3 admit: MAC-based routing admission.
+        l3_admit = False
+        admit_stage = self.acl_stages.get("l3_admit")
+        if admit_stage is not None:
+            hit = self._acl_lookup(admit_stage, pkt, in_port, egress_port=0)
+            l3_admit = hit is not None and hit.action == "admit"
+
+        # Pre-ingress ACL: VRF assignment.
+        pre_stage = self.acl_stages.get("pre_ingress")
+        if pre_stage is not None:
+            hit = self._acl_lookup(pre_stage, pkt, in_port, egress_port=0)
+            if hit is not None and hit.action == "set_vrf":
+                vrf_id = hit.action_arg
+
+        # Routing.
+        route_hit: Optional[RouteTarget] = None
+        if l3_admit and (is_ipv4 or is_ipv6):
+            version = 4 if is_ipv4 else 6
+            dst = pkt.get("ipv4.dst_addr") if is_ipv4 else pkt.get("ipv6.dst_addr")
+            width = 32 if is_ipv4 else 128
+            route_hit = self._lookup_route(vrf_id, version, dst, width)
+            if route_hit is None or route_hit.kind == "drop":
+                dropped = True
+            elif route_hit.kind == "trap":
+                punted = True
+                dropped = True
+            else:
+                nh_id = route_hit.nexthop_id
+                if route_hit.kind == "wcmp":
+                    nh_id = self._select_wcmp_member(route_hit.wcmp_group_id, pkt)
+                    if nh_id is None:
+                        dropped = True
+                if nh_id is not None and not dropped:
+                    resolved = self._resolve_nexthop(nh_id, pkt)
+                    if resolved is None:
+                        dropped = True
+                    else:
+                        egress_port = resolved
+                        # TTL decrement on successful routing.
+                        if is_ipv4:
+                            pkt.set("ipv4.ttl", (pkt.get("ipv4.ttl") - 1) & 0xFF)
+                        elif is_ipv6:
+                            pkt.set("ipv6.hop_limit", (pkt.get("ipv6.hop_limit") - 1) & 0xFF)
+                # Tunnel encapsulation after resolution.
+                if route_hit.tunnel_id and not dropped:
+                    encap = self.tunnels.get(route_hit.tunnel_id)
+                    if encap is None:
+                        dropped = True
+                    else:
+                        src_ip, dst_ip = encap
+                        pkt.set("ipv4.src_addr", src_ip)
+                        pkt.set("ipv4.dst_addr", dst_ip)
+                        pkt.set(
+                            "ipv4.identification",
+                            (pkt.get("ipv4.identification") + 1) & 0xFFFF,
+                        )
+
+        # Ingress ACL.
+        ingress_stage = self.acl_stages.get("ingress")
+        if ingress_stage is not None:
+            hit = self._acl_lookup(ingress_stage, pkt, in_port, egress_port or 0)
+            if hit is not None:
+                if hit.action == "drop":
+                    dropped = True
+                elif hit.action == "trap":
+                    punted = True
+                    dropped = True
+                elif hit.action == "copy":
+                    punted = True
+                elif hit.action == "mirror":
+                    mirror_session = hit.action_arg
+
+        # DSCP remark fault (manifest of a SyncD QoS misprogramming).
+        if self.faults.enabled("dscp_remark_zero") and is_ipv4 and not dropped:
+            pkt.set("ipv4.dscp", 0)
+
+        # MTU truncation fault (gNMI misconfiguration).
+        if self.faults.enabled("gnmi_mtu_truncation") and len(pkt.payload) > 64:
+            pkt.payload = pkt.payload[:64]
+
+        # Mirroring.
+        mirrors: List[Tuple[int, Packet]] = []
+        if mirror_session:
+            port = self.mirror_sessions.get(mirror_session)
+            if port is not None:
+                mirrors.append((port, pkt.copy()))
+
+        # Egress ACL.
+        if not dropped and egress_port is not None:
+            egress_stage = self.acl_stages.get("egress")
+            if egress_stage is not None:
+                hit = self._acl_lookup(egress_stage, pkt, in_port, egress_port)
+                if hit is not None and hit.action == "drop":
+                    dropped = True
+
+        # Hardware port faults.
+        if egress_port is not None and not dropped:
+            if self.faults.enabled("port_speed_drop") and egress_port == 5:
+                dropped = True
+            if egress_port not in self.ports_up and egress_port in self.profile.ports:
+                dropped = True
+
+        return AsicResult(
+            packet=pkt,
+            egress_port=None if dropped else egress_port,
+            punted=punted,
+            mirror_copies=mirrors,
+        )
+
+    # ------------------------------------------------------------------
+    # Pipeline internals
+    # ------------------------------------------------------------------
+    def _field_value(self, pkt: Packet, path: str, in_port: int, egress_port: int) -> int:
+        if path == "standard.ingress_port":
+            return in_port
+        if path == "standard.egress_port":
+            return egress_port
+        if path == "meta.is_ipv4":
+            return 1 if pkt.is_valid("ipv4") else 0
+        if path == "meta.is_ipv6":
+            return 1 if pkt.is_valid("ipv6") else 0
+        prefix = path.split(".", 1)[0]
+        if prefix in ("ethernet", "ipv4", "ipv6", "icmp", "tcp", "udp"):
+            if not pkt.is_valid(prefix):
+                return 0
+        return pkt.get(path, 0)
+
+    def _acl_lookup(
+        self, stage: _AclStage, pkt: Packet, in_port: int, egress_port: int
+    ) -> Optional[AclHwEntry]:
+        specs = {spec.name: spec for spec in stage.config.keys}
+        best: Optional[AclHwEntry] = None
+        for entry in stage.entries.values():
+            matched = True
+            for key, (value, mask) in entry.match_map().items():
+                spec = specs.get(key)
+                if spec is None:
+                    matched = False
+                    break
+                field_value = self._field_value(pkt, spec.field_path, in_port, egress_port)
+                if (field_value & mask) != (value & mask):
+                    matched = False
+                    break
+            if matched:
+                if best is None or (entry.priority, -entry.entry_id) > (
+                    best.priority,
+                    -best.entry_id,
+                ):
+                    best = entry
+        return best
+
+    def _lookup_route(
+        self, vrf_id: int, version: int, dst: int, width: int
+    ) -> Optional[RouteTarget]:
+        table = self.routes.get((vrf_id, version))
+        if not table:
+            return None
+        best: Optional[Tuple[int, RouteTarget]] = None
+        for (prefix, plen), target in table.items():
+            if plen == 0:
+                matches = True
+            else:
+                mask = ((1 << plen) - 1) << (width - plen)
+                matches = (dst & mask) == (prefix & mask)
+            if matches and (best is None or plen > best[0]):
+                best = (plen, target)
+        return best[1] if best else None
+
+    def _select_wcmp_member(self, gid: int, pkt: Packet) -> Optional[int]:
+        members = self.wcmp_groups.get(gid)
+        if not members:
+            return None
+        expanded: List[int] = []
+        for nh, weight in members:
+            expanded.extend([nh] * weight)
+        material = bytearray(self.profile.hash_seed.to_bytes(4, "big"))
+        for path in ("ipv4.src_addr", "ipv4.dst_addr", "ipv4.protocol", "ipv6.src_addr", "ipv6.dst_addr"):
+            value = pkt.get(path, 0)
+            material += value.to_bytes((value.bit_length() + 7) // 8 or 1, "big")
+        index = zlib.crc32(bytes(material)) % len(expanded)
+        return expanded[index]
+
+    def _resolve_nexthop(self, nh_id: int, pkt: Packet) -> Optional[int]:
+        entry = self.nexthops.get(nh_id)
+        if entry is None:
+            return None
+        rif_id, neighbor_id = entry
+        rif = self.rifs.get(rif_id)
+        if rif is None:
+            return None
+        port, src_mac = rif
+        dst_mac = self.neighbors.get((rif_id, neighbor_id))
+        if dst_mac is None:
+            return None
+        pkt.set("ethernet.src_addr", src_mac)
+        pkt.set("ethernet.dst_addr", dst_mac)
+        return port

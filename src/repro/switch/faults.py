@@ -1,0 +1,405 @@
+"""Fault injection: the Appendix-A bug catalogue as switchable behaviours.
+
+Each :class:`Fault` names a concrete misbehaviour implemented somewhere in
+the stack (or in the model/simulator), tagged with the component it lives
+in, the tool the paper reports discovering it, its days-to-resolution, and
+which trivial-suite test (§6.2) would catch it — everything the Table 1/2
+and Figure 7 benchmarks need.
+
+Layers consult the registry at the exact decision point the real bug
+occupied; with no faults enabled the stack is (intended to be) correct, and
+the SwitchV harness finding an incident on a fault-free stack is itself a
+reportable bug — in the stack, the model, or SwitchV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set
+
+# Components, matching Table 1's PINS and Cerberus breakdowns.
+P4RT_SERVER = "P4Runtime Server"
+GNMI = "gNMI"
+ORCH_AGENT = "Orchestration Agent"
+SYNCD = "SyncD Binary"
+SWITCH_LINUX = "Switch Linux"
+HARDWARE = "Hardware"
+P4_TOOLCHAIN = "P4 Toolchain"
+P4_PROGRAM = "Input P4 Program"
+SWITCH_SOFTWARE = "Switch software"  # Cerberus coarse category
+BMV2 = "BMv2 P4 Simulator"
+
+PINS_COMPONENTS = (
+    P4RT_SERVER,
+    GNMI,
+    ORCH_AGENT,
+    SYNCD,
+    SWITCH_LINUX,
+    HARDWARE,
+    P4_TOOLCHAIN,
+    P4_PROGRAM,
+)
+CERBERUS_COMPONENTS = (SWITCH_SOFTWARE, HARDWARE, P4_PROGRAM, BMV2)
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injectable bug."""
+
+    name: str
+    component: str
+    description: str
+    # Which SwitchV component the paper credits with (or we expect to be)
+    # finding it: "p4-fuzzer" | "p4-symbolic".
+    discovered_by: str
+    # Days to resolution (None = unresolved), for Figure 7.
+    days_to_resolution: Optional[int] = None
+    # First trivial-suite test (§6.2) that would find it, or None.
+    trivial_test: Optional[str] = None
+    # Whether the paper flags it as an integration issue.
+    integration: bool = False
+    # Which stack the bug belongs to: "pins" | "cerberus".
+    stack: str = "pins"
+
+
+class FaultRegistry:
+    """The set of currently enabled faults, shared across stack layers."""
+
+    def __init__(self, enabled: Iterable[str] = ()) -> None:
+        self._enabled: Set[str] = set(enabled)
+
+    def enable(self, name: str) -> None:
+        if name not in FAULTS_BY_NAME:
+            raise KeyError(f"unknown fault {name!r}")
+        self._enabled.add(name)
+
+    def disable(self, name: str) -> None:
+        self._enabled.discard(name)
+
+    def enabled(self, name: str) -> bool:
+        return name in self._enabled
+
+    def active(self) -> List[str]:
+        return sorted(self._enabled)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._enabled
+
+
+# ----------------------------------------------------------------------
+# The catalogue (Appendix A, plus §6.1 narrative bugs).
+# ----------------------------------------------------------------------
+
+FAULT_CATALOG: List[Fault] = [
+    # --- P4Runtime server ------------------------------------------------
+    Fault(
+        "delete_nonexistent_fails_batch",
+        P4RT_SERVER,
+        "Deleting a non-existing entry causes the entire batch to fail",
+        "p4-fuzzer",
+        days_to_resolution=14,
+    ),
+    Fault(
+        "modify_keeps_old_params",
+        P4RT_SERVER,
+        "MODIFY requests leave old action parameters unchanged in table entries",
+        "p4-fuzzer",
+        days_to_resolution=4,
+    ),
+    Fault(
+        "p4info_push_failure_swallowed",
+        P4RT_SERVER,
+        "P4Info push failures are not propagated up to the controller",
+        "p4-symbolic",
+        days_to_resolution=0,
+        trivial_test="table_entry_programming",
+        integration=True,
+    ),
+    Fault(
+        "read_ternary_unsupported",
+        P4RT_SERVER,
+        "Reading back entries with ternary fields is not supported",
+        "p4-symbolic",
+        days_to_resolution=0,
+        trivial_test="read_all_tables",
+    ),
+    Fault(
+        "acl_name_capitalization",
+        P4RT_SERVER,
+        "ACL table names are not capitalized correctly, breaking ACL programming",
+        "p4-symbolic",
+        days_to_resolution=16,
+        trivial_test="table_entry_programming",
+        integration=True,
+    ),
+    Fault(
+        "duplicate_entry_wrong_error",
+        P4RT_SERVER,
+        "Incorrect error message (code) for duplicate entries",
+        "p4-symbolic",
+        days_to_resolution=2,
+    ),
+    Fault(
+        "packet_out_punted_back",
+        P4RT_SERVER,
+        "PacketOut packets incorrectly get punted back to the controller",
+        "p4-symbolic",
+        days_to_resolution=26,
+        trivial_test="packet_out",
+    ),
+    Fault(
+        "space_in_key_rejected",
+        P4RT_SERVER,
+        "Orchestration-agent API cannot represent the space character in keys; "
+        "ACL entries containing a 0x20 byte are rejected",
+        "p4-symbolic",
+        days_to_resolution=34,
+        trivial_test="table_entry_programming",
+    ),
+    # --- P4 toolchain -----------------------------------------------------
+    Fault(
+        "zero_byte_id_mangled",
+        P4_TOOLCHAIN,
+        "Zero bytes inside object IDs are mishandled, mis-routing requests",
+        "p4-fuzzer",
+        days_to_resolution=22,
+        trivial_test="set_p4info",
+    ),
+    Fault(
+        "bmv2_optional_zero_match",
+        BMV2,
+        "Simulator treats an absent optional match as 'must equal zero' "
+        "instead of wildcard",
+        "p4-fuzzer",
+        days_to_resolution=7,
+        stack="cerberus",
+    ),
+    Fault(
+        "bmv2_lpm_shortest_prefix",
+        BMV2,
+        "Simulator's LPM comparator is inverted: the shortest matching "
+        "prefix wins",
+        "p4-fuzzer",
+        days_to_resolution=11,
+        stack="cerberus",
+    ),
+    # --- Orchestration agent ----------------------------------------------
+    Fault(
+        "wcmp_cleanup_on_partial_failure",
+        ORCH_AGENT,
+        "Does not clean up all WCMP group members when creation of one fails "
+        "(capacity leak)",
+        "p4-fuzzer",
+        days_to_resolution=6,
+    ),
+    Fault(
+        "wcmp_same_action_rejected",
+        ORCH_AGENT,
+        "Rejects WCMP groups with buckets sharing the same action, violating "
+        "the P4RT specification",
+        "p4-fuzzer",
+        days_to_resolution=157,
+        trivial_test="table_entry_programming",
+        integration=True,
+    ),
+    Fault(
+        "wcmp_update_removes_members",
+        ORCH_AGENT,
+        "Group-update logic removes unchanged group members",
+        "p4-symbolic",
+        days_to_resolution=3,
+    ),
+    Fault(
+        "vrf_delete_fails",
+        ORCH_AGENT,
+        "VRF deletion fails due to incorrect ALPM flag usage; VRF response "
+        "path is broken",
+        "p4-fuzzer",
+        days_to_resolution=15,
+    ),
+    # --- SyncD -------------------------------------------------------------
+    Fault(
+        "acl_invalid_cleanup_leak",
+        SYNCD,
+        "Invalid ACL entries are not cleaned up, causing RESOURCE_EXHAUSTED "
+        "after 30 entries",
+        "p4-fuzzer",
+        days_to_resolution=120,
+    ),
+    Fault(
+        "l3_submit_to_ingress_drop",
+        SYNCD,
+        "L3 forwarding not enabled for submit-to-ingress packets; they are "
+        "dropped on the new chip",
+        "p4-symbolic",
+        days_to_resolution=19,
+        integration=True,
+    ),
+    Fault(
+        "dscp_remark_zero",
+        SYNCD,
+        "Switch re-marks DSCP to 0 in forwarded packets",
+        "p4-symbolic",
+        days_to_resolution=53,
+        integration=True,
+    ),
+    # --- Switch Linux --------------------------------------------------------
+    Fault(
+        "port_sync_daemon_restart",
+        SWITCH_LINUX,
+        "A port sync daemon restarts unexpectedly, breaking all packet IO",
+        "p4-symbolic",
+        days_to_resolution=3,
+        trivial_test="packet_in",
+        integration=True,
+    ),
+    Fault(
+        "daemon_vrf_conflict",
+        SWITCH_LINUX,
+        "A daemon creates conflicting VRF configurations with other services",
+        "p4-symbolic",
+        days_to_resolution=5,
+        trivial_test="set_p4info",
+        integration=True,
+    ),
+    Fault(
+        "lldp_punt",
+        SWITCH_LINUX,
+        "A traditional LLDP daemon punts packets to the controller",
+        "p4-symbolic",
+        days_to_resolution=9,
+        trivial_test="packet_in",
+        integration=True,
+    ),
+    Fault(
+        "ipv6_router_solicitation",
+        SWITCH_LINUX,
+        "Switch sends IPv6 router solicitation packets unexpectedly",
+        "p4-symbolic",
+        days_to_resolution=None,  # unresolved in the paper
+        integration=True,
+    ),
+    Fault(
+        "daemons_crash_on_link_down",
+        SWITCH_LINUX,
+        "Daemons crash when a network interface goes down, breaking packet IO",
+        "p4-symbolic",
+        days_to_resolution=164,
+        integration=True,
+    ),
+    # --- gNMI ---------------------------------------------------------------
+    Fault(
+        "gnmi_port_disabled",
+        GNMI,
+        "Port configuration via gNMI leaves a data port administratively down",
+        "p4-symbolic",
+        days_to_resolution=12,
+    ),
+    Fault(
+        "gnmi_mtu_truncation",
+        GNMI,
+        "MTU misconfiguration truncates large forwarded packets",
+        "p4-symbolic",
+        days_to_resolution=21,
+    ),
+    # --- Hardware -------------------------------------------------------------
+    Fault(
+        "ttl1_hw_trap_disagrees",
+        HARDWARE,
+        "New chip has a built-in trap that punts TTL 0/1 packets even when the "
+        "model forwards them",
+        "p4-fuzzer",
+        days_to_resolution=28,
+        integration=True,
+    ),
+    Fault(
+        "port_speed_drop",
+        HARDWARE,
+        "Hardware drops packets on a port with a certain port speed due to "
+        "electric interference",
+        "p4-symbolic",
+        days_to_resolution=41,
+        stack="cerberus",
+    ),
+    # --- Input P4 program (bugs in the *model*) --------------------------------
+    Fault(
+        "model_missing_broadcast_drop",
+        P4_PROGRAM,
+        "P4 program does not reflect that the switch drops IPv4 packets with "
+        "destination 255.255.255.255",
+        "p4-symbolic",
+        days_to_resolution=36,
+    ),
+    Fault(
+        "model_wrong_icmp_field",
+        P4_PROGRAM,
+        "Program matches on the wrong ICMP field",
+        "p4-symbolic",
+        days_to_resolution=13,
+        trivial_test="packet_in",
+    ),
+    Fault(
+        "model_rewrite_before_acl",
+        P4_PROGRAM,
+        "Header fields get rewritten before the ACL is applied in the model, "
+        "after it in the switch",
+        "p4-symbolic",
+        days_to_resolution=14,
+    ),
+    Fault(
+        "model_rif_guarantee_too_high",
+        P4_PROGRAM,
+        "Resource guarantees for router_interface_table are unrealistically "
+        "high for the new chip",
+        "p4-fuzzer",
+        days_to_resolution=47,
+        integration=True,
+    ),
+    Fault(
+        "cerberus_model_missing_broadcast_drop",
+        P4_PROGRAM,
+        "Cerberus P4 program does not reflect the chip's silent drop of "
+        "IPv4 limited-broadcast packets",
+        "p4-symbolic",
+        days_to_resolution=21,
+        stack="cerberus",
+    ),
+    # --- Cerberus switch software ----------------------------------------------
+    Fault(
+        "encap_dst_reversed",
+        SWITCH_SOFTWARE,
+        "Switch software reverses the destination IP address used for packet "
+        "encapsulation (endianness)",
+        "p4-symbolic",
+        days_to_resolution=18,
+        stack="cerberus",
+    ),
+    Fault(
+        "decap_ignores_port",
+        SWITCH_SOFTWARE,
+        "Decap entries with an in_port qualifier decap packets from any port",
+        "p4-symbolic",
+        days_to_resolution=25,
+        stack="cerberus",
+    ),
+    Fault(
+        "tunnel_delete_leaves_state",
+        SWITCH_SOFTWARE,
+        "Deleting a tunnel leaves the encap rewrite active in hardware",
+        "p4-fuzzer",
+        days_to_resolution=9,
+        stack="cerberus",
+    ),
+]
+
+FAULTS_BY_NAME: Dict[str, Fault] = {f.name: f for f in FAULT_CATALOG}
+
+
+def faults_for_stack(stack: str) -> List[Fault]:
+    """Catalogue slice for one stack ('pins' or 'cerberus').
+
+    The Cerberus stack also re-uses a handful of generic software faults
+    under its coarse "Switch software" attribution (§6.1: limited
+    visibility into the vendor's stack).
+    """
+    return [f for f in FAULT_CATALOG if f.stack == stack]

@@ -1,0 +1,37 @@
+"""gNMI-ish configuration layer: port administration.
+
+SwitchV does not validate "management" aspects (§2 "Scope"), but gNMI bugs
+still surfaced in Table 1 because misconfigured ports change the data-plane
+behaviour the P4 model promises.  This layer configures the ASIC's port
+admin state; its faults leave ports silently down.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+from repro.switch.asic import AsicSim
+from repro.switch.faults import FaultRegistry
+
+
+class GnmiConfig:
+    """Port-level configuration applied at stack startup."""
+
+    def __init__(self, asic: AsicSim, faults: FaultRegistry) -> None:
+        self._asic = asic
+        self._faults = faults
+
+    def apply_port_config(self, ports: Iterable[int]) -> None:
+        """Bring up the given data ports (the fleet's standard config)."""
+        up: Set[int] = set(ports)
+        if self._faults.enabled("gnmi_port_disabled"):
+            # The config translation drops one port's enable leaf; the port
+            # stays administratively down.
+            up.discard(3)
+        self._asic.ports_up = up
+
+    def set_port_state(self, port: int, up: bool) -> None:
+        if up:
+            self._asic.ports_up.add(port)
+        else:
+            self._asic.ports_up.discard(port)

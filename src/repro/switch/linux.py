@@ -1,0 +1,93 @@
+"""The switch's Linux host environment: daemons that interfere with SDN.
+
+The PINS switch runs a full Linux with traditional networking daemons.
+Several Appendix-A bugs were interactions between those daemons and the SDN
+control path: an LLDP daemon punting packets to the controller, a daemon
+pre-creating conflicting VRF configurations, unexpected IPv6 router
+solicitations, and packet-io breaking when the port-sync daemon restarts.
+
+This layer owns those behaviours; the stack consults it around packet-io
+and at startup.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.bmv2.packet import deparse_packet, make_ipv6_packet
+from repro.p4rt.messages import PacketIn
+from repro.switch.asic import AsicError, AsicSim
+from repro.switch.faults import FaultRegistry
+
+# Conventional identifiers for daemon-generated traffic.
+LLDP_ETHERTYPE = 0x88CC
+IPV6_ICMP = 58
+
+
+def _lldp_frame() -> bytes:
+    """A minimal LLDP-ish frame (ethernet header + opaque TLV payload)."""
+    dst = 0x0180C200000E
+    src = 0x02AA00000001
+    header = dst.to_bytes(6, "big") + src.to_bytes(6, "big") + LLDP_ETHERTYPE.to_bytes(2, "big")
+    return header + b"\x02\x07\x04lldp!\x00\x00"
+
+
+def _router_solicitation() -> bytes:
+    """An IPv6 router-solicitation packet as emitted by the host stack."""
+    packet = make_ipv6_packet(
+        dst_addr=0xFF020000_00000000_00000000_00000002,
+        src_addr=0xFE800000_00000000_00000000_00000001,
+        next_header=IPV6_ICMP,
+        payload=b"\x85\x00\x00\x00",
+    )
+    # next_header 58 has no registered parser pattern; the payload carries
+    # the ICMPv6 body.
+    return deparse_packet(packet)
+
+
+class SwitchLinux:
+    """Host daemons and their fault behaviours."""
+
+    def __init__(self, asic: AsicSim, faults: FaultRegistry) -> None:
+        self._asic = asic
+        self._faults = faults
+        self._lldp_emitted = 0
+        self._rs_emitted = 0
+
+    # ------------------------------------------------------------------
+    # Startup effects
+    # ------------------------------------------------------------------
+    def boot(self) -> None:
+        """Run boot-time daemon side effects."""
+        if self._faults.enabled("daemon_vrf_conflict"):
+            # A legacy daemon claims VRF 1 for itself; later controller
+            # attempts to allocate it collide.
+            try:
+                self._asic.create_vrf(1)
+            except AsicError:
+                pass
+
+    # ------------------------------------------------------------------
+    # Packet-io interference
+    # ------------------------------------------------------------------
+    @property
+    def packet_io_broken(self) -> bool:
+        return self._faults.enabled("port_sync_daemon_restart") or self._faults.enabled(
+            "daemons_crash_on_link_down"
+        )
+
+    def background_packet_ins(self) -> List[PacketIn]:
+        """Daemon-generated punts surfaced on the packet-in channel."""
+        out: List[PacketIn] = []
+        if self._faults.enabled("lldp_punt") and self._lldp_emitted < 8:
+            self._lldp_emitted += 1
+            out.append(PacketIn(payload=_lldp_frame(), ingress_port=1))
+        return out
+
+    def background_egress(self) -> List[Tuple[int, bytes]]:
+        """Daemon-generated packets sent out of data ports."""
+        out: List[Tuple[int, bytes]] = []
+        if self._faults.enabled("ipv6_router_solicitation") and self._rs_emitted < 8:
+            self._rs_emitted += 1
+            out.append((1, _router_solicitation()))
+        return out

@@ -1,0 +1,152 @@
+"""Model-fault transforms: bugs that live in the *input P4 program*.
+
+Table 1 attributes 15 PINS bugs and 3 Cerberus bugs to the input P4
+program: the switch behaved correctly and the model was wrong (§6.1).  We
+reproduce this class by *transforming the model handed to SwitchV* while
+leaving the switch untouched: the harness validates the (buggy) model
+against the (correct) switch and reports the divergence, after which a
+human would root-cause it to the model — matching the paper's workflow.
+
+Hardware-contract faults that manifest as "the model describes the old
+chip" (the TTL 0/1 trap resurgence of §6.1) are also expressed as model
+transforms, but keep their Hardware component attribution in the catalogue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, Iterable
+
+from repro.p4.ast import FieldRef, If, P4Program, Seq, Table, TableApply
+
+
+def _filter_ifs(block: Seq, label: str) -> Seq:
+    """Remove every If node with the given label, recursively."""
+    nodes = []
+    for node in block:
+        if isinstance(node, If):
+            if node.label == label:
+                continue
+            node = If(
+                cond=node.cond,
+                then_block=_filter_ifs(node.then_block, label),
+                else_block=_filter_ifs(node.else_block, label),
+                label=node.label,
+            )
+        nodes.append(node)
+    return Seq(tuple(nodes))
+
+
+def _map_tables(block: Seq, fn: Callable[[Table], Table]) -> Seq:
+    nodes = []
+    for node in block:
+        if isinstance(node, TableApply):
+            node = TableApply(fn(node.table))
+        elif isinstance(node, If):
+            node = If(
+                cond=node.cond,
+                then_block=_map_tables(node.then_block, fn),
+                else_block=_map_tables(node.else_block, fn),
+                label=node.label,
+            )
+        nodes.append(node)
+    return Seq(tuple(nodes))
+
+
+def _remove_block(program: P4Program, label: str) -> P4Program:
+    return replace(
+        program,
+        ingress=_filter_ifs(program.ingress, label),
+        egress=_filter_ifs(program.egress, label),
+    )
+
+
+def _wrong_icmp_field(program: P4Program) -> P4Program:
+    """Model matches on icmp.code where the switch matches icmp.type."""
+
+    def fix_table(table: Table) -> Table:
+        if table.name != "acl_ingress_tbl":
+            return table
+        keys = tuple(
+            replace(k, field=FieldRef("icmp.code")) if k.key_name == "icmp_type" else k
+            for k in table.keys
+        )
+        return replace(table, keys=keys)
+
+    return replace(
+        program,
+        ingress=_map_tables(program.ingress, fix_table),
+        egress=_map_tables(program.egress, fix_table),
+    )
+
+
+def _rewrite_before_acl(program: P4Program) -> P4Program:
+    """Model applies the ingress ACL before nexthop resolution (header
+    rewrite), the switch applies it after — ACL entries matching rewritten
+    fields (TTL, MACs) diverge.  The two nodes live inside the
+    not-dropped gate, so the reorder recurses through If blocks."""
+
+    def reorder(block: Seq) -> Seq:
+        nodes = list(block)
+        acl_index = next(
+            (
+                i
+                for i, n in enumerate(nodes)
+                if isinstance(n, TableApply) and n.table.name == "acl_ingress_tbl"
+            ),
+            None,
+        )
+        resolution_index = next(
+            (
+                i
+                for i, n in enumerate(nodes)
+                if isinstance(n, If) and n.label == "resolution_gate"
+            ),
+            None,
+        )
+        if (
+            acl_index is not None
+            and resolution_index is not None
+            and acl_index > resolution_index
+        ):
+            acl_node = nodes.pop(acl_index)
+            nodes.insert(resolution_index, acl_node)
+        out = []
+        for node in nodes:
+            if isinstance(node, If):
+                node = If(
+                    cond=node.cond,
+                    then_block=reorder(node.then_block),
+                    else_block=reorder(node.else_block),
+                    label=node.label,
+                )
+            out.append(node)
+        return Seq(tuple(out))
+
+    return replace(program, ingress=reorder(program.ingress))
+
+
+# Fault name -> transform.
+MODEL_TRANSFORMS: Dict[str, Callable[[P4Program], P4Program]] = {
+    "ttl1_hw_trap_disagrees": lambda p: _remove_block(p, "ttl_trap"),
+    "model_missing_broadcast_drop": lambda p: _remove_block(p, "broadcast_drop"),
+    "cerberus_model_missing_broadcast_drop": lambda p: _remove_block(p, "broadcast_drop"),
+    "model_wrong_icmp_field": _wrong_icmp_field,
+    "model_rewrite_before_acl": _rewrite_before_acl,
+    # model_rif_guarantee_too_high needs no model change: the asic's
+    # capacity shrinks below the model's guarantee (see AsicSim.create_rif).
+    "model_rif_guarantee_too_high": lambda p: p,
+}
+
+
+def apply_model_faults(program: P4Program, faults: Iterable[str]) -> P4Program:
+    """The model SwitchV should be handed when these faults are active."""
+    for name in faults:
+        transform = MODEL_TRANSFORMS.get(name)
+        if transform is not None:
+            program = transform(program)
+    return program
+
+
+def is_model_fault(name: str) -> bool:
+    return name in MODEL_TRANSFORMS

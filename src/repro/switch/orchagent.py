@@ -1,0 +1,316 @@
+"""The orchestration agent: P4 entities → SAI-level operations.
+
+Sits between the P4Runtime application layer and SyncD (Figure 4).  It owns
+the semantic mapping from model tables to switch objects — VRFs, routes,
+next-hop groups, ACL stages — and the update/delete choreography, which is
+where several of the paper's bugs lived (WCMP group lifecycle, VRF response
+path).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.bmv2.entries import DecodedAction, DecodedActionSet, InstalledEntry
+from repro.p4.ast import P4Program
+from repro.switch.faults import FaultRegistry
+from repro.switch.sai import SaiResult, SaiStatus
+from repro.switch.syncd import SyncD
+
+# Model table name -> ACL stage name in the ASIC.
+ACL_STAGE_BY_TABLE = {
+    "acl_pre_ingress_tbl": "pre_ingress",
+    "acl_ingress_tbl": "ingress",
+    "acl_egress_tbl": "egress",
+    "l3_admit_tbl": "l3_admit",
+    "decap_tbl": "decap",
+}
+
+# Model ACL action name -> ASIC ACL action (and which param is the argument).
+ACL_ACTION_MAP = {
+    "drop": ("drop", None),
+    "trap": ("trap", None),
+    "acl_copy": ("copy", None),
+    "acl_mirror": ("mirror", "mirror_session_id"),
+    "set_vrf": ("set_vrf", "vrf_id"),
+    "admit_to_l3": ("admit", None),
+    "decap": ("decap", None),
+}
+
+
+class OrchAgentError(Exception):
+    def __init__(self, status: SaiStatus, detail: str) -> None:
+        super().__init__(detail)
+        self.status = status
+        self.detail = detail
+
+
+def _fail(result: SaiResult) -> OrchAgentError:
+    return OrchAgentError(result.status, result.detail)
+
+
+class OrchAgent:
+    """Translates decoded table entries into switch state."""
+
+    def __init__(self, program: P4Program, syncd: SyncD, faults: FaultRegistry) -> None:
+        self._program = program
+        self._syncd = syncd
+        self._faults = faults
+        # ACL entry identity -> (stage, asic entry id) for deletes.
+        self._acl_ids: Dict[Tuple, Tuple[str, int]] = {}
+        self._tables = {t.name: t for t in program.tables()}
+
+    # ------------------------------------------------------------------
+    # Entry dispatch
+    # ------------------------------------------------------------------
+    def apply(self, op: str, entry: InstalledEntry) -> None:
+        """Apply one update; raises :class:`OrchAgentError` on failure."""
+        name = entry.table_name
+        if name == "vrf_tbl":
+            self._apply_vrf(op, entry)
+        elif name in ("ipv4_tbl", "ipv6_tbl"):
+            self._apply_route(op, entry, version=4 if name == "ipv4_tbl" else 6)
+        elif name == "wcmp_group_tbl":
+            self._apply_wcmp(op, entry)
+        elif name == "nexthop_tbl":
+            self._apply_nexthop(op, entry)
+        elif name == "neighbor_tbl":
+            self._apply_neighbor(op, entry)
+        elif name == "router_interface_tbl":
+            self._apply_rif(op, entry)
+        elif name == "mirror_session_tbl":
+            self._apply_mirror(op, entry)
+        elif name == "tunnel_tbl":
+            self._apply_tunnel(op, entry)
+        elif name in ACL_STAGE_BY_TABLE or name == "pre_ingress_tbl":
+            self._apply_acl(op, entry)
+        else:
+            raise OrchAgentError(SaiStatus.NOT_SUPPORTED, f"unmapped table {name}")
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _key(entry: InstalledEntry, name: str) -> int:
+        m = entry.match(name)
+        if m is None or not m.present:
+            raise OrchAgentError(SaiStatus.FAILURE, f"missing key {name}")
+        return m.value
+
+    @staticmethod
+    def _single_action(entry: InstalledEntry) -> DecodedAction:
+        if not isinstance(entry.action, DecodedAction):
+            raise OrchAgentError(SaiStatus.FAILURE, "expected a single action")
+        return entry.action
+
+    def _check(self, result: SaiResult) -> None:
+        if not result.ok:
+            raise _fail(result)
+
+    # ------------------------------------------------------------------
+    # VRF
+    # ------------------------------------------------------------------
+    def _apply_vrf(self, op: str, entry: InstalledEntry) -> None:
+        vrf_id = self._key(entry, "vrf_id")
+        if op == "insert":
+            self._check(self._syncd.create_vrf(vrf_id))
+        elif op == "delete":
+            self._check(self._syncd.remove_vrf(vrf_id))
+        # modify of a no-op action table entry is a no-op.
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+    def _route_target(self, action: DecodedAction):
+        from repro.switch.asic import RouteTarget
+
+        params = action.param_map()
+        if action.name == "drop":
+            return RouteTarget(kind="drop")
+        if action.name == "trap":
+            return RouteTarget(kind="trap")
+        if action.name == "set_nexthop_id":
+            return RouteTarget(kind="nexthop", nexthop_id=params["nexthop_id"])
+        if action.name == "set_wcmp_group_id":
+            return RouteTarget(kind="wcmp", wcmp_group_id=params["wcmp_group_id"])
+        if action.name == "set_nexthop_id_and_tunnel":
+            return RouteTarget(
+                kind="nexthop",
+                nexthop_id=params["nexthop_id"],
+                tunnel_id=params["tunnel_id"],
+            )
+        raise OrchAgentError(SaiStatus.NOT_SUPPORTED, f"route action {action.name}")
+
+    def _apply_route(self, op: str, entry: InstalledEntry, version: int) -> None:
+        vrf_id = self._key(entry, "vrf_id")
+        key_name = "ipv4_dst" if version == 4 else "ipv6_dst"
+        m = entry.match(key_name)
+        prefix, plen = (m.value, m.prefix_len) if (m and m.present) else (0, 0)
+        if op == "delete":
+            self._check(self._syncd.remove_route(vrf_id, version, prefix, plen))
+            return
+        target = self._route_target(self._single_action(entry))
+        if op == "insert":
+            self._check(self._syncd.create_route(vrf_id, version, prefix, plen, target))
+        else:
+            self._check(self._syncd.set_route(vrf_id, version, prefix, plen, target))
+
+    # ------------------------------------------------------------------
+    # WCMP groups
+    # ------------------------------------------------------------------
+    def _group_members(self, entry: InstalledEntry) -> List[Tuple[int, int]]:
+        if not isinstance(entry.action, DecodedActionSet):
+            raise OrchAgentError(SaiStatus.FAILURE, "wcmp entry without action set")
+        members: List[Tuple[int, int]] = []
+        for action, weight in entry.action.members:
+            if action.name != "set_nexthop_id":
+                raise OrchAgentError(
+                    SaiStatus.NOT_SUPPORTED, f"wcmp member action {action.name}"
+                )
+            members.append((action.param_map()["nexthop_id"], weight))
+        return members
+
+    def _apply_wcmp(self, op: str, entry: InstalledEntry) -> None:
+        gid = self._key(entry, "wcmp_group_id")
+        if op == "delete":
+            self._check(self._syncd.remove_wcmp_group(gid))
+            return
+        members = self._group_members(entry)
+        if self._faults.enabled("wcmp_same_action_rejected"):
+            # Spec-violating over-restriction: two buckets with the same
+            # nexthop are rejected even though P4Runtime allows them.
+            nexthops = [nh for nh, _w in members]
+            if len(set(nexthops)) != len(nexthops):
+                raise OrchAgentError(
+                    SaiStatus.FAILURE, "duplicate nexthop in WCMP group"
+                )
+        if op == "insert":
+            if self._faults.enabled("wcmp_cleanup_on_partial_failure") and any(
+                w >= 8 for _nh, w in members
+            ):
+                # The per-member creation loop trips over heavy-weight
+                # members; the half-created group is abandoned in hardware
+                # (its members leak from the shared pool) and the insert is
+                # reported failed.
+                self._syncd._asic.wcmp_members_used += sum(w for _nh, w in members) // 2
+                raise OrchAgentError(
+                    SaiStatus.FAILURE, "group member creation failed; cleanup incomplete"
+                )
+            result = self._syncd.create_wcmp_group(gid, members)
+            if not result.ok:
+                raise _fail(result)
+        else:
+            if self._faults.enabled("wcmp_update_removes_members"):
+                # The update path diffs incorrectly: unchanged members are
+                # removed, and the re-add of the "new" set silently fails —
+                # the hardware group ends up empty (traffic blackholes).
+                members = []
+            self._check(self._syncd.set_wcmp_group(gid, members))
+
+    # ------------------------------------------------------------------
+    # Nexthop / neighbor / RIF
+    # ------------------------------------------------------------------
+    def _apply_nexthop(self, op: str, entry: InstalledEntry) -> None:
+        nh_id = self._key(entry, "nexthop_id")
+        if op == "delete":
+            self._check(self._syncd.remove_nexthop(nh_id))
+            return
+        params = self._single_action(entry).param_map()
+        rif = params["router_interface_id"]
+        neighbor = params["neighbor_id"]
+        if op == "insert":
+            self._check(self._syncd.create_nexthop(nh_id, rif, neighbor))
+        else:
+            self._check(self._syncd.set_nexthop(nh_id, rif, neighbor))
+
+    def _apply_neighbor(self, op: str, entry: InstalledEntry) -> None:
+        rif = self._key(entry, "router_interface_id")
+        neighbor = self._key(entry, "neighbor_id")
+        if op == "delete":
+            self._check(self._syncd.remove_neighbor(rif, neighbor))
+            return
+        params = self._single_action(entry).param_map()
+        self._check(self._syncd.create_neighbor(rif, neighbor, params["dst_mac"]))
+
+    def _apply_rif(self, op: str, entry: InstalledEntry) -> None:
+        rif = self._key(entry, "router_interface_id")
+        if op == "delete":
+            self._check(self._syncd.remove_rif(rif))
+            return
+        params = self._single_action(entry).param_map()
+        if op == "insert":
+            self._check(self._syncd.create_rif(rif, params["port"], params["src_mac"]))
+        else:
+            self._check(self._syncd.set_rif(rif, params["port"], params["src_mac"]))
+
+    # ------------------------------------------------------------------
+    # Mirror sessions / tunnels
+    # ------------------------------------------------------------------
+    def _apply_mirror(self, op: str, entry: InstalledEntry) -> None:
+        session = self._key(entry, "mirror_session_id")
+        if op == "delete":
+            self._check(self._syncd.remove_mirror_session(session))
+            return
+        params = self._single_action(entry).param_map()
+        self._check(self._syncd.create_mirror_session(session, params["port"]))
+
+    def _apply_tunnel(self, op: str, entry: InstalledEntry) -> None:
+        tunnel = self._key(entry, "tunnel_id")
+        if op == "delete":
+            self._check(self._syncd.remove_tunnel(tunnel))
+            return
+        params = self._single_action(entry).param_map()
+        if op == "modify":
+            self._check(self._syncd.remove_tunnel(tunnel))
+        self._check(
+            self._syncd.create_tunnel(
+                tunnel, params["encap_src_ip"], params["encap_dst_ip"]
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # ACL stages
+    # ------------------------------------------------------------------
+    def _acl_stage_for(self, table_name: str) -> str:
+        stage = ACL_STAGE_BY_TABLE.get(table_name)
+        if stage is None and table_name == "pre_ingress_tbl":
+            stage = "pre_ingress"
+        if stage is None:
+            raise OrchAgentError(SaiStatus.NOT_SUPPORTED, f"no ACL stage for {table_name}")
+        if self._faults.enabled("acl_name_capitalization") and stage in ("ingress", "egress"):
+            # The agent upper-cases the table name on its internal bus; the
+            # consumer on the other side doesn't recognise it.
+            raise OrchAgentError(
+                SaiStatus.FAILURE, f"unknown ACL table '{table_name.upper()}'"
+            )
+        return stage
+
+    def _apply_acl(self, op: str, entry: InstalledEntry) -> None:
+        stage = self._acl_stage_for(entry.table_name)
+        identity = entry.identity()
+        if op == "delete":
+            located = self._acl_ids.pop(identity, None)
+            if located is None:
+                raise OrchAgentError(SaiStatus.ITEM_NOT_FOUND, "unknown ACL entry")
+            self._check(self._syncd.remove_acl_entry(located[0], located[1]))
+            return
+        action = self._single_action(entry)
+        mapping = ACL_ACTION_MAP.get(action.name)
+        if mapping is None:
+            raise OrchAgentError(SaiStatus.NOT_SUPPORTED, f"ACL action {action.name}")
+        asic_action, arg_param = mapping
+        arg = action.param_map().get(arg_param, 0) if arg_param else 0
+        matches: Dict[str, Tuple[int, int]] = {}
+        for m in entry.matches:
+            if not m.present:
+                continue
+            matches[m.key_name] = (m.value, m.mask)
+        if op == "modify":
+            located = self._acl_ids.pop(identity, None)
+            if located is not None:
+                self._check(self._syncd.remove_acl_entry(located[0], located[1]))
+        result = self._syncd.create_acl_entry(
+            stage, entry.priority, matches, asic_action, arg
+        )
+        self._check(result)
+        self._acl_ids[identity] = (stage, result.oid)

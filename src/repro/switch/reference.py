@@ -1,0 +1,192 @@
+"""A model-faithful reference switch.
+
+Implements the P4Runtime service by interpreting the P4 program directly
+(the reference decoder for validation, the BMv2 interpreter with a seeded
+hash for forwarding).  Two uses:
+
+* harness self-tests — SwitchV run against this switch with the same model
+  must report zero incidents (the "no false positives" invariant);
+* programs that do not fit the SAI shape (the toy program), where the
+  layered PINS stack has no table mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.bmv2.entries import EntryDecodeError, InstalledEntry, decode_table_entry
+from repro.bmv2.interpreter import Interpreter, SeededHash
+from repro.bmv2.packet import PacketError, deparse_packet, parse_packet
+from repro.p4.ast import P4Program
+from repro.p4.constraints import parse_constraint
+from repro.p4.constraints.evaluator import evaluate_constraint
+from repro.p4.constraints.refs import ReferenceGraph
+from repro.p4.p4info import P4Info
+from repro.p4rt.messages import (
+    PacketIn,
+    PacketOut,
+    ReadRequest,
+    ReadResponse,
+    TableEntry,
+    Update,
+    UpdateType,
+    WriteRequest,
+    WriteResponse,
+)
+from repro.p4rt.service import P4RuntimeService
+from repro.p4rt.status import (
+    Status,
+    already_exists,
+    failed_precondition,
+    invalid_argument,
+    not_found,
+    resource_exhausted,
+)
+from repro.switch.stack import ObservedForwarding
+
+
+class ReferenceSwitch(P4RuntimeService):
+    """A switch whose behaviour *is* the model's behaviour."""
+
+    def __init__(self, program: P4Program, hash_seed: int = 7) -> None:
+        self.program = program
+        self._hash = SeededHash(seed=hash_seed)
+        self._p4info: Optional[P4Info] = None
+        self._refs: Optional[ReferenceGraph] = None
+        self._constraints: Dict[int, object] = {}
+        self._store: Dict[Tuple, Tuple[TableEntry, InstalledEntry]] = {}
+        self._packet_ins: List[PacketIn] = []
+        self._egress_log: List[Tuple[int, bytes]] = []
+
+    # ------------------------------------------------------------------
+    # P4RuntimeService
+    # ------------------------------------------------------------------
+    def set_forwarding_pipeline_config(self, p4info: P4Info) -> Status:
+        self._p4info = p4info
+        self._refs = ReferenceGraph(p4info)
+        self._constraints = {
+            tid: parse_constraint(t.entry_restriction)
+            for tid, t in p4info.tables.items()
+            if t.entry_restriction
+        }
+        return Status()
+
+    def write(self, request: WriteRequest) -> WriteResponse:
+        if self._p4info is None:
+            return WriteResponse(
+                statuses=tuple(
+                    failed_precondition("no pipeline config") for _ in request.updates
+                )
+            )
+        return WriteResponse(
+            statuses=tuple(self._apply(update) for update in request.updates)
+        )
+
+    def _apply(self, update: Update) -> Status:
+        try:
+            decoded = decode_table_entry(self._p4info, update.entry)
+        except EntryDecodeError as exc:
+            return invalid_argument(str(exc))
+        table = self._p4info.tables[update.entry.table_id]
+        constraint = self._constraints.get(table.id)
+        if constraint is not None and update.type is not UpdateType.DELETE:
+            if not evaluate_constraint(constraint, decoded.key_values()):
+                return invalid_argument(f"violates @entry_restriction on {table.name}")
+        key = decoded.identity()
+        if update.type is UpdateType.INSERT:
+            if key in self._store:
+                return already_exists(table.name)
+            if sum(1 for k in self._store if k[0] == table.name) >= table.size:
+                return resource_exhausted(table.name)
+            if self._dangling(update.entry):
+                return invalid_argument("dangling reference")
+            self._store[key] = (update.entry, decoded)
+            return Status()
+        if update.type is UpdateType.MODIFY:
+            if key not in self._store:
+                return not_found(table.name)
+            if self._dangling(update.entry):
+                return invalid_argument("dangling reference")
+            self._store[key] = (update.entry, decoded)
+            return Status()
+        if key not in self._store:
+            return not_found(table.name)
+        if self._orphans(key):
+            return failed_precondition("entry is still referenced")
+        del self._store[key]
+        return Status()
+
+    def _available(self, excluding: Optional[Tuple] = None):
+        return self._refs.collect_state(
+            wire
+            for key, (wire, _decoded) in self._store.items()
+            if key != excluding
+        )
+
+    def _dangling(self, entry: TableEntry) -> bool:
+        return bool(self._refs.dangling_references(entry, self._available()))
+
+    def _orphans(self, key: Tuple) -> bool:
+        remaining = self._available(excluding=key)
+        return any(
+            self._refs.dangling_references(wire, remaining)
+            for other, (wire, _d) in self._store.items()
+            if other != key
+        )
+
+    def read(self, request: ReadRequest) -> ReadResponse:
+        entries = [
+            wire
+            for _key, (wire, _decoded) in self._store.items()
+            if not request.table_id or wire.table_id == request.table_id
+        ]
+        return ReadResponse(entries=tuple(entries))
+
+    def packet_out(self, packet: PacketOut) -> Status:
+        if packet.submit_to_ingress:
+            try:
+                parsed = parse_packet(packet.payload, self.program.parser.pattern)
+            except PacketError as exc:
+                return invalid_argument(str(exc))
+            observed = self.send_packet(deparse_packet(parsed), ingress_port=0)
+            if observed.egress_port is not None:
+                self._egress_log.append(
+                    (observed.egress_port, deparse_packet(observed.packet))
+                )
+            return Status()
+        self._egress_log.append((packet.egress_port, packet.payload))
+        return Status()
+
+    def drain_packet_ins(self) -> List[PacketIn]:
+        out = self._packet_ins
+        self._packet_ins = []
+        return out
+
+    def drain_egress(self) -> List[Tuple[int, bytes]]:
+        out = self._egress_log
+        self._egress_log = []
+        return out
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+    def _state(self) -> Dict[str, List[InstalledEntry]]:
+        state: Dict[str, List[InstalledEntry]] = {}
+        for _wire, decoded in self._store.values():
+            state.setdefault(decoded.table_name, []).append(decoded)
+        return state
+
+    def send_packet(self, payload: bytes, ingress_port: int) -> ObservedForwarding:
+        parsed = parse_packet(payload, self.program.parser.pattern)
+        interp = Interpreter(self.program, self._state(), self._hash)
+        result = interp.run(parsed, ingress_port)
+        if result.punted:
+            self._packet_ins.append(
+                PacketIn(payload=deparse_packet(result.packet), ingress_port=ingress_port)
+            )
+        return ObservedForwarding(
+            egress_port=result.egress_port,
+            punted=result.punted,
+            packet=result.packet,
+            mirror_copies=list(result.mirror_copies),
+        )

@@ -1,0 +1,157 @@
+"""The Switch Abstraction Interface (SAI) layer.
+
+A vendor-agnostic object API over the ASIC (Figure 4).  SyncD talks to this
+layer; this layer talks to the chip.  Statuses mirror SAI's C-style status
+codes so that translation bugs (wrong status mapping, swallowed failures)
+have a realistic place to live.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.switch.asic import AclStageConfig, AsicError, AsicSim, RouteTarget
+
+
+class SaiStatus(enum.Enum):
+    SUCCESS = "SAI_STATUS_SUCCESS"
+    ITEM_ALREADY_EXISTS = "SAI_STATUS_ITEM_ALREADY_EXISTS"
+    ITEM_NOT_FOUND = "SAI_STATUS_ITEM_NOT_FOUND"
+    INSUFFICIENT_RESOURCES = "SAI_STATUS_INSUFFICIENT_RESOURCES"
+    NOT_SUPPORTED = "SAI_STATUS_NOT_SUPPORTED"
+    FAILURE = "SAI_STATUS_FAILURE"
+
+
+_ASIC_TO_SAI = {
+    "exists": SaiStatus.ITEM_ALREADY_EXISTS,
+    "not_found": SaiStatus.ITEM_NOT_FOUND,
+    "no_resources": SaiStatus.INSUFFICIENT_RESOURCES,
+    "unsupported": SaiStatus.NOT_SUPPORTED,
+    "internal": SaiStatus.FAILURE,
+}
+
+
+@dataclass
+class SaiResult:
+    status: SaiStatus
+    detail: str = ""
+    oid: int = 0  # object id for creates
+
+    @property
+    def ok(self) -> bool:
+        return self.status is SaiStatus.SUCCESS
+
+
+class SaiAdapter:
+    """SAI object model: routes, next hops, RIFs, neighbors, groups, ACLs."""
+
+    def __init__(self, asic: AsicSim) -> None:
+        self._asic = asic
+        self._next_oid = 0x1000
+
+    def _alloc_oid(self) -> int:
+        self._next_oid += 1
+        return self._next_oid
+
+    def _call(self, fn, *args) -> SaiResult:
+        try:
+            result = fn(*args)
+        except AsicError as exc:
+            return SaiResult(
+                status=_ASIC_TO_SAI.get(exc.reason, SaiStatus.FAILURE), detail=str(exc)
+            )
+        oid = result if isinstance(result, int) else self._alloc_oid()
+        return SaiResult(status=SaiStatus.SUCCESS, oid=oid)
+
+    # Virtual routers --------------------------------------------------
+    def create_virtual_router(self, vrf_id: int) -> SaiResult:
+        return self._call(self._asic.create_vrf, vrf_id)
+
+    def remove_virtual_router(self, vrf_id: int) -> SaiResult:
+        return self._call(self._asic.remove_vrf, vrf_id)
+
+    # Routes -----------------------------------------------------------
+    def create_route(
+        self, vrf_id: int, ip_version: int, prefix: int, prefix_len: int, target: RouteTarget
+    ) -> SaiResult:
+        return self._call(self._asic.add_route, vrf_id, ip_version, prefix, prefix_len, target)
+
+    def set_route(
+        self, vrf_id: int, ip_version: int, prefix: int, prefix_len: int, target: RouteTarget
+    ) -> SaiResult:
+        return self._call(
+            self._asic.modify_route, vrf_id, ip_version, prefix, prefix_len, target
+        )
+
+    def remove_route(
+        self, vrf_id: int, ip_version: int, prefix: int, prefix_len: int
+    ) -> SaiResult:
+        return self._call(self._asic.del_route, vrf_id, ip_version, prefix, prefix_len)
+
+    # Next hops / neighbors / RIFs --------------------------------------
+    def create_next_hop(self, nh_id: int, rif_id: int, neighbor_id: int) -> SaiResult:
+        return self._call(self._asic.create_nexthop, nh_id, rif_id, neighbor_id)
+
+    def set_next_hop(self, nh_id: int, rif_id: int, neighbor_id: int) -> SaiResult:
+        return self._call(self._asic.modify_nexthop, nh_id, rif_id, neighbor_id)
+
+    def remove_next_hop(self, nh_id: int) -> SaiResult:
+        return self._call(self._asic.remove_nexthop, nh_id)
+
+    def create_neighbor(self, rif_id: int, neighbor_id: int, dst_mac: int) -> SaiResult:
+        return self._call(self._asic.set_neighbor, rif_id, neighbor_id, dst_mac)
+
+    def remove_neighbor(self, rif_id: int, neighbor_id: int) -> SaiResult:
+        return self._call(self._asic.remove_neighbor, rif_id, neighbor_id)
+
+    def create_router_interface(self, rif_id: int, port: int, src_mac: int) -> SaiResult:
+        return self._call(self._asic.create_rif, rif_id, port, src_mac)
+
+    def set_router_interface(self, rif_id: int, port: int, src_mac: int) -> SaiResult:
+        return self._call(self._asic.modify_rif, rif_id, port, src_mac)
+
+    def remove_router_interface(self, rif_id: int) -> SaiResult:
+        return self._call(self._asic.remove_rif, rif_id)
+
+    # WCMP groups --------------------------------------------------------
+    def create_next_hop_group(self, gid: int, members: Sequence[Tuple[int, int]]) -> SaiResult:
+        return self._call(self._asic.create_wcmp_group, gid, members)
+
+    def set_next_hop_group(self, gid: int, members: Sequence[Tuple[int, int]]) -> SaiResult:
+        return self._call(self._asic.replace_wcmp_group, gid, members)
+
+    def remove_next_hop_group(self, gid: int) -> SaiResult:
+        return self._call(self._asic.remove_wcmp_group, gid)
+
+    # Mirror sessions ------------------------------------------------------
+    def create_mirror_session(self, session_id: int, port: int) -> SaiResult:
+        return self._call(self._asic.set_mirror_session, session_id, port)
+
+    def remove_mirror_session(self, session_id: int) -> SaiResult:
+        return self._call(self._asic.remove_mirror_session, session_id)
+
+    # Tunnels ----------------------------------------------------------------
+    def create_tunnel(self, tunnel_id: int, src_ip: int, dst_ip: int) -> SaiResult:
+        return self._call(self._asic.create_tunnel, tunnel_id, src_ip, dst_ip)
+
+    def remove_tunnel(self, tunnel_id: int) -> SaiResult:
+        return self._call(self._asic.remove_tunnel, tunnel_id)
+
+    # ACLs ----------------------------------------------------------------
+    def configure_acl_stage(self, config: AclStageConfig) -> SaiResult:
+        return self._call(self._asic.configure_acl_stage, config)
+
+    def create_acl_entry(
+        self,
+        stage: str,
+        priority: int,
+        matches: Dict[str, Tuple[int, int]],
+        action: str,
+        action_arg: int = 0,
+    ) -> SaiResult:
+        return self._call(self._asic.acl_add, stage, priority, matches, action, action_arg)
+
+    def remove_acl_entry(self, stage: str, entry_id: int) -> SaiResult:
+        return self._call(self._asic.acl_remove, stage, entry_id)

@@ -1,0 +1,234 @@
+"""The assembled PINS switch stack (Figure 4) as a P4Runtime service.
+
+Wires together the ASIC, SAI adapter, SyncD, orchestration agent,
+P4Runtime server, gNMI config, and Linux host layers, and exposes the
+packet-io and data-plane interfaces the SwitchV harness drives.
+
+The stack is constructed with the *true* P4 program governing its role
+(which configures its ACL stages and table mapping, exactly like pushing
+the program to a PINS switch).  The harness may independently be handed a
+different — possibly wrong — model; finding the divergence is SwitchV's
+job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.bmv2.packet import Packet, PacketError, deparse_packet, parse_packet
+from repro.p4.ast import P4Program
+from repro.p4.p4info import P4Info
+from repro.p4rt.messages import (
+    PacketIn,
+    PacketOut,
+    ReadRequest,
+    ReadResponse,
+    WriteRequest,
+    WriteResponse,
+)
+from repro.p4rt.service import P4RuntimeService
+from repro.p4rt.status import Status, invalid_argument
+from repro.switch.asic import AclKeySpec, AclStageConfig, AsicProfile, AsicSim
+from repro.switch.faults import FaultRegistry
+from repro.switch.gnmi import GnmiConfig
+from repro.switch.linux import SwitchLinux
+from repro.switch.orchagent import ACL_STAGE_BY_TABLE, OrchAgent
+from repro.switch.p4rt_server import P4RuntimeServer
+from repro.switch.sai import SaiAdapter
+from repro.switch.syncd import SyncD
+
+
+@dataclass
+class ObservedForwarding:
+    """What the harness observes for one injected test packet."""
+
+    egress_port: Optional[int]
+    punted: bool
+    packet: Packet
+    mirror_copies: List[Tuple[int, Packet]] = field(default_factory=list)
+    # Unsolicited packets the switch emitted alongside (daemon traffic).
+    extra_egress: List[Tuple[int, bytes]] = field(default_factory=list)
+
+    def behavior_signature(self) -> Tuple:
+        # Mirrors PacketResult.behavior_signature, including the
+        # normalisation of unobservable (dropped, unpunted) packets.
+        if self.egress_port is None and not self.punted and not self.mirror_copies:
+            return (None, False, None, ())
+        return (
+            self.egress_port,
+            self.punted,
+            self.packet.signature(),
+            tuple(sorted((p, pkt.signature()) for p, pkt in self.mirror_copies)),
+        )
+
+
+def build_asic_profile(program: P4Program, ports: Tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8)) -> AsicProfile:
+    """Derive chip capabilities from the program's role.
+
+    A switch deployed in a role is provisioned to honour that role's
+    guaranteed table sizes (§3: the guarantee means the hardware accepts
+    any model-valid request), so each resource capacity is at least the
+    corresponding table's declared size.
+    """
+    sizes = {t.name: t.size for t in program.tables()}
+    has_tunnel = "tunnel_tbl" in sizes
+    wcmp_size = sizes.get("wcmp_group_tbl", 128)
+    max_group = 128
+    wcmp_table = next((t for t in program.tables() if t.name == "wcmp_group_tbl"), None)
+    if wcmp_table is not None and wcmp_table.implementation is not None:
+        max_group = wcmp_table.implementation.max_group_size
+    return AsicProfile(
+        ports=ports,
+        supports_tunnel=has_tunnel,
+        vrf_capacity=sizes.get("vrf_tbl", 64),
+        route_capacity=sizes.get("ipv4_tbl", 1024) + sizes.get("ipv6_tbl", 1024),
+        nexthop_capacity=sizes.get("nexthop_tbl", 256),
+        neighbor_capacity=sizes.get("neighbor_tbl", 256),
+        rif_capacity=sizes.get("router_interface_tbl", 64),
+        wcmp_group_capacity=wcmp_size,
+        wcmp_member_capacity=wcmp_size * max_group,
+        mirror_session_capacity=sizes.get("mirror_session_tbl", 4),
+        tunnel_capacity=sizes.get("tunnel_tbl", 64),
+    )
+
+
+def _acl_stage_configs(program: P4Program) -> List[AclStageConfig]:
+    configs = []
+    for table in program.tables():
+        stage = ACL_STAGE_BY_TABLE.get(table.name)
+        if stage is None:
+            continue
+        keys = [
+            AclKeySpec(
+                name=k.key_name,
+                field_path=k.field.path,
+                bitwidth=program.field_width(k.field.path),
+            )
+            for k in table.keys
+        ]
+        configs.append(AclStageConfig(name=stage, keys=keys, capacity=table.size))
+    return configs
+
+
+class PinsSwitchStack(P4RuntimeService):
+    """The complete switch under test."""
+
+    def __init__(
+        self,
+        program: P4Program,
+        faults: Optional[FaultRegistry] = None,
+        profile: Optional[AsicProfile] = None,
+    ) -> None:
+        self.program = program
+        self.faults = faults or FaultRegistry()
+        self.profile = profile or build_asic_profile(program)
+        self.asic = AsicSim(self.profile, self.faults)
+        self.sai = SaiAdapter(self.asic)
+        self.syncd = SyncD(self.sai, self.asic, self.faults)
+        self.orchagent = OrchAgent(program, self.syncd, self.faults)
+        self.server = P4RuntimeServer(self.orchagent, self.faults)
+        self.gnmi = GnmiConfig(self.asic, self.faults)
+        self.linux = SwitchLinux(self.asic, self.faults)
+
+        # Boot sequence: ACL stages are configured from the role's program,
+        # gNMI brings ports up, host daemons run their startup hooks.
+        for config in _acl_stage_configs(program):
+            self.asic.configure_acl_stage(config)
+        self.gnmi.apply_port_config(self.profile.ports)
+        self.linux.boot()
+
+        self._packet_ins: List[PacketIn] = []
+        self._egress_log: List[Tuple[int, bytes]] = []
+
+    # ------------------------------------------------------------------
+    # P4RuntimeService
+    # ------------------------------------------------------------------
+    def set_forwarding_pipeline_config(self, p4info: P4Info) -> Status:
+        return self.server.set_pipeline_config(p4info)
+
+    def write(self, request: WriteRequest) -> WriteResponse:
+        return self.server.write(request)
+
+    def read(self, request: ReadRequest) -> ReadResponse:
+        return self.server.read(request)
+
+    def packet_out(self, packet: PacketOut) -> Status:
+        if self.linux.packet_io_broken:
+            # The broken port-sync daemon tears down the packet-io channel;
+            # the injection is silently lost.
+            return Status()
+        if self.faults.enabled("packet_out_punted_back"):
+            self._packet_ins.append(
+                PacketIn(payload=packet.payload, ingress_port=0)
+            )
+        if packet.submit_to_ingress:
+            if self.faults.enabled("l3_submit_to_ingress_drop"):
+                return Status()  # packet vanishes in the pipeline
+            try:
+                parsed = parse_packet(packet.payload, self.program.parser.pattern)
+            except PacketError as exc:
+                return invalid_argument(f"unparseable packet-out: {exc}")
+            observed = self.inject(parsed, ingress_port=0)
+            if observed.punted:
+                self._enqueue_punt(observed, ingress_port=0)
+            self._record_egress(observed)
+            return Status()
+        self._egress_log.append((packet.egress_port, packet.payload))
+        return Status()
+
+    def drain_packet_ins(self) -> List[PacketIn]:
+        if self.linux.packet_io_broken:
+            # Punted packets accumulate in a dead channel and are lost.
+            self._packet_ins.clear()
+            return []
+        self._packet_ins.extend(self.linux.background_packet_ins())
+        out = self._packet_ins
+        self._packet_ins = []
+        return out
+
+    # ------------------------------------------------------------------
+    # Data plane (harness-facing)
+    # ------------------------------------------------------------------
+    def inject(self, packet: Packet, ingress_port: int):
+        return self.asic.forward(packet, ingress_port)
+
+    def send_packet(self, payload: bytes, ingress_port: int) -> ObservedForwarding:
+        """Inject a test packet and observe its fate (the tester's port view)."""
+        parsed = parse_packet(payload, self.program.parser.pattern)
+        result = self.asic.forward(parsed, ingress_port)
+        observed = ObservedForwarding(
+            egress_port=result.egress_port,
+            punted=result.punted,
+            packet=result.packet,
+            mirror_copies=list(result.mirror_copies),
+            extra_egress=self.linux.background_egress(),
+        )
+        if result.punted:
+            self._enqueue_punt_result(result, ingress_port)
+        return observed
+
+    def _enqueue_punt_result(self, result, ingress_port: int) -> None:
+        self._packet_ins.append(
+            PacketIn(
+                payload=deparse_packet(result.packet),
+                ingress_port=ingress_port,
+            )
+        )
+
+    def _enqueue_punt(self, observed: ObservedForwarding, ingress_port: int) -> None:
+        self._packet_ins.append(
+            PacketIn(payload=deparse_packet(observed.packet), ingress_port=ingress_port)
+        )
+
+    def _record_egress(self, observed: ObservedForwarding) -> None:
+        if observed.egress_port is not None:
+            self._egress_log.append(
+                (observed.egress_port, deparse_packet(observed.packet))
+            )
+
+    def drain_egress(self) -> List[Tuple[int, bytes]]:
+        """Packets the switch emitted via packet-out / submit-to-ingress."""
+        out = self._egress_log
+        self._egress_log = []
+        return out

@@ -1,0 +1,124 @@
+"""SyncD: the database interface between the orchestration agent and SAI.
+
+In SONiC, SyncD consumes the ASIC-DB and replays it into the vendor SAI
+library.  We keep the same responsibility split: the orchestration agent
+expresses intent in terms of SAI-ish operations; SyncD owns the actual SAI
+calls, status translation, and a couple of chip-workaround code paths —
+which is exactly where the paper's SyncD bugs lived.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.switch.asic import AsicSim, RouteTarget
+from repro.switch.faults import FaultRegistry
+from repro.switch.sai import SaiAdapter, SaiResult, SaiStatus
+
+
+def _reverse_ipv4_bytes(value: int) -> int:
+    """Byte-swap a 32-bit address (the Cerberus endianness bug mechanism)."""
+    return int.from_bytes(value.to_bytes(4, "big"), "little")
+
+
+class SyncD:
+    """Applies orchestration-agent operations to the ASIC via SAI."""
+
+    def __init__(self, sai: SaiAdapter, asic: AsicSim, faults: FaultRegistry) -> None:
+        self._sai = sai
+        self._asic = asic
+        self._faults = faults
+
+    # ------------------------------------------------------------------
+    # Pass-throughs with fault hooks
+    # ------------------------------------------------------------------
+    def create_vrf(self, vrf_id: int) -> SaiResult:
+        return self._sai.create_virtual_router(vrf_id)
+
+    def remove_vrf(self, vrf_id: int) -> SaiResult:
+        return self._sai.remove_virtual_router(vrf_id)
+
+    def create_route(self, vrf, version, prefix, plen, target: RouteTarget) -> SaiResult:
+        return self._sai.create_route(vrf, version, prefix, plen, target)
+
+    def set_route(self, vrf, version, prefix, plen, target: RouteTarget) -> SaiResult:
+        return self._sai.set_route(vrf, version, prefix, plen, target)
+
+    def remove_route(self, vrf, version, prefix, plen) -> SaiResult:
+        return self._sai.remove_route(vrf, version, prefix, plen)
+
+    def create_nexthop(self, nh_id, rif_id, neighbor_id) -> SaiResult:
+        return self._sai.create_next_hop(nh_id, rif_id, neighbor_id)
+
+    def set_nexthop(self, nh_id, rif_id, neighbor_id) -> SaiResult:
+        return self._sai.set_next_hop(nh_id, rif_id, neighbor_id)
+
+    def remove_nexthop(self, nh_id) -> SaiResult:
+        return self._sai.remove_next_hop(nh_id)
+
+    def create_neighbor(self, rif_id, neighbor_id, dst_mac) -> SaiResult:
+        return self._sai.create_neighbor(rif_id, neighbor_id, dst_mac)
+
+    def remove_neighbor(self, rif_id, neighbor_id) -> SaiResult:
+        return self._sai.remove_neighbor(rif_id, neighbor_id)
+
+    def create_rif(self, rif_id, port, src_mac) -> SaiResult:
+        return self._sai.create_router_interface(rif_id, port, src_mac)
+
+    def set_rif(self, rif_id, port, src_mac) -> SaiResult:
+        return self._sai.set_router_interface(rif_id, port, src_mac)
+
+    def remove_rif(self, rif_id) -> SaiResult:
+        return self._sai.remove_router_interface(rif_id)
+
+    def create_wcmp_group(self, gid, members: Sequence[Tuple[int, int]]) -> SaiResult:
+        return self._sai.create_next_hop_group(gid, members)
+
+    def set_wcmp_group(self, gid, members: Sequence[Tuple[int, int]]) -> SaiResult:
+        return self._sai.set_next_hop_group(gid, members)
+
+    def remove_wcmp_group(self, gid) -> SaiResult:
+        return self._sai.remove_next_hop_group(gid)
+
+    def create_mirror_session(self, session_id, port) -> SaiResult:
+        return self._sai.create_mirror_session(session_id, port)
+
+    def remove_mirror_session(self, session_id) -> SaiResult:
+        return self._sai.remove_mirror_session(session_id)
+
+    def create_tunnel(self, tunnel_id, src_ip, dst_ip) -> SaiResult:
+        if self._faults.enabled("encap_dst_reversed"):
+            # The Cerberus endianness bug: the destination address is
+            # byte-reversed on its way into the hardware.
+            dst_ip = _reverse_ipv4_bytes(dst_ip)
+        return self._sai.create_tunnel(tunnel_id, src_ip, dst_ip)
+
+    def remove_tunnel(self, tunnel_id) -> SaiResult:
+        return self._sai.remove_tunnel(tunnel_id)
+
+    def create_acl_entry(
+        self,
+        stage: str,
+        priority: int,
+        matches: Dict[str, Tuple[int, int]],
+        action: str,
+        action_arg: int = 0,
+    ) -> SaiResult:
+        if self._faults.enabled("decap_ignores_port") and stage == "decap":
+            # Port qualifier silently dropped when programming the TCAM.
+            matches = {k: v for k, v in matches.items() if k != "in_port"}
+        if self._faults.enabled("acl_invalid_cleanup_leak") and priority > 30:
+            # The hardware only supports 30 priority levels here; the
+            # rejected entry's TCAM slot is nevertheless consumed.
+            self._asic.acl_leak_slot(stage)
+            return SaiResult(
+                status=SaiStatus.FAILURE, detail="acl priority outside hardware range"
+            )
+        result = self._sai.create_acl_entry(stage, priority, matches, action, action_arg)
+        if not result.ok and self._faults.enabled("acl_invalid_cleanup_leak"):
+            # The rejected entry's TCAM slot is never released.
+            self._asic.acl_leak_slot(stage)
+        return result
+
+    def remove_acl_entry(self, stage: str, entry_id: int) -> SaiResult:
+        return self._sai.remove_acl_entry(stage, entry_id)

@@ -1,0 +1,37 @@
+"""repro.switchv — the SwitchV validation harness (§2 "Design").
+
+Combines the two test generators with their judges:
+
+* control-plane API validation: :mod:`repro.fuzzer` generates valid and
+  interestingly-invalid P4Runtime requests; the oracle judges responses and
+  read-backs against the P4Runtime specification instantiated for the
+  model.
+* data-plane validation: :mod:`repro.symbolic` generates coverage-directed
+  test packets; the harness replays them against the switch and the BMv2
+  simulator and checks the switch's behaviour is in the model's admissible
+  set.
+
+This package holds the harness itself (:mod:`repro.switchv.harness`),
+incident reporting (:mod:`repro.switchv.report`), and the trivial
+integration test suite of §6.2 (:mod:`repro.switchv.trivial`).
+"""
+
+from repro.switchv.report import Incident, IncidentKind, IncidentLog
+
+__all__ = [
+    "Incident",
+    "IncidentKind",
+    "IncidentLog",
+    "SwitchVHarness",
+    "ValidationReport",
+]
+
+
+def __getattr__(name):
+    # The harness pulls in the fuzzer, whose oracle reports incidents via
+    # this package; importing it lazily keeps the dependency acyclic.
+    if name in ("SwitchVHarness", "ValidationReport"):
+        from repro.switchv import harness
+
+        return getattr(harness, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

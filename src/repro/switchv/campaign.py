@@ -1,0 +1,108 @@
+"""Fault-injection campaigns: the machinery behind Tables 1–2 and Figure 7.
+
+A campaign takes one fault from the catalogue, builds the appropriate
+switch stack with that fault enabled (including model transforms for
+input-P4-program bugs and simulator flags for BMv2 bugs), runs SwitchV
+(p4-fuzzer + p4-symbolic, §6's nightly configuration scaled down), and the
+trivial test suite (§6.2), and records what detected it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.fuzzer import FuzzerConfig
+from repro.p4.ast import P4Program
+from repro.p4.p4info import build_p4info
+from repro.p4.programs import build_cerberus_program, build_tor_program
+from repro.switch import FaultRegistry, PinsSwitchStack
+from repro.switch.faults import FAULTS_BY_NAME, Fault, faults_for_stack
+from repro.switch.model_faults import apply_model_faults
+from repro.switchv.harness import SwitchVHarness
+from repro.switchv.report import IncidentLog
+from repro.switchv.trivial import run_trivial_suite
+from repro.workloads import production_like_entries
+
+# Which builder models which stack.
+STACK_PROGRAMS: Dict[str, Callable[[], P4Program]] = {
+    "pins": build_tor_program,
+    "cerberus": build_cerberus_program,
+}
+
+
+@dataclass
+class FaultOutcome:
+    """What one fault's campaign produced."""
+
+    fault: Fault
+    detected: bool
+    detected_by: List[str] = field(default_factory=list)  # tools that flagged it
+    incident_count: int = 0
+    trivial_first_failure: Optional[str] = None  # §6.2 attribution
+    incidents: Optional[IncidentLog] = None
+
+
+@dataclass
+class CampaignConfig:
+    """Scaled-down nightly run parameters (fast enough for CI)."""
+
+    fuzz_writes: int = 25
+    fuzz_updates_per_write: int = 25
+    workload_entries: int = 90
+    seed: int = 11
+    run_trivial: bool = True
+
+
+def run_fault_campaign(
+    fault_name: str, stack_kind: str, config: Optional[CampaignConfig] = None
+) -> FaultOutcome:
+    """Run SwitchV (and the trivial suite) against one seeded fault."""
+    config = config or CampaignConfig()
+    fault = FAULTS_BY_NAME[fault_name]
+    build = STACK_PROGRAMS[stack_kind]
+
+    true_program = build()
+    # Model-category faults hand SwitchV a wrong model of a correct switch;
+    # everything else faults the switch itself.
+    model = apply_model_faults(true_program, [fault_name])
+    registry = FaultRegistry([fault_name])
+    stack = PinsSwitchStack(true_program, faults=registry)
+    harness = SwitchVHarness(model, stack, simulator_faults=registry)
+
+    entries = production_like_entries(
+        build_p4info(model), total=config.workload_entries, seed=config.seed
+    )
+    report = harness.validate(
+        entries,
+        FuzzerConfig(
+            num_writes=config.fuzz_writes,
+            updates_per_write=config.fuzz_updates_per_write,
+            seed=config.seed,
+        ),
+    )
+
+    outcome = FaultOutcome(
+        fault=fault,
+        detected=bool(report.incidents),
+        incident_count=report.incidents.count,
+        incidents=report.incidents,
+    )
+    outcome.detected_by = sorted(report.incidents.by_source())
+
+    if config.run_trivial:
+        trivial_stack = PinsSwitchStack(build(), faults=FaultRegistry([fault_name]))
+        trivial = run_trivial_suite(model, trivial_stack)
+        outcome.trivial_first_failure = trivial.first_failure
+    return outcome
+
+
+def run_full_campaign(
+    stack_kind: str, config: Optional[CampaignConfig] = None
+) -> List[FaultOutcome]:
+    """Run the whole catalogue for one stack ('pins' or 'cerberus')."""
+    return [
+        run_fault_campaign(fault.name, stack_kind, config)
+        for fault in faults_for_stack(stack_kind)
+        if stack_kind == "pins" or fault.stack == "cerberus"
+    ]

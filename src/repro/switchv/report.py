@@ -1,0 +1,111 @@
+"""Incident reporting.
+
+When SwitchV deems a switch behaviour invalid it "produces a log of the
+incident" for a human to root-cause (§2).  An :class:`Incident` captures
+what was being tested, what was expected (the admissible set), and what was
+observed; an :class:`IncidentLog` collects and deduplicates them per run.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+class IncidentKind(enum.Enum):
+    """The category of disagreement, used for triage and dedup."""
+
+    # Control plane
+    INVALID_REQUEST_ACCEPTED = "invalid request accepted"
+    VALID_REQUEST_REJECTED = "valid request rejected"
+    WRONG_ERROR_CODE = "wrong error code"
+    READBACK_MISMATCH = "read-back disagrees with expected state"
+    PIPELINE_CONFIG = "pipeline config handling"
+    SWITCH_UNRESPONSIVE = "switch crashed or became unresponsive"
+    # Data plane
+    FORWARDING_MISMATCH = "forwarding behavior not admitted by model"
+    UNEXPECTED_PACKET_IN = "unexpected packet punted to controller"
+    UNEXPECTED_EGRESS = "unexpected packet emitted on data port"
+    PACKET_IO = "packet-io misbehavior"
+
+
+@dataclass
+class Incident:
+    """One observed divergence between the switch and the P4 model."""
+
+    kind: IncidentKind
+    summary: str
+    # Free-form context for the human root-causing the issue.
+    expected: str = ""
+    observed: str = ""
+    test_input: str = ""
+    source: str = ""  # "p4-fuzzer" | "p4-symbolic" | "trivial-suite"
+
+    def dedup_key(self) -> Tuple:
+        return (self.kind, self.summary)
+
+    def __repr__(self) -> str:
+        return f"Incident({self.source}, {self.kind.value}: {self.summary})"
+
+
+@dataclass
+class IncidentLog:
+    """A run's incidents, deduplicated by (kind, summary)."""
+
+    incidents: List[Incident] = field(default_factory=list)
+    _seen: set = field(default_factory=set)
+
+    def report(self, incident: Incident) -> None:
+        key = incident.dedup_key()
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.incidents.append(incident)
+
+    def extend(self, other: "IncidentLog") -> None:
+        for incident in other.incidents:
+            self.report(incident)
+
+    @property
+    def count(self) -> int:
+        return len(self.incidents)
+
+    def by_kind(self) -> Dict[IncidentKind, int]:
+        out: Dict[IncidentKind, int] = {}
+        for incident in self.incidents:
+            out[incident.kind] = out.get(incident.kind, 0) + 1
+        return out
+
+    def by_source(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for incident in self.incidents:
+            out[incident.source] = out.get(incident.source, 0) + 1
+        return out
+
+    def summary_lines(self) -> List[str]:
+        return [repr(incident) for incident in self.incidents]
+
+    def __bool__(self) -> bool:
+        return bool(self.incidents)
+
+    def __iter__(self):
+        return iter(self.incidents)
+
+    def render(self) -> str:
+        """The human-facing incident log (§2: testers inspect this to
+        identify the root cause)."""
+        if not self.incidents:
+            return "no incidents: switch behaviour matched the model.\n"
+        lines = [f"{self.count} incident(s):", ""]
+        for index, incident in enumerate(self.incidents, start=1):
+            lines.append(f"[{index}] {incident.kind.value}  (found by {incident.source})")
+            lines.append(f"    summary:  {incident.summary}")
+            if incident.expected:
+                lines.append(f"    expected: {incident.expected}")
+            if incident.observed:
+                lines.append(f"    observed: {incident.observed}")
+            if incident.test_input:
+                lines.append(f"    input:    {incident.test_input}")
+            lines.append("")
+        return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""Test-packet caching (§6.3 "Caching").
+
+Generating packets — repeatedly invoking the SMT solver — is the slowest
+SwitchV stage.  When the P4 program, the table entries, and the coverage
+request are unchanged from a previous run, the generated packets are simply
+looked up.  The cache key is a digest over exactly the inputs that affect
+the SMT constraints; anything else (the switch build under test, which
+changes far more often than the specification) leaves the cache valid.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.bmv2.entries import InstalledEntry
+from repro.p4.ast import P4Program
+from repro.symbolic.coverage import CoverageMode
+from repro.symbolic.packets import GenerationResult, GenerationStats
+
+
+def cache_key(
+    program: P4Program,
+    state: Mapping[str, Sequence[InstalledEntry]],
+    mode: CoverageMode,
+    valid_ports: Sequence[int],
+) -> str:
+    """A digest of everything that affects the generated SMT constraints."""
+    h = hashlib.sha256()
+    h.update(program.name.encode())
+    # The dataclass reprs of the AST are deterministic and structural.
+    h.update(repr(program.ingress).encode())
+    h.update(repr(program.egress).encode())
+    h.update(repr(program.metadata).encode())
+    for table_name in sorted(state):
+        h.update(table_name.encode())
+        for entry in sorted(state[table_name], key=lambda e: repr(e.identity())):
+            h.update(repr((entry.identity(), entry.action)).encode())
+    h.update(mode.value.encode())
+    h.update(repr(tuple(valid_ports)).encode())
+    return h.hexdigest()
+
+
+class PacketCache:
+    """In-memory packet cache with optional on-disk persistence."""
+
+    def __init__(self, directory: Optional[Path] = None) -> None:
+        self._memory: Dict[str, GenerationResult] = {}
+        self._directory = Path(directory) if directory else None
+        if self._directory:
+            self._directory.mkdir(parents=True, exist_ok=True)
+
+    def lookup(self, key: str) -> Optional[GenerationResult]:
+        hit = self._memory.get(key)
+        if hit is not None:
+            return self._mark_hit(hit)
+        if self._directory:
+            path = self._directory / f"{key}.pkl"
+            if path.exists():
+                with path.open("rb") as fh:
+                    result = pickle.load(fh)
+                self._memory[key] = result
+                return self._mark_hit(result)
+        return None
+
+    def store(self, key: str, result: GenerationResult) -> None:
+        self._memory[key] = result
+        if self._directory:
+            with (self._directory / f"{key}.pkl").open("wb") as fh:
+                pickle.dump(result, fh)
+
+    @staticmethod
+    def _mark_hit(result: GenerationResult) -> GenerationResult:
+        stats = GenerationStats(
+            goals_total=result.stats.goals_total,
+            goals_covered=result.stats.goals_covered,
+            goals_unsatisfiable=result.stats.goals_unsatisfiable,
+            solver_queries=0,
+            elapsed_seconds=0.0,
+            cache_hit=True,
+        )
+        return GenerationResult(
+            packets=list(result.packets), uncovered=list(result.uncovered), stats=stats
+        )
+
+    def clear(self) -> None:
+        self._memory.clear()
+        if self._directory:
+            for path in self._directory.glob("*.pkl"):
+                path.unlink()

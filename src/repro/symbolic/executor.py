@@ -1,0 +1,390 @@
+"""The guarded single-pass symbolic executor (§5).
+
+For each parser profile the executor maintains:
+
+* the symbolic state **S** — every field path mapped to an SMT term over
+  the input variables **X** (header fields and the ingress port);
+* the symbolic trace **T** — every control construct (branch direction,
+  table entry, table miss) mapped to the condition under which it executes.
+
+Trace isolation uses guarded commands: side effects of an entry's action
+are merged into S via ``ite(guard, new, old)`` where the guard is the
+conjunction of the enclosing context, the entry's match condition, and the
+negation of all higher-priority entries' match conditions — exactly the
+T[i1]/T[i5] construction of the paper's worked example.
+
+Hashing is free (§5): each hash use and each action-selector choice
+introduces fresh unconstrained variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.bmv2.entries import DecodedAction, DecodedActionSet, InstalledEntry
+from repro.p4.ast import (
+    BinOp,
+    BoolOp,
+    Cmp,
+    Const,
+    FieldRef,
+    HashExpr,
+    If,
+    IsValid,
+    MatchKind,
+    P4Program,
+    Param,
+    Seq,
+    Statement,
+    Table,
+    TableApply,
+)
+from repro.smt import terms as T
+from repro.symbolic.profiles import ParserProfile, profiles_for_pattern
+
+# A trace key identifies one control-flow construct:
+#   ("branch", label, taken)          — an `if` direction
+#   ("entry", table_name, identity)   — a specific installed entry matching
+#   ("miss", table_name)              — the default action firing
+TraceKey = Tuple
+
+
+@dataclass
+class ProfileExecution:
+    """The result of symbolically executing one parser profile."""
+
+    profile: ParserProfile
+    # Input variables X: field path -> term (vars or pinned constants).
+    inputs: Dict[str, T.Term]
+    # Output expressions Y: field path -> term over X.
+    outputs: Dict[str, T.Term]
+    # The symbolic trace T.
+    trace: Dict[TraceKey, T.Term]
+    # Profile-level path constraints (parser pins/exclusions, port validity).
+    constraints: List[T.Term]
+
+
+class SymbolicExecutionError(RuntimeError):
+    pass
+
+
+class SymbolicExecutor:
+    """Executes a program symbolically against a fixed table state."""
+
+    def __init__(
+        self,
+        program: P4Program,
+        state: Mapping[str, Sequence[InstalledEntry]],
+        valid_ports: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8),
+    ) -> None:
+        self.program = program
+        self.state = {k: list(v) for k, v in state.items()}
+        self.valid_ports = tuple(valid_ports)
+        self._fresh_counter = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def execute(self) -> List[ProfileExecution]:
+        """Run every parser profile; returns one execution per profile."""
+        return [
+            self._execute_profile(profile)
+            for profile in profiles_for_pattern(self.program.parser.pattern)
+        ]
+
+    # ------------------------------------------------------------------
+    # Per-profile execution
+    # ------------------------------------------------------------------
+    def _fresh(self, name: str, width: int) -> T.Term:
+        self._fresh_counter += 1
+        return T.bv_var(f"{name}#{self._fresh_counter}", width)
+
+    def _execute_profile(self, profile: ParserProfile) -> ProfileExecution:
+        state: Dict[str, T.Term] = {}
+        inputs: Dict[str, T.Term] = {}
+        constraints: List[T.Term] = []
+        prefix = profile.name
+        pins = profile.pin_map()
+
+        for path in self.program.all_field_paths():
+            width = self.program.field_width(path)
+            header = path.split(".", 1)[0]
+            if header in profile.valid_headers:
+                if path in pins:
+                    term = T.bv_const(pins[path], width)
+                else:
+                    term = T.bv_var(f"{prefix}::{path}", width)
+                inputs[path] = term
+                state[path] = term
+            elif path == "standard.ingress_port":
+                term = T.bv_var(f"{prefix}::{path}", width)
+                inputs[path] = term
+                state[path] = term
+                constraints.append(
+                    T.or_(*[term.eq(p) for p in self.valid_ports])
+                )
+            else:
+                # Invalid headers and metadata start at zero, matching the
+                # concrete interpreter.
+                state[path] = T.bv_const(0, width)
+
+        for path, excluded in profile.exclusions:
+            term = state[path]
+            for value in excluded:
+                constraints.append(term.ne(value))
+
+        trace: Dict[TraceKey, T.Term] = {}
+        self._run_block(self.program.ingress, state, profile, T.TRUE, trace)
+        # Egress only executes when the packet was not dropped in ingress.
+        not_dropped = state["standard.drop"].eq(T.bv_const(0, 1))
+        self._run_block(self.program.egress, state, profile, not_dropped, trace)
+
+        # The smart constructors in repro.smt.terms already fold constants
+        # and flatten connectives at construction time; a further global
+        # simplification pass costs more than it saves on large states.
+        outputs = dict(state)
+        return ProfileExecution(
+            profile=profile,
+            inputs=inputs,
+            outputs=outputs,
+            trace=trace,
+            constraints=constraints,
+        )
+
+    # ------------------------------------------------------------------
+    # Control flow
+    # ------------------------------------------------------------------
+    def _run_block(
+        self,
+        block: Seq,
+        state: Dict[str, T.Term],
+        profile: ParserProfile,
+        context: T.Term,
+        trace: Dict[TraceKey, T.Term],
+    ) -> None:
+        for node in block:
+            if isinstance(node, TableApply):
+                self._apply_table(node.table, state, profile, context, trace)
+            elif isinstance(node, If):
+                cond = self._eval_bool(node.cond, state, profile)
+                label = node.label or repr(node.cond)
+                then_ctx = T.and_(context, cond)
+                else_ctx = T.and_(context, T.not_(cond))
+                trace[("branch", label, True)] = T.or_(
+                    trace.get(("branch", label, True), T.FALSE), then_ctx
+                )
+                trace[("branch", label, False)] = T.or_(
+                    trace.get(("branch", label, False), T.FALSE), else_ctx
+                )
+                self._run_block(node.then_block, state, profile, then_ctx, trace)
+                self._run_block(node.else_block, state, profile, else_ctx, trace)
+            elif isinstance(node, Statement):
+                self._assign(node, state, profile, context, params={})
+            else:  # pragma: no cover - defensive
+                raise SymbolicExecutionError(f"unknown control node {node!r}")
+
+    # ------------------------------------------------------------------
+    # Tables
+    # ------------------------------------------------------------------
+    def _ordered_entries(self, table: Table) -> List[InstalledEntry]:
+        """Entries in descending match priority, as the paper's example:
+        numeric priority for ternary tables, prefix length for LPM."""
+        entries = list(self.state.get(table.name, ()))
+        if table.requires_priority:
+            entries.sort(key=lambda e: -e.priority)
+        else:
+            lpm_keys = [k.key_name for k in table.keys if k.kind is MatchKind.LPM]
+            if lpm_keys:
+                key_name = lpm_keys[0]
+
+                def prefix(e: InstalledEntry) -> int:
+                    m = e.match(key_name)
+                    return m.prefix_len if (m and m.present) else -1
+
+                entries.sort(key=lambda e: -prefix(e))
+        return entries
+
+    def _match_condition(
+        self, table: Table, entry: InstalledEntry, state: Dict[str, T.Term]
+    ) -> T.Term:
+        conjuncts: List[T.Term] = []
+        for key in table.keys:
+            m = entry.match(key.key_name)
+            if m is None or not m.present:
+                continue
+            value = state[key.field.path]
+            width = value.width
+            if m.mask and m.mask != (1 << width) - 1:
+                conjuncts.append(
+                    (value & T.bv_const(m.mask, width)).eq(
+                        T.bv_const(m.value & m.mask, width)
+                    )
+                )
+            else:
+                conjuncts.append(value.eq(T.bv_const(m.value, width)))
+        return T.and_(*conjuncts) if conjuncts else T.TRUE
+
+    def _apply_table(
+        self,
+        table: Table,
+        state: Dict[str, T.Term],
+        profile: ParserProfile,
+        context: T.Term,
+        trace: Dict[TraceKey, T.Term],
+    ) -> None:
+        entries = self._ordered_entries(table)
+        # Walk in descending priority, accumulating the negation of all
+        # higher-priority matches (the guarded-command construction).
+        no_higher_match = T.TRUE
+        for entry in entries:
+            match = self._match_condition(table, entry, state)
+            guard = T.and_(context, no_higher_match, match)
+            key: TraceKey = ("entry", table.name, entry.identity())
+            trace[key] = T.or_(trace.get(key, T.FALSE), guard)
+            self._execute_entry_action(table, entry, state, profile, guard)
+            no_higher_match = T.and_(no_higher_match, T.not_(match))
+        miss_guard = T.and_(context, no_higher_match)
+        miss_key: TraceKey = ("miss", table.name)
+        trace[miss_key] = T.or_(trace.get(miss_key, T.FALSE), miss_guard)
+        self._execute_action_body(
+            table.default_action.body, {}, state, profile, miss_guard
+        )
+
+    def _execute_entry_action(
+        self,
+        table: Table,
+        entry: InstalledEntry,
+        state: Dict[str, T.Term],
+        profile: ParserProfile,
+        guard: T.Term,
+    ) -> None:
+        if isinstance(entry.action, DecodedActionSet):
+            # Free selection: fresh boolean selectors choose the member; the
+            # guard chain makes exactly one fire per execution.
+            members = entry.action.members
+            remaining = guard
+            for index, (member, _weight) in enumerate(members):
+                if index == len(members) - 1:
+                    member_guard = remaining
+                else:
+                    self._fresh_counter += 1
+                    chooser = T.bool_var(f"select:{table.name}#{self._fresh_counter}")
+                    member_guard = T.and_(remaining, chooser)
+                    remaining = T.and_(remaining, T.not_(chooser))
+                self._run_named_action(table, member, state, profile, member_guard)
+        else:
+            self._run_named_action(table, entry.action, state, profile, guard)
+
+    def _run_named_action(
+        self,
+        table: Table,
+        decoded: DecodedAction,
+        state: Dict[str, T.Term],
+        profile: ParserProfile,
+        guard: T.Term,
+    ) -> None:
+        if decoded.name in table.action_names:
+            action = table.action(decoded.name)
+        elif decoded.name == table.default_action.name:
+            action = table.default_action
+        else:
+            raise SymbolicExecutionError(
+                f"entry in {table.name} uses unknown action {decoded.name}"
+            )
+        self._execute_action_body(action.body, decoded.param_map(), state, profile, guard)
+
+    def _execute_action_body(
+        self,
+        body: Sequence[Statement],
+        params: Dict[str, int],
+        state: Dict[str, T.Term],
+        profile: ParserProfile,
+        guard: T.Term,
+    ) -> None:
+        for stmt in body:
+            self._assign(stmt, state, profile, guard, params)
+
+    def _assign(
+        self,
+        stmt: Statement,
+        state: Dict[str, T.Term],
+        profile: ParserProfile,
+        guard: T.Term,
+        params: Dict[str, int],
+    ) -> None:
+        dest = stmt.dest.path
+        width = self.program.field_width(dest)
+        value = self._eval_expr(stmt.value, state, profile, params, width)
+        old = state[dest]
+        state[dest] = T.ite(guard, value, old)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def _eval_expr(
+        self,
+        expr,
+        state: Dict[str, T.Term],
+        profile: ParserProfile,
+        params: Dict[str, int],
+        width_hint: int,
+    ) -> T.Term:
+        if isinstance(expr, Const):
+            return T.bv_const(expr.value, expr.width if expr.width else width_hint)
+        if isinstance(expr, FieldRef):
+            return state[expr.path]
+        if isinstance(expr, Param):
+            if expr.name not in params:
+                raise SymbolicExecutionError(f"unbound parameter {expr.name}")
+            return T.bv_const(params[expr.name], width_hint)
+        if isinstance(expr, BinOp):
+            left = self._eval_expr(expr.left, state, profile, params, width_hint)
+            right = self._eval_expr(expr.right, state, profile, params, left.width)
+            if left.width != right.width:
+                # Align narrower constants to the wider operand.
+                if right.width < left.width:
+                    right = T.zext(right, left.width - right.width)
+                else:
+                    left = T.zext(left, right.width - left.width)
+            if expr.op == "+":
+                return left + right
+            if expr.op == "-":
+                return left - right
+            if expr.op == "&":
+                return left & right
+            if expr.op == "|":
+                return left | right
+            if expr.op == "^":
+                return left ^ right
+            raise SymbolicExecutionError(f"unknown binop {expr.op}")
+        if isinstance(expr, HashExpr):
+            # Hashing is a free operation: a fresh unconstrained variable.
+            return self._fresh(f"hash:{expr.label}", expr.width)
+        raise SymbolicExecutionError(f"unknown expression {expr!r}")
+
+    def _eval_bool(self, cond, state: Dict[str, T.Term], profile: ParserProfile) -> T.Term:
+        if isinstance(cond, IsValid):
+            return T.TRUE if cond.header in profile.valid_headers else T.FALSE
+        if isinstance(cond, Cmp):
+            left = self._eval_expr(cond.left, state, profile, {}, 0)
+            right = self._eval_expr(cond.right, state, profile, {}, left.width)
+            if cond.op == "==":
+                return left.eq(right)
+            if cond.op == "!=":
+                return left.ne(right)
+            if cond.op == "<":
+                return left.ult(right)
+            if cond.op == "<=":
+                return left.ule(right)
+            if cond.op == ">":
+                return right.ult(left)
+            return right.ule(left)
+        if isinstance(cond, BoolOp):
+            args = [self._eval_bool(a, state, profile) for a in cond.args]
+            if cond.op == "and":
+                return T.and_(*args)
+            if cond.op == "or":
+                return T.or_(*args)
+            return T.not_(args[0])
+        raise SymbolicExecutionError(f"unknown condition {cond!r}")

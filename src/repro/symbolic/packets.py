@@ -1,0 +1,242 @@
+"""Concrete test-packet extraction.
+
+Builds one QF_BV solver per parser profile (profile constraints asserted
+once), then discharges every coverage goal as an *assumption* query against
+the appropriate solver — the incremental usage pattern the SMT layer is
+designed for.  A satisfying model is turned into a concrete packet: pinned
+parser fields take their pinned values, solved fields take model values,
+everything else defaults to zero.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.bmv2.entries import InstalledEntry
+from repro.bmv2.packet import Packet
+from repro.p4.ast import P4Program
+from repro.smt import Result, Solver
+from repro.smt import terms as T
+from repro.symbolic.coverage import CoverageGoal, CoverageMode, goals_for_mode
+from repro.symbolic.executor import ProfileExecution, SymbolicExecutor
+
+
+@dataclass
+class GeneratedPacket:
+    """A concrete test packet witnessing one coverage goal."""
+
+    goal: str
+    profile: str
+    packet: Packet
+    ingress_port: int
+
+    def __repr__(self) -> str:
+        return f"GeneratedPacket({self.goal}, {self.profile}, port {self.ingress_port})"
+
+
+@dataclass
+class GenerationStats:
+    goals_total: int = 0
+    goals_covered: int = 0
+    goals_unsatisfiable: int = 0
+    solver_queries: int = 0
+    elapsed_seconds: float = 0.0
+    cache_hit: bool = False
+
+
+@dataclass
+class GenerationResult:
+    packets: List[GeneratedPacket]
+    uncovered: List[str]
+    stats: GenerationStats
+
+
+class PacketGenerator:
+    """Drives symbolic execution and goal solving for one table state."""
+
+    def __init__(
+        self,
+        program: P4Program,
+        state: Mapping[str, Sequence[InstalledEntry]],
+        valid_ports: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8),
+    ) -> None:
+        self.program = program
+        self.state = state
+        self.valid_ports = tuple(valid_ports)
+        self._executions: Optional[List[ProfileExecution]] = None
+        self._solvers: Dict[str, Solver] = {}
+
+    # ------------------------------------------------------------------
+    def executions(self) -> List[ProfileExecution]:
+        if self._executions is None:
+            executor = SymbolicExecutor(self.program, self.state, self.valid_ports)
+            self._executions = executor.execute()
+        return self._executions
+
+    def _solver_for(self, execution: ProfileExecution) -> Solver:
+        solver = self._solvers.get(execution.profile.name)
+        if solver is None:
+            # Trace/output terms were already simplified by the executor;
+            # re-simplifying every (large) goal assumption inside the solver
+            # costs more than it saves.
+            solver = Solver(simplify_terms=False)
+            for constraint in execution.constraints:
+                solver.add(constraint)
+            self._solvers[execution.profile.name] = solver
+        return solver
+
+    # ------------------------------------------------------------------
+    def generate(
+        self,
+        mode: CoverageMode = CoverageMode.ENTRY,
+        custom_goals: Sequence[CoverageGoal] = (),
+    ) -> GenerationResult:
+        """Produce one packet per satisfiable coverage goal."""
+        start = time.perf_counter()
+        stats = GenerationStats()
+        executions = self.executions()
+        goals = goals_for_mode(executions, mode, custom_goals)
+        stats.goals_total = len(goals)
+        packets: List[GeneratedPacket] = []
+        uncovered: List[str] = []
+        for index, goal in enumerate(goals):
+            generated = self._solve_goal(goal, executions, stats, index)
+            if generated is not None:
+                packets.append(generated)
+                stats.goals_covered += 1
+            else:
+                uncovered.append(goal.name)
+                stats.goals_unsatisfiable += 1
+        stats.elapsed_seconds = time.perf_counter() - start
+        return GenerationResult(packets=packets, uncovered=uncovered, stats=stats)
+
+    def _solve_goal(
+        self,
+        goal: CoverageGoal,
+        executions: Sequence[ProfileExecution],
+        stats: GenerationStats,
+        index: int = 0,
+    ) -> Optional[GeneratedPacket]:
+        # Diversify ingress ports across goals: solvers otherwise settle on
+        # one habitual port, leaving port-qualified behaviour untested.
+        preferred_port = self.valid_ports[index % len(self.valid_ports)]
+        for execution in executions:
+            condition = goal.condition(execution)
+            if condition is None or condition is T.FALSE:
+                continue
+            solver = self._solver_for(execution)
+            port_term = execution.inputs["standard.ingress_port"]
+            background = self._background_refinement(execution, condition)
+            # Soft preference: place the destination inside the common route
+            # space even when the goal constrains it loosely (e.g. an ACL
+            # guard's negations) — divergences on *forwarded* packets are
+            # observable, dropped ones often are not.
+            soft_dst = self._soft_dst_preference(execution, condition)
+            attempts = [
+                # Canonical forwarding context: the first valid port (whose
+                # VRF owns the background route space) plus a routable
+                # destination — maximises the observability of divergences.
+                (condition, port_term.eq(self.valid_ports[0]), background, soft_dst),
+                # Same context for goals that pin the destination themselves.
+                (condition, port_term.eq(self.valid_ports[0]), background),
+                # Port rotation for port-qualified behaviour.
+                (condition, port_term.eq(preferred_port), background),
+                (condition, background),
+                (condition,),
+            ]
+            for assumptions in attempts:
+                stats.solver_queries += 1
+                if solver.check(*assumptions) is Result.SAT:
+                    return self._packet_from_model(goal, execution, solver.model())
+        return None
+
+    def _soft_dst_preference(self, execution, condition: T.Term) -> T.Term:
+        constrained = set(T.free_variables(condition))
+        clauses = []
+        for path in ("ipv4.dst_addr", "ipv6.dst_addr"):
+            term = execution.inputs.get(path)
+            if term is None or term.is_const or term.name not in constrained:
+                continue  # free fields are already background-pinned
+            clauses.append(term.eq(self._BACKGROUND[path] & ((1 << term.width) - 1)))
+        return T.and_(*clauses) if clauses else T.TRUE
+
+    def _background_refinement(self, execution, condition: T.Term) -> T.Term:
+        """Pin fields the goal leaves free to realistic background values.
+
+        Only fields whose variables do not occur in the goal condition are
+        pinned, so the refinement can never make a satisfiable goal
+        unsatisfiable on its own (the extra port preference can, hence the
+        query cascade).  Without this, packets carry whatever residue the
+        solver's previous queries left in those variables — all-zero TTLs
+        and addresses that mask real divergences.
+        """
+        constrained = set(T.free_variables(condition))
+        clauses = []
+        for path, term in execution.inputs.items():
+            if term.is_const or term.name in constrained:
+                continue
+            if path in self._BACKGROUND:
+                width = term.width
+                clauses.append(term.eq(self._BACKGROUND[path] & ((1 << width) - 1)))
+        return T.and_(*clauses) if clauses else T.TRUE
+
+    # ------------------------------------------------------------------
+    # Background values for input fields the goal leaves unconstrained.
+    # Any value satisfies the formula for such fields; realistic non-zero
+    # defaults make test packets exercise behaviour the constraints do not
+    # pin down (DSCP rewrites, ICMP field extraction, MTU handling) —
+    # all-zero packets would mask entire bug classes.
+    _BACKGROUND = {
+        "ethernet.dst_addr": 0x02BB00000042,
+        "ethernet.src_addr": 0x02AA00000017,
+        "ipv4.version": 4,
+        "ipv4.ihl": 5,
+        "ipv4.dscp": 10,
+        "ipv4.ttl": 64,
+        "ipv4.src_addr": 0x0A090909,  # 10.9.9.9
+        "ipv4.dst_addr": 0x0A010009,  # 10.1.0.9 — inside common route space
+        "ipv6.version": 6,
+        "ipv6.hop_limit": 64,
+        "ipv6.src_addr": 0x20010DB8_00000000_00000000_00000009,
+        "ipv6.dst_addr": 0x20010DB8_00000000_00000000_00000042,
+        "icmp.type": 13,
+        "icmp.code": 5,
+        "tcp.src_port": 10000,
+        "tcp.dst_port": 443,
+        "udp.src_port": 10000,
+        "udp.dst_port": 443,
+    }
+    # 96-byte payload: large enough that truncation bugs are observable.
+    _PAYLOAD = (b"SwitchV!" * 12)[:96]
+
+    def _packet_from_model(
+        self, goal: CoverageGoal, execution: ProfileExecution, model
+    ) -> GeneratedPacket:
+        packet = Packet(payload=self._PAYLOAD)
+        profile = execution.profile
+        for path, term in execution.inputs.items():
+            if path == "standard.ingress_port":
+                continue
+            if term.is_const:
+                value = term.value
+            elif term.name in model:
+                value = model[term.name]
+            else:
+                # Unconstrained by every asserted formula: free to pick a
+                # realistic background value.
+                width = self.program.field_width(path)
+                value = self._BACKGROUND.get(path, 0) & ((1 << width) - 1)
+            packet.fields[path] = value
+        packet.valid_headers = set(profile.valid_headers)
+        port_term = execution.inputs["standard.ingress_port"]
+        ingress_port = model.get(port_term.name, self.valid_ports[0])
+        if ingress_port not in self.valid_ports:
+            ingress_port = self.valid_ports[0]
+        return GeneratedPacket(
+            goal=goal.name,
+            profile=profile.name,
+            packet=packet,
+            ingress_port=ingress_port,
+        )

@@ -1,0 +1,14 @@
+"""repro.workloads — production-like table-entry workloads and bug data.
+
+* :mod:`repro.workloads.entries` — an entry builder for the SAI-shaped
+  models plus generators for baseline and production-replay-like states
+  (the paper replays production table entries; we synthesise states with
+  the same structure and the Table 3 sizes: 798 / 1314 entries).
+* :mod:`repro.workloads.bug_catalog` — the Appendix-A bug data (component,
+  discovering tool, days to resolution, trivial-test detectability) plus
+  Table 1/2 aggregate counts, used by the campaign benchmarks.
+"""
+
+from repro.workloads.entries import EntryBuilder, baseline_entries, production_like_entries
+
+__all__ = ["EntryBuilder", "baseline_entries", "production_like_entries"]

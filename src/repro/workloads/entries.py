@@ -1,0 +1,429 @@
+"""Table-entry workload generation for the SAI-shaped models.
+
+The paper seeds p4-symbolic with "a replay of production table entries"
+(§2).  We synthesise states with the same structure: router interfaces
+spread over the chip's ports, neighbors and next hops layered on top, WCMP
+groups over next-hop subsets, VRFs, LPM route tables with a realistic
+prefix-length mix, and ACL entries respecting the role's
+@entry_restriction.  Entry counts are parameterised so the Table 3
+workloads (798 entries on Inst1, 1314 on Inst2) are reproducible
+deterministically from a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.p4.p4info import P4Info
+from repro.p4rt import codec
+from repro.p4rt.messages import (
+    ActionInvocation,
+    ActionProfileAction,
+    ActionProfileActionSet,
+    FieldMatch,
+    TableEntry,
+)
+
+
+class EntryBuilder:
+    """Convenience constructor for wire entries against a P4Info catalogue."""
+
+    def __init__(self, p4info: P4Info) -> None:
+        self.p4info = p4info
+
+    def _table(self, name: str):
+        table = self.p4info.table_by_name(name)
+        if table is None:
+            raise KeyError(f"no table {name} in {self.p4info.program_name}")
+        return table
+
+    def _action(self, name: str):
+        action = self.p4info.action_by_name(name)
+        if action is None:
+            raise KeyError(f"no action {name} in {self.p4info.program_name}")
+        return action
+
+    def _field_id(self, table, key_name: str) -> Tuple[int, int]:
+        mf = table.match_field_by_name(key_name)
+        if mf is None:
+            raise KeyError(f"no key {key_name} in {table.name}")
+        return mf.id, mf.bitwidth
+
+    def _params(self, action, values: Dict[str, int]) -> Tuple[Tuple[int, bytes], ...]:
+        out = []
+        for p in action.params:
+            if p.name not in values:
+                raise KeyError(f"missing param {p.name} for {action.name}")
+            out.append((p.id, codec.encode(values[p.name], p.bitwidth)))
+        return tuple(out)
+
+    # ------------------------------------------------------------------
+    # Generic builders
+    # ------------------------------------------------------------------
+    def exact(self, table_name: str, keys: Dict[str, int], action_name: str,
+              params: Optional[Dict[str, int]] = None, priority: int = 0) -> TableEntry:
+        table = self._table(table_name)
+        action = self._action(action_name)
+        matches = []
+        for key_name, value in keys.items():
+            fid, width = self._field_id(table, key_name)
+            matches.append(FieldMatch(fid, "exact", codec.encode(value, width)))
+        return TableEntry(
+            table_id=table.id,
+            matches=tuple(matches),
+            action=ActionInvocation(action.id, self._params(action, params or {})),
+            priority=priority,
+        )
+
+    def lpm(self, table_name: str, exact_keys: Dict[str, int], lpm_key: str,
+            prefix: int, prefix_len: int, action_name: str,
+            params: Optional[Dict[str, int]] = None) -> TableEntry:
+        table = self._table(table_name)
+        action = self._action(action_name)
+        matches = []
+        for key_name, value in exact_keys.items():
+            fid, width = self._field_id(table, key_name)
+            matches.append(FieldMatch(fid, "exact", codec.encode(value, width)))
+        fid, width = self._field_id(table, lpm_key)
+        mask = codec.mask_for_prefix(prefix_len, width)
+        matches.append(
+            FieldMatch(fid, "lpm", codec.encode(prefix & mask, width), prefix_len=prefix_len)
+        )
+        return TableEntry(
+            table_id=table.id,
+            matches=tuple(matches),
+            action=ActionInvocation(action.id, self._params(action, params or {})),
+        )
+
+    def ternary(self, table_name: str, masked_keys: Dict[str, Tuple[int, int]],
+                action_name: str, params: Optional[Dict[str, int]] = None,
+                priority: int = 10,
+                optional_keys: Optional[Dict[str, int]] = None) -> TableEntry:
+        table = self._table(table_name)
+        action = self._action(action_name)
+        matches = []
+        for key_name, (value, mask) in masked_keys.items():
+            fid, width = self._field_id(table, key_name)
+            matches.append(
+                FieldMatch(
+                    fid,
+                    "ternary",
+                    codec.encode(value & mask, width),
+                    mask=codec.encode(mask, width),
+                )
+            )
+        for key_name, value in (optional_keys or {}).items():
+            fid, width = self._field_id(table, key_name)
+            matches.append(FieldMatch(fid, "optional", codec.encode(value, width)))
+        return TableEntry(
+            table_id=table.id,
+            matches=tuple(matches),
+            action=ActionInvocation(action.id, self._params(action, params or {})),
+            priority=priority,
+        )
+
+    def wcmp_group(self, group_id: int, members: Sequence[Tuple[int, int]]) -> TableEntry:
+        """A one-shot WCMP group: members are (nexthop_id, weight)."""
+        table = self._table("wcmp_group_tbl")
+        action = self._action("set_nexthop_id")
+        fid, width = self._field_id(table, "wcmp_group_id")
+        actions = tuple(
+            ActionProfileAction(
+                action=ActionInvocation(
+                    action.id, self._params(action, {"nexthop_id": nh})
+                ),
+                weight=weight,
+            )
+            for nh, weight in members
+        )
+        return TableEntry(
+            table_id=table.id,
+            matches=(FieldMatch(fid, "exact", codec.encode(group_id, width)),),
+            action=ActionProfileActionSet(actions=actions),
+        )
+
+
+def baseline_entries(p4info: P4Info, ports: Sequence[int] = (1, 2, 3, 4)) -> List[TableEntry]:
+    """The canonical minimal forwarding state used by the trivial suite and
+    the examples: one RIF/neighbor/nexthop per port, VRF 1, a pre-ingress
+    VRF assignment, L3 admission, one IPv4 route per port, and an ACL entry
+    punting a magic destination to the controller.
+
+    Entries are returned in dependency order (referenced entries first).
+    """
+    b = EntryBuilder(p4info)
+    entries: List[TableEntry] = []
+    for index, port in enumerate(ports, start=1):
+        entries.append(
+            b.exact(
+                "router_interface_tbl",
+                {"router_interface_id": index},
+                "set_port_and_src_mac",
+                {"port": port, "src_mac": 0x00AA00000000 + index},
+            )
+        )
+        entries.append(
+            b.exact(
+                "neighbor_tbl",
+                {"router_interface_id": index, "neighbor_id": index},
+                "set_dst_mac",
+                {"dst_mac": 0x00BB00000000 + index},
+            )
+        )
+        entries.append(
+            b.exact(
+                "nexthop_tbl",
+                {"nexthop_id": index},
+                "set_ip_nexthop",
+                {"router_interface_id": index, "neighbor_id": index},
+            )
+        )
+    entries.append(b.exact("vrf_tbl", {"vrf_id": 1}, "NoAction"))
+    entries.append(
+        b.ternary("acl_pre_ingress_tbl", {}, "set_vrf", {"vrf_id": 1}, priority=1)
+    )
+    entries.append(b.ternary("l3_admit_tbl", {}, "admit_to_l3", priority=1))
+    for index, _port in enumerate(ports, start=1):
+        entries.append(
+            b.lpm(
+                "ipv4_tbl",
+                {"vrf_id": 1},
+                "ipv4_dst",
+                0x0A000000 + (index << 16),  # 10.<index>.0.0/16
+                16,
+                "set_nexthop_id",
+                {"nexthop_id": index},
+            )
+        )
+    # Punt 10.255.255.1 (by destination, or source on WAN-style ACLs) to
+    # the controller: the trivial suite's packet-in canary.
+    acl_table = p4info.table_by_name("acl_ingress_tbl")
+    if acl_table is not None:
+        if acl_table.match_field_by_name("dst_ip") is not None:
+            masked = {"dst_ip": (0x0AFFFF01, 0xFFFFFFFF)}
+        else:
+            masked = {"src_ip": (0x0AFFFF01, 0xFFFFFFFF)}
+        if acl_table.match_field_by_name("is_ipv4") is not None:
+            # The role ACL constraints require IPv4 qualification when
+            # matching IPv4 fields.
+            masked["is_ipv4"] = (1, 1)
+        entries.append(b.ternary("acl_ingress_tbl", masked, "trap", priority=20))
+    return entries
+
+
+PUNT_CANARY_IP = 0x0AFFFF01  # 10.255.255.1
+
+
+# Realistic prefix-length mix for synthetic route tables (rough BGP shape
+# scaled to a fabric: /16..../28 heavy around /24).
+_PREFIX_MIX = [16] * 2 + [20] * 3 + [22] * 4 + [24] * 8 + [26] * 2 + [28] * 1
+
+
+def _role_specific_entries(p4info: P4Info, b: EntryBuilder, num_ports: int, rng) -> List[TableEntry]:
+    """Entries exercising role-specific features: ICMP and TTL ACL matches
+    on ToR-style ACLs, mirroring, and tunnel encap/decap on Cerberus."""
+    entries: List[TableEntry] = []
+    acl = p4info.table_by_name("acl_ingress_tbl")
+
+    if acl is not None and acl.match_field_by_name("icmp_type") is not None:
+        # Punt ICMP echo requests (type 8) — the classic control-plane trap.
+        entries.append(
+            b.ternary(
+                "acl_ingress_tbl",
+                {
+                    "is_ipv4": (1, 1),
+                    "ip_protocol": (1, 0xFF),
+                    "icmp_type": (8, 0xFF),
+                },
+                "acl_copy",
+                priority=25,
+            )
+        )
+    if acl is not None and acl.match_field_by_name("ttl") is not None:
+        # Punt packets whose (post-rewrite) TTL is exactly 33 — a sentinel
+        # entry that makes rewrite/ACL ordering observable regardless of
+        # whether the packet also matches a route (the punt flag diverges
+        # even when both sides drop).
+        entries.append(
+            b.ternary(
+                "acl_ingress_tbl",
+                {"is_ipv4": (1, 1), "ttl": (33, 0xFF)},
+                "trap",
+                priority=26,
+            )
+        )
+
+    has_mirror_action = acl is not None and any(
+        p4info.actions[aid].name == "acl_mirror" for aid in acl.action_ids
+    )
+    if p4info.table_by_name("mirror_session_tbl") is not None and has_mirror_action:
+        entries.append(
+            b.exact(
+                "mirror_session_tbl",
+                {"mirror_session_id": 1},
+                "set_mirror_port",
+                {"port": 2},
+            )
+        )
+        if acl.match_field_by_name("dst_ip") is not None:
+            entries.append(
+                b.ternary(
+                    "acl_ingress_tbl",
+                    {"is_ipv4": (1, 1), "dst_ip": (0x0A01002A, 0xFFFFFFFF)},
+                    "acl_mirror",
+                    {"mirror_session_id": 1},
+                    priority=27,
+                )
+            )
+
+    # An ACL entry whose value bytes contain 0x20 (the space character):
+    # probes string-keyed internal buses (the space_in_key fault).
+    if acl is not None:
+        space_key = "dst_ip" if acl.match_field_by_name("dst_ip") is not None else "src_ip"
+        masked = {space_key: (0x0A200020, 0xFFFFFFFF)}  # 10.32.0.32
+        if acl.match_field_by_name("is_ipv4") is not None:
+            masked["is_ipv4"] = (1, 1)
+        entries.append(b.ternary("acl_ingress_tbl", masked, "drop", priority=28))
+
+    # A default route makes edge destinations (e.g. limited broadcast)
+    # routable, which several model-fault detections rely on.
+    entries.append(
+        b.lpm("ipv4_tbl", {"vrf_id": 1}, "ipv4_dst", 0, 1, "set_nexthop_id", {"nexthop_id": 2})
+    )
+    entries.append(
+        b.lpm(
+            "ipv4_tbl", {"vrf_id": 1}, "ipv4_dst", 0x80000000, 1,
+            "set_nexthop_id", {"nexthop_id": 2},
+        )
+    )
+
+    if p4info.table_by_name("tunnel_tbl") is not None:
+        # IP-in-IP tunnels with byte-asymmetric destination addresses, so an
+        # endianness slip is observable.
+        entries.append(
+            b.exact(
+                "tunnel_tbl",
+                {"tunnel_id": 1},
+                "set_ip_in_ip_encap",
+                {"encap_src_ip": 0x0AC80001, "encap_dst_ip": 0x0A00004D},
+            )
+        )
+        entries.append(
+            b.lpm(
+                "ipv4_tbl",
+                {"vrf_id": 1},
+                "ipv4_dst",
+                0x0AC90000,  # 10.201.0.0/16 routes into the tunnel
+                16,
+                "set_nexthop_id_and_tunnel",
+                {"nexthop_id": 1, "tunnel_id": 1},
+            )
+        )
+    if p4info.table_by_name("decap_tbl") is not None:
+        entries.append(
+            b.ternary(
+                "decap_tbl",
+                {"dst_ip": (0x0A000000, 0xFF000000)},
+                "decap",
+                priority=5,
+                optional_keys={"in_port": 2},
+            )
+        )
+    return entries
+
+
+def production_like_entries(
+    p4info: P4Info,
+    total: int,
+    seed: int = 1,
+    ports: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8),
+) -> List[TableEntry]:
+    """A synthetic production replay of roughly ``total`` entries.
+
+    Structure: the baseline scaffolding, a WCMP layer, then LPM routes
+    (plus a sprinkle of ACL entries) filling the remaining budget.
+    Deterministic for a given seed.
+    """
+    rng = random.Random(seed)
+    b = EntryBuilder(p4info)
+    entries = baseline_entries(p4info, ports=ports)
+
+    num_ports = len(ports)
+    # WCMP groups over nexthops 1..len(ports).
+    num_groups = max(2, min(8, total // 100))
+    for gid in range(1, num_groups + 1):
+        size = rng.randint(2, min(4, num_ports))
+        members = rng.sample(range(1, num_ports + 1), size)
+        entries.append(
+            b.wcmp_group(gid, [(nh, rng.randint(1, 3)) for nh in members])
+        )
+
+    # A couple of extra VRFs with their own route spaces, reachable via
+    # port-based pre-ingress assignment (last two ports land in them).
+    extra_vrfs = [2, 3]
+    for index, vrf in enumerate(extra_vrfs):
+        entries.append(b.exact("vrf_tbl", {"vrf_id": vrf}, "NoAction"))
+        entries.append(
+            b.ternary(
+                "acl_pre_ingress_tbl",
+                {},
+                "set_vrf",
+                {"vrf_id": vrf},
+                priority=2,
+                optional_keys={"in_port": ports[-(index + 1)]},
+            )
+        )
+
+    entries.extend(_role_specific_entries(p4info, b, num_ports, rng))
+
+    vrfs = [1] + extra_vrfs
+    seen_routes = set()
+    budget = total - len(entries)
+    acl_budget = max(4, budget // 20)
+    route_budget = budget - acl_budget
+
+    while route_budget > 0:
+        vrf = rng.choice(vrfs)
+        plen = rng.choice(_PREFIX_MIX)
+        prefix = rng.getrandbits(32) & codec.mask_for_prefix(plen, 32)
+        if (vrf, prefix, plen) in seen_routes:
+            continue
+        seen_routes.add((vrf, prefix, plen))
+        roll = rng.random()
+        if roll < 0.70:
+            action, params = "set_nexthop_id", {"nexthop_id": rng.randint(1, num_ports)}
+        elif roll < 0.90:
+            action, params = "set_wcmp_group_id", {"wcmp_group_id": rng.randint(1, num_groups)}
+        else:
+            action, params = "drop", {}
+        entries.append(b.lpm("ipv4_tbl", {"vrf_id": vrf}, "ipv4_dst", prefix, plen, action, params))
+        route_budget -= 1
+
+    priority = 30
+    seen_acl = set()
+    while acl_budget > 0:
+        dst = rng.getrandbits(32)
+        if dst in seen_acl:
+            continue
+        seen_acl.add(dst)
+        table = p4info.table_by_name("acl_ingress_tbl")
+        if table is not None and table.match_field_by_name("dst_ip") is not None:
+            masked = {"dst_ip": (dst, 0xFFFFFF00)}
+            if table.match_field_by_name("is_ipv4") is not None:
+                masked["is_ipv4"] = (1, 1)
+            entries.append(
+                b.ternary(
+                    "acl_ingress_tbl",
+                    masked,
+                    "drop" if rng.random() < 0.7 else "acl_copy",
+                    priority=priority,
+                )
+            )
+        else:
+            # WAN-style ACL: match on source prefix instead.
+            masked = {"src_ip": (dst, 0xFFFFFF00), "is_ipv4": (1, 1)}
+            entries.append(b.ternary("acl_ingress_tbl", masked, "drop", priority=priority))
+        priority += 1
+        acl_budget -= 1
+    return entries

@@ -1,0 +1,73 @@
+"""Shared fixtures: programs, catalogues, entry builders, switches."""
+
+import pytest
+
+from repro.p4.p4info import build_p4info
+from repro.p4.programs import (
+    build_cerberus_program,
+    build_tor_program,
+    build_toy_program,
+    build_wan_program,
+)
+from repro.switch import PinsSwitchStack, ReferenceSwitch
+from repro.workloads import EntryBuilder, baseline_entries
+
+
+@pytest.fixture(scope="session")
+def toy_program():
+    return build_toy_program()
+
+
+@pytest.fixture(scope="session")
+def tor_program():
+    return build_tor_program()
+
+
+@pytest.fixture(scope="session")
+def wan_program():
+    return build_wan_program()
+
+
+@pytest.fixture(scope="session")
+def cerberus_program():
+    return build_cerberus_program()
+
+
+@pytest.fixture(scope="session")
+def toy_p4info(toy_program):
+    return build_p4info(toy_program)
+
+
+@pytest.fixture(scope="session")
+def tor_p4info(tor_program):
+    return build_p4info(tor_program)
+
+
+@pytest.fixture(scope="session")
+def wan_p4info(wan_program):
+    return build_p4info(wan_program)
+
+
+@pytest.fixture(scope="session")
+def cerberus_p4info(cerberus_program):
+    return build_p4info(cerberus_program)
+
+
+@pytest.fixture
+def tor_builder(tor_p4info):
+    return EntryBuilder(tor_p4info)
+
+
+@pytest.fixture
+def tor_stack(tor_program):
+    return PinsSwitchStack(tor_program)
+
+
+@pytest.fixture
+def toy_reference(toy_program):
+    return ReferenceSwitch(toy_program)
+
+
+@pytest.fixture
+def tor_baseline(tor_p4info):
+    return baseline_entries(tor_p4info)

@@ -1,0 +1,98 @@
+"""Tests for the P4Runtime canonical byte codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.p4rt import codec
+
+
+class TestEncode:
+    def test_zero_is_single_zero_byte(self):
+        assert codec.encode(0, 8) == b"\x00"
+        assert codec.encode(0, 128) == b"\x00"
+
+    def test_minimal_length(self):
+        assert codec.encode(1, 32) == b"\x01"
+        assert codec.encode(0x100, 32) == b"\x01\x00"
+        assert codec.encode(0xFFFFFFFF, 32) == b"\xff\xff\xff\xff"
+
+    def test_negative_rejected(self):
+        with pytest.raises(codec.CodecError):
+            codec.encode(-1, 8)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(codec.CodecError):
+            codec.encode(256, 8)
+
+    def test_non_byte_width(self):
+        # 12-bit field values still encode as whole bytes.
+        assert codec.encode(0xFFF, 12) == b"\x0f\xff"
+        with pytest.raises(codec.CodecError):
+            codec.encode(0x1000, 12)
+
+
+class TestDecode:
+    def test_strict_rejects_leading_zeros(self):
+        with pytest.raises(codec.CodecError):
+            codec.decode(b"\x00\x01", 8)
+
+    def test_strict_rejects_empty(self):
+        with pytest.raises(codec.CodecError):
+            codec.decode(b"", 8)
+
+    def test_lenient_accepts_padded(self):
+        assert codec.decode(b"\x00\x01", 8, strict=False) == 1
+
+    def test_overflow_always_rejected(self):
+        with pytest.raises(codec.CodecError):
+            codec.decode(b"\x01\x00", 8)
+        with pytest.raises(codec.CodecError):
+            codec.decode(b"\x01\x00", 8, strict=False)
+
+
+class TestCanonical:
+    def test_is_canonical(self):
+        assert codec.is_canonical(b"\x00")
+        assert codec.is_canonical(b"\x01\x00")
+        assert not codec.is_canonical(b"\x00\x01")
+        assert not codec.is_canonical(b"")
+
+    def test_canonicalize(self):
+        assert codec.canonicalize(b"\x00\x00\x05") == b"\x05"
+        assert codec.canonicalize(b"\x00\x00") == b"\x00"
+        assert codec.canonicalize(b"") == b"\x00"
+
+
+class TestMaskForPrefix:
+    def test_full_prefix(self):
+        assert codec.mask_for_prefix(32, 32) == 0xFFFFFFFF
+
+    def test_zero_prefix(self):
+        assert codec.mask_for_prefix(0, 32) == 0
+
+    def test_partial(self):
+        assert codec.mask_for_prefix(8, 32) == 0xFF000000
+        assert codec.mask_for_prefix(24, 32) == 0xFFFFFF00
+
+    def test_out_of_range(self):
+        with pytest.raises(codec.CodecError):
+            codec.mask_for_prefix(33, 32)
+        with pytest.raises(codec.CodecError):
+            codec.mask_for_prefix(-1, 32)
+
+
+class TestRoundTrip:
+    @given(st.integers(1, 128), st.data())
+    def test_encode_decode_roundtrip(self, width, data):
+        value = data.draw(st.integers(0, (1 << width) - 1))
+        encoded = codec.encode(value, width)
+        assert codec.is_canonical(encoded)
+        assert codec.decode(encoded, width) == value
+
+    @given(st.binary(min_size=0, max_size=16))
+    def test_canonicalize_idempotent_and_value_preserving(self, raw):
+        canonical = codec.canonicalize(raw)
+        assert codec.is_canonical(canonical)
+        assert codec.canonicalize(canonical) == canonical
+        assert int.from_bytes(canonical, "big") == int.from_bytes(raw or b"\x00", "big")

@@ -1,0 +1,222 @@
+"""Tests for the P4-constraints extension: language, evaluator, symbolic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.p4.constraints import parse_constraint
+from repro.p4.constraints.evaluator import (
+    KeyValue,
+    check_entry_against_constraint,
+    evaluate_constraint,
+)
+from repro.p4.constraints.lang import (
+    CAnd,
+    CBool,
+    CCmp,
+    CInt,
+    CKey,
+    CNot,
+    COr,
+    ConstraintSyntaxError,
+    keys_mentioned,
+)
+from repro.p4.constraints.symbolic import SymbolicKeySet, encode_constraint
+from repro.smt import Result, Solver
+from repro.smt import terms as T
+
+
+class TestParser:
+    def test_simple_comparison(self):
+        expr = parse_constraint("vrf_id != 0")
+        assert isinstance(expr, CCmp)
+        assert expr.op == "!="
+        assert expr.left == CKey("vrf_id")
+        assert expr.right == CInt(0)
+
+    def test_accessors(self):
+        expr = parse_constraint("dst_ip::mask != 0 && dst_ip::prefix_length <= 32")
+        assert isinstance(expr, CAnd)
+        assert expr.args[0].left == CKey("dst_ip", "mask")
+        assert expr.args[1].left == CKey("dst_ip", "prefix_length")
+
+    def test_unknown_accessor_rejected(self):
+        with pytest.raises(ConstraintSyntaxError):
+            parse_constraint("dst_ip::nonsense == 0")
+
+    def test_implication_desugars_to_or(self):
+        expr = parse_constraint("a == 1 -> b == 2")
+        assert isinstance(expr, COr)
+        assert isinstance(expr.args[0], CNot)
+
+    def test_implication_right_associative(self):
+        expr = parse_constraint("a == 1 -> b == 2 -> c == 3")
+        # a -> (b -> c)
+        assert isinstance(expr, COr)
+        assert isinstance(expr.args[1], COr)
+
+    def test_precedence_and_over_or(self):
+        expr = parse_constraint("a == 1 || b == 2 && c == 3")
+        assert isinstance(expr, COr)
+        assert isinstance(expr.args[1], CAnd)
+
+    def test_parentheses(self):
+        expr = parse_constraint("(a == 1 || b == 2) && c == 3")
+        assert isinstance(expr, CAnd)
+        assert isinstance(expr.args[0], COr)
+
+    def test_negation(self):
+        expr = parse_constraint("!(a == 1)")
+        assert isinstance(expr, CNot)
+
+    def test_literals(self):
+        assert parse_constraint("true") == CBool(True)
+        expr = parse_constraint("a == 0xFF && b == 0b101 && c == 10")
+        assert expr.args[0].right == CInt(255)
+        assert expr.args[1].right == CInt(5)
+        assert expr.args[2].right == CInt(10)
+
+    def test_comments_and_whitespace(self):
+        expr = parse_constraint(
+            """
+            // leading comment
+            a == 1 &&   # trailing comment style
+            b == 2
+            """
+        )
+        assert isinstance(expr, CAnd)
+
+    def test_dotted_key_names(self):
+        expr = parse_constraint("headers.ipv4.dst_addr == 1")
+        assert expr.left == CKey("headers.ipv4.dst_addr")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ConstraintSyntaxError):
+            parse_constraint("a == 1 extra")
+
+    def test_bare_key_rejected(self):
+        with pytest.raises(ConstraintSyntaxError):
+            parse_constraint("vrf_id")
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(ConstraintSyntaxError):
+            parse_constraint("(a == 1")
+
+    def test_keys_mentioned(self):
+        expr = parse_constraint("a == 1 && (b::mask != 0 || a > 2)")
+        assert keys_mentioned(expr) == ["a", "b"]
+
+    def test_all_relational_operators(self):
+        for op in ("==", "!=", "<", "<=", ">", ">="):
+            expr = parse_constraint(f"x {op} 5")
+            assert isinstance(expr, CCmp)
+            assert expr.op == op
+
+
+class TestEvaluator:
+    def test_vrf_restriction(self):
+        expr = parse_constraint("vrf_id != 0")
+        assert evaluate_constraint(expr, {"vrf_id": KeyValue(value=1, present=True)})
+        assert not evaluate_constraint(expr, {"vrf_id": KeyValue(value=0, present=True)})
+
+    def test_mask_accessor_for_omitted_key_is_zero(self):
+        expr = parse_constraint("dst_ip::mask != 0 -> is_ipv4 == 1")
+        keys = {"dst_ip": KeyValue(), "is_ipv4": KeyValue()}
+        assert evaluate_constraint(expr, keys)  # vacuously true
+        keys = {"dst_ip": KeyValue(value=1, mask=0xFF, present=True), "is_ipv4": KeyValue()}
+        assert not evaluate_constraint(expr, keys)
+        keys["is_ipv4"] = KeyValue(value=1, mask=1, present=True)
+        assert evaluate_constraint(expr, keys)
+
+    def test_prefix_length_accessor(self):
+        expr = parse_constraint("dst::prefix_length >= 8")
+        assert evaluate_constraint(expr, {"dst": KeyValue(prefix_len=16)})
+        assert not evaluate_constraint(expr, {"dst": KeyValue(prefix_len=4)})
+
+    def test_unknown_key_reported(self):
+        expr = parse_constraint("nope == 1")
+        reason = check_entry_against_constraint(expr, {})
+        assert reason is not None
+        assert "unknown key" in reason
+
+    def test_check_returns_none_on_pass(self):
+        expr = parse_constraint("x == 1")
+        assert check_entry_against_constraint(expr, {"x": KeyValue(value=1)}) is None
+
+    def test_real_tor_restriction(self, tor_program):
+        acl = tor_program.table("acl_ingress_tbl")
+        expr = parse_constraint(acl.entry_restriction)
+        # Matching ipv6 dst on an entry not qualified as ipv6: violation.
+        keys = {
+            "is_ipv4": KeyValue(),
+            "is_ipv6": KeyValue(),
+            "dst_ip": KeyValue(),
+            "dst_ipv6": KeyValue(value=1, mask=0xFF, present=True),
+            "ttl": KeyValue(),
+            "ip_protocol": KeyValue(),
+            "icmp_type": KeyValue(),
+            "l4_dst_port": KeyValue(),
+        }
+        assert not evaluate_constraint(expr, keys)
+        keys["is_ipv6"] = KeyValue(value=1, mask=1, present=True)
+        assert evaluate_constraint(expr, keys)
+
+
+class TestSymbolicEncoding:
+    def _keyset(self, p4info, table_name):
+        return SymbolicKeySet(p4info.table_by_name(table_name))
+
+    def test_vrf_constraint_sat_and_model_compliant(self, toy_p4info):
+        keys = self._keyset(toy_p4info, "vrf_tbl")
+        expr = parse_constraint("vrf_id != 0")
+        solver = Solver()
+        solver.add(keys.wellformedness())
+        solver.add(encode_constraint(expr, keys))
+        assert solver.check() is Result.SAT
+        model = solver.model()
+        assert model.get("vrf_tbl.vrf_id::value", 0) != 0
+
+    def test_negated_constraint_gives_violating_entry(self, toy_p4info):
+        keys = self._keyset(toy_p4info, "vrf_tbl")
+        expr = parse_constraint("vrf_id != 0")
+        solver = Solver()
+        solver.add(keys.wellformedness())
+        solver.add(T.not_(encode_constraint(expr, keys)))
+        assert solver.check() is Result.SAT
+        assert solver.model().get("vrf_tbl.vrf_id::value", 1) == 0
+
+    def test_wellformedness_exact_keys(self, toy_p4info):
+        keys = self._keyset(toy_p4info, "vrf_tbl")
+        solver = Solver()
+        solver.add(keys.wellformedness())
+        assert solver.check() is Result.SAT
+        assert solver.model()["vrf_tbl.vrf_id::mask"] == 0xFFFF
+
+    def test_lpm_wellformedness_links_mask_and_prefix(self, toy_p4info):
+        keys = self._keyset(toy_p4info, "ipv4_tbl")
+        solver = Solver()
+        solver.add(keys.wellformedness())
+        assert (
+            solver.check(
+                keys.prefix_vars["ipv4_dst"].eq(T.bv_const(8, 16)),
+                keys.mask_vars["ipv4_dst"].ne(T.bv_const(0xFF000000, 32)),
+            )
+            is Result.UNSAT
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**16 - 1))
+    def test_symbolic_agrees_with_concrete_evaluator(self, toy_p4info, vrf_value):
+        expr = parse_constraint("vrf_id != 0 && vrf_id <= 0xFF00")
+        keys = self._keyset(toy_p4info, "vrf_tbl")
+        solver = Solver()
+        solver.add(keys.wellformedness())
+        solver.add(encode_constraint(expr, keys))
+        symbolic = (
+            solver.check(keys.value_vars["vrf_id"].eq(T.bv_const(vrf_value, 16)))
+            is Result.SAT
+        )
+        concrete = evaluate_constraint(
+            expr, {"vrf_id": KeyValue(value=vrf_value, mask=0xFFFF, present=True)}
+        )
+        assert symbolic == concrete

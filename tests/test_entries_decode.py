@@ -1,0 +1,281 @@
+"""Tests for the reference entry decoder: the P4Runtime validity rules."""
+
+import pytest
+
+from repro.bmv2.entries import (
+    DecodedAction,
+    DecodedActionSet,
+    EntryDecodeError,
+    decode_table_entry,
+)
+from repro.p4.ast import MatchKind
+from repro.p4rt import codec
+from repro.p4rt.messages import (
+    ActionInvocation,
+    ActionProfileAction,
+    ActionProfileActionSet,
+    FieldMatch,
+    TableEntry,
+)
+
+E = codec.encode
+
+
+@pytest.fixture
+def ids(toy_p4info):
+    class Ids:
+        vrf = toy_p4info.table_by_name("vrf_tbl")
+        ipv4 = toy_p4info.table_by_name("ipv4_tbl")
+        pre = toy_p4info.table_by_name("pre_ingress_tbl")
+        noaction = toy_p4info.action_by_name("NoAction")
+        set_nexthop = toy_p4info.action_by_name("set_nexthop_id")
+        set_vrf = toy_p4info.action_by_name("set_vrf")
+        drop = toy_p4info.action_by_name("drop")
+
+    return Ids
+
+
+def vrf_entry(ids, value=1, action=None):
+    return TableEntry(
+        ids.vrf.id,
+        (FieldMatch(1, "exact", E(value, 16)),),
+        action if action is not None else ActionInvocation(ids.noaction.id),
+    )
+
+
+def route_entry(ids, vrf=1, prefix=0x0A000000, plen=8, nexthop=3):
+    return TableEntry(
+        ids.ipv4.id,
+        (
+            FieldMatch(1, "exact", E(vrf, 16)),
+            FieldMatch(2, "lpm", E(prefix, 32), prefix_len=plen),
+        ),
+        ActionInvocation(ids.set_nexthop.id, ((1, E(nexthop, 16)),)),
+    )
+
+
+def expect_reason(entry, p4info, reason):
+    with pytest.raises(EntryDecodeError) as err:
+        decode_table_entry(p4info, entry)
+    assert err.value.reason == reason, err.value
+
+
+class TestHappyPath:
+    def test_exact_entry_decodes(self, ids, toy_p4info):
+        decoded = decode_table_entry(toy_p4info, vrf_entry(ids))
+        assert decoded.table_name == "vrf_tbl"
+        match = decoded.match("vrf_id")
+        assert match.value == 1
+        assert match.mask == 0xFFFF
+
+    def test_lpm_entry_decodes(self, ids, toy_p4info):
+        decoded = decode_table_entry(toy_p4info, route_entry(ids))
+        match = decoded.match("ipv4_dst")
+        assert match.prefix_len == 8
+        assert match.mask == 0xFF000000
+        assert isinstance(decoded.action, DecodedAction)
+        assert decoded.action.param_map() == {"nexthop_id": 3}
+
+    def test_omitted_non_exact_keys_are_wildcards(self, ids, toy_p4info):
+        entry = TableEntry(
+            ids.ipv4.id,
+            (FieldMatch(1, "exact", E(1, 16)),),  # LPM key omitted
+            ActionInvocation(ids.drop.id),
+        )
+        decoded = decode_table_entry(toy_p4info, entry)
+        match = decoded.match("ipv4_dst")
+        assert not match.present
+        assert match.mask == 0
+
+    def test_identity_ignores_action(self, ids, toy_p4info):
+        a = decode_table_entry(toy_p4info, route_entry(ids, nexthop=3))
+        b = decode_table_entry(toy_p4info, route_entry(ids, nexthop=7))
+        assert a.identity() == b.identity()
+
+    def test_identity_ignores_match_order(self, ids, toy_p4info):
+        entry = route_entry(ids)
+        swapped = TableEntry(
+            entry.table_id, tuple(reversed(entry.matches)), entry.action
+        )
+        assert (
+            decode_table_entry(toy_p4info, entry).identity()
+            == decode_table_entry(toy_p4info, swapped).identity()
+        )
+
+
+class TestRejections:
+    def test_unknown_table(self, ids, toy_p4info):
+        entry = TableEntry(0x02DEAD01, (), ActionInvocation(ids.noaction.id))
+        expect_reason(entry, toy_p4info, "unknown_table")
+
+    def test_unknown_match_field(self, ids, toy_p4info):
+        entry = TableEntry(
+            ids.vrf.id,
+            (FieldMatch(9, "exact", E(1, 16)),),
+            ActionInvocation(ids.noaction.id),
+        )
+        expect_reason(entry, toy_p4info, "unknown_match_field")
+
+    def test_duplicate_match_field(self, ids, toy_p4info):
+        entry = TableEntry(
+            ids.vrf.id,
+            (FieldMatch(1, "exact", E(1, 16)), FieldMatch(1, "exact", E(2, 16))),
+            ActionInvocation(ids.noaction.id),
+        )
+        expect_reason(entry, toy_p4info, "duplicate_match_field")
+
+    def test_missing_mandatory_match(self, ids, toy_p4info):
+        entry = TableEntry(ids.vrf.id, (), ActionInvocation(ids.noaction.id))
+        expect_reason(entry, toy_p4info, "missing_mandatory_match")
+
+    def test_match_type_mismatch(self, ids, toy_p4info):
+        entry = TableEntry(
+            ids.vrf.id,
+            (FieldMatch(1, "ternary", E(1, 16), mask=E(3, 16)),),
+            ActionInvocation(ids.noaction.id),
+        )
+        expect_reason(entry, toy_p4info, "match_type_mismatch")
+
+    def test_non_canonical_value(self, ids, toy_p4info):
+        entry = TableEntry(
+            ids.vrf.id,
+            (FieldMatch(1, "exact", b"\x00\x01"),),
+            ActionInvocation(ids.noaction.id),
+        )
+        expect_reason(entry, toy_p4info, "non_canonical_value")
+
+    def test_value_out_of_range(self, ids, toy_p4info):
+        entry = TableEntry(
+            ids.vrf.id,
+            (FieldMatch(1, "exact", E(0x1FFFF, 32)),),
+            ActionInvocation(ids.noaction.id),
+        )
+        expect_reason(entry, toy_p4info, "value_out_of_range")
+
+    def test_invalid_prefix_length(self, ids, toy_p4info):
+        entry = route_entry(ids, plen=33)
+        expect_reason(entry, toy_p4info, "invalid_prefix_length")
+        entry = route_entry(ids, plen=0)
+        expect_reason(entry, toy_p4info, "invalid_prefix_length")
+
+    def test_lpm_value_outside_prefix(self, ids, toy_p4info):
+        entry = route_entry(ids, prefix=0x0A0000FF, plen=8)
+        expect_reason(entry, toy_p4info, "invalid_mask")
+
+    def test_unknown_action(self, ids, toy_p4info):
+        entry = vrf_entry(ids, action=ActionInvocation(0x01DEAD01))
+        expect_reason(entry, toy_p4info, "unknown_action")
+
+    def test_action_not_in_table(self, ids, toy_p4info):
+        entry = vrf_entry(ids, action=ActionInvocation(ids.drop.id))
+        expect_reason(entry, toy_p4info, "action_not_in_table")
+
+    def test_missing_action(self, ids, toy_p4info):
+        entry = TableEntry(ids.vrf.id, (FieldMatch(1, "exact", E(1, 16)),), None)
+        expect_reason(entry, toy_p4info, "missing_action")
+
+    def test_missing_action_param(self, ids, toy_p4info):
+        entry = TableEntry(
+            ids.ipv4.id,
+            (
+                FieldMatch(1, "exact", E(1, 16)),
+                FieldMatch(2, "lpm", E(0x0A000000, 32), prefix_len=8),
+            ),
+            ActionInvocation(ids.set_nexthop.id),  # params omitted
+        )
+        expect_reason(entry, toy_p4info, "missing_action_param")
+
+    def test_unknown_action_param(self, ids, toy_p4info):
+        entry = TableEntry(
+            ids.ipv4.id,
+            (
+                FieldMatch(1, "exact", E(1, 16)),
+                FieldMatch(2, "lpm", E(0x0A000000, 32), prefix_len=8),
+            ),
+            ActionInvocation(ids.set_nexthop.id, ((1, E(3, 16)), (2, E(9, 16)))),
+        )
+        expect_reason(entry, toy_p4info, "unknown_action_param")
+
+    def test_priority_on_priorityless_table(self, ids, toy_p4info):
+        entry = TableEntry(
+            ids.vrf.id,
+            (FieldMatch(1, "exact", E(1, 16)),),
+            ActionInvocation(ids.noaction.id),
+            priority=5,
+        )
+        expect_reason(entry, toy_p4info, "unexpected_priority")
+
+    def test_missing_priority_on_optional_table(self, ids, toy_p4info):
+        entry = TableEntry(
+            ids.pre.id,
+            (FieldMatch(1, "optional", E(2, 16)),),
+            ActionInvocation(ids.set_vrf.id, ((1, E(1, 16)),)),
+            priority=0,
+        )
+        expect_reason(entry, toy_p4info, "missing_priority")
+
+    def test_ternary_zero_mask_rejected(self, tor_p4info):
+        acl = tor_p4info.table_by_name("acl_ingress_tbl")
+        drop = tor_p4info.action_by_name("drop")
+        ttl = acl.match_field_by_name("ttl")
+        entry = TableEntry(
+            acl.id,
+            (FieldMatch(ttl.id, "ternary", E(0, 8), mask=E(0, 8)),),
+            ActionInvocation(drop.id),
+            priority=1,
+        )
+        expect_reason(entry, tor_p4info, "invalid_mask")
+
+
+class TestActionSets:
+    def _group(self, tor_p4info, members):
+        wcmp = tor_p4info.table_by_name("wcmp_group_tbl")
+        set_nh = tor_p4info.action_by_name("set_nexthop_id")
+        return TableEntry(
+            wcmp.id,
+            (FieldMatch(1, "exact", E(1, 16)),),
+            ActionProfileActionSet(
+                tuple(
+                    ActionProfileAction(
+                        ActionInvocation(set_nh.id, ((1, E(nh, 16)),)), weight
+                    )
+                    for nh, weight in members
+                )
+            ),
+        )
+
+    def test_valid_action_set(self, tor_p4info):
+        decoded = decode_table_entry(tor_p4info, self._group(tor_p4info, [(1, 2), (2, 3)]))
+        assert isinstance(decoded.action, DecodedActionSet)
+        assert len(decoded.action.members) == 2
+
+    def test_zero_weight_rejected(self, tor_p4info):
+        expect_reason(self._group(tor_p4info, [(1, 0)]), tor_p4info, "invalid_weight")
+
+    def test_negative_weight_rejected(self, tor_p4info):
+        expect_reason(self._group(tor_p4info, [(1, -3)]), tor_p4info, "invalid_weight")
+
+    def test_overweight_group_rejected(self, tor_p4info):
+        expect_reason(self._group(tor_p4info, [(1, 200)]), tor_p4info, "invalid_weight")
+
+    def test_empty_action_set_rejected(self, tor_p4info):
+        expect_reason(self._group(tor_p4info, []), tor_p4info, "missing_action")
+
+    def test_single_action_on_selector_table_rejected(self, tor_p4info):
+        wcmp = tor_p4info.table_by_name("wcmp_group_tbl")
+        set_nh = tor_p4info.action_by_name("set_nexthop_id")
+        entry = TableEntry(
+            wcmp.id,
+            (FieldMatch(1, "exact", E(1, 16)),),
+            ActionInvocation(set_nh.id, ((1, E(1, 16)),)),
+        )
+        expect_reason(entry, tor_p4info, "expects_action_set")
+
+    def test_action_set_on_direct_table_rejected(self, ids, toy_p4info):
+        entry = vrf_entry(
+            ids,
+            action=ActionProfileActionSet(
+                (ActionProfileAction(ActionInvocation(ids.noaction.id), 1),)
+            ),
+        )
+        expect_reason(entry, toy_p4info, "expects_single_action")

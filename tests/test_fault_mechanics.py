@@ -1,0 +1,213 @@
+"""Direct tests of the fault catalogue's layer-level mechanics."""
+
+import pytest
+
+from repro.bmv2.packet import deparse_packet, make_ipv4_packet
+from repro.fuzzer.batching import make_batches, order_inserts
+from repro.p4rt import codec
+from repro.p4rt.messages import PacketOut, ReadRequest, Update, UpdateType, WriteRequest
+from repro.p4rt.service import P4RuntimeClient
+from repro.p4rt.status import Code
+from repro.switch import FaultRegistry, PinsSwitchStack
+from repro.switch.faults import FAULT_CATALOG, FAULTS_BY_NAME, faults_for_stack
+from repro.workloads import EntryBuilder, baseline_entries, production_like_entries
+
+
+def build_programmed(program, p4info, faults=(), entries=None):
+    stack = PinsSwitchStack(program, faults=FaultRegistry(faults))
+    client = P4RuntimeClient(stack)
+    assert client.set_pipeline(p4info).ok or "p4info_push_failure_swallowed" in faults
+    chosen = entries if entries is not None else baseline_entries(p4info)
+    updates = order_inserts(p4info, [Update(UpdateType.INSERT, e) for e in chosen])
+    for batch in make_batches(p4info, updates):
+        stack.write(WriteRequest(updates=tuple(batch)))
+    return stack, client
+
+
+class TestCatalogIntegrity:
+    def test_names_unique(self):
+        names = [f.name for f in FAULT_CATALOG]
+        assert len(names) == len(set(names))
+
+    def test_every_fault_has_component_and_tool(self):
+        for fault in FAULT_CATALOG:
+            assert fault.component
+            assert fault.discovered_by in ("p4-fuzzer", "p4-symbolic")
+            assert fault.stack in ("pins", "cerberus")
+
+    def test_stack_partition(self):
+        pins = {f.name for f in faults_for_stack("pins")}
+        cerberus = {f.name for f in faults_for_stack("cerberus")}
+        assert not pins & cerberus
+        assert pins | cerberus == set(FAULTS_BY_NAME)
+
+    def test_trivial_test_names_valid(self):
+        from repro.switchv.trivial import TRIVIAL_TESTS
+
+        for fault in FAULT_CATALOG:
+            if fault.trivial_test is not None:
+                assert fault.trivial_test in TRIVIAL_TESTS, fault.name
+
+    def test_unresolved_bug_present(self):
+        # The paper reports unresolved bugs; at least one rides the catalogue.
+        assert any(f.days_to_resolution is None for f in FAULT_CATALOG)
+
+
+class TestControlPlaneMechanics:
+    def test_delete_nonexistent_fails_batch(self, tor_program, tor_p4info):
+        stack, client = build_programmed(
+            tor_program, tor_p4info, faults=["delete_nonexistent_fails_batch"]
+        )
+        b = EntryBuilder(tor_p4info)
+        ghost = b.exact("vrf_tbl", {"vrf_id": 55}, "NoAction")
+        fresh = b.exact("vrf_tbl", {"vrf_id": 44}, "NoAction")
+        response = stack.write(
+            WriteRequest(
+                updates=(
+                    Update(UpdateType.INSERT, fresh),
+                    Update(UpdateType.DELETE, ghost),
+                    Update(UpdateType.INSERT, b.exact("vrf_tbl", {"vrf_id": 45}, "NoAction")),
+                )
+            )
+        )
+        codes = [s.code for s in response.statuses]
+        assert codes[1] is Code.NOT_FOUND
+        assert codes[0] is Code.ABORTED  # poisoned retroactively
+        assert codes[2] is Code.ABORTED
+
+    def test_modify_keeps_old_params(self, tor_program, tor_p4info):
+        stack, client = build_programmed(
+            tor_program, tor_p4info, faults=["modify_keeps_old_params"]
+        )
+        b = EntryBuilder(tor_p4info)
+        modified = b.lpm(
+            "ipv4_tbl", {"vrf_id": 1}, "ipv4_dst", 0x0A010000, 16,
+            "set_nexthop_id", {"nexthop_id": 3},
+        )
+        assert client.modify(modified).ok  # lies
+        read = client.read_table(tor_p4info.table_by_name("ipv4_tbl").id)
+        entry = next(e for e in read if e.match_key() == modified.match_key())
+        assert entry.action != modified.action  # old params survived
+
+    def test_zero_byte_id_mangled_corrupts_values(self, tor_program, tor_p4info):
+        stack, client = build_programmed(
+            tor_program, tor_p4info, faults=["zero_byte_id_mangled"], entries=[]
+        )
+        b = EntryBuilder(tor_p4info)
+        # 0x0100 encodes as 01 00; the string layer drops the zero byte, so
+        # the switch installs VRF 1 — and a subsequent wire-distinct insert
+        # of VRF 1 collides even though the two requests differ.
+        padded = b.exact("vrf_tbl", {"vrf_id": 0x0100}, "NoAction")
+        plain = b.exact("vrf_tbl", {"vrf_id": 0x01}, "NoAction")
+        assert client.insert(padded).ok
+        status = client.insert(plain)
+        assert status.code is Code.ALREADY_EXISTS  # ghost collision
+        assert padded.match_key() != plain.match_key()  # wire-distinct
+
+    def test_acl_leak_exhausts_early(self, tor_program, tor_p4info):
+        stack, client = build_programmed(
+            tor_program, tor_p4info, faults=["acl_invalid_cleanup_leak"]
+        )
+        b = EntryBuilder(tor_p4info)
+        rejected = 0
+        exhausted = 0
+        for i in range(60):
+            entry = b.ternary(
+                "acl_ingress_tbl",
+                {"is_ipv4": (1, 1), "dst_ip": (i << 8, 0xFFFFFF00)},
+                "drop",
+                priority=31 + i,  # priorities above 30 hit the fault
+            )
+            status = client.insert(entry)
+            if status.code is Code.INTERNAL:
+                rejected += 1
+            elif status.code is Code.RESOURCE_EXHAUSTED:
+                exhausted += 1
+        assert rejected > 0  # the bogus hw priority range rejection
+
+    def test_tunnel_delete_leaves_state(self, cerberus_program, cerberus_p4info):
+        entries = production_like_entries(cerberus_p4info, total=60, seed=3)
+        stack, client = build_programmed(
+            cerberus_program,
+            cerberus_p4info,
+            faults=["tunnel_delete_leaves_state"],
+            entries=entries,
+        )
+        b = EntryBuilder(cerberus_p4info)
+        tunnel = b.exact(
+            "tunnel_tbl", {"tunnel_id": 9}, "set_ip_in_ip_encap",
+            {"encap_src_ip": 1, "encap_dst_ip": 2},
+        )
+        assert client.insert(tunnel).ok
+        # Remove the route-independent tunnel and try to recreate: the
+        # hardware still holds it.
+        assert client.delete(tunnel).ok
+        status = client.insert(tunnel)
+        assert status.code is Code.ALREADY_EXISTS
+
+
+class TestDataPlaneMechanics:
+    def test_dscp_remark(self, tor_program, tor_p4info):
+        stack, _client = build_programmed(
+            tor_program, tor_p4info, faults=["dscp_remark_zero"]
+        )
+        obs = stack.send_packet(
+            deparse_packet(make_ipv4_packet(0x0A010001, dscp=20)), 1
+        )
+        assert obs.egress_port is not None
+        assert obs.packet.get("ipv4.dscp") == 0
+
+    def test_mtu_truncation(self, tor_program, tor_p4info):
+        stack, _client = build_programmed(
+            tor_program, tor_p4info, faults=["gnmi_mtu_truncation"]
+        )
+        obs = stack.send_packet(
+            deparse_packet(make_ipv4_packet(0x0A010001, payload=b"x" * 200)), 1
+        )
+        assert len(obs.packet.payload) == 64
+
+    def test_gnmi_port_disabled(self, tor_program, tor_p4info):
+        stack, _client = build_programmed(
+            tor_program, tor_p4info, faults=["gnmi_port_disabled"]
+        )
+        # Routes land 10.3/16 on port 3, which the config left down.
+        obs = stack.send_packet(deparse_packet(make_ipv4_packet(0x0A030001)), 1)
+        assert obs.egress_port is None
+
+    def test_port_speed_drop(self, cerberus_program, cerberus_p4info):
+        entries = baseline_entries(cerberus_p4info, ports=(5, 6))
+        stack, _client = build_programmed(
+            cerberus_program, cerberus_p4info, faults=["port_speed_drop"], entries=entries
+        )
+        obs = stack.send_packet(deparse_packet(make_ipv4_packet(0x0A010001)), 6)
+        assert obs.egress_port is None  # port 5 drops under the fault
+
+    def test_packet_out_punt_back(self, tor_program, tor_p4info):
+        stack, _client = build_programmed(
+            tor_program, tor_p4info, faults=["packet_out_punted_back"]
+        )
+        stack.drain_packet_ins()
+        payload = deparse_packet(make_ipv4_packet(0x0B000001))
+        stack.packet_out(PacketOut(payload=payload, egress_port=4))
+        bounced = stack.drain_packet_ins()
+        assert len(bounced) == 1
+        assert bounced[0].payload == payload
+
+    def test_submit_to_ingress_drop(self, tor_program, tor_p4info):
+        stack, _client = build_programmed(
+            tor_program, tor_p4info, faults=["l3_submit_to_ingress_drop"]
+        )
+        payload = deparse_packet(make_ipv4_packet(0x0A010001))
+        assert stack.packet_out(
+            PacketOut(payload=payload, egress_port=0, submit_to_ingress=True)
+        ).ok
+        assert stack.drain_egress() == []
+
+    def test_ipv6_router_solicitation_emission(self, tor_program, tor_p4info):
+        stack, _client = build_programmed(
+            tor_program, tor_p4info, faults=["ipv6_router_solicitation"]
+        )
+        obs = stack.send_packet(deparse_packet(make_ipv4_packet(0x0A010001)), 1)
+        assert obs.extra_egress  # unsolicited RS packet alongside
+        port, payload = obs.extra_egress[0]
+        assert payload[12:14] == (0x86DD).to_bytes(2, "big")

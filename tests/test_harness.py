@@ -1,0 +1,239 @@
+"""Tests for the SwitchV harness, trivial suite, and fault campaigns."""
+
+import pytest
+
+from repro.fuzzer import FuzzerConfig
+from repro.p4.p4info import build_p4info
+from repro.switch import FaultRegistry, PinsSwitchStack, ReferenceSwitch
+from repro.switch.model_faults import apply_model_faults, is_model_fault
+from repro.switchv import SwitchVHarness
+from repro.switchv.campaign import CampaignConfig, run_fault_campaign
+from repro.switchv.report import Incident, IncidentKind, IncidentLog
+from repro.switchv.trivial import TRIVIAL_TESTS, run_trivial_suite
+from repro.symbolic.cache import PacketCache
+from repro.workloads import baseline_entries, production_like_entries
+
+FAST_FUZZ = FuzzerConfig(num_writes=10, updates_per_write=15, seed=5)
+
+
+class TestIncidentLog:
+    def test_dedup_by_kind_and_summary(self):
+        log = IncidentLog()
+        for _ in range(3):
+            log.report(Incident(IncidentKind.PACKET_IO, "same thing", source="x"))
+        assert log.count == 1
+
+    def test_by_kind_and_source(self):
+        log = IncidentLog()
+        log.report(Incident(IncidentKind.PACKET_IO, "a", source="p4-fuzzer"))
+        log.report(Incident(IncidentKind.FORWARDING_MISMATCH, "b", source="p4-symbolic"))
+        assert log.by_kind()[IncidentKind.PACKET_IO] == 1
+        assert log.by_source() == {"p4-fuzzer": 1, "p4-symbolic": 1}
+
+    def test_extend_deduplicates(self):
+        a = IncidentLog()
+        b = IncidentLog()
+        a.report(Incident(IncidentKind.PACKET_IO, "x", source="s"))
+        b.report(Incident(IncidentKind.PACKET_IO, "x", source="s"))
+        a.extend(b)
+        assert a.count == 1
+
+    def test_bool_and_iteration(self):
+        log = IncidentLog()
+        assert not log
+        log.report(Incident(IncidentKind.PACKET_IO, "x", source="s"))
+        assert log and len(list(log)) == 1
+
+
+class TestFaultFree:
+    def test_pins_stack_validates_clean(self, tor_program, tor_p4info):
+        stack = PinsSwitchStack(tor_program)
+        harness = SwitchVHarness(tor_program, stack)
+        report = harness.validate(baseline_entries(tor_p4info), FAST_FUZZ)
+        assert report.ok, report.incidents.summary_lines()
+        assert report.data_plane.packets_tested > 10
+
+    def test_reference_switch_validates_clean(self, tor_program, tor_p4info):
+        switch = ReferenceSwitch(tor_program)
+        harness = SwitchVHarness(tor_program, switch)
+        report = harness.validate(baseline_entries(tor_p4info), FAST_FUZZ)
+        assert report.ok, report.incidents.summary_lines()
+
+    def test_toy_program_on_reference_switch(self, toy_program, toy_p4info):
+        from repro.workloads import EntryBuilder
+
+        b = EntryBuilder(toy_p4info)
+        entries = [
+            b.ternary("pre_ingress_tbl", {}, "set_vrf", {"vrf_id": 1}, priority=1),
+            b.exact("vrf_tbl", {"vrf_id": 1}, "NoAction"),
+            b.lpm("ipv4_tbl", {"vrf_id": 1}, "ipv4_dst", 0x0A000000, 8,
+                  "set_nexthop_id", {"nexthop_id": 3}),
+        ]
+        switch = ReferenceSwitch(toy_program)
+        harness = SwitchVHarness(toy_program, switch)
+        report = harness.validate_data_plane(entries)
+        assert report.ok, report.incidents.summary_lines()
+
+    def test_cerberus_stack_validates_clean(self, cerberus_program, cerberus_p4info):
+        stack = PinsSwitchStack(cerberus_program)
+        harness = SwitchVHarness(cerberus_program, stack)
+        entries = production_like_entries(cerberus_p4info, total=60, seed=4)
+        report = harness.validate_data_plane(entries)
+        assert report.ok, report.incidents.summary_lines()
+
+    def test_cache_hit_on_second_run(self, tor_program, tor_p4info):
+        cache = PacketCache()
+        entries = baseline_entries(tor_p4info)
+        first = SwitchVHarness(tor_program, PinsSwitchStack(tor_program), cache=cache)
+        report1 = first.validate_data_plane(entries)
+        second = SwitchVHarness(tor_program, PinsSwitchStack(tor_program), cache=cache)
+        report2 = second.validate_data_plane(entries)
+        assert not report1.data_plane.cache_hit
+        assert report2.data_plane.cache_hit
+        assert report2.data_plane.generation_seconds < report1.data_plane.generation_seconds
+        assert report2.ok
+
+
+class TestFaultDetection:
+    @pytest.mark.parametrize(
+        "fault,expected_kind",
+        [
+            ("dscp_remark_zero", IncidentKind.FORWARDING_MISMATCH),
+            ("lldp_punt", IncidentKind.UNEXPECTED_PACKET_IN),
+            ("port_sync_daemon_restart", IncidentKind.PACKET_IO),
+            ("packet_out_punted_back", IncidentKind.UNEXPECTED_PACKET_IN),
+            ("gnmi_port_disabled", IncidentKind.FORWARDING_MISMATCH),
+        ],
+    )
+    def test_data_plane_fault_detection(self, tor_program, tor_p4info, fault, expected_kind):
+        registry = FaultRegistry([fault])
+        stack = PinsSwitchStack(tor_program, faults=registry)
+        harness = SwitchVHarness(tor_program, stack, simulator_faults=registry)
+        entries = production_like_entries(tor_p4info, total=60, seed=3)
+        report = harness.validate_data_plane(entries)
+        kinds = {i.kind for i in report.incidents}
+        assert expected_kind in kinds, report.incidents.summary_lines()
+
+    def test_model_fault_detection(self, tor_program):
+        model = apply_model_faults(tor_program, ["model_missing_broadcast_drop"])
+        stack = PinsSwitchStack(tor_program)  # switch is correct
+        harness = SwitchVHarness(model, stack)
+        entries = production_like_entries(build_p4info(model), total=60, seed=3)
+        report = harness.validate_data_plane(entries)
+        assert not report.ok
+
+    def test_simulator_fault_detection(self, cerberus_program, cerberus_p4info):
+        registry = FaultRegistry(["bmv2_optional_zero_match"])
+        stack = PinsSwitchStack(cerberus_program)  # switch is correct
+        harness = SwitchVHarness(cerberus_program, stack, simulator_faults=registry)
+        entries = production_like_entries(cerberus_p4info, total=60, seed=3)
+        report = harness.validate_data_plane(entries)
+        assert not report.ok  # mismatch traced to the simulator
+
+    def test_update_path_fault_detection(self, tor_program, tor_p4info):
+        registry = FaultRegistry(["wcmp_update_removes_members"])
+        stack = PinsSwitchStack(tor_program, faults=registry)
+        harness = SwitchVHarness(tor_program, stack)
+        entries = production_like_entries(tor_p4info, total=60, seed=3)
+        report = harness.validate_data_plane(entries)
+        assert any(
+            "content-preserving modify" in i.summary for i in report.incidents
+        ), report.incidents.summary_lines()
+
+
+class TestModelFaultTransforms:
+    def test_removing_ttl_trap(self, tor_program):
+        model = apply_model_faults(tor_program, ["ttl1_hw_trap_disagrees"])
+        labels = [c.label for c in model.conditionals()]
+        assert "ttl_trap" not in labels
+        assert "ttl_trap" in [c.label for c in tor_program.conditionals()]
+
+    def test_removing_broadcast_drop(self, tor_program):
+        model = apply_model_faults(tor_program, ["model_missing_broadcast_drop"])
+        assert "broadcast_drop" not in [c.label for c in model.conditionals()]
+
+    def test_wrong_icmp_field(self, tor_program):
+        model = apply_model_faults(tor_program, ["model_wrong_icmp_field"])
+        key = model.table("acl_ingress_tbl").key("icmp_type")
+        assert key.field.path == "icmp.code"
+
+    def test_rewrite_before_acl_moves_table(self, tor_program):
+        model = apply_model_faults(tor_program, ["model_rewrite_before_acl"])
+
+        def order(program):
+            from repro.p4.ast import If, TableApply
+
+            result = []
+
+            def walk(block):
+                for node in block:
+                    if isinstance(node, TableApply):
+                        result.append(node.table.name)
+                    elif isinstance(node, If):
+                        if node.label == "resolution_gate":
+                            result.append("<resolution>")
+                        walk(node.then_block)
+                        walk(node.else_block)
+
+            walk(program.ingress)
+            return result
+
+        baseline = order(tor_program)
+        faulted = order(model)
+        assert baseline.index("acl_ingress_tbl") > baseline.index("<resolution>")
+        assert faulted.index("acl_ingress_tbl") < faulted.index("<resolution>")
+
+    def test_unrelated_faults_leave_model_unchanged(self, tor_program):
+        model = apply_model_faults(tor_program, ["lldp_punt", "vrf_delete_fails"])
+        assert model is tor_program
+
+    def test_is_model_fault(self):
+        assert is_model_fault("model_missing_broadcast_drop")
+        assert not is_model_fault("lldp_punt")
+
+
+class TestTrivialSuite:
+    def test_fault_free_passes(self, tor_program):
+        result = run_trivial_suite(tor_program, PinsSwitchStack(tor_program))
+        assert result.all_passed, result.failed
+        assert result.passed == list(TRIVIAL_TESTS)
+
+    @pytest.mark.parametrize(
+        "fault,expected_first_failure",
+        [
+            ("p4info_push_failure_swallowed", "table_entry_programming"),
+            ("acl_name_capitalization", "table_entry_programming"),
+            ("read_ternary_unsupported", "read_all_tables"),
+            ("port_sync_daemon_restart", "packet_in"),
+            ("packet_out_punted_back", "packet_out"),
+        ],
+    )
+    def test_trivial_attribution(self, tor_program, fault, expected_first_failure):
+        stack = PinsSwitchStack(tor_program, faults=FaultRegistry([fault]))
+        result = run_trivial_suite(tor_program, stack)
+        assert result.first_failure == expected_first_failure, result.failed
+
+    def test_deep_faults_escape_trivial_suite(self, tor_program):
+        # The DSCP remark bug needs non-zero-DSCP packets on a forwarded
+        # path — the trivial suite never notices.
+        stack = PinsSwitchStack(tor_program, faults=FaultRegistry(["dscp_remark_zero"]))
+        result = run_trivial_suite(tor_program, stack)
+        assert result.all_passed
+
+
+class TestCampaign:
+    def test_campaign_detects_and_attributes(self):
+        config = CampaignConfig(
+            fuzz_writes=10, fuzz_updates_per_write=15, workload_entries=50, seed=5
+        )
+        outcome = run_fault_campaign("modify_keeps_old_params", "pins", config)
+        assert outcome.detected
+        assert "p4-fuzzer" in outcome.detected_by
+        assert outcome.fault.component == "P4Runtime Server"
+
+    def test_campaign_runs_trivial_suite(self):
+        config = CampaignConfig(
+            fuzz_writes=5, fuzz_updates_per_write=10, workload_entries=40, seed=5
+        )
+        outcome = run_fault_campaign("read_ternary_unsupported", "pins", config)
+        assert outcome.trivial_first_failure == "read_all_tables"

@@ -1,0 +1,84 @@
+"""Tests for the §7 OKR metrics and incident rendering."""
+
+from repro.fuzzer import FuzzerConfig
+from repro.switch import FaultRegistry, PinsSwitchStack
+from repro.switchv.metrics import (
+    DEFAULT_FEATURES,
+    FeatureMetrics,
+    collect_feature_metrics,
+    render_metrics,
+)
+from repro.switchv.report import Incident, IncidentKind, IncidentLog
+from repro.workloads import production_like_entries
+
+FAST = FuzzerConfig(num_writes=10, updates_per_write=15, seed=5)
+
+
+class TestFeatureMetrics:
+    def test_fault_free_metrics_are_all_green(self, tor_program, tor_p4info):
+        switch = PinsSwitchStack(tor_program)
+        entries = production_like_entries(tor_p4info, total=70, seed=5)
+        metrics = collect_feature_metrics(tor_program, switch, entries, FAST)
+        by_name = {m.feature: m for m in metrics}
+        assert by_name["routing"].control_updates > 0
+        for metric in metrics:
+            if metric.control_ok_ratio is not None:
+                assert metric.control_ok_ratio == 1.0, metric.feature
+            if metric.data_ok_ratio is not None:
+                assert metric.data_ok_ratio == 1.0, metric.feature
+
+    def test_faulty_feature_shows_regression(self, tor_program, tor_p4info):
+        registry = FaultRegistry(["acl_name_capitalization"])
+        switch = PinsSwitchStack(tor_program, faults=registry)
+        entries = production_like_entries(tor_p4info, total=70, seed=5)
+        metrics = collect_feature_metrics(tor_program, switch, entries, FAST)
+        by_name = {m.feature: m for m in metrics}
+        acl = by_name["acl"]
+        assert acl.control_incidents > 0 or acl.data_incidents > 0
+        # Unrelated features stay green on the control plane.
+        routing = by_name["routing"]
+        assert routing.control_incidents == 0
+
+    def test_ratio_none_when_no_activity(self):
+        metric = FeatureMetrics(feature="tunneling")
+        assert metric.control_ok_ratio is None
+        assert metric.data_ok_ratio is None
+        assert metric.row() == ("tunneling", "-", "-")
+
+    def test_render(self):
+        metrics = [
+            FeatureMetrics("routing", control_updates=10, control_incidents=0,
+                           data_goals=5, data_incidents=1),
+        ]
+        text = render_metrics(metrics)
+        assert "routing" in text
+        assert "100%" in text
+        assert "80%" in text
+
+    def test_default_features_cover_sai_tables(self, tor_p4info):
+        covered = {t for tables in DEFAULT_FEATURES.values() for t in tables}
+        model_tables = {t.name for t in tor_p4info.tables.values()}
+        assert model_tables <= covered
+
+
+class TestIncidentRendering:
+    def test_empty_log(self):
+        assert "no incidents" in IncidentLog().render()
+
+    def test_rendered_fields(self):
+        log = IncidentLog()
+        log.report(
+            Incident(
+                kind=IncidentKind.FORWARDING_MISMATCH,
+                summary="port 3 instead of 2",
+                expected="egress 2",
+                observed="egress 3",
+                test_input="eth_ipv4 packet",
+                source="p4-symbolic",
+            )
+        )
+        text = log.render()
+        assert "forwarding behavior" in text
+        assert "expected: egress 2" in text
+        assert "observed: egress 3" in text
+        assert "p4-symbolic" in text

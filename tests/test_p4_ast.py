@@ -1,0 +1,162 @@
+"""Tests for the P4 model IR and the role instantiations."""
+
+import pytest
+
+from repro.p4 import ast
+from repro.p4.ast import (
+    Cmp,
+    Const,
+    FieldRef,
+    If,
+    IsValid,
+    MatchKind,
+    Seq,
+    TableApply,
+    assign,
+    mark_to_drop,
+    punt_to_cpu,
+    seq,
+)
+
+
+class TestFieldWidths:
+    def test_header_field_width(self, tor_program):
+        assert tor_program.field_width("ipv4.dst_addr") == 32
+        assert tor_program.field_width("ipv6.dst_addr") == 128
+        assert tor_program.field_width("ethernet.dst_addr") == 48
+        assert tor_program.field_width("ipv4.ttl") == 8
+
+    def test_metadata_width(self, tor_program):
+        assert tor_program.field_width("meta.vrf_id") == 16
+        assert tor_program.field_width("meta.l3_admit") == 1
+
+    def test_standard_width(self, tor_program):
+        assert tor_program.field_width("standard.drop") == 1
+        assert tor_program.field_width("standard.egress_port") == 16
+
+    def test_unknown_field_raises(self, tor_program):
+        with pytest.raises(KeyError):
+            tor_program.field_width("ipv4.nope")
+        with pytest.raises(KeyError):
+            tor_program.field_width("meta.nope")
+        with pytest.raises(KeyError):
+            tor_program.field_width("nothdr.x")
+
+
+class TestTableLookup:
+    def test_tables_in_pipeline_order(self, toy_program):
+        names = [t.name for t in toy_program.tables()]
+        assert names == ["pre_ingress_tbl", "vrf_tbl", "ipv4_tbl"]
+
+    def test_programmable_excludes_logical(self, tor_program):
+        names = {t.name for t in tor_program.programmable_tables()}
+        assert "mirror_port_to_clone_session_tbl" not in names
+        all_names = {t.name for t in tor_program.tables()}
+        assert "mirror_port_to_clone_session_tbl" in all_names
+
+    def test_table_by_name(self, tor_program):
+        table = tor_program.table("ipv4_tbl")
+        assert table.key("vrf_id").refers_to == ("vrf_tbl", "vrf_id")
+        with pytest.raises(KeyError):
+            tor_program.table("nope")
+
+    def test_table_key_and_action_accessors(self, tor_program):
+        table = tor_program.table("ipv4_tbl")
+        assert table.key("ipv4_dst").kind is MatchKind.LPM
+        assert table.action("drop").name == "drop"
+        with pytest.raises(KeyError):
+            table.key("nope")
+        with pytest.raises(KeyError):
+            table.action("nope")
+
+    def test_requires_priority(self, tor_program):
+        assert tor_program.table("acl_ingress_tbl").requires_priority
+        assert tor_program.table("l3_admit_tbl").requires_priority  # ternary key
+        assert not tor_program.table("ipv4_tbl").requires_priority
+        assert not tor_program.table("vrf_tbl").requires_priority
+
+    def test_actions_deduplicated(self, tor_program):
+        actions = tor_program.actions()
+        names = [a.name for a in actions]
+        assert len(names) == len(set(names))
+        assert "drop" in names
+
+    def test_conditionals_have_labels(self, tor_program):
+        labels = [c.label for c in tor_program.conditionals()]
+        assert "ttl_trap" in labels
+        assert "broadcast_drop" in labels
+        assert "not_dropped_gate" in labels
+        assert "l3_admit_gate" in labels
+
+
+class TestRolePrograms:
+    def test_roles(self, tor_program, wan_program, cerberus_program):
+        assert tor_program.role == "ToR"
+        assert wan_program.role == "WAN"
+        assert cerberus_program.role == "Cerberus"
+
+    def test_tor_and_wan_share_common_structure(self, tor_program, wan_program):
+        tor_tables = {t.name for t in tor_program.tables()}
+        wan_tables = {t.name for t in wan_program.tables()}
+        common = {
+            "vrf_tbl",
+            "ipv4_tbl",
+            "ipv6_tbl",
+            "nexthop_tbl",
+            "wcmp_group_tbl",
+            "router_interface_tbl",
+            "neighbor_tbl",
+        }
+        assert common <= tor_tables
+        assert common <= wan_tables
+
+    def test_role_specific_acls_differ(self, tor_program, wan_program):
+        tor_acl = tor_program.table("acl_ingress_tbl")
+        wan_acl = wan_program.table("acl_ingress_tbl")
+        tor_keys = {k.key_name for k in tor_acl.keys}
+        wan_keys = {k.key_name for k in wan_acl.keys}
+        assert "icmp_type" in tor_keys and "icmp_type" not in wan_keys
+        assert "dscp" in wan_keys and "dscp" not in tor_keys
+
+    def test_wan_has_egress_acl(self, wan_program, tor_program):
+        assert any(t.name == "acl_egress_tbl" for t in wan_program.tables())
+        assert not any(t.name == "acl_egress_tbl" for t in tor_program.tables())
+
+    def test_cerberus_has_tunnel_tables(self, cerberus_program):
+        names = {t.name for t in cerberus_program.tables()}
+        assert {"tunnel_tbl", "decap_tbl"} <= names
+
+    def test_entry_restrictions_parse(self, tor_program, wan_program, cerberus_program):
+        from repro.p4.constraints import parse_constraint
+
+        for program in (tor_program, wan_program, cerberus_program):
+            for table in program.tables():
+                if table.entry_restriction:
+                    parse_constraint(table.entry_restriction)
+
+    def test_vrf_table_is_resource_table(self, tor_program):
+        assert tor_program.table("vrf_tbl").is_resource_table
+
+    def test_wcmp_table_has_selector(self, tor_program):
+        table = tor_program.table("wcmp_group_tbl")
+        assert table.implementation is not None
+        assert table.implementation.max_group_size == 128
+
+
+class TestStatementHelpers:
+    def test_primitives_desugar_to_assignments(self):
+        assert mark_to_drop().dest.path == "standard.drop"
+        assert punt_to_cpu().dest.path == "standard.punt"
+        stmt = assign("meta.vrf_id", Const(3, 16))
+        assert stmt.dest == FieldRef("meta.vrf_id")
+        assert stmt.value == Const(3, 16)
+
+    def test_seq_iterates_in_order(self):
+        block = seq(mark_to_drop(), punt_to_cpu())
+        assert [s.dest.path for s in block] == ["standard.drop", "standard.punt"]
+
+    def test_bool_combinators(self):
+        c1 = Cmp("==", FieldRef("a.b"), Const(1, 8))
+        combined = ast.and_(c1, ast.not_(IsValid("ipv4")))
+        assert combined.op == "and"
+        assert combined.args[1].op == "not"

@@ -1,0 +1,91 @@
+"""Tests for P4Info catalogue generation."""
+
+from repro.p4.ast import MatchKind
+from repro.p4.p4info import ACTION_PREFIX, TABLE_PREFIX, build_p4info
+
+
+class TestIds:
+    def test_table_ids_carry_type_prefix(self, tor_p4info):
+        for tid in tor_p4info.tables:
+            assert (tid >> 24) == TABLE_PREFIX
+
+    def test_action_ids_carry_type_prefix(self, tor_p4info):
+        for aid in tor_p4info.actions:
+            assert (aid >> 24) == ACTION_PREFIX
+
+    def test_ids_deterministic_across_builds(self, tor_program):
+        a = build_p4info(tor_program)
+        b = build_p4info(tor_program)
+        assert a.table_ids() == b.table_ids()
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_ids_unique(self, tor_p4info):
+        assert len(set(tor_p4info.tables)) == len(tor_p4info.tables)
+        assert len(set(tor_p4info.actions)) == len(tor_p4info.actions)
+
+    def test_no_zero_ids(self, tor_p4info):
+        assert 0 not in tor_p4info.tables
+        assert 0 not in tor_p4info.actions
+
+
+class TestStructure:
+    def test_match_fields_are_one_indexed(self, tor_p4info):
+        for table in tor_p4info.tables.values():
+            assert [mf.id for mf in table.match_fields] == list(
+                range(1, len(table.match_fields) + 1)
+            )
+
+    def test_match_field_metadata(self, toy_p4info):
+        ipv4 = toy_p4info.table_by_name("ipv4_tbl")
+        vrf_key = ipv4.match_field_by_name("vrf_id")
+        assert vrf_key.bitwidth == 16
+        assert vrf_key.match_type is MatchKind.EXACT
+        dst = ipv4.match_field_by_name("ipv4_dst")
+        assert dst.bitwidth == 32
+        assert dst.match_type is MatchKind.LPM
+
+    def test_logical_tables_excluded(self, tor_p4info):
+        assert tor_p4info.table_by_name("mirror_port_to_clone_session_tbl") is None
+
+    def test_action_params(self, tor_p4info):
+        action = tor_p4info.action_by_name("set_port_and_src_mac")
+        assert [p.name for p in action.params] == ["port", "src_mac"]
+        assert action.params[0].bitwidth == 16
+        assert action.params[1].bitwidth == 48
+        assert action.param_by_id(1).name == "port"
+        assert action.param_by_id(9) is None
+
+    def test_references_collected(self, tor_p4info):
+        assert tor_p4info.references[("ipv4_tbl", "vrf_id")] == ("vrf_tbl", "vrf_id")
+        assert tor_p4info.references[("set_nexthop_id", "nexthop_id")] == (
+            "nexthop_tbl",
+            "nexthop_id",
+        )
+
+    def test_entry_restriction_carried(self, tor_p4info):
+        vrf = tor_p4info.table_by_name("vrf_tbl")
+        assert vrf.entry_restriction == "vrf_id != 0"
+
+    def test_action_profile_wiring(self, tor_p4info):
+        wcmp = tor_p4info.table_by_name("wcmp_group_tbl")
+        assert wcmp.implementation_id != 0
+        profile = tor_p4info.action_profiles[wcmp.implementation_id]
+        assert wcmp.id in profile.table_ids
+        assert profile.max_group_size == 128
+
+    def test_direct_table_has_no_implementation(self, tor_p4info):
+        assert tor_p4info.table_by_name("ipv4_tbl").implementation_id == 0
+
+    def test_requires_priority_mirrors_table(self, tor_p4info):
+        assert tor_p4info.table_by_name("acl_ingress_tbl").requires_priority
+        assert not tor_p4info.table_by_name("ipv4_tbl").requires_priority
+
+
+class TestFingerprint:
+    def test_fingerprint_differs_across_programs(self, tor_program, wan_program):
+        assert build_p4info(tor_program).fingerprint() != build_p4info(wan_program).fingerprint()
+
+    def test_valid_action_ids_for(self, tor_p4info):
+        ipv4 = tor_p4info.table_by_name("ipv4_tbl")
+        assert tor_p4info.valid_action_ids_for(ipv4.id) == ipv4.action_ids
+        assert tor_p4info.valid_action_ids_for(0xDEAD) == ()

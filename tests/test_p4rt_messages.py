@@ -1,0 +1,117 @@
+"""Tests for P4Runtime messages, statuses, and the in-process client."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.p4rt import codec
+from repro.p4rt.messages import (
+    ActionInvocation,
+    ActionProfileAction,
+    ActionProfileActionSet,
+    FieldMatch,
+    TableEntry,
+    Update,
+    UpdateType,
+    WriteRequest,
+)
+from repro.p4rt.service import P4RuntimeClient
+from repro.p4rt.status import BatchStatus, Code, Status, invalid_argument
+
+E = codec.encode
+
+
+class TestMatchKey:
+    def test_key_ignores_action(self):
+        a = TableEntry(1, (FieldMatch(1, "exact", E(5, 16)),), ActionInvocation(7))
+        b = TableEntry(1, (FieldMatch(1, "exact", E(5, 16)),), ActionInvocation(9))
+        assert a.match_key() == b.match_key()
+
+    def test_key_ignores_match_order(self):
+        m1 = FieldMatch(1, "exact", E(5, 16))
+        m2 = FieldMatch(2, "exact", E(9, 16))
+        assert TableEntry(1, (m1, m2), None).match_key() == TableEntry(1, (m2, m1), None).match_key()
+
+    def test_key_canonicalizes_values(self):
+        padded = TableEntry(1, (FieldMatch(1, "exact", b"\x00\x05"),), None)
+        canonical = TableEntry(1, (FieldMatch(1, "exact", b"\x05"),), None)
+        assert padded.match_key() == canonical.match_key()
+
+    def test_key_distinguishes_priority(self):
+        a = TableEntry(1, (), None, priority=1)
+        b = TableEntry(1, (), None, priority=2)
+        assert a.match_key() != b.match_key()
+
+    def test_key_distinguishes_table(self):
+        assert TableEntry(1, (), None).match_key() != TableEntry(2, (), None).match_key()
+
+    def test_match_by_field(self):
+        entry = TableEntry(1, (FieldMatch(3, "exact", E(5, 16)),), None)
+        assert entry.match_by_field(3) is not None
+        assert entry.match_by_field(4) is None
+
+    @given(st.integers(1, 2**16 - 1))
+    def test_canonical_round_trip_property(self, value):
+        raw = FieldMatch(1, "exact", b"\x00" * 3 + E(value, 16))
+        assert raw.canonical().value == E(value, 16)
+
+
+class TestActionSets:
+    def test_action_param_lookup(self):
+        inv = ActionInvocation(1, ((1, b"\x01"), (2, b"\x02")))
+        assert inv.param(2) == b"\x02"
+        assert inv.param(3) is None
+
+    def test_action_set_repr(self):
+        group = ActionProfileActionSet(
+            (ActionProfileAction(ActionInvocation(1), 3),)
+        )
+        assert "*3" in repr(group)
+
+
+class TestStatus:
+    def test_ok_predicate(self):
+        assert Status().ok
+        assert not invalid_argument("nope").ok
+
+    def test_batch_status_overall_is_first_failure(self):
+        batch = BatchStatus(
+            per_update=[Status(), invalid_argument("a"), Status(Code.NOT_FOUND, "b")]
+        )
+        assert not batch.ok
+        assert batch.overall.code is Code.INVALID_ARGUMENT
+
+    def test_batch_status_ok(self):
+        batch = BatchStatus(per_update=[Status(), Status()])
+        assert batch.ok
+        assert batch.overall.ok
+
+    def test_write_response_ok(self):
+        from repro.p4rt.messages import WriteResponse
+
+        assert WriteResponse(statuses=(Status(),)).ok
+        assert not WriteResponse(statuses=(Status(), invalid_argument("x"))).ok
+
+
+class TestClient:
+    def test_client_convenience_methods(self, toy_program, toy_p4info):
+        from repro.switch import ReferenceSwitch
+        from repro.workloads import EntryBuilder
+
+        switch = ReferenceSwitch(toy_program)
+        client = P4RuntimeClient(switch)
+        assert client.set_pipeline(toy_p4info).ok
+        b = EntryBuilder(toy_p4info)
+        entry = b.exact("vrf_tbl", {"vrf_id": 3}, "NoAction")
+        assert client.insert(entry).ok
+        assert len(client.read_all()) == 1
+        table_id = toy_p4info.table_by_name("vrf_tbl").id
+        assert len(client.read_table(table_id)) == 1
+        assert client.read_table(0xDEAD) == []
+        assert client.delete(entry).ok
+        assert client.read_all() == []
+
+    def test_write_request_len(self):
+        entry = TableEntry(1, (), None)
+        request = WriteRequest(updates=(Update(UpdateType.INSERT, entry),))
+        assert len(request) == 1

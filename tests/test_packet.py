@@ -1,0 +1,125 @@
+"""Tests for concrete packets: wire encode/decode and parser patterns."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bmv2.packet import (
+    Packet,
+    PacketError,
+    deparse_packet,
+    make_ipv4_packet,
+    make_ipv6_packet,
+    parse_packet,
+)
+from repro.p4.programs.common import (
+    ETHERTYPE_IPV4,
+    ETHERTYPE_IPV6,
+    IP_PROTOCOL_ICMP,
+    IP_PROTOCOL_TCP,
+    IP_PROTOCOL_UDP,
+)
+
+
+class TestConstruction:
+    def test_ipv4_udp_packet(self):
+        pkt = make_ipv4_packet(dst_addr=0x0A000001)
+        assert pkt.valid_headers == {"ethernet", "ipv4", "udp"}
+        assert pkt.get("ipv4.dst_addr") == 0x0A000001
+        assert pkt.get("ethernet.ether_type") == ETHERTYPE_IPV4
+
+    def test_ipv4_tcp_and_icmp(self):
+        tcp = make_ipv4_packet(0x0A000001, protocol=IP_PROTOCOL_TCP)
+        assert "tcp" in tcp.valid_headers
+        icmp = make_ipv4_packet(0x0A000001, protocol=IP_PROTOCOL_ICMP)
+        assert "icmp" in icmp.valid_headers
+
+    def test_ipv6_packet(self):
+        pkt = make_ipv6_packet(dst_addr=0x20010DB8 << 96)
+        assert pkt.valid_headers == {"ethernet", "ipv6", "udp"}
+        assert pkt.get("ethernet.ether_type") == ETHERTYPE_IPV6
+
+    def test_copy_is_deep_for_fields(self):
+        pkt = make_ipv4_packet(0x0A000001)
+        clone = pkt.copy()
+        clone.set("ipv4.ttl", 1)
+        assert pkt.get("ipv4.ttl") != 1
+
+
+class TestWireFormat:
+    def test_roundtrip_ipv4(self):
+        pkt = make_ipv4_packet(0x0A010203, ttl=7, payload=b"hello!")
+        data = deparse_packet(pkt)
+        # 14 (eth) + 20 (ipv4) + 8 (udp) + payload
+        assert len(data) == 14 + 20 + 8 + 6
+        parsed = parse_packet(data)
+        assert parsed.signature() == pkt.signature()
+
+    def test_roundtrip_ipv6(self):
+        pkt = make_ipv6_packet(0x1234 << 96)
+        parsed = parse_packet(deparse_packet(pkt))
+        assert parsed.signature() == pkt.signature()
+
+    def test_unknown_ethertype_leaves_payload(self):
+        pkt = Packet()
+        pkt.valid_headers.add("ethernet")
+        pkt.fields.update(
+            {
+                "ethernet.dst_addr": 1,
+                "ethernet.src_addr": 2,
+                "ethernet.ether_type": 0x88CC,  # LLDP
+            }
+        )
+        pkt.payload = b"tlvs"
+        parsed = parse_packet(deparse_packet(pkt))
+        assert parsed.valid_headers == {"ethernet"}
+        assert parsed.payload == b"tlvs"
+
+    def test_unknown_ip_protocol_stops_at_l3(self):
+        pkt = make_ipv4_packet(0x0A000001, protocol=89)  # OSPF
+        pkt.valid_headers.discard("udp")
+        for name in list(pkt.fields):
+            if name.startswith("udp."):
+                del pkt.fields[name]
+        parsed = parse_packet(deparse_packet(pkt))
+        assert parsed.valid_headers == {"ethernet", "ipv4"}
+
+    def test_truncated_packet_rejected(self):
+        with pytest.raises(PacketError):
+            parse_packet(b"\x00" * 10)  # shorter than an ethernet header
+
+    def test_truncated_l3_rejected(self):
+        header = (1).to_bytes(6, "big") + (2).to_bytes(6, "big") + ETHERTYPE_IPV4.to_bytes(2, "big")
+        with pytest.raises(PacketError):
+            parse_packet(header + b"\x00" * 8)
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(PacketError):
+            parse_packet(b"\x00" * 64, pattern="nonsense")
+
+
+class TestWireProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(0, 2**32 - 1),
+        st.integers(0, 2**32 - 1),
+        st.integers(0, 255),
+        st.sampled_from([IP_PROTOCOL_UDP, IP_PROTOCOL_TCP, IP_PROTOCOL_ICMP, 50]),
+        st.binary(max_size=64),
+    )
+    def test_ipv4_roundtrip_property(self, dst, src, ttl, protocol, payload):
+        pkt = make_ipv4_packet(
+            dst_addr=dst, src_addr=src, ttl=ttl, protocol=protocol, payload=payload
+        )
+        if protocol == 50:
+            # make_ipv4_packet adds no L4 header for unknown protocols.
+            pkt.valid_headers -= {"udp", "tcp", "icmp"}
+        parsed = parse_packet(deparse_packet(pkt))
+        assert parsed.signature() == pkt.signature()
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 2**128 - 1), st.integers(0, 255))
+    def test_ipv6_roundtrip_property(self, dst, hop_limit):
+        pkt = make_ipv6_packet(dst_addr=dst, hop_limit=hop_limit)
+        parsed = parse_packet(deparse_packet(pkt))
+        assert parsed.signature() == pkt.signature()

@@ -1,0 +1,138 @@
+"""Tests for the model-faithful reference switch."""
+
+import pytest
+
+from repro.bmv2.packet import deparse_packet, make_ipv4_packet
+from repro.p4rt import codec
+from repro.p4rt.messages import (
+    PacketOut,
+    ReadRequest,
+    Update,
+    UpdateType,
+    WriteRequest,
+)
+from repro.p4rt.service import P4RuntimeClient
+from repro.p4rt.status import Code
+from repro.switch import ReferenceSwitch
+from repro.workloads import EntryBuilder, baseline_entries
+
+
+@pytest.fixture
+def programmed(tor_program, tor_p4info, tor_baseline):
+    switch = ReferenceSwitch(tor_program)
+    client = P4RuntimeClient(switch)
+    assert client.set_pipeline(tor_p4info).ok
+    from repro.fuzzer.batching import make_batches
+
+    for batch in make_batches(
+        tor_p4info, [Update(UpdateType.INSERT, e) for e in tor_baseline]
+    ):
+        response = switch.write(WriteRequest(updates=tuple(batch)))
+        assert response.ok, response.statuses
+    return switch
+
+
+class TestControlPlane:
+    def test_write_before_config_fails(self, tor_program):
+        switch = ReferenceSwitch(tor_program)
+        from repro.p4rt.messages import TableEntry
+
+        response = switch.write(
+            WriteRequest(updates=(Update(UpdateType.INSERT, TableEntry(1, (), None)),))
+        )
+        assert response.statuses[0].code is Code.FAILED_PRECONDITION
+
+    def test_duplicate_insert(self, programmed, tor_p4info):
+        b = EntryBuilder(tor_p4info)
+        client = P4RuntimeClient(programmed)
+        assert client.insert(b.exact("vrf_tbl", {"vrf_id": 1}, "NoAction")).code is Code.ALREADY_EXISTS
+
+    def test_constraint_enforced(self, programmed, tor_p4info):
+        b = EntryBuilder(tor_p4info)
+        client = P4RuntimeClient(programmed)
+        assert client.insert(b.exact("vrf_tbl", {"vrf_id": 0}, "NoAction")).code is Code.INVALID_ARGUMENT
+
+    def test_referential_integrity(self, programmed, tor_p4info):
+        b = EntryBuilder(tor_p4info)
+        client = P4RuntimeClient(programmed)
+        dangling = b.lpm(
+            "ipv4_tbl", {"vrf_id": 77}, "ipv4_dst", 0, 1, "set_nexthop_id", {"nexthop_id": 1}
+        )
+        assert client.insert(dangling).code is Code.INVALID_ARGUMENT
+        still_used = b.exact("vrf_tbl", {"vrf_id": 1}, "NoAction")
+        assert client.delete(still_used).code is Code.FAILED_PRECONDITION
+
+    def test_read_back_round_trips(self, programmed, tor_baseline):
+        read = programmed.read(ReadRequest(table_id=0))
+        assert {e.match_key() for e in read.entries} == {
+            e.match_key() for e in tor_baseline
+        }
+
+    def test_table_size_guarantee(self, tor_program, tor_p4info):
+        switch = ReferenceSwitch(tor_program)
+        client = P4RuntimeClient(switch)
+        client.set_pipeline(tor_p4info)
+        b = EntryBuilder(tor_p4info)
+        size = tor_p4info.table_by_name("vrf_tbl").size
+        codes = [
+            client.insert(b.exact("vrf_tbl", {"vrf_id": i}, "NoAction")).code
+            for i in range(1, size + 5)
+        ]
+        assert codes[:size] == [Code.OK] * size
+        assert Code.RESOURCE_EXHAUSTED in codes[size:]
+
+
+class TestDataPlane:
+    def test_forwarding_follows_model(self, programmed):
+        obs = programmed.send_packet(
+            deparse_packet(make_ipv4_packet(0x0A020099, ttl=12)), ingress_port=3
+        )
+        assert obs.egress_port == 2
+        assert obs.packet.get("ipv4.ttl") == 11
+
+    def test_punt_enqueues_packet_in(self, programmed):
+        programmed.drain_packet_ins()
+        obs = programmed.send_packet(
+            deparse_packet(make_ipv4_packet(0x0AFFFF01)), ingress_port=1
+        )
+        assert obs.punted
+        assert len(programmed.drain_packet_ins()) == 1
+
+    def test_packet_out_direct(self, programmed):
+        payload = deparse_packet(make_ipv4_packet(0x0B000001))
+        assert programmed.packet_out(PacketOut(payload=payload, egress_port=5)).ok
+        assert programmed.drain_egress() == [(5, payload)]
+
+    def test_submit_to_ingress_traverses_pipeline(self, programmed):
+        payload = deparse_packet(make_ipv4_packet(0x0A030001, ttl=9))
+        assert programmed.packet_out(
+            PacketOut(payload=payload, egress_port=0, submit_to_ingress=True)
+        ).ok
+        egress = programmed.drain_egress()
+        assert egress and egress[0][0] == 3
+
+    def test_hash_seed_changes_wcmp_choice_not_validity(self, tor_program, tor_p4info, tor_baseline):
+        b = EntryBuilder(tor_p4info)
+        extra = [
+            b.wcmp_group(1, [(1, 1), (2, 1), (3, 1), (4, 1)]),
+            b.lpm("ipv4_tbl", {"vrf_id": 1}, "ipv4_dst", 0x0AC00000, 16,
+                  "set_wcmp_group_id", {"wcmp_group_id": 1}),
+        ]
+        ports = set()
+        for seed in range(6):
+            switch = ReferenceSwitch(tor_program, hash_seed=seed)
+            client = P4RuntimeClient(switch)
+            client.set_pipeline(tor_p4info)
+            from repro.fuzzer.batching import make_batches
+
+            for batch in make_batches(
+                tor_p4info,
+                [Update(UpdateType.INSERT, e) for e in tor_baseline + extra],
+            ):
+                switch.write(WriteRequest(updates=tuple(batch)))
+            obs = switch.send_packet(
+                deparse_packet(make_ipv4_packet(0x0AC00001)), ingress_port=5
+            )
+            ports.add(obs.egress_port)
+        assert ports <= {1, 2, 3, 4}
+        assert len(ports) > 1  # different seeds pick different members

@@ -1,0 +1,274 @@
+"""Tests for the PINS switch stack: ASIC, SAI, SyncD, OrchAgent, server."""
+
+import pytest
+
+from repro.bmv2.packet import deparse_packet, make_ipv4_packet
+from repro.p4rt import codec
+from repro.p4rt.messages import (
+    FieldMatch,
+    PacketOut,
+    ReadRequest,
+    TableEntry,
+    Update,
+    UpdateType,
+    WriteRequest,
+    ActionInvocation,
+)
+from repro.p4rt.service import P4RuntimeClient
+from repro.p4rt.status import Code
+from repro.switch import FaultRegistry, PinsSwitchStack
+from repro.switch.asic import AclStageConfig, AclKeySpec, AsicError, AsicProfile, AsicSim, RouteTarget
+from repro.workloads import EntryBuilder, baseline_entries
+
+E = codec.encode
+
+
+@pytest.fixture
+def programmed_stack(tor_program, tor_p4info, tor_baseline):
+    stack = PinsSwitchStack(tor_program)
+    client = P4RuntimeClient(stack)
+    assert client.set_pipeline(tor_p4info).ok
+    from repro.fuzzer.batching import make_batches
+
+    updates = [Update(UpdateType.INSERT, e) for e in tor_baseline]
+    for batch in make_batches(tor_p4info, updates):
+        response = stack.write(WriteRequest(updates=tuple(batch)))
+        assert response.ok, response.statuses
+    return stack
+
+
+class TestAsic:
+    def test_vrf_lifecycle(self):
+        asic = AsicSim(AsicProfile())
+        asic.create_vrf(1)
+        with pytest.raises(AsicError) as err:
+            asic.create_vrf(1)
+        assert err.value.reason == "exists"
+        asic.remove_vrf(1)
+        with pytest.raises(AsicError) as err:
+            asic.remove_vrf(1)
+        assert err.value.reason == "not_found"
+
+    def test_vrf_capacity(self):
+        asic = AsicSim(AsicProfile(vrf_capacity=2))
+        asic.create_vrf(1)
+        asic.create_vrf(2)
+        with pytest.raises(AsicError) as err:
+            asic.create_vrf(3)
+        assert err.value.reason == "no_resources"
+
+    def test_route_longest_prefix(self):
+        asic = AsicSim(AsicProfile())
+        asic.create_vrf(1)
+        asic.create_rif(1, 4, 0xAA)
+        asic.set_neighbor(1, 1, 0xBB)
+        asic.create_nexthop(1, 1, 1)
+        asic.create_rif(2, 5, 0xAA)
+        asic.set_neighbor(2, 2, 0xBB)
+        asic.create_nexthop(2, 2, 2)
+        asic.add_route(1, 4, 0x0A000000, 8, RouteTarget("nexthop", nexthop_id=1))
+        asic.add_route(1, 4, 0x0A010000, 16, RouteTarget("nexthop", nexthop_id=2))
+        asic.configure_acl_stage(AclStageConfig("l3_admit", [], capacity=4))
+        asic.acl_add("l3_admit", 1, {}, "admit")
+        asic.configure_acl_stage(
+            AclStageConfig("pre_ingress", [AclKeySpec("in_port", "standard.ingress_port", 16)], 4)
+        )
+        asic.acl_add("pre_ingress", 1, {}, "set_vrf", 1)
+        result = asic.forward(make_ipv4_packet(0x0A01FFFF), 1)
+        assert result.egress_port == 5
+        result = asic.forward(make_ipv4_packet(0x0A990000), 1)
+        assert result.egress_port == 4
+
+    def test_acl_capacity_and_unknown_key(self):
+        asic = AsicSim(AsicProfile())
+        asic.configure_acl_stage(
+            AclStageConfig("ingress", [AclKeySpec("ttl", "ipv4.ttl", 8)], capacity=1)
+        )
+        asic.acl_add("ingress", 1, {"ttl": (1, 0xFF)}, "drop")
+        with pytest.raises(AsicError) as err:
+            asic.acl_add("ingress", 2, {"ttl": (2, 0xFF)}, "drop")
+        assert err.value.reason == "no_resources"
+        with pytest.raises(AsicError) as err:
+            asic.acl_add("ingress", 2, {"bogus": (1, 1)}, "drop")
+        assert err.value.reason == "unsupported"
+
+    def test_ttl_trap_and_broadcast_drop(self):
+        asic = AsicSim(AsicProfile())
+        trapped = asic.forward(make_ipv4_packet(0x0A000001, ttl=1), 1)
+        assert trapped.punted and trapped.dropped
+        broadcast = asic.forward(make_ipv4_packet(0xFFFFFFFF), 1)
+        assert broadcast.dropped and not broadcast.punted
+
+    def test_port_admin_state(self):
+        asic = AsicSim(AsicProfile())
+        asic.ports_up.discard(1)
+        result = asic.forward(make_ipv4_packet(0x0A000001), 1)
+        assert result.dropped
+
+
+class TestServerValidation:
+    def test_write_before_config_rejected(self, tor_program):
+        stack = PinsSwitchStack(tor_program)
+        response = stack.write(
+            WriteRequest(updates=(Update(UpdateType.INSERT, TableEntry(1, (), None)),))
+        )
+        assert response.statuses[0].code is Code.FAILED_PRECONDITION
+
+    def test_duplicate_insert_already_exists(self, programmed_stack, tor_p4info):
+        b = EntryBuilder(tor_p4info)
+        entry = b.exact("vrf_tbl", {"vrf_id": 1}, "NoAction")
+        client = P4RuntimeClient(programmed_stack)
+        assert client.insert(entry).code is Code.ALREADY_EXISTS
+
+    def test_delete_nonexistent_not_found(self, programmed_stack, tor_p4info):
+        b = EntryBuilder(tor_p4info)
+        entry = b.exact("vrf_tbl", {"vrf_id": 42}, "NoAction")
+        client = P4RuntimeClient(programmed_stack)
+        assert client.delete(entry).code is Code.NOT_FOUND
+
+    def test_constraint_violation_rejected(self, programmed_stack, tor_p4info):
+        b = EntryBuilder(tor_p4info)
+        entry = b.exact("vrf_tbl", {"vrf_id": 0}, "NoAction")  # vrf_id != 0
+        client = P4RuntimeClient(programmed_stack)
+        assert client.insert(entry).code is Code.INVALID_ARGUMENT
+
+    def test_dangling_reference_rejected(self, programmed_stack, tor_p4info):
+        b = EntryBuilder(tor_p4info)
+        entry = b.lpm(
+            "ipv4_tbl", {"vrf_id": 99}, "ipv4_dst", 0x01000000, 8,
+            "set_nexthop_id", {"nexthop_id": 1},
+        )
+        client = P4RuntimeClient(programmed_stack)
+        status = client.insert(entry)
+        assert status.code is Code.INVALID_ARGUMENT
+        assert "dangling" in status.message
+
+    def test_delete_referenced_entry_rejected(self, programmed_stack, tor_p4info):
+        b = EntryBuilder(tor_p4info)
+        vrf1 = b.exact("vrf_tbl", {"vrf_id": 1}, "NoAction")
+        client = P4RuntimeClient(programmed_stack)
+        status = client.delete(vrf1)
+        assert status.code is Code.FAILED_PRECONDITION
+
+    def test_modify_updates_state(self, programmed_stack, tor_p4info):
+        b = EntryBuilder(tor_p4info)
+        client = P4RuntimeClient(programmed_stack)
+        modified = b.lpm(
+            "ipv4_tbl", {"vrf_id": 1}, "ipv4_dst", 0x0A010000, 16,
+            "set_nexthop_id", {"nexthop_id": 2},
+        )
+        assert client.modify(modified).ok
+        read = client.read_table(tor_p4info.table_by_name("ipv4_tbl").id)
+        match = [e for e in read if e.match_key() == modified.match_key()]
+        assert match and match[0].action == modified.action
+
+    def test_read_by_table_filters(self, programmed_stack, tor_p4info):
+        client = P4RuntimeClient(programmed_stack)
+        vrf_id = tor_p4info.table_by_name("vrf_tbl").id
+        entries = client.read_table(vrf_id)
+        assert entries and all(e.table_id == vrf_id for e in entries)
+
+    def test_resource_exhaustion_beyond_guarantee(self, tor_program, tor_p4info):
+        stack = PinsSwitchStack(tor_program)
+        client = P4RuntimeClient(stack)
+        client.set_pipeline(tor_p4info)
+        b = EntryBuilder(tor_p4info)
+        statuses = [
+            client.insert(b.exact("vrf_tbl", {"vrf_id": i}, "NoAction"))
+            for i in range(1, 80)
+        ]
+        codes = {s.code for s in statuses}
+        assert Code.OK in codes
+        assert Code.RESOURCE_EXHAUSTED in codes
+        # The guaranteed size is honoured before any rejection.
+        first_reject = next(i for i, s in enumerate(statuses) if not s.ok)
+        assert first_reject >= min(64, tor_p4info.table_by_name("vrf_tbl").size)
+
+
+class TestDataPlane:
+    def test_forwarding_matches_route(self, programmed_stack):
+        obs = programmed_stack.send_packet(
+            deparse_packet(make_ipv4_packet(0x0A030007, ttl=10)), ingress_port=1
+        )
+        assert obs.egress_port == 3
+        assert obs.packet.get("ipv4.ttl") == 9
+
+    def test_punt_canary_reaches_packet_in(self, programmed_stack):
+        programmed_stack.drain_packet_ins()
+        obs = programmed_stack.send_packet(
+            deparse_packet(make_ipv4_packet(0x0AFFFF01)), ingress_port=1
+        )
+        assert obs.punted
+        packet_ins = programmed_stack.drain_packet_ins()
+        assert len(packet_ins) == 1
+
+    def test_packet_out_direct(self, programmed_stack):
+        payload = deparse_packet(make_ipv4_packet(0x0B000001))
+        assert programmed_stack.packet_out(PacketOut(payload=payload, egress_port=6)).ok
+        egress = programmed_stack.drain_egress()
+        assert egress == [(6, payload)]
+
+    def test_packet_out_submit_to_ingress(self, programmed_stack):
+        payload = deparse_packet(make_ipv4_packet(0x0A010077, ttl=5))
+        assert programmed_stack.packet_out(
+            PacketOut(payload=payload, egress_port=0, submit_to_ingress=True)
+        ).ok
+        egress = programmed_stack.drain_egress()
+        assert len(egress) == 1
+        assert egress[0][0] == 1  # 10.1/16 -> nexthop 1 -> port 1
+
+
+class TestFaultMechanics:
+    def test_packet_io_broken_fault(self, tor_program, tor_p4info, tor_baseline):
+        stack = PinsSwitchStack(
+            tor_program, faults=FaultRegistry(["port_sync_daemon_restart"])
+        )
+        client = P4RuntimeClient(stack)
+        client.set_pipeline(tor_p4info)
+        from repro.fuzzer.batching import make_batches
+
+        for batch in make_batches(tor_p4info, [Update(UpdateType.INSERT, e) for e in tor_baseline]):
+            stack.write(WriteRequest(updates=tuple(batch)))
+        stack.send_packet(deparse_packet(make_ipv4_packet(0x0AFFFF01)), 1)
+        assert stack.drain_packet_ins() == []
+
+    def test_lldp_daemon_emits_packet_ins(self, tor_program):
+        stack = PinsSwitchStack(tor_program, faults=FaultRegistry(["lldp_punt"]))
+        packet_ins = stack.drain_packet_ins()
+        assert packet_ins
+        assert packet_ins[0].payload[12:14] == b"\x88\xcc"
+
+    def test_daemon_vrf_conflict_occupies_vrf1(self, tor_program, tor_p4info):
+        stack = PinsSwitchStack(tor_program, faults=FaultRegistry(["daemon_vrf_conflict"]))
+        client = P4RuntimeClient(stack)
+        client.set_pipeline(tor_p4info)
+        b = EntryBuilder(tor_p4info)
+        status = client.insert(b.exact("vrf_tbl", {"vrf_id": 1}, "NoAction"))
+        assert status.code is Code.ALREADY_EXISTS
+
+    def test_encap_reversal_fault(self, cerberus_program, cerberus_p4info):
+        from repro.fuzzer.batching import make_batches
+        from repro.workloads import production_like_entries
+
+        stack = PinsSwitchStack(
+            cerberus_program, faults=FaultRegistry(["encap_dst_reversed"])
+        )
+        client = P4RuntimeClient(stack)
+        client.set_pipeline(cerberus_p4info)
+        entries = production_like_entries(cerberus_p4info, total=60, seed=3)
+        for batch in make_batches(cerberus_p4info, [Update(UpdateType.INSERT, e) for e in entries]):
+            response = stack.write(WriteRequest(updates=tuple(batch)))
+            assert response.ok
+        # 10.201/16 routes into tunnel 1 whose dst is 10.0.0.77.
+        obs = stack.send_packet(deparse_packet(make_ipv4_packet(0x0AC90001)), 3)
+        assert obs.egress_port is not None
+        assert obs.packet.get("ipv4.dst_addr") == 0x4D00000A  # byte-reversed
+
+    def test_fault_registry_rejects_unknown(self):
+        registry = FaultRegistry()
+        with pytest.raises(KeyError):
+            registry.enable("not_a_fault")
+        registry.enable("lldp_punt")
+        assert "lldp_punt" in registry
+        registry.disable("lldp_punt")
+        assert "lldp_punt" not in registry

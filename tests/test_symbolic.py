@@ -1,0 +1,272 @@
+"""Tests for p4-symbolic: executor, coverage, packet soundness, cache."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bmv2.entries import decode_table_entry
+from repro.bmv2.interpreter import Interpreter
+from repro.bmv2.simulator import Bmv2Simulator
+from repro.p4rt import codec
+from repro.smt import Result, Solver
+from repro.smt import terms as T
+from repro.symbolic import PacketGenerator, SymbolicExecutor
+from repro.symbolic.cache import PacketCache, cache_key
+from repro.symbolic.coverage import CoverageMode, entry_goal, trace_goal
+from repro.symbolic.profiles import profiles_for_pattern
+from repro.workloads import EntryBuilder, baseline_entries
+
+E = codec.encode
+
+
+def decode_state(p4info, entries):
+    state = {}
+    for entry in entries:
+        decoded = decode_table_entry(p4info, entry)
+        state.setdefault(decoded.table_name, []).append(decoded)
+    return state
+
+
+@pytest.fixture
+def toy_state(toy_p4info):
+    b = EntryBuilder(toy_p4info)
+    entries = [
+        b.ternary("pre_ingress_tbl", {}, "set_vrf", {"vrf_id": 1}, priority=1),
+        b.exact("vrf_tbl", {"vrf_id": 1}, "NoAction"),
+        b.lpm("ipv4_tbl", {"vrf_id": 1}, "ipv4_dst", 0x0A000000, 8, "set_nexthop_id", {"nexthop_id": 3}),
+        b.lpm("ipv4_tbl", {"vrf_id": 1}, "ipv4_dst", 0x0A000000, 16, "set_nexthop_id", {"nexthop_id": 7}),
+    ]
+    return decode_state(toy_p4info, entries)
+
+
+class TestProfiles:
+    def test_profile_enumeration_matches_parser(self):
+        profiles = profiles_for_pattern("ethernet_ipv4_ipv6")
+        names = {p.name for p in profiles}
+        assert names == {
+            "eth",
+            "eth_ipv4", "eth_ipv4_icmp", "eth_ipv4_tcp", "eth_ipv4_udp",
+            "eth_ipv6", "eth_ipv6_icmp", "eth_ipv6_tcp", "eth_ipv6_udp",
+        }
+
+    def test_pins_and_exclusions(self):
+        profiles = {p.name: p for p in profiles_for_pattern("ethernet_ipv4_ipv6")}
+        assert profiles["eth_ipv4"].pin_map() == {"ethernet.ether_type": 0x0800}
+        assert profiles["eth_ipv4_udp"].pin_map()["ipv4.protocol"] == 17
+        eth = profiles["eth"]
+        assert eth.exclusions[0][1] == (0x0800, 0x86DD)
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            profiles_for_pattern("nope")
+
+
+class TestExecutor:
+    def test_trace_has_entry_keys_per_profile(self, toy_program, toy_state):
+        executions = SymbolicExecutor(toy_program, toy_state).execute()
+        ipv4_profiles = [e for e in executions if "ipv4" in e.profile.valid_headers]
+        for execution in ipv4_profiles:
+            entry_keys = [k for k in execution.trace if k[0] == "entry" and k[1] == "ipv4_tbl"]
+            assert len(entry_keys) == 2
+
+    def test_lpm_priority_negation(self, toy_program, toy_state, toy_p4info):
+        """A packet witnessing the /8 entry must not match the /16 one."""
+        executions = SymbolicExecutor(toy_program, toy_state).execute()
+        execution = next(e for e in executions if e.profile.name == "eth_ipv4_udp")
+        shorter = next(
+            term
+            for key, term in execution.trace.items()
+            if key[0] == "entry" and key[1] == "ipv4_tbl"
+            and any("/8" not in "" and m[4] == 8 for m in key[2][1])  # prefix_len 8
+        )
+        solver = Solver()
+        for c in execution.constraints:
+            solver.add(c)
+        assert solver.check(shorter) is Result.SAT
+        model = solver.model()
+        dst = model.get("eth_ipv4_udp::ipv4.dst_addr", 0)
+        assert (dst >> 24) == 0x0A
+        assert (dst >> 16) & 0xFF != 0  # excluded from 10.0/16
+
+    def test_branch_trace_records_both_directions(self, toy_program, toy_state):
+        executions = SymbolicExecutor(toy_program, toy_state).execute()
+        execution = next(e for e in executions if e.profile.name == "eth_ipv4_udp")
+        assert ("branch", "ipv4_gate", True) in execution.trace
+        assert ("branch", "ipv4_gate", False) in execution.trace
+
+    def test_isvalid_is_concrete_per_profile(self, toy_program, toy_state):
+        executions = SymbolicExecutor(toy_program, toy_state).execute()
+        eth_only = next(e for e in executions if e.profile.name == "eth")
+        # In the eth-only profile the ipv4 gate can never be taken.
+        taken = eth_only.trace[("branch", "ipv4_gate", True)]
+        assert taken is T.FALSE
+
+    def test_outputs_map_every_field(self, toy_program, toy_state):
+        executions = SymbolicExecutor(toy_program, toy_state).execute()
+        for execution in executions:
+            for path in toy_program.all_field_paths():
+                assert path in execution.outputs
+
+    def test_ingress_port_constrained_to_valid_ports(self, toy_program, toy_state):
+        executor = SymbolicExecutor(toy_program, toy_state, valid_ports=(3, 4))
+        execution = executor.execute()[0]
+        solver = Solver()
+        for c in execution.constraints:
+            solver.add(c)
+        port = execution.inputs["standard.ingress_port"]
+        assert solver.check(port.eq(3)) is Result.SAT
+        assert solver.check(port.eq(5)) is Result.UNSAT
+
+
+class TestPacketGeneration:
+    def test_entry_coverage_for_toy_state(self, toy_program, toy_state):
+        result = PacketGenerator(toy_program, toy_state).generate(CoverageMode.ENTRY)
+        covered_goals = {p.goal for p in result.packets}
+        # All four installed entries are reachable.
+        entry_goals = [g for g in covered_goals if g.startswith("entry:")]
+        assert len(entry_goals) == 4
+
+    def test_branch_coverage_includes_gates(self, toy_program, toy_state):
+        result = PacketGenerator(toy_program, toy_state).generate(CoverageMode.BRANCH)
+        assert any(p.goal.startswith("branch:ipv4_gate") for p in result.packets)
+
+    def test_unreachable_goals_reported(self, toy_program, toy_state):
+        result = PacketGenerator(toy_program, toy_state).generate(CoverageMode.ENTRY)
+        # The wildcard pre-ingress entry always matches: its miss is UNSAT.
+        assert "miss:pre_ingress_tbl" in result.uncovered
+
+    def test_generated_packets_hit_their_goal_entries(self, toy_program, toy_state):
+        """Soundness (§5): interpreting the generated packet concretely
+        executes the targeted construct."""
+        result = PacketGenerator(toy_program, toy_state).generate(CoverageMode.ENTRY)
+        interp = Interpreter(toy_program, toy_state)
+        for generated in result.packets:
+            if not generated.goal.startswith("entry:"):
+                continue
+            table = generated.goal.split(":")[1]
+            run = interp.run(generated.packet, generated.ingress_port)
+            hit_tables = [t for t, e, _a in run.trace.table_hits if e is not None]
+            assert table in hit_tables, generated
+
+    def test_custom_trace_goal(self, toy_program, toy_state, toy_p4info):
+        state = toy_state
+        entries = state["ipv4_tbl"]
+        goal = trace_goal(
+            "both-route-and-vrf",
+            [
+                ("entry", "ipv4_tbl", entries[0].identity()),
+                ("entry", "vrf_tbl", state["vrf_tbl"][0].identity()),
+            ],
+        )
+        result = PacketGenerator(toy_program, state).generate(
+            CoverageMode.CUSTOM, custom_goals=[goal]
+        )
+        assert len(result.packets) == 1
+
+    def test_port_diversity(self, tor_program, tor_p4info):
+        from repro.workloads import production_like_entries
+
+        entries = production_like_entries(tor_p4info, total=60, seed=2)
+        state = decode_state(tor_p4info, entries)
+        result = PacketGenerator(tor_program, state).generate(CoverageMode.ENTRY)
+        ports = {p.ingress_port for p in result.packets}
+        # The canonical forwarding context concentrates on the first port;
+        # port-qualified guards (the per-port VRF assignments) force others.
+        assert len(ports) >= 2
+
+    def test_background_fill_is_realistic(self, toy_program, toy_state):
+        result = PacketGenerator(toy_program, toy_state).generate(CoverageMode.ENTRY)
+        ipv4_packets = [p for p in result.packets if "ipv4" in p.packet.valid_headers]
+        assert ipv4_packets
+        for generated in ipv4_packets:
+            # TTL was left unconstrained for vrf/pre-ingress goals; the
+            # background value keeps packets realistic (no zero-TTL noise).
+            assert generated.packet.get("ipv4.ttl") >= 1
+
+    def test_soundness_on_baseline_pipeline(self, tor_program, tor_p4info, tor_baseline):
+        state = decode_state(tor_p4info, tor_baseline)
+        result = PacketGenerator(tor_program, state).generate(CoverageMode.ENTRY)
+        assert result.stats.goals_covered >= 10
+        interp = Interpreter(tor_program, state)
+        sound = 0
+        for generated in result.packets:
+            if not generated.goal.startswith("entry:"):
+                continue
+            table = generated.goal.split(":")[1]
+            run = interp.run(generated.packet, generated.ingress_port)
+            hit = [t for t, e, _a in run.trace.table_hits if e is not None]
+            assert table in hit, generated.goal
+            sound += 1
+        assert sound >= 10
+
+    @settings(max_examples=5, deadline=None)
+    @given(st.integers(0, 1_000))
+    def test_soundness_on_random_states(self, seed):
+        """Property: for random workloads, every generated packet's goal
+        entry is concretely hit."""
+        from repro.p4.p4info import build_p4info
+        from repro.p4.programs import build_tor_program
+        from repro.workloads import production_like_entries
+
+        program = build_tor_program()
+        p4info = build_p4info(program)
+        entries = production_like_entries(p4info, total=40, seed=seed)
+        state = decode_state(p4info, entries)
+        result = PacketGenerator(program, state).generate(CoverageMode.ENTRY)
+        interp = Interpreter(program, state)
+        for generated in result.packets[:20]:
+            if not generated.goal.startswith("entry:"):
+                continue
+            table = generated.goal.split(":")[1]
+            run = interp.run(generated.packet, generated.ingress_port)
+            hit = [t for t, e, _a in run.trace.table_hits if e is not None]
+            assert table in hit
+
+
+class TestCache:
+    def test_cache_roundtrip(self, toy_program, toy_state):
+        cache = PacketCache()
+        key = cache_key(toy_program, toy_state, CoverageMode.ENTRY, (1, 2))
+        assert cache.lookup(key) is None
+        result = PacketGenerator(toy_program, toy_state).generate(CoverageMode.ENTRY)
+        cache.store(key, result)
+        hit = cache.lookup(key)
+        assert hit is not None
+        assert hit.stats.cache_hit
+        assert len(hit.packets) == len(result.packets)
+
+    def test_key_sensitive_to_entries(self, toy_program, toy_state):
+        smaller = {k: v[:-1] if k == "ipv4_tbl" else v for k, v in toy_state.items()}
+        a = cache_key(toy_program, toy_state, CoverageMode.ENTRY, (1,))
+        b = cache_key(toy_program, smaller, CoverageMode.ENTRY, (1,))
+        assert a != b
+
+    def test_key_sensitive_to_program_and_mode(self, toy_program, tor_program, toy_state):
+        a = cache_key(toy_program, toy_state, CoverageMode.ENTRY, (1,))
+        b = cache_key(toy_program, toy_state, CoverageMode.BRANCH, (1,))
+        c = cache_key(tor_program, {}, CoverageMode.ENTRY, (1,))
+        assert len({a, b, c}) == 3
+
+    def test_key_insensitive_to_entry_order(self, toy_program, toy_state):
+        reordered = {k: list(reversed(v)) for k, v in toy_state.items()}
+        a = cache_key(toy_program, toy_state, CoverageMode.ENTRY, (1,))
+        b = cache_key(toy_program, reordered, CoverageMode.ENTRY, (1,))
+        assert a == b
+
+    def test_disk_persistence(self, toy_program, toy_state, tmp_path):
+        key = cache_key(toy_program, toy_state, CoverageMode.ENTRY, (1,))
+        result = PacketGenerator(toy_program, toy_state).generate(CoverageMode.ENTRY)
+        first = PacketCache(directory=tmp_path)
+        first.store(key, result)
+        second = PacketCache(directory=tmp_path)  # fresh process, warm disk
+        hit = second.lookup(key)
+        assert hit is not None and hit.stats.cache_hit
+
+    def test_clear(self, toy_program, toy_state, tmp_path):
+        cache = PacketCache(directory=tmp_path)
+        key = cache_key(toy_program, toy_state, CoverageMode.ENTRY, (1,))
+        cache.store(key, PacketGenerator(toy_program, toy_state).generate(CoverageMode.ENTRY))
+        cache.clear()
+        assert cache.lookup(key) is None

@@ -1,0 +1,116 @@
+"""Tests for workload generation: installability and structure."""
+
+import pytest
+
+from repro.bmv2.entries import decode_table_entry
+from repro.fuzzer.batching import make_batches, order_inserts
+from repro.p4.constraints import parse_constraint
+from repro.p4.constraints.evaluator import evaluate_constraint
+from repro.p4rt.messages import Update, UpdateType, WriteRequest
+from repro.switch import PinsSwitchStack, ReferenceSwitch
+from repro.workloads import baseline_entries, production_like_entries
+
+
+def install_all(switch, p4info, entries):
+    assert switch.set_forwarding_pipeline_config(p4info).ok
+    failures = []
+    updates = order_inserts(p4info, [Update(UpdateType.INSERT, e) for e in entries])
+    for batch in make_batches(p4info, updates):
+        response = switch.write(WriteRequest(updates=tuple(batch)))
+        failures.extend(
+            (u.entry, s) for u, s in zip(batch, response.statuses) if not s.ok
+        )
+    return failures
+
+
+class TestBaseline:
+    def test_installs_on_pins_stack(self, tor_program, tor_p4info):
+        failures = install_all(
+            PinsSwitchStack(tor_program), tor_p4info, baseline_entries(tor_p4info)
+        )
+        assert failures == []
+
+    def test_installs_on_reference_switch(self, tor_program, tor_p4info):
+        failures = install_all(
+            ReferenceSwitch(tor_program), tor_p4info, baseline_entries(tor_p4info)
+        )
+        assert failures == []
+
+    def test_all_entries_decode(self, tor_p4info):
+        for entry in baseline_entries(tor_p4info):
+            decode_table_entry(tor_p4info, entry)
+
+    def test_constraint_compliance(self, tor_p4info):
+        for entry in baseline_entries(tor_p4info):
+            table = tor_p4info.tables[entry.table_id]
+            if not table.entry_restriction:
+                continue
+            decoded = decode_table_entry(tor_p4info, entry)
+            expr = parse_constraint(table.entry_restriction)
+            assert evaluate_constraint(expr, decoded.key_values()), entry
+
+
+class TestProductionLike:
+    @pytest.mark.parametrize("total", [50, 150, 400])
+    def test_size_is_approximate(self, tor_p4info, total):
+        entries = production_like_entries(tor_p4info, total=total, seed=1)
+        assert abs(len(entries) - total) <= total * 0.15 + 10
+
+    def test_deterministic(self, tor_p4info):
+        a = production_like_entries(tor_p4info, total=100, seed=9)
+        b = production_like_entries(tor_p4info, total=100, seed=9)
+        assert [e.match_key() for e in a] == [e.match_key() for e in b]
+
+    def test_seeds_differ(self, tor_p4info):
+        a = production_like_entries(tor_p4info, total=100, seed=1)
+        b = production_like_entries(tor_p4info, total=100, seed=2)
+        assert {e.match_key() for e in a} != {e.match_key() for e in b}
+
+    @pytest.mark.parametrize(
+        "program_fixture", ["tor_p4info", "wan_p4info", "cerberus_p4info"]
+    )
+    def test_installs_cleanly_on_every_role(self, request, program_fixture):
+        p4info = request.getfixturevalue(program_fixture)
+        builder = {
+            "tor_p4info": "tor_program",
+            "wan_p4info": "wan_program",
+            "cerberus_p4info": "cerberus_program",
+        }[program_fixture]
+        program = request.getfixturevalue(builder)
+        entries = production_like_entries(p4info, total=200, seed=4)
+        failures = install_all(PinsSwitchStack(program), p4info, entries)
+        assert failures == [], failures[:3]
+
+    def test_contains_structural_variety(self, tor_p4info):
+        entries = production_like_entries(tor_p4info, total=200, seed=4)
+        tables = {e.table_id for e in entries}
+        names = {
+            tor_p4info.tables[t].name for t in tables if t in tor_p4info.tables
+        }
+        assert {
+            "vrf_tbl",
+            "ipv4_tbl",
+            "wcmp_group_tbl",
+            "nexthop_tbl",
+            "router_interface_tbl",
+            "acl_ingress_tbl",
+            "mirror_session_tbl",
+        } <= names
+
+    def test_cerberus_has_tunnel_entries(self, cerberus_p4info):
+        entries = production_like_entries(cerberus_p4info, total=100, seed=4)
+        names = {
+            cerberus_p4info.tables[e.table_id].name
+            for e in entries
+            if e.table_id in cerberus_p4info.tables
+        }
+        assert {"tunnel_tbl", "decap_tbl"} <= names
+
+    def test_all_constraints_satisfied(self, wan_p4info):
+        for entry in production_like_entries(wan_p4info, total=200, seed=7):
+            table = wan_p4info.tables[entry.table_id]
+            if not table.entry_restriction:
+                continue
+            decoded = decode_table_entry(wan_p4info, entry)
+            expr = parse_constraint(table.entry_restriction)
+            assert evaluate_constraint(expr, decoded.key_values()), entry
