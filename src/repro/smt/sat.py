@@ -92,6 +92,7 @@ class SatSolver:
         self.conflicts = 0
         self.decisions = 0
         self.propagations = 0
+        self.restarts = 0
         # When solving under assumptions that turn out to be unsatisfiable,
         # this holds the subset of failing assumption literals.
         self.failed_assumptions: List[int] = []
@@ -448,6 +449,7 @@ class SatSolver:
             else:
                 if conflicts_here >= conflict_budget:
                     # Restart (but keep assumptions intact by redoing them).
+                    self.restarts += 1
                     restart_count += 1
                     conflict_budget = 100 * _luby(restart_count + 1)
                     conflicts_here = 0
@@ -476,7 +478,17 @@ class SatSolver:
                 else:
                     var = self._pick_branch_var()
                     if var == 0:
-                        return True  # all variables assigned: SAT
+                        # All variables assigned: SAT.  Save the full model
+                        # as the preferred phases before returning, so the
+                        # next query in an assumption cascade (which differs
+                        # by one or two assumption literals) starts its
+                        # decisions from this satisfying assignment instead
+                        # of re-deriving it — including the level-0 literals
+                        # that backtracking-time phase saving never touches.
+                        polarity = self._polarity
+                        for lit in self._trail:
+                            polarity[lit >> 1] = not (lit & 1)
+                        return True
                     self.decisions += 1
                     next_lit = pos_lit(var) if self._polarity[var] else neg_lit(var)
                 self._trail_lim.append(len(self._trail))

@@ -21,9 +21,18 @@ from typing import Dict
 from repro.smt import terms as T
 
 
+# Persistent memo table.  Terms are hash-consed and immutable and the
+# rewrite rules are deterministic, so ``simplify`` is a pure function of
+# term identity; memoising it across calls turns the repeated
+# simplification of shared trace subterms (every goal condition embeds the
+# same guards) into dict lookups.  Unbounded by design, matching the term
+# cache's own lifetime policy.
+_SIMPLIFY_CACHE: Dict[T.Term, T.Term] = {}
+
+
 def simplify(term: T.Term) -> T.Term:
     """Return an equivalent, usually smaller, term."""
-    cache: Dict[T.Term, T.Term] = {}
+    cache = _SIMPLIFY_CACHE
 
     def go(t: T.Term) -> T.Term:
         hit = cache.get(t)

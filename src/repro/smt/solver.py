@@ -148,5 +148,6 @@ class Solver:
             "conflicts": self._sat.conflicts,
             "decisions": self._sat.decisions,
             "propagations": self._sat.propagations,
+            "restarts": self._sat.restarts,
             "sat_vars": self._sat.num_vars,
         }

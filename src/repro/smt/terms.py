@@ -18,6 +18,7 @@ returned by the SAT pipeline really satisfy the original formula.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, Iterable, Mapping, Tuple, Union
 
@@ -629,20 +630,66 @@ def evaluate(term: Term, assignment: Mapping[str, int]) -> int:
     return go(term)
 
 
+# Memoised free-variable sets.  Terms are hash-consed and immutable, so a
+# term's variable set never changes; the packet generator queries the same
+# (large) goal condition several times per goal, and across goals that share
+# trace subterms, which makes the repeated DAG walks pure waste.  Keyed on
+# term identity; entries live as long as the term cache itself.
+_FREE_VARS_CACHE: Dict["Term", Dict[str, Sort]] = {}
+
+
 def free_variables(term: Term) -> Dict[str, Sort]:
     """All free variables in ``term`` (name -> sort)."""
-    out: Dict[str, Sort] = {}
-    seen = set()
-    stack = [term]
+    cached = _FREE_VARS_CACHE.get(term)
+    if cached is None:
+        out: Dict[str, Sort] = {}
+        seen = set()
+        stack = [term]
+        while stack:
+            t = stack.pop()
+            if t in seen:
+                continue
+            seen.add(t)
+            if t.op == OP_VAR:
+                out[t.payload] = t.sort
+            stack.extend(t.args)
+        _FREE_VARS_CACHE[term] = out
+        cached = out
+    # Callers may mutate the result; hand out a copy to keep the cache safe.
+    return dict(cached)
+
+
+# Structural digests.  Unlike ``hash()`` (randomised per process by
+# PYTHONHASHSEED), these are stable across processes and runs, so they can
+# key on-disk caches.  Computed bottom-up over the DAG with per-node
+# memoisation: shared subterms are digested once, ever.
+_DIGEST_CACHE: Dict["Term", str] = {}
+
+
+def term_digest(term: Term) -> str:
+    """A deterministic SHA-256 digest of the term's structure."""
+    cached = _DIGEST_CACHE.get(term)
+    if cached is not None:
+        return cached
+    stack = [(term, False)]
     while stack:
-        t = stack.pop()
-        if t in seen:
+        t, ready = stack.pop()
+        if t in _DIGEST_CACHE:
             continue
-        seen.add(t)
-        if t.op == OP_VAR:
-            out[t.payload] = t.sort
-        stack.extend(t.args)
-    return out
+        if not ready:
+            stack.append((t, True))
+            for a in t.args:
+                if a not in _DIGEST_CACHE:
+                    stack.append((a, False))
+        else:
+            h = hashlib.sha256()
+            h.update(t.op.encode())
+            h.update(repr(t.payload).encode())
+            h.update(repr(t.sort).encode())
+            for a in t.args:
+                h.update(_DIGEST_CACHE[a].encode())
+            _DIGEST_CACHE[t] = h.hexdigest()
+    return _DIGEST_CACHE[term]
 
 
 # Convenience alias used throughout the codebase.

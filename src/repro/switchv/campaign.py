@@ -52,6 +52,8 @@ class CampaignConfig:
     workload_entries: int = 90
     seed: int = 11
     run_trivial: bool = True
+    # Packet-generation parallelism (workers=1 is the sequential path).
+    workers: int = 1
 
 
 def run_fault_campaign(
@@ -68,7 +70,9 @@ def run_fault_campaign(
     model = apply_model_faults(true_program, [fault_name])
     registry = FaultRegistry([fault_name])
     stack = PinsSwitchStack(true_program, faults=registry)
-    harness = SwitchVHarness(model, stack, simulator_faults=registry)
+    harness = SwitchVHarness(
+        model, stack, simulator_faults=registry, workers=config.workers
+    )
 
     entries = production_like_entries(
         build_p4info(model), total=config.workload_entries, seed=config.seed

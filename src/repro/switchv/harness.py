@@ -69,6 +69,13 @@ class DataPlaneStats:
     generation_seconds: float = 0.0
     testing_seconds: float = 0.0
     cache_hit: bool = False
+    # Generation-effort attribution (see repro.switchv.report.render_generation_stats).
+    goals_from_cache: int = 0
+    solver_queries: int = 0
+    sat_conflicts: int = 0
+    sat_decisions: int = 0
+    sat_propagations: int = 0
+    workers: int = 1
 
 
 @dataclass
@@ -94,12 +101,15 @@ class SwitchVHarness:
         valid_ports: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8),
         cache: Optional[PacketCache] = None,
         simulator_faults=None,
+        workers: int = 1,
     ) -> None:
         self.model = model
         self.switch = switch
         self.p4info = build_p4info(model)
         self.valid_ports = tuple(valid_ports)
         self.cache = cache
+        # Goal-solving parallelism for packet generation (1 = sequential).
+        self.workers = max(1, workers)
         # Fault registry consulted by the BMv2 simulator only (the paper
         # found simulator bugs too; they surface as mismatches like any
         # other divergence).
@@ -383,10 +393,22 @@ class SwitchVHarness:
                 stats.cache_hit = True
                 return cached.packets
         generator = PacketGenerator(self.model, state, self.valid_ports)
-        result = generator.generate(mode, custom_goals)
+        # The whole-run key missed (or caching is off for this request);
+        # the per-goal layer still recovers every goal whose solved formula
+        # is unchanged since an earlier, slightly different state.
+        goal_cache = self.cache if cacheable else None
+        result = generator.generate(
+            mode, custom_goals, workers=self.workers, goal_cache=goal_cache
+        )
         stats.generation_seconds = time.perf_counter() - start
         stats.goals_total = result.stats.goals_total
         stats.goals_covered = result.stats.goals_covered
+        stats.goals_from_cache = result.stats.goals_from_cache
+        stats.solver_queries = result.stats.solver_queries
+        stats.sat_conflicts = result.stats.sat_conflicts
+        stats.sat_decisions = result.stats.sat_decisions
+        stats.sat_propagations = result.stats.sat_propagations
+        stats.workers = result.stats.workers
         if key is not None:
             self.cache.store(key, result)
         return result.packets

@@ -49,6 +49,29 @@ class Incident:
         return f"Incident({self.source}, {self.kind.value}: {self.summary})"
 
 
+def render_generation_stats(stats) -> str:
+    """Human-facing packet-generation effort summary.
+
+    Takes a :class:`repro.switchv.harness.DataPlaneStats` (duck-typed to
+    avoid a circular import) and renders where the generation time went:
+    goal outcomes, cache effectiveness, and the aggregate SAT-solver effort
+    (conflicts/decisions/propagations) that makes a benchmark regression
+    attributable to the solver rather than to orchestration.
+    """
+    lines = [
+        "packet generation:",
+        f"    goals:        {stats.goals_covered}/{stats.goals_total} covered"
+        f" ({stats.goals_from_cache} from cache)",
+        f"    wall clock:   {stats.generation_seconds:.2f}s"
+        f" ({stats.workers} worker(s){', whole-run cache hit' if stats.cache_hit else ''})",
+        f"    solver:       {stats.solver_queries} queries,"
+        f" {stats.sat_conflicts} conflicts,"
+        f" {stats.sat_decisions} decisions,"
+        f" {stats.sat_propagations} propagations",
+    ]
+    return "\n".join(lines)
+
+
 @dataclass
 class IncidentLog:
     """A run's incidents, deduplicated by (kind, summary)."""

@@ -13,18 +13,23 @@ expressions Y, and T, discharged by the QF_BV solver.
 * :mod:`repro.symbolic.executor` — the guarded single-pass executor.
 * :mod:`repro.symbolic.coverage` — coverage goals (entry, branch, custom).
 * :mod:`repro.symbolic.packets` — model → concrete test packet extraction.
-* :mod:`repro.symbolic.cache` — test-packet caching (§6.3 "Caching").
+* :mod:`repro.symbolic.parallel` — sharded multi-process goal solving.
+* :mod:`repro.symbolic.cache` — test-packet caching (§6.3 "Caching"),
+  whole-run and per-goal.
 """
 
 from repro.symbolic.coverage import CoverageGoal, CoverageMode
 from repro.symbolic.executor import SymbolicExecutor, TraceKey
-from repro.symbolic.packets import GeneratedPacket, PacketGenerator
+from repro.symbolic.packets import GeneratedPacket, GenerationResult, PacketGenerator
+from repro.symbolic.parallel import generate_parallel
 
 __all__ = [
     "CoverageGoal",
     "CoverageMode",
     "GeneratedPacket",
+    "GenerationResult",
     "PacketGenerator",
     "SymbolicExecutor",
     "TraceKey",
+    "generate_parallel",
 ]

@@ -6,19 +6,36 @@ request are unchanged from a previous run, the generated packets are simply
 looked up.  The cache key is a digest over exactly the inputs that affect
 the SMT constraints; anything else (the switch build under test, which
 changes far more often than the specification) leaves the cache valid.
+
+Two granularities are supported:
+
+* **Whole-run** (`lookup`/`store`): keyed by :func:`cache_key`, a digest of
+  the complete generation request.  Any edit to the table state invalidates
+  everything.
+* **Per-goal** (`lookup_goal`/`store_goal`): keyed by a digest of the one
+  goal's *solved formula* — the goal condition and profile constraints as
+  materialised by the symbolic executor (see
+  ``PacketGenerator._goal_cache_key``).  Editing one table entry only
+  changes the conditions that structurally mention it, so untouched goals
+  keep their digests and reuse their packets; only the affected goals are
+  re-solved.  Unsatisfiable verdicts are cached too (``packet=None``).
+
+Corrupt or version-skewed on-disk pickles are treated as misses: the bad
+file is deleted and generation proceeds as if it never existed.
 """
 
 from __future__ import annotations
 
 import hashlib
 import pickle
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Mapping, Optional, Sequence
 
 from repro.bmv2.entries import InstalledEntry
 from repro.p4.ast import P4Program
 from repro.symbolic.coverage import CoverageMode
-from repro.symbolic.packets import GenerationResult, GenerationStats
+from repro.symbolic.packets import GeneratedPacket, GenerationResult, GenerationStats
 
 
 def cache_key(
@@ -43,26 +60,36 @@ def cache_key(
     return h.hexdigest()
 
 
+@dataclass
+class CachedGoal:
+    """One goal's cached outcome: its packet, or None if unsatisfiable."""
+
+    goal: str
+    packet: Optional[GeneratedPacket]
+
+
 class PacketCache:
     """In-memory packet cache with optional on-disk persistence."""
 
     def __init__(self, directory: Optional[Path] = None) -> None:
         self._memory: Dict[str, GenerationResult] = {}
+        self._goal_memory: Dict[str, CachedGoal] = {}
         self._directory = Path(directory) if directory else None
         if self._directory:
             self._directory.mkdir(parents=True, exist_ok=True)
+            (self._directory / "goals").mkdir(exist_ok=True)
 
+    # ------------------------------------------------------------------
+    # Whole-run granularity
+    # ------------------------------------------------------------------
     def lookup(self, key: str) -> Optional[GenerationResult]:
         hit = self._memory.get(key)
         if hit is not None:
             return self._mark_hit(hit)
-        if self._directory:
-            path = self._directory / f"{key}.pkl"
-            if path.exists():
-                with path.open("rb") as fh:
-                    result = pickle.load(fh)
-                self._memory[key] = result
-                return self._mark_hit(result)
+        result = self._load(self._directory / f"{key}.pkl" if self._directory else None)
+        if result is not None:
+            self._memory[key] = result
+            return self._mark_hit(result)
         return None
 
     def store(self, key: str, result: GenerationResult) -> None:
@@ -70,6 +97,50 @@ class PacketCache:
         if self._directory:
             with (self._directory / f"{key}.pkl").open("wb") as fh:
                 pickle.dump(result, fh)
+
+    # ------------------------------------------------------------------
+    # Per-goal granularity
+    # ------------------------------------------------------------------
+    def lookup_goal(self, key: str) -> Optional[CachedGoal]:
+        hit = self._goal_memory.get(key)
+        if hit is not None:
+            return hit
+        cached = self._load(
+            self._directory / "goals" / f"{key}.pkl" if self._directory else None
+        )
+        if isinstance(cached, CachedGoal):
+            self._goal_memory[key] = cached
+            return cached
+        return None
+
+    def store_goal(self, key: str, cached: CachedGoal) -> None:
+        self._goal_memory[key] = cached
+        if self._directory:
+            with (self._directory / "goals" / f"{key}.pkl").open("wb") as fh:
+                pickle.dump(cached, fh)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _load(path: Optional[Path]):
+        """Unpickle ``path``, treating any failure as a cache miss.
+
+        A truncated write (crashed run), a pickle produced by an
+        incompatible code version, or plain disk corruption must not take
+        down validation — the cache is an optimisation, never a dependency.
+        The unreadable file is deleted so the subsequent store can replace
+        it.
+        """
+        if path is None or not path.exists():
+            return None
+        try:
+            with path.open("rb") as fh:
+                return pickle.load(fh)
+        except Exception:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
 
     @staticmethod
     def _mark_hit(result: GenerationResult) -> GenerationResult:
@@ -87,6 +158,9 @@ class PacketCache:
 
     def clear(self) -> None:
         self._memory.clear()
+        self._goal_memory.clear()
         if self._directory:
             for path in self._directory.glob("*.pkl"):
+                path.unlink()
+            for path in (self._directory / "goals").glob("*.pkl"):
                 path.unlink()

@@ -10,6 +10,7 @@ everything else defaults to zero.
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence
@@ -44,6 +45,28 @@ class GenerationStats:
     solver_queries: int = 0
     elapsed_seconds: float = 0.0
     cache_hit: bool = False
+    # Per-goal cache: how many goals were answered without any solving.
+    goals_from_cache: int = 0
+    # Aggregate SAT-solver effort behind the queries, summed across every
+    # per-profile solver (and every worker, in parallel runs) — the numbers
+    # that make benchmark regressions attributable to the solver rather
+    # than to orchestration overhead.
+    sat_conflicts: int = 0
+    sat_decisions: int = 0
+    sat_propagations: int = 0
+    # How many worker processes solved goals (1 = sequential).
+    workers: int = 1
+
+    def merge(self, other: "GenerationStats") -> None:
+        """Fold another shard's counters into this one (parallel merge)."""
+        self.goals_total += other.goals_total
+        self.goals_covered += other.goals_covered
+        self.goals_unsatisfiable += other.goals_unsatisfiable
+        self.solver_queries += other.solver_queries
+        self.goals_from_cache += other.goals_from_cache
+        self.sat_conflicts += other.sat_conflicts
+        self.sat_decisions += other.sat_decisions
+        self.sat_propagations += other.sat_propagations
 
 
 @dataclass
@@ -67,6 +90,7 @@ class PacketGenerator:
         self.valid_ports = tuple(valid_ports)
         self._executions: Optional[List[ProfileExecution]] = None
         self._solvers: Dict[str, Solver] = {}
+        self._constraint_digests: Dict[str, str] = {}
 
     # ------------------------------------------------------------------
     def executions(self) -> List[ProfileExecution]:
@@ -92,16 +116,46 @@ class PacketGenerator:
         self,
         mode: CoverageMode = CoverageMode.ENTRY,
         custom_goals: Sequence[CoverageGoal] = (),
+        workers: int = 1,
+        goal_cache=None,
     ) -> GenerationResult:
-        """Produce one packet per satisfiable coverage goal."""
+        """Produce one packet per satisfiable coverage goal.
+
+        ``workers > 1`` shards the goals across that many processes (see
+        :mod:`repro.symbolic.parallel`); ``workers=1`` is the exact
+        sequential path.  ``goal_cache`` (a
+        :class:`repro.symbolic.cache.PacketCache`) enables per-goal
+        memoisation: goals whose solved formula is unchanged since a prior
+        run are answered without touching the solver.
+        """
+        if workers > 1:
+            from repro.symbolic.parallel import generate_parallel
+
+            return generate_parallel(
+                self, mode=mode, custom_goals=custom_goals, workers=workers,
+                goal_cache=goal_cache,
+            )
         start = time.perf_counter()
         stats = GenerationStats()
         executions = self.executions()
         goals = goals_for_mode(executions, mode, custom_goals)
         stats.goals_total = len(goals)
+        effort_before = self._solver_effort()
         packets: List[GeneratedPacket] = []
         uncovered: List[str] = []
         for index, goal in enumerate(goals):
+            key = self._goal_cache_key(goal, executions) if goal_cache is not None else None
+            if key is not None:
+                hit = goal_cache.lookup_goal(key)
+                if hit is not None:
+                    stats.goals_from_cache += 1
+                    if hit.packet is not None:
+                        packets.append(hit.packet)
+                        stats.goals_covered += 1
+                    else:
+                        uncovered.append(goal.name)
+                        stats.goals_unsatisfiable += 1
+                    continue
             generated = self._solve_goal(goal, executions, stats, index)
             if generated is not None:
                 packets.append(generated)
@@ -109,8 +163,64 @@ class PacketGenerator:
             else:
                 uncovered.append(goal.name)
                 stats.goals_unsatisfiable += 1
+            if key is not None:
+                from repro.symbolic.cache import CachedGoal
+
+                goal_cache.store_goal(key, CachedGoal(goal=goal.name, packet=generated))
+        self._account_effort(stats, effort_before)
         stats.elapsed_seconds = time.perf_counter() - start
         return GenerationResult(packets=packets, uncovered=uncovered, stats=stats)
+
+    # ------------------------------------------------------------------
+    def _solver_effort(self) -> tuple:
+        """Cumulative (conflicts, decisions, propagations) over all solvers."""
+        conflicts = decisions = propagations = 0
+        for solver in self._solvers.values():
+            s = solver.stats
+            conflicts += s["conflicts"]
+            decisions += s["decisions"]
+            propagations += s["propagations"]
+        return conflicts, decisions, propagations
+
+    def _account_effort(self, stats: GenerationStats, before: tuple) -> None:
+        after = self._solver_effort()
+        stats.sat_conflicts += after[0] - before[0]
+        stats.sat_decisions += after[1] - before[1]
+        stats.sat_propagations += after[2] - before[2]
+
+    def _goal_cache_key(self, goal: CoverageGoal, executions) -> str:
+        """A digest of the goal's *solved formula*, not the whole run.
+
+        Covers exactly what determines this goal's packet: the goal
+        condition and the profile constraints, per profile, as materialised
+        by the symbolic executor.  An edited table entry changes the
+        conditions that structurally mention it (same-table priority
+        negations, downstream matches on metadata it sets) and leaves every
+        other goal's digest — and cached packet — intact.
+        """
+        h = hashlib.sha256()
+        h.update(self.program.name.encode())
+        h.update(repr(self.valid_ports).encode())
+        h.update(goal.name.encode())
+        for execution in executions:
+            h.update(execution.profile.name.encode())
+            h.update(self._constraints_digest(execution).encode())
+            condition = goal.condition(execution)
+            if condition is None:
+                h.update(b"-")
+            else:
+                h.update(T.term_digest(condition).encode())
+        return h.hexdigest()
+
+    def _constraints_digest(self, execution) -> str:
+        digest = self._constraint_digests.get(execution.profile.name)
+        if digest is None:
+            h = hashlib.sha256()
+            for constraint in execution.constraints:
+                h.update(T.term_digest(constraint).encode())
+            digest = h.hexdigest()
+            self._constraint_digests[execution.profile.name] = digest
+        return digest
 
     def _solve_goal(
         self,

@@ -1,0 +1,132 @@
+"""Tests for parallel packet generation and generation-effort accounting."""
+
+import pytest
+
+from repro.bmv2.entries import decode_table_entry
+from repro.bmv2.packet import deparse_packet
+from repro.p4.p4info import build_p4info
+from repro.p4.programs import build_tor_program
+from repro.switchv.harness import DataPlaneStats
+from repro.switchv.report import render_generation_stats
+from repro.symbolic import PacketGenerator, generate_parallel
+from repro.symbolic import parallel
+from repro.symbolic.coverage import CoverageMode
+from repro.workloads import production_like_entries
+
+
+def _tor_state(p4info, total=30, seed=2):
+    entries = production_like_entries(p4info, total=total, seed=seed)
+    state = {}
+    for entry in entries:
+        decoded = decode_table_entry(p4info, entry)
+        state.setdefault(decoded.table_name, []).append(decoded)
+    return state
+
+
+@pytest.fixture(scope="module")
+def tor_state():
+    return _tor_state(build_p4info(build_tor_program()))
+
+
+def _packet_bytes(result):
+    """The run's full observable output, byte-comparable."""
+    return [
+        (p.goal, p.profile, p.ingress_port, deparse_packet(p.packet))
+        for p in result.packets
+    ]
+
+
+class TestParallelGeneration:
+    def test_workers_two_covers_same_goals_as_sequential(self, tor_program, tor_state):
+        seq = PacketGenerator(tor_program, tor_state).generate(CoverageMode.ENTRY)
+        par = PacketGenerator(tor_program, tor_state).generate(
+            CoverageMode.ENTRY, workers=2
+        )
+        assert {p.goal for p in par.packets} == {p.goal for p in seq.packets}
+        assert par.uncovered == seq.uncovered
+        assert par.stats.workers == 2
+        assert par.stats.goals_total == seq.stats.goals_total
+
+    def test_workers_one_is_byte_identical_to_sequential(self, tor_program, tor_state):
+        seq = PacketGenerator(tor_program, tor_state).generate(CoverageMode.ENTRY)
+        via_flag = PacketGenerator(tor_program, tor_state).generate(
+            CoverageMode.ENTRY, workers=1
+        )
+        assert _packet_bytes(via_flag) == _packet_bytes(seq)
+        assert via_flag.uncovered == seq.uncovered
+        assert via_flag.stats.solver_queries == seq.stats.solver_queries
+
+    def test_worker_crash_degrades_to_sequential(self, tor_program, tor_state, monkeypatch):
+        """A dead worker loses its shard, not the run: the parent re-solves
+        every unfinished goal in-process."""
+        seq = PacketGenerator(tor_program, tor_state).generate(CoverageMode.ENTRY)
+        monkeypatch.setattr(parallel, "_FAULT_INJECT", True)
+        par = PacketGenerator(tor_program, tor_state).generate(
+            CoverageMode.ENTRY, workers=2
+        )
+        assert {p.goal for p in par.packets} == {p.goal for p in seq.packets}
+        assert par.uncovered == seq.uncovered
+
+    def test_generate_parallel_direct_entry_point(self, tor_program, tor_state):
+        seq = PacketGenerator(tor_program, tor_state).generate(CoverageMode.ENTRY)
+        par = generate_parallel(
+            PacketGenerator(tor_program, tor_state), CoverageMode.ENTRY, workers=2
+        )
+        assert {p.goal for p in par.packets} == {p.goal for p in seq.packets}
+
+
+class TestEffortStats:
+    def test_solver_effort_is_surfaced(self, tor_program, tor_state):
+        result = PacketGenerator(tor_program, tor_state).generate(CoverageMode.ENTRY)
+        stats = result.stats
+        assert stats.solver_queries > 0
+        assert stats.sat_decisions > 0
+        assert stats.sat_propagations > 0
+        # Conflicts are workload-dependent but this cascade always has some.
+        assert stats.sat_conflicts > 0
+
+    def test_parallel_effort_is_merged(self, tor_program, tor_state):
+        par = PacketGenerator(tor_program, tor_state).generate(
+            CoverageMode.ENTRY, workers=2
+        )
+        assert par.stats.solver_queries > 0
+        assert par.stats.sat_propagations > 0
+
+    def test_render_generation_stats(self):
+        stats = DataPlaneStats(
+            goals_total=10,
+            goals_covered=8,
+            goals_from_cache=3,
+            generation_seconds=1.5,
+            solver_queries=42,
+            sat_conflicts=7,
+            sat_decisions=100,
+            sat_propagations=5000,
+            workers=4,
+        )
+        text = render_generation_stats(stats)
+        assert "8/10 covered" in text
+        assert "3 from cache" in text
+        assert "42 queries" in text
+        assert "4 worker(s)" in text
+
+
+class TestHarnessWiring:
+    def test_harness_workers_knob(self, toy_program, toy_p4info):
+        from repro.switch import ReferenceSwitch
+        from repro.switchv import SwitchVHarness
+        from repro.workloads import EntryBuilder
+
+        b = EntryBuilder(toy_p4info)
+        entries = [
+            b.ternary("pre_ingress_tbl", {}, "set_vrf", {"vrf_id": 1}, priority=1),
+            b.exact("vrf_tbl", {"vrf_id": 1}, "NoAction"),
+            b.lpm("ipv4_tbl", {"vrf_id": 1}, "ipv4_dst", 0x0A000000, 8,
+                  "set_nexthop_id", {"nexthop_id": 3}),
+        ]
+        switch = ReferenceSwitch(toy_program)
+        harness = SwitchVHarness(toy_program, switch, workers=2)
+        report = harness.validate_data_plane(entries, exercise_update_path=False)
+        assert report.ok, report.incidents.summary_lines()
+        assert report.data_plane.workers == 2
+        assert report.data_plane.solver_queries > 0

@@ -270,3 +270,95 @@ class TestCache:
         cache.store(key, PacketGenerator(toy_program, toy_state).generate(CoverageMode.ENTRY))
         cache.clear()
         assert cache.lookup(key) is None
+
+    # ------------------------------------------------------------------
+    # §6.3 cache-validity contract: the key is a pure function of the
+    # things that affect the SMT constraints, and nothing else.
+    # ------------------------------------------------------------------
+    def test_key_sensitive_to_entry_content(self, toy_program, toy_state, toy_p4info):
+        b = EntryBuilder(toy_p4info)
+        changed = dict(toy_state)
+        changed["ipv4_tbl"] = toy_state["ipv4_tbl"][:-1] + [
+            decode_table_entry(
+                toy_p4info,
+                b.lpm("ipv4_tbl", {"vrf_id": 1}, "ipv4_dst", 0x0A000000, 16,
+                      "set_nexthop_id", {"nexthop_id": 9}),  # was 7
+            )
+        ]
+        a = cache_key(toy_program, toy_state, CoverageMode.ENTRY, (1,))
+        b_key = cache_key(toy_program, changed, CoverageMode.ENTRY, (1,))
+        assert a != b_key
+
+    def test_key_sensitive_to_valid_ports(self, toy_program, toy_state):
+        a = cache_key(toy_program, toy_state, CoverageMode.ENTRY, (1, 2))
+        b = cache_key(toy_program, toy_state, CoverageMode.ENTRY, (1, 2, 3))
+        assert a != b
+
+    def test_corrupt_disk_pickle_is_a_miss_and_removed(self, toy_program, toy_state, tmp_path):
+        """A truncated/garbage on-disk pickle must not crash the run: it is
+        deleted and treated as a cache miss."""
+        key = cache_key(toy_program, toy_state, CoverageMode.ENTRY, (1,))
+        path = tmp_path / f"{key}.pkl"
+        path.write_bytes(b"\x80\x04 this is not a pickle")
+        cache = PacketCache(directory=tmp_path)
+        assert cache.lookup(key) is None
+        assert not path.exists()
+        # The slot is usable again after the bad file is purged.
+        result = PacketGenerator(toy_program, toy_state).generate(CoverageMode.ENTRY)
+        cache.store(key, result)
+        assert cache.lookup(key) is not None
+
+    def test_corrupt_goal_pickle_is_a_miss(self, tmp_path):
+        cache = PacketCache(directory=tmp_path)
+        (tmp_path / "goals" / "deadbeef.pkl").write_bytes(b"garbage")
+        assert cache.lookup_goal("deadbeef") is None
+
+
+class TestPerGoalCache:
+    """§6.3 refined: goal-level keys survive edits to unrelated entries."""
+
+    def test_warm_run_answers_without_solving(self, toy_program, toy_state):
+        cache = PacketCache()
+        cold = PacketGenerator(toy_program, toy_state).generate(
+            CoverageMode.ENTRY, goal_cache=cache
+        )
+        warm = PacketGenerator(toy_program, toy_state).generate(
+            CoverageMode.ENTRY, goal_cache=cache
+        )
+        assert cold.stats.solver_queries > 0
+        assert warm.stats.solver_queries == 0
+        assert warm.stats.goals_from_cache == warm.stats.goals_total
+        assert {p.goal for p in warm.packets} == {p.goal for p in cold.packets}
+        assert warm.uncovered == cold.uncovered
+
+    def test_edited_entry_resolves_only_affected_goals(self, toy_program, toy_state):
+        """Removing one route re-solves the goals whose formulas mention it
+        (same-table priority negations, the table miss) and reuses the rest
+        — observable as a solver_queries drop."""
+        cache = PacketCache()
+        cold = PacketGenerator(toy_program, toy_state).generate(
+            CoverageMode.ENTRY, goal_cache=cache
+        )
+        edited = {
+            k: (v[:-1] if k == "ipv4_tbl" else v) for k, v in toy_state.items()
+        }
+        warm = PacketGenerator(toy_program, edited).generate(
+            CoverageMode.ENTRY, goal_cache=cache
+        )
+        assert 0 < warm.stats.solver_queries < cold.stats.solver_queries
+        assert warm.stats.goals_from_cache > 0
+        # The untouched pre-ingress/vrf goals came from the cache.
+        reused = {p.goal for p in warm.packets} & {p.goal for p in cold.packets}
+        assert any(g.startswith("entry:pre_ingress_tbl") for g in reused)
+
+    def test_goal_cache_persists_on_disk(self, toy_program, toy_state, tmp_path):
+        cold_cache = PacketCache(directory=tmp_path)
+        PacketGenerator(toy_program, toy_state).generate(
+            CoverageMode.ENTRY, goal_cache=cold_cache
+        )
+        fresh = PacketCache(directory=tmp_path)  # warm disk, cold memory
+        warm = PacketGenerator(toy_program, toy_state).generate(
+            CoverageMode.ENTRY, goal_cache=fresh
+        )
+        assert warm.stats.solver_queries == 0
+        assert warm.stats.goals_from_cache == warm.stats.goals_total
