@@ -1,0 +1,77 @@
+"""Transport-fault soak benchmark.
+
+Runs repeated fuzz cycles against a healthy PINS stack behind a chaos
+transport (drops, duplicates, delays, resets, crashes) and verifies the
+zero-phantom acceptance criterion at scale: every cycle's model-incident
+set and final switch state must equal a fault-free run of the same seed,
+while the transport ledger (retries, resyncs, reconnects) proves the
+faults actually fired.
+
+The ``smoke`` test is the CI job (seconds); the full soak scales with
+``REPRO_BENCH_SCALE=paper``.
+"""
+
+import os
+import time
+
+from conftest import print_table
+
+from repro.switchv.campaign import CampaignConfig, run_soak_campaign
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+def _soak(cycles, writes, updates, profile="chaos", seed=5):
+    config = CampaignConfig(
+        fuzz_writes=writes,
+        fuzz_updates_per_write=updates,
+        seed=seed,
+        soak_cycles=cycles,
+    )
+    start = time.perf_counter()
+    outcome = run_soak_campaign("pins", config, fault_profile=profile)
+    return outcome, time.perf_counter() - start
+
+
+def test_soak_smoke():
+    """CI gate: a short chaos soak with zero phantoms."""
+    outcome, elapsed = _soak(cycles=2, writes=8, updates=15)
+    print_table(
+        "transport soak (smoke)",
+        ["metric", "value"],
+        [
+            ["cycles", outcome.cycles],
+            ["phantom cycles", outcome.phantom_cycles],
+            ["state divergences", outcome.state_divergences],
+            ["faults injected", outcome.faults_injected],
+            ["retries", outcome.retries],
+            ["ambiguous batches", outcome.ambiguous_batches],
+            ["oracle resyncs", outcome.resyncs],
+            ["reconnects", outcome.reconnects],
+            ["wall clock", f"{elapsed:.1f}s"],
+        ],
+    )
+    assert outcome.ok
+    assert outcome.faults_injected > 0
+
+
+def test_soak_per_profile():
+    """Longer soak: every single-fault profile at its catalogue rate."""
+    cycles, writes, updates = (2, 10, 15) if SCALE == "small" else (5, 40, 30)
+    rows = []
+    all_ok = True
+    for profile in ("drop_request", "drop_response", "duplicate", "delay",
+                    "reset", "crash", "chaos"):
+        outcome, elapsed = _soak(cycles, writes, updates, profile=profile)
+        all_ok = all_ok and outcome.ok
+        rows.append(
+            [profile, outcome.cycles, outcome.phantom_cycles,
+             outcome.faults_injected, outcome.retries, outcome.resyncs,
+             f"{elapsed:.1f}s"]
+        )
+    print_table(
+        f"transport soak per profile ({SCALE})",
+        ["profile", "cycles", "phantoms", "faults", "retries", "resyncs", "time"],
+        rows,
+    )
+    assert all_ok

@@ -7,9 +7,10 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.fuzzer.batching import make_batches, order_inserts
 from repro.p4.p4info import P4Info
+from repro.p4rt.channel import ChannelError
 from repro.p4rt.messages import TableEntry, Update, UpdateType, WriteRequest
 from repro.p4rt.service import P4RuntimeService
-from repro.p4rt.status import Status
+from repro.p4rt.status import Code, Status
 from repro.workloads.entries import EntryBuilder
 
 
@@ -121,7 +122,16 @@ class Controller:
             self.p4info, [Update(UpdateType.INSERT, e) for e in entries]
         )
         for batch in make_batches(self.p4info, updates):
-            response = self.switch.write(WriteRequest(updates=tuple(batch)))
+            try:
+                response = self.switch.write(WriteRequest(updates=tuple(batch)))
+            except ChannelError as exc:
+                # The transport abandoned the batch (retries exhausted).
+                # Record every entry as rejected-for-availability so the
+                # caller can reprogram; the controller's idempotent retry
+                # client makes a later re-program converge.
+                status = Status(Code.UNAVAILABLE, str(exc))
+                result.rejected.extend((u.entry, status) for u in batch)
+                continue
             for update, status in zip(batch, response.statuses):
                 if status.ok:
                     result.accepted += 1
@@ -143,7 +153,12 @@ class Controller:
         updates = [Update(UpdateType.DELETE, e) for e in entries]
         updates.reverse()
         for batch in make_batches(self.p4info, updates):
-            response = self.switch.write(WriteRequest(updates=tuple(batch)))
+            try:
+                response = self.switch.write(WriteRequest(updates=tuple(batch)))
+            except ChannelError as exc:
+                status = Status(Code.UNAVAILABLE, str(exc))
+                result.rejected.extend((u.entry, status) for u in batch)
+                continue
             for update, status in zip(batch, response.statuses):
                 if status.ok:
                     result.accepted += 1

@@ -14,7 +14,7 @@ specification (§4.3).
 * :mod:`repro.fuzzer.fuzzer` — the campaign driver.
 """
 
-from repro.fuzzer.fuzzer import FuzzerConfig, FuzzResult, P4Fuzzer
+from repro.fuzzer.fuzzer import FuzzerConfig, FuzzResult, P4Fuzzer, TransportSummary
 from repro.fuzzer.generator import RequestGenerator
 from repro.fuzzer.mutations import MUTATION_NAMES
 from repro.fuzzer.oracle import Oracle
@@ -26,4 +26,5 @@ __all__ = [
     "Oracle",
     "P4Fuzzer",
     "RequestGenerator",
+    "TransportSummary",
 ]

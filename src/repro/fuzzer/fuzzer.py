@@ -18,6 +18,7 @@ from repro.fuzzer.generator import RequestGenerator
 from repro.fuzzer.mutations import MUST_REJECT, apply_random_mutation
 from repro.fuzzer.oracle import Oracle
 from repro.p4.p4info import P4Info
+from repro.p4rt.channel import ChannelError
 from repro.p4rt.messages import ReadRequest, Update, WriteRequest
 from repro.p4rt.service import P4RuntimeService
 from repro.switchv.report import Incident, IncidentKind, IncidentLog
@@ -42,6 +43,34 @@ class FuzzerConfig:
 
 
 @dataclass
+class TransportSummary:
+    """Transport health counters for one campaign, reported separately
+    from model incidents (a flaky cable is not a switch bug)."""
+
+    retries: int = 0
+    ambiguous_batches: int = 0
+    resyncs: int = 0
+    flakes: int = 0  # RPCs abandoned after exhausting retries
+    reconnects: int = 0
+    deadline_exceeded: int = 0
+    idempotent_rescues: int = 0
+
+    @property
+    def any_activity(self) -> bool:
+        return any(
+            (
+                self.retries,
+                self.ambiguous_batches,
+                self.resyncs,
+                self.flakes,
+                self.reconnects,
+                self.deadline_exceeded,
+                self.idempotent_rescues,
+            )
+        )
+
+
+@dataclass
 class FuzzResult:
     """Campaign outcome and statistics."""
 
@@ -52,6 +81,9 @@ class FuzzResult:
     writes_sent: int = 0
     elapsed_seconds: float = 0.0
     mutation_counts: Dict[str, int] = field(default_factory=dict)
+    # Transport-layer health (retries, resyncs, flakes) — kept apart from
+    # the oracle's model incidents.
+    transport: TransportSummary = field(default_factory=TransportSummary)
     # The entries the oracle believes installed when the campaign ended,
     # and the subset that was MODIFY-ed at least once.  Feeding these to
     # p4-symbolic (the §7 extension) exercises control paths only reachable
@@ -95,6 +127,11 @@ class P4Fuzzer:
         result = FuzzResult()
         start = time.perf_counter()
 
+        # A malformed @entry_restriction means the oracle cannot check
+        # constraints on that table; surface it rather than silently
+        # weakening the campaign (it is a model bug in its own right).
+        result.incidents.extend(self.oracle.constraint_incidents())
+
         status = self.switch.set_forwarding_pipeline_config(self.p4info)
         if not status.ok:
             result.incidents.report(
@@ -124,7 +161,19 @@ class P4Fuzzer:
             for entry in result.final_entries
             if entry.match_key() in self._modified_keys
         ]
+        self._harvest_transport_stats(result)
         return result
+
+    def _harvest_transport_stats(self, result: FuzzResult) -> None:
+        """Fold the retry client's counters (when the switch handle is a
+        RetryingP4RuntimeClient) into the campaign's transport summary."""
+        stats = getattr(self.switch, "retry_stats", None)
+        if stats is None:
+            return
+        result.transport.retries = stats.retries
+        result.transport.reconnects = stats.reconnects
+        result.transport.deadline_exceeded = stats.deadline_exceeded
+        result.transport.idempotent_rescues = stats.idempotent_rescues
 
     def _generate_wave(self, result: FuzzResult) -> List[Update]:
         updates: List[Update] = []
@@ -158,6 +207,21 @@ class P4Fuzzer:
         request = WriteRequest(updates=tuple(batch))
         try:
             response = self.switch.write(request)
+        except ChannelError as exc:
+            # The transport gave up (retries exhausted): a flake, not a
+            # model incident.  The batch's outcome is unknown, so resync
+            # the oracle from a read-back instead of projecting.
+            result.transport.flakes += 1
+            result.incidents.report(
+                Incident(
+                    kind=IncidentKind.TRANSPORT_FLAKE,
+                    summary=f"write abandoned by the transport: {type(exc).__name__}",
+                    observed=str(exc),
+                    source="p4-fuzzer",
+                )
+            )
+            self._resync_oracle(result)
+            return
         except Exception as exc:  # a crash is itself a finding
             result.incidents.report(
                 Incident(
@@ -170,12 +234,41 @@ class P4Fuzzer:
             return
         result.updates_sent += len(batch)
 
+        for update, status in zip(batch, response.statuses):
+            if status.ok and update.type.value == "MODIFY":
+                self._modified_keys.add(update.entry.match_key())
+
+        # An ambiguous outcome (some attempt of this write may or may not
+        # have been applied before the one that answered) makes per-update
+        # status judging unsound: a re-applied INSERT legitimately answers
+        # ALREADY_EXISTS, a re-applied DELETE answers NOT_FOUND.  Per the
+        # oracle's §4.3 design, read the state back and adopt it instead
+        # of reporting phantom incidents.
+        info = getattr(self.switch, "last_write_info", None)
+        if info is not None and info.ambiguous:
+            result.transport.ambiguous_batches += 1
+            if self._resync_oracle(result):
+                result.transport.resyncs += 1
+            self.generator.state.replace_all(self.oracle.installed_entries())
+            return
+
         # Without a fresh read-back (None), the oracle judges statuses only
         # and projects its expected state forward.
         read_back = None
         if self.config.read_back_every and write_index % self.config.read_back_every == 0:
             try:
                 read_back = list(self.switch.read(ReadRequest(table_id=0)).entries)
+            except ChannelError as exc:
+                result.transport.flakes += 1
+                result.incidents.report(
+                    Incident(
+                        kind=IncidentKind.TRANSPORT_FLAKE,
+                        summary=f"read abandoned by the transport: {type(exc).__name__}",
+                        observed=str(exc),
+                        source="p4-fuzzer",
+                    )
+                )
+                return
             except Exception as exc:
                 result.incidents.report(
                     Incident(
@@ -187,11 +280,38 @@ class P4Fuzzer:
                 )
                 return
 
-        for update, status in zip(batch, response.statuses):
-            if status.ok and update.type.value == "MODIFY":
-                self._modified_keys.add(update.entry.match_key())
-
         log = self.oracle.judge_batch(batch, response, read_back)
         result.incidents.extend(log)
         # Keep the generator's view in sync with the oracle's adopted state.
         self.generator.state.replace_all(self.oracle.installed_entries())
+
+    def _resync_oracle(self, result: FuzzResult) -> bool:
+        """Read the switch state back and adopt it (§4.3).  Returns False
+        when even the read-back failed; the next successful read-back will
+        repair the oracle's view."""
+        try:
+            read_back = list(self.switch.read(ReadRequest(table_id=0)).entries)
+        except ChannelError as exc:
+            result.transport.flakes += 1
+            result.incidents.report(
+                Incident(
+                    kind=IncidentKind.TRANSPORT_FLAKE,
+                    summary=f"resync read abandoned by the transport: {type(exc).__name__}",
+                    observed=str(exc),
+                    source="p4-fuzzer",
+                )
+            )
+            return False
+        except Exception as exc:
+            result.incidents.report(
+                Incident(
+                    kind=IncidentKind.SWITCH_UNRESPONSIVE,
+                    summary=f"switch raised {type(exc).__name__} during resync read",
+                    observed=str(exc),
+                    source="p4-fuzzer",
+                )
+            )
+            return False
+        self.oracle.resync(read_back)
+        self.generator.state.replace_all(self.oracle.installed_entries())
+        return True

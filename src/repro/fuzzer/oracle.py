@@ -45,20 +45,49 @@ class Classified:
 class Oracle:
     """Judges responses and read-backs against the instantiated spec."""
 
-    def __init__(self, p4info: P4Info) -> None:
+    def __init__(self, p4info: P4Info, strict_constraints: bool = False) -> None:
         self.p4info = p4info
         self.refs = ReferenceGraph(p4info)
         self._constraints = {}
+        # A malformed @entry_restriction must never *silently* disable
+        # constraint checking for its table: that would suppress every
+        # constraint-violation incident with no signal.  The error is a
+        # model bug; it is recorded here and surfaced as a MODEL_ERROR
+        # incident (see constraint_incidents), or raised immediately in
+        # strict mode.
+        self.constraint_errors: Dict[int, str] = {}
         for tid, table in p4info.tables.items():
             if table.entry_restriction:
                 try:
                     self._constraints[tid] = parse_constraint(table.entry_restriction)
-                except ConstraintSyntaxError:
-                    pass
+                except ConstraintSyntaxError as exc:
+                    if strict_constraints:
+                        raise
+                    self.constraint_errors[tid] = str(exc)
         # The adopted switch state: entry identity -> wire entry.
         self.expected: Dict[Tuple, TableEntry] = {}
         # Incrementally maintained referenceable state (mirrors expected).
         self._available = self.refs.collect_state(())
+
+    def constraint_incidents(self) -> IncidentLog:
+        """Model incidents for tables whose @entry_restriction failed to
+        parse (constraint checking is disabled there — say so loudly)."""
+        log = IncidentLog()
+        for tid in sorted(self.constraint_errors):
+            table = self.p4info.tables[tid]
+            log.report(
+                Incident(
+                    kind=IncidentKind.MODEL_ERROR,
+                    summary=f"malformed @entry_restriction on {table.name}: "
+                    "constraint checking disabled for this table",
+                    expected="a parseable entry restriction",
+                    observed=self.constraint_errors[tid],
+                    table_id=tid,
+                    table_name=table.name,
+                    source="p4-fuzzer",
+                )
+            )
+        return log
 
     # ------------------------------------------------------------------
     # Classification (syntactic validity + constraint compliance, §4)
@@ -96,6 +125,13 @@ class Oracle:
                     source="p4-fuzzer",
                 )
             )
+            # The per-update outcomes are unknowable, so the projected
+            # expected state is now garbage.  Resynchronise from the
+            # read-back (when one was taken) so subsequent batches are
+            # judged against the switch's actual state instead of a stale
+            # projection compounding phantom incidents.
+            if read_back is not None:
+                self.resync(read_back)
             return log
 
         for update, status in zip(updates, response.statuses):
@@ -112,6 +148,7 @@ class Oracle:
 
         if classified.validity == "invalid":
             if status.ok:
+                table = self.p4info.tables.get(entry.table_id)
                 log.report(
                     Incident(
                         kind=IncidentKind.INVALID_REQUEST_ACCEPTED,
@@ -119,6 +156,8 @@ class Oracle:
                         expected="rejection (request is invalid)",
                         observed="OK",
                         test_input=repr(entry),
+                        table_id=entry.table_id,
+                        table_name=table.name if table else "",
                         source="p4-fuzzer",
                     )
                 )
@@ -152,6 +191,8 @@ class Oracle:
                         expected="ALREADY_EXISTS",
                         observed="OK",
                         test_input=repr(entry),
+                        table_id=entry.table_id,
+                        table_name=table.name,
                         source="p4-fuzzer",
                     )
                 )
@@ -163,6 +204,8 @@ class Oracle:
                         f"{status.code.name}",
                         expected="ALREADY_EXISTS",
                         observed=status.code.name,
+                        table_id=entry.table_id,
+                        table_name=table.name,
                         source="p4-fuzzer",
                     )
                 )
@@ -178,6 +221,9 @@ class Oracle:
                         expected="rejection (referential integrity)",
                         observed="OK",
                         test_input=repr(entry),
+                        table_id=entry.table_id,
+                        table_name=table.name,
+                        related_tables=(ref.target_table,),
                         source="p4-fuzzer",
                     )
                 )
@@ -196,6 +242,8 @@ class Oracle:
                         expected=f"acceptance up to {table.size} entries",
                         observed=status.message,
                         test_input=repr(entry),
+                        table_id=entry.table_id,
+                        table_name=table.name,
                         source="p4-fuzzer",
                     )
                 )
@@ -208,6 +256,8 @@ class Oracle:
                 expected="OK",
                 observed=f"{status.code.name}: {status.message}",
                 test_input=repr(entry),
+                table_id=entry.table_id,
+                table_name=table.name,
                 source="p4-fuzzer",
             )
         )
@@ -226,6 +276,8 @@ class Oracle:
                         summary=f"modify of non-existent entry in {table.name} accepted",
                         expected="NOT_FOUND",
                         observed="OK",
+                        table_id=entry.table_id,
+                        table_name=table.name,
                         source="p4-fuzzer",
                     )
                 )
@@ -238,6 +290,8 @@ class Oracle:
                         f"with {status.code.name}",
                         expected="NOT_FOUND",
                         observed=status.code.name,
+                        table_id=entry.table_id,
+                        table_name=table.name,
                         source="p4-fuzzer",
                     )
                 )
@@ -250,6 +304,9 @@ class Oracle:
                         summary=f"modify with dangling reference in {table.name} accepted",
                         expected="rejection (referential integrity)",
                         observed="OK",
+                        table_id=entry.table_id,
+                        table_name=table.name,
+                        related_tables=(dangling[0].target_table,),
                         source="p4-fuzzer",
                     )
                 )
@@ -265,6 +322,8 @@ class Oracle:
                 expected="OK",
                 observed=f"{status.code.name}: {status.message}",
                 test_input=repr(entry),
+                table_id=entry.table_id,
+                table_name=table.name,
                 source="p4-fuzzer",
             )
         )
@@ -282,6 +341,8 @@ class Oracle:
                         summary=f"delete of non-existent entry in {table.name} accepted",
                         expected="NOT_FOUND",
                         observed="OK",
+                        table_id=entry.table_id,
+                        table_name=table.name,
                         source="p4-fuzzer",
                     )
                 )
@@ -293,6 +354,8 @@ class Oracle:
                         f"with {status.code.name}",
                         expected="NOT_FOUND",
                         observed=status.code.name,
+                        table_id=entry.table_id,
+                        table_name=table.name,
                         source="p4-fuzzer",
                     )
                 )
@@ -305,6 +368,8 @@ class Oracle:
                         summary=f"delete orphaning references in {table.name} accepted",
                         expected="rejection (referential integrity)",
                         observed="OK",
+                        table_id=entry.table_id,
+                        table_name=table.name,
                         source="p4-fuzzer",
                     )
                 )
@@ -320,6 +385,8 @@ class Oracle:
                 expected="OK",
                 observed=f"{status.code.name}: {status.message}",
                 test_input=repr(entry),
+                table_id=entry.table_id,
+                table_name=table.name,
                 source="p4-fuzzer",
             )
         )
@@ -342,6 +409,8 @@ class Oracle:
                     f"{table.name if table else key[0]}",
                     expected=repr(self.expected[key]),
                     observed="absent",
+                    table_id=self._key_table(key),
+                    table_name=table.name if table else "",
                     source="p4-fuzzer",
                 )
             )
@@ -354,6 +423,8 @@ class Oracle:
                     f"{table.name if table else key[0]}",
                     expected="absent",
                     observed=repr(observed[key]),
+                    table_id=self._key_table(key),
+                    table_name=table.name if table else "",
                     source="p4-fuzzer",
                 )
             )
@@ -369,11 +440,30 @@ class Oracle:
                         f"(table 0x{entry.table_id:08x})",
                         expected=repr(entry),
                         observed=repr(other),
+                        table_id=entry.table_id,
+                        table_name=getattr(self.p4info.tables.get(entry.table_id), "name", ""),
                         source="p4-fuzzer",
                     )
                 )
         # Adopt the observed state so bookkeeping stays coherent even after
         # a mismatch (the paper's "forget the prior state" step).
+        self._adopt(observed)
+
+    # ------------------------------------------------------------------
+    # Resynchronisation (§4.3 "adopt the observed state")
+    # ------------------------------------------------------------------
+    def resync(self, read_back: Sequence[TableEntry]) -> None:
+        """Adopt the switch's read-back as ground truth, judging nothing.
+
+        This is the recovery path after an *ambiguous* outcome — a retried
+        write whose earlier attempt may or may not have landed, or a
+        response whose cardinality made per-update judging impossible.
+        The spec admits several end states there, so the only sound move
+        is the paper's: read the state back and forget the projection.
+        """
+        self._adopt({entry.match_key(): entry for entry in read_back})
+
+    def _adopt(self, observed: Dict[Tuple, TableEntry]) -> None:
         self.expected = observed
         self._available = self.refs.collect_state(observed.values())
 

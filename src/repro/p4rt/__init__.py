@@ -14,8 +14,25 @@ for a given P4 program.  We reproduce the protocol's *semantics* in-process
   PacketIn / PacketOut message dataclasses.
 * :mod:`repro.p4rt.service` — the abstract service interface a switch
   exposes, plus a direct in-process client.
+* :mod:`repro.p4rt.channel` — a fault-injecting transport layer wrapping
+  any service (dropped/duplicated/delayed RPCs, resets, crash/restart).
+* :mod:`repro.p4rt.retry` — a retrying client with per-RPC deadlines,
+  deterministic backoff, and idempotency-aware Write semantics.
 """
 
+from repro.p4rt.channel import (
+    ChannelError,
+    ChannelReset,
+    ChannelStats,
+    DeadlineExceeded,
+    FaultInjectingChannel,
+    FaultProfile,
+    PROFILES,
+    RequestDropped,
+    ResponseDropped,
+    RetriesExhausted,
+    resolve_profile,
+)
 from repro.p4rt.messages import (
     ActionInvocation,
     ActionProfileAction,
@@ -31,22 +48,45 @@ from repro.p4rt.messages import (
     WriteRequest,
     WriteResponse,
 )
+from repro.p4rt.retry import (
+    RetryPolicy,
+    RetryStats,
+    RetryingP4RuntimeClient,
+    WriteInfo,
+    build_resilient_client,
+)
 from repro.p4rt.status import Code, Status
 
 __all__ = [
     "ActionInvocation",
     "ActionProfileAction",
     "ActionProfileActionSet",
+    "ChannelError",
+    "ChannelReset",
+    "ChannelStats",
     "Code",
+    "DeadlineExceeded",
+    "FaultInjectingChannel",
+    "FaultProfile",
     "FieldMatch",
+    "PROFILES",
     "PacketIn",
     "PacketOut",
     "ReadRequest",
     "ReadResponse",
+    "RequestDropped",
+    "ResponseDropped",
+    "RetriesExhausted",
+    "RetryPolicy",
+    "RetryStats",
+    "RetryingP4RuntimeClient",
     "Status",
     "TableEntry",
     "Update",
     "UpdateType",
+    "WriteInfo",
     "WriteRequest",
     "WriteResponse",
+    "build_resilient_client",
+    "resolve_profile",
 ]

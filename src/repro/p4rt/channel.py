@@ -1,0 +1,299 @@
+"""A fault-injecting transport between P4Runtime clients and the switch.
+
+SwitchV runs against real switch stacks whose P4Runtime channels drop,
+stall, and reset (§6, Table 1: P4Runtime Server and SyncD bugs include
+hangs and crashes), yet the in-process service interface of
+:mod:`repro.p4rt.service` assumes every RPC returns exactly once.  This
+module restores the transport failure modes as an *orthogonal* layer: a
+:class:`FaultInjectingChannel` wraps any :class:`P4RuntimeService` and
+injects availability faults — dropped requests, dropped responses,
+duplicated (at-least-once) deliveries, bounded delays past the RPC
+deadline, connection resets, and switch crash/restart that loses
+uncommitted batch state — without touching the behavioural fault registry
+in :mod:`repro.switch.faults`.
+
+Two invariants make the layer useful for validation rather than chaos:
+
+* **Determinism.**  All fault decisions come from one ``random.Random``
+  seeded by the profile; the same profile against the same request
+  sequence injects the same faults.  Soak runs are reproducible.
+* **Honest ambiguity.**  The exceptions never reveal whether a failed
+  Write reached the switch.  :class:`RequestDropped` is the only
+  known-not-applied failure (the transport failed before sending);
+  everything else — :class:`ResponseDropped`, :class:`DeadlineExceeded`,
+  :class:`ChannelReset` — leaves the outcome ambiguous, exactly like a
+  broken TCP session.  Clients must resolve the ambiguity themselves
+  (idempotent retries, read-back resync — see :mod:`repro.p4rt.retry`
+  and the oracle's §4.3 adopt-observed-state design).
+
+Only ``write`` and ``read`` are faulted: they are the RPCs the
+fuzzer/oracle loop depends on, and the ones with ambiguous side effects.
+Pipeline-config pushes, packet-io, and the data-plane test interface pass
+through untouched (the connection gate models the P4RT session only).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
+
+from repro.p4.p4info import P4Info
+from repro.p4rt.messages import (
+    PacketIn,
+    PacketOut,
+    ReadRequest,
+    ReadResponse,
+    WriteRequest,
+    WriteResponse,
+)
+from repro.p4rt.service import P4RuntimeService
+from repro.p4rt.status import Status
+
+
+# ----------------------------------------------------------------------
+# Failure taxonomy
+# ----------------------------------------------------------------------
+class ChannelError(Exception):
+    """Base class for transport-level failures (not switch verdicts)."""
+
+
+class RequestDropped(ChannelError):
+    """The request never left the client.  Known not applied: safe retry."""
+
+
+class ResponseDropped(ChannelError):
+    """The response was lost.  The request MAY have been applied."""
+
+
+class DeadlineExceeded(ChannelError):
+    """The RPC missed its deadline.  The request MAY have been applied."""
+
+
+class ChannelReset(ChannelError):
+    """The connection dropped (or the switch crashed).  Outcome ambiguous;
+    the channel stays down until :meth:`FaultInjectingChannel.reconnect`."""
+
+
+class RetriesExhausted(ChannelError):
+    """A retrying client gave up.  Carries the last underlying failure."""
+
+
+# ----------------------------------------------------------------------
+# Fault profiles
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultProfile:
+    """One transport fault mix.  Rates are independent per-RPC probabilities."""
+
+    name: str = "custom"
+    drop_request_rate: float = 0.0
+    drop_response_rate: float = 0.0
+    duplicate_rate: float = 0.0  # at-least-once delivery: request applied twice
+    delay_rate: float = 0.0
+    max_delay_s: float = 0.2  # sampled latency upper bound for delay faults
+    reset_rate: float = 0.0
+    crash_rate: float = 0.0  # switch crash: partial batch commit + reset
+    seed: int = 0xC4A11
+
+    def with_seed(self, seed: int) -> "FaultProfile":
+        return replace(self, seed=seed)
+
+
+# The single-fault profiles the acceptance tests sweep, at a 10% rate,
+# plus a mixed "chaos" profile for soak runs.
+PROFILES: Dict[str, FaultProfile] = {
+    "none": FaultProfile(name="none"),
+    "drop_request": FaultProfile(name="drop_request", drop_request_rate=0.10),
+    "drop_response": FaultProfile(name="drop_response", drop_response_rate=0.10),
+    "duplicate": FaultProfile(name="duplicate", duplicate_rate=0.10),
+    "delay": FaultProfile(name="delay", delay_rate=0.10, max_delay_s=0.2),
+    "reset": FaultProfile(name="reset", reset_rate=0.10),
+    "crash": FaultProfile(name="crash", crash_rate=0.05),
+    "chaos": FaultProfile(
+        name="chaos",
+        drop_request_rate=0.03,
+        drop_response_rate=0.03,
+        duplicate_rate=0.03,
+        delay_rate=0.03,
+        reset_rate=0.02,
+        crash_rate=0.01,
+    ),
+}
+
+
+def resolve_profile(profile, seed: Optional[int] = None) -> FaultProfile:
+    """Accept a profile or its catalogue name; optionally reseed it."""
+    if isinstance(profile, str):
+        profile = PROFILES[profile]
+    if seed is not None:
+        profile = profile.with_seed(seed)
+    return profile
+
+
+@dataclass
+class ChannelStats:
+    """What the channel did to the traffic (per-channel, monotonic)."""
+
+    writes: int = 0
+    reads: int = 0
+    dropped_requests: int = 0
+    dropped_responses: int = 0
+    duplicated: int = 0
+    delays: int = 0
+    deadline_exceeded: int = 0
+    resets: int = 0
+    crashes: int = 0
+    reconnects: int = 0
+    simulated_delay_s: float = 0.0
+
+    @property
+    def faults_injected(self) -> int:
+        return (
+            self.dropped_requests
+            + self.dropped_responses
+            + self.duplicated
+            + self.deadline_exceeded
+            + self.resets
+            + self.crashes
+        )
+
+
+# ----------------------------------------------------------------------
+# The channel
+# ----------------------------------------------------------------------
+class FaultInjectingChannel(P4RuntimeService):
+    """Wraps a service and injects availability faults on write/read."""
+
+    def __init__(
+        self,
+        inner: P4RuntimeService,
+        profile: FaultProfile,
+        rpc_deadline_s: float = 0.05,
+    ) -> None:
+        self.inner = inner
+        self.profile = profile
+        # The per-RPC deadline the client has negotiated; a sampled delay
+        # beyond it surfaces as DeadlineExceeded (see repro.p4rt.retry).
+        self.rpc_deadline_s = rpc_deadline_s
+        self.rng = random.Random(profile.seed)
+        self.stats = ChannelStats()
+        self._connected = True
+
+    # ------------------------------------------------------------------
+    # Connection lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def connected(self) -> bool:
+        return self._connected
+
+    def reconnect(self) -> None:
+        self._connected = True
+        self.stats.reconnects += 1
+
+    def _require_connection(self) -> None:
+        if not self._connected:
+            raise ChannelReset("channel is down; reconnect required")
+
+    # ------------------------------------------------------------------
+    # Fault rolls (one rng draw per fault class per RPC, fixed order,
+    # so the injected sequence is a pure function of the profile seed
+    # and the RPC count).
+    # ------------------------------------------------------------------
+    def _roll(self, rate: float) -> bool:
+        return rate > 0.0 and self.rng.random() < rate
+
+    def _maybe_delay(self) -> None:
+        """Bounded delay; past the deadline it becomes an ambiguous timeout."""
+        if not self._roll(self.profile.delay_rate):
+            return
+        latency = self.rng.uniform(0.0, self.profile.max_delay_s)
+        self.stats.delays += 1
+        self.stats.simulated_delay_s += latency
+        if latency <= self.rpc_deadline_s:
+            return
+        self.stats.deadline_exceeded += 1
+        # Whether the request made it out before the stall is part of the
+        # ambiguity; the caller only sees DeadlineExceeded either way.
+        raise DeadlineExceeded(
+            f"simulated latency {latency * 1000:.0f}ms exceeded the "
+            f"{self.rpc_deadline_s * 1000:.0f}ms deadline"
+        )
+
+    # ------------------------------------------------------------------
+    # Faulted RPCs
+    # ------------------------------------------------------------------
+    def write(self, request: WriteRequest) -> WriteResponse:
+        self.stats.writes += 1
+        self._require_connection()
+        if self._roll(self.profile.drop_request_rate):
+            self.stats.dropped_requests += 1
+            raise RequestDropped("write request dropped before reaching the switch")
+        if self._roll(self.profile.reset_rate):
+            self.stats.resets += 1
+            applied = self.rng.random() < 0.5
+            if applied:
+                self.inner.write(request)
+            self._connected = False
+            raise ChannelReset("connection reset during write")
+        if self._roll(self.profile.crash_rate) and request.updates:
+            # Crash/restart mid-batch: the switch commits a prefix of the
+            # batch, then the session dies.  The uncommitted tail is lost.
+            self.stats.crashes += 1
+            committed = self.rng.randrange(0, len(request.updates))
+            if committed:
+                self.inner.write(replace(request, updates=request.updates[:committed]))
+            self._connected = False
+            raise ChannelReset(
+                f"switch crashed after committing {committed}/{len(request.updates)} "
+                "updates of the batch"
+            )
+        dropped_response = self._roll(self.profile.drop_response_rate)
+        duplicated = self._roll(self.profile.duplicate_rate)
+        self._maybe_delay()
+        response = self.inner.write(request)
+        if duplicated:
+            # At-least-once delivery: the transport retransmitted and the
+            # switch applied the batch a second time.  The client sees the
+            # first (true) response; the duplicate's statuses are lost.
+            self.stats.duplicated += 1
+            self.inner.write(request)
+        if dropped_response:
+            self.stats.dropped_responses += 1
+            raise ResponseDropped("write response lost after the switch applied it")
+        return response
+
+    def read(self, request: ReadRequest) -> ReadResponse:
+        self.stats.reads += 1
+        self._require_connection()
+        if self._roll(self.profile.drop_request_rate):
+            self.stats.dropped_requests += 1
+            raise RequestDropped("read request dropped")
+        if self._roll(self.profile.reset_rate):
+            self.stats.resets += 1
+            self._connected = False
+            raise ChannelReset("connection reset during read")
+        self._maybe_delay()
+        response = self.inner.read(request)
+        if self._roll(self.profile.drop_response_rate):
+            self.stats.dropped_responses += 1
+            raise ResponseDropped("read response lost")
+        return response
+
+    # ------------------------------------------------------------------
+    # Unfaulted pass-throughs (not part of the modelled P4RT session)
+    # ------------------------------------------------------------------
+    def set_forwarding_pipeline_config(self, p4info: P4Info) -> Status:
+        return self.inner.set_forwarding_pipeline_config(p4info)
+
+    def packet_out(self, packet: PacketOut) -> Status:
+        return self.inner.packet_out(packet)
+
+    def drain_packet_ins(self) -> List[PacketIn]:
+        return self.inner.drain_packet_ins()
+
+    def __getattr__(self, name):
+        # The harness drives the data plane (send_packet, drain_egress,
+        # inject) through the same object; those interfaces are the
+        # tester's physical ports, not the P4RT channel.
+        return getattr(self.inner, name)

@@ -1,0 +1,255 @@
+"""A retrying P4Runtime client with idempotency-aware Write semantics.
+
+The validation loop must keep producing *sound* verdicts when the
+transport misbehaves.  :class:`RetryingP4RuntimeClient` wraps any
+:class:`P4RuntimeService` (typically a
+:class:`repro.p4rt.channel.FaultInjectingChannel`) and adds:
+
+* **per-RPC deadlines** — propagated to the channel so a stalled RPC
+  surfaces as :class:`DeadlineExceeded` instead of hanging;
+* **exponential backoff with deterministic seeded jitter** — retries are
+  spread out, and two runs with the same seeds back off identically, so
+  fault campaigns stay reproducible;
+* **idempotency-aware retry semantics** — after an *ambiguous* Write
+  outcome (response lost, deadline missed, connection reset: the earlier
+  attempt may or may not have been applied), a retried INSERT that comes
+  back ``ALREADY_EXISTS`` and a retried DELETE that comes back
+  ``NOT_FOUND`` are treated as success: the earlier attempt evidently
+  landed.  The rewrite happens only when an ambiguous failure actually
+  preceded the response — a first-attempt ``ALREADY_EXISTS`` is a real
+  switch verdict and passes through untouched.
+
+The rewrite is safe for an exclusive writer (a controller replaying its
+own intents).  A fuzzer that *deliberately* sends duplicate INSERTs must
+not judge a rewritten status at all: it should consult
+:attr:`last_write_info` and, when ``ambiguous`` is set, resynchronise its
+oracle from a state read-back (the §4.3 adopt-observed-state design)
+instead of judging per-update statuses.  Both consumers are wired in
+:mod:`repro.fuzzer.fuzzer` and :mod:`repro.controller.controller`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.p4.p4info import P4Info
+from repro.p4rt.channel import (
+    ChannelError,
+    ChannelReset,
+    DeadlineExceeded,
+    FaultInjectingChannel,
+    RequestDropped,
+    RetriesExhausted,
+    resolve_profile,
+)
+from repro.p4rt.messages import (
+    PacketIn,
+    PacketOut,
+    ReadRequest,
+    ReadResponse,
+    UpdateType,
+    WriteRequest,
+    WriteResponse,
+)
+from repro.p4rt.service import P4RuntimeService
+from repro.p4rt.status import Code, Status
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/backoff knobs.  Defaults absorb a 10% single-fault profile
+    with failure probability ~1e-6 per RPC."""
+
+    max_attempts: int = 6
+    base_backoff_s: float = 0.01
+    max_backoff_s: float = 1.0
+    jitter_seed: int = 0xB0FF
+    rpc_deadline_s: float = 0.05
+    # Rewrite ALREADY_EXISTS/NOT_FOUND into OK on retried INSERT/DELETE
+    # after an ambiguous outcome (see module docstring).
+    idempotent_retries: bool = True
+
+
+@dataclass
+class RetryStats:
+    """Everything the client did to keep the conversation alive."""
+
+    rpcs: int = 0
+    retries: int = 0
+    ambiguous_writes: int = 0
+    idempotent_rescues: int = 0
+    reconnects: int = 0
+    deadline_exceeded: int = 0
+    exhausted: int = 0
+    total_backoff_s: float = 0.0
+
+
+@dataclass
+class WriteInfo:
+    """Per-write transparency for callers that judge responses (the fuzzer)."""
+
+    attempts: int = 1
+    # True iff some earlier attempt of this write failed ambiguously: the
+    # final response's statuses may describe a *re*-application.
+    ambiguous: bool = False
+    # Statuses rewritten to OK under the idempotency rule.
+    rescued: int = 0
+
+
+class RetryingP4RuntimeClient(P4RuntimeService):
+    """A P4RuntimeService facade that survives a flaky transport."""
+
+    def __init__(
+        self,
+        service: P4RuntimeService,
+        policy: Optional[RetryPolicy] = None,
+        sleep: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        self._service = service
+        self.policy = policy or RetryPolicy()
+        # None = simulated backoff (accounted, not slept): the in-process
+        # transport has no real clock to wait out.
+        self._sleep = sleep
+        self._jitter = random.Random(self.policy.jitter_seed)
+        self.retry_stats = RetryStats()
+        self.last_write_info = WriteInfo()
+        # Propagate the per-RPC deadline down to the transport.
+        if hasattr(service, "rpc_deadline_s"):
+            service.rpc_deadline_s = self.policy.rpc_deadline_s
+
+    # ------------------------------------------------------------------
+    # Backoff
+    # ------------------------------------------------------------------
+    def _backoff(self, attempt: int) -> None:
+        """Exponential backoff with deterministic seeded jitter in [50%, 100%]."""
+        ceiling = min(
+            self.policy.max_backoff_s,
+            self.policy.base_backoff_s * (2 ** (attempt - 1)),
+        )
+        delay = ceiling * (0.5 + 0.5 * self._jitter.random())
+        self.retry_stats.total_backoff_s += delay
+        if self._sleep is not None:
+            self._sleep(delay)
+
+    def _note_failure(self, exc: ChannelError) -> None:
+        if isinstance(exc, DeadlineExceeded):
+            self.retry_stats.deadline_exceeded += 1
+        if isinstance(exc, ChannelReset):
+            reconnect = getattr(self._service, "reconnect", None)
+            if reconnect is not None:
+                reconnect()
+            self.retry_stats.reconnects += 1
+
+    # ------------------------------------------------------------------
+    # Write (the only RPC with ambiguous side effects)
+    # ------------------------------------------------------------------
+    def write(self, request: WriteRequest) -> WriteResponse:
+        info = WriteInfo()
+        self.retry_stats.rpcs += 1
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                response = self._service.write(request)
+                break
+            except RequestDropped as exc:
+                # Known not applied: a plain retry, no ambiguity.
+                last = exc
+            except ChannelError as exc:
+                # ResponseDropped / DeadlineExceeded / ChannelReset: the
+                # request may have been applied.
+                info.ambiguous = True
+                self._note_failure(exc)
+                last = exc
+            if attempt >= self.policy.max_attempts:
+                self.retry_stats.exhausted += 1
+                self.last_write_info = info
+                raise RetriesExhausted(
+                    f"write abandoned after {attempt} attempts: {last}"
+                ) from last
+            self.retry_stats.retries += 1
+            self._backoff(attempt)
+        info.attempts = attempt
+        if info.ambiguous:
+            self.retry_stats.ambiguous_writes += 1
+            if self.policy.idempotent_retries:
+                response = self._normalize(request, response, info)
+        self.last_write_info = info
+        return response
+
+    def _normalize(
+        self, request: WriteRequest, response: WriteResponse, info: WriteInfo
+    ) -> WriteResponse:
+        """Apply the idempotency rule to a re-applied write's statuses."""
+        statuses: List[Status] = []
+        rewritten = False
+        for update, status in zip(request.updates, response.statuses):
+            if not status.ok and (
+                (update.type is UpdateType.INSERT and status.code is Code.ALREADY_EXISTS)
+                or (update.type is UpdateType.DELETE and status.code is Code.NOT_FOUND)
+            ):
+                statuses.append(Status())
+                info.rescued += 1
+                self.retry_stats.idempotent_rescues += 1
+                rewritten = True
+            else:
+                statuses.append(status)
+        if not rewritten:
+            return response
+        return WriteResponse(statuses=tuple(statuses))
+
+    # ------------------------------------------------------------------
+    # Idempotent RPCs: retry on any transport failure
+    # ------------------------------------------------------------------
+    def read(self, request: ReadRequest) -> ReadResponse:
+        self.retry_stats.rpcs += 1
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return self._service.read(request)
+            except ChannelError as exc:
+                self._note_failure(exc)
+                if attempt >= self.policy.max_attempts:
+                    self.retry_stats.exhausted += 1
+                    raise RetriesExhausted(
+                        f"read abandoned after {attempt} attempts: {exc}"
+                    ) from exc
+                self.retry_stats.retries += 1
+                self._backoff(attempt)
+
+    # ------------------------------------------------------------------
+    # Pass-throughs (unfaulted by the channel)
+    # ------------------------------------------------------------------
+    def set_forwarding_pipeline_config(self, p4info: P4Info) -> Status:
+        return self._service.set_forwarding_pipeline_config(p4info)
+
+    def packet_out(self, packet: PacketOut) -> Status:
+        return self._service.packet_out(packet)
+
+    def drain_packet_ins(self) -> List[PacketIn]:
+        return self._service.drain_packet_ins()
+
+    def __getattr__(self, name):
+        return getattr(self._service, name)
+
+
+def build_resilient_client(
+    switch: P4RuntimeService,
+    fault_profile=None,
+    retry_policy: Optional[RetryPolicy] = None,
+    seed: Optional[int] = None,
+    sleep: Optional[Callable[[float], None]] = None,
+) -> RetryingP4RuntimeClient:
+    """Wrap a switch in (optionally) a fault-injecting channel + retry client.
+
+    ``fault_profile`` may be a :class:`FaultProfile`, a catalogue name from
+    :data:`repro.p4rt.channel.PROFILES`, or ``None`` for a clean transport
+    (the retry client is still useful: it absorbs nothing but costs nothing).
+    """
+    service: P4RuntimeService = switch
+    if fault_profile is not None:
+        service = FaultInjectingChannel(service, resolve_profile(fault_profile, seed))
+    return RetryingP4RuntimeClient(service, retry_policy, sleep=sleep)

@@ -12,10 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
-from repro.fuzzer import FuzzerConfig
+from repro.fuzzer import FuzzerConfig, P4Fuzzer, TransportSummary
 from repro.p4.ast import P4Program
 from repro.p4.p4info import build_p4info
 from repro.p4.programs import build_cerberus_program, build_tor_program
+from repro.p4rt.retry import RetryPolicy, build_resilient_client
 from repro.switch import FaultRegistry, PinsSwitchStack
 from repro.switch.faults import FAULTS_BY_NAME, Fault, faults_for_stack
 from repro.switch.model_faults import apply_model_faults
@@ -41,6 +42,8 @@ class FaultOutcome:
     incident_count: int = 0
     trivial_first_failure: Optional[str] = None  # §6.2 attribution
     incidents: Optional[IncidentLog] = None
+    # Retry/timeout/reconnect ledger when a transport fault profile was on.
+    transport: Optional[TransportSummary] = None
 
 
 @dataclass
@@ -54,6 +57,13 @@ class CampaignConfig:
     run_trivial: bool = True
     # Packet-generation parallelism (workers=1 is the sequential path).
     workers: int = 1
+    # Transport-availability testing: a FaultProfile (or catalogue name
+    # from repro.p4rt.channel.PROFILES) injected between SwitchV and the
+    # stack, plus the retry policy that absorbs it.  None = clean channel.
+    fault_profile: Optional[object] = None
+    retry_policy: Optional[RetryPolicy] = None
+    # Soak mode: how many fuzz cycles run_soak_campaign executes.
+    soak_cycles: int = 3
 
 
 def run_fault_campaign(
@@ -71,7 +81,12 @@ def run_fault_campaign(
     registry = FaultRegistry([fault_name])
     stack = PinsSwitchStack(true_program, faults=registry)
     harness = SwitchVHarness(
-        model, stack, simulator_faults=registry, workers=config.workers
+        model,
+        stack,
+        simulator_faults=registry,
+        workers=config.workers,
+        fault_profile=config.fault_profile,
+        retry_policy=config.retry_policy,
     )
 
     entries = production_like_entries(
@@ -91,6 +106,7 @@ def run_fault_campaign(
         detected=bool(report.incidents),
         incident_count=report.incidents.count,
         incidents=report.incidents,
+        transport=report.fuzz.transport if report.fuzz is not None else None,
     )
     outcome.detected_by = sorted(report.incidents.by_source())
 
@@ -110,3 +126,94 @@ def run_full_campaign(
         for fault in faults_for_stack(stack_kind)
         if stack_kind == "pins" or fault.stack == "cerberus"
     ]
+
+
+# ----------------------------------------------------------------------
+# Soak mode: repeated fuzz cycles under transport faults
+# ----------------------------------------------------------------------
+@dataclass
+class SoakOutcome:
+    """N fuzz cycles against a healthy switch behind a faulty transport.
+
+    The pass criterion is *zero phantoms*: every cycle's model-incident
+    set and final switch state must match a fault-free run of the same
+    seed.  The transport counters prove the faults actually fired."""
+
+    cycles: int = 0
+    # Cycles whose model incidents differed from the fault-free baseline
+    # (phantoms or misses caused by the transport layer — must be 0).
+    phantom_cycles: int = 0
+    # Cycles whose final switch state diverged from the baseline's.
+    state_divergences: int = 0
+    model_incidents: int = 0
+    flakes: int = 0
+    retries: int = 0
+    ambiguous_batches: int = 0
+    resyncs: int = 0
+    reconnects: int = 0
+    faults_injected: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.phantom_cycles == 0 and self.state_divergences == 0
+
+
+def _fuzz_cycle(stack_kind: str, config: CampaignConfig, seed: int, fault_profile):
+    """One fuzz-only cycle against a healthy stack; returns (result, channel)."""
+    program = STACK_PROGRAMS[stack_kind]()
+    p4info = build_p4info(program)
+    stack = PinsSwitchStack(program)
+    channel = None
+    switch = stack
+    if fault_profile is not None:
+        from repro.p4rt.channel import FaultInjectingChannel, resolve_profile
+
+        channel = FaultInjectingChannel(stack, resolve_profile(fault_profile, seed))
+        switch = channel
+    client = build_resilient_client(switch, retry_policy=config.retry_policy)
+    fuzzer = P4Fuzzer(
+        p4info,
+        client,
+        FuzzerConfig(
+            num_writes=config.fuzz_writes,
+            updates_per_write=config.fuzz_updates_per_write,
+            seed=seed,
+        ),
+    )
+    return fuzzer.run(), channel
+
+
+def run_soak_campaign(
+    stack_kind: str,
+    config: Optional[CampaignConfig] = None,
+    fault_profile="chaos",
+) -> SoakOutcome:
+    """Soak the validation loop: N cycles under transport faults, each
+    checked against a fault-free run of the same seed (no phantoms, same
+    final state).  This is the acceptance gate for the transport layer."""
+    config = config or CampaignConfig()
+    outcome = SoakOutcome()
+    for cycle in range(config.soak_cycles):
+        seed = config.seed + cycle
+        baseline, _ = _fuzz_cycle(stack_kind, config, seed, fault_profile=None)
+        faulty, channel = _fuzz_cycle(stack_kind, config, seed, fault_profile)
+
+        outcome.cycles += 1
+        base_keys = {i.dedup_key() for i in baseline.incidents.model_only()}
+        soak_keys = {i.dedup_key() for i in faulty.incidents.model_only()}
+        if base_keys != soak_keys:
+            outcome.phantom_cycles += 1
+        base_state = {e.match_key() for e in baseline.final_entries}
+        soak_state = {e.match_key() for e in faulty.final_entries}
+        if base_state != soak_state:
+            outcome.state_divergences += 1
+
+        outcome.model_incidents += faulty.incidents.model_count
+        outcome.flakes += faulty.transport.flakes
+        outcome.retries += faulty.transport.retries
+        outcome.ambiguous_batches += faulty.transport.ambiguous_batches
+        outcome.resyncs += faulty.transport.resyncs
+        outcome.reconnects += faulty.transport.reconnects
+        if channel is not None:
+            outcome.faults_injected += channel.stats.faults_injected
+    return outcome

@@ -102,8 +102,19 @@ class SwitchVHarness:
         cache: Optional[PacketCache] = None,
         simulator_faults=None,
         workers: int = 1,
+        fault_profile=None,
+        retry_policy=None,
     ) -> None:
         self.model = model
+        # Transport-availability testing: wrap the P4RT session in a
+        # fault-injecting channel plus a retrying client.  The behavioural
+        # fault registry (repro.switch.faults) is orthogonal to this layer.
+        if fault_profile is not None or retry_policy is not None:
+            from repro.p4rt.retry import build_resilient_client
+
+            switch = build_resilient_client(
+                switch, fault_profile=fault_profile, retry_policy=retry_policy
+            )
         self.switch = switch
         self.p4info = build_p4info(model)
         self.valid_ports = tuple(valid_ports)
@@ -114,6 +125,17 @@ class SwitchVHarness:
         # found simulator bugs too; they surface as mismatches like any
         # other divergence).
         self.simulator_faults = simulator_faults
+
+    def _table_name(self, table_id: int) -> str:
+        table = self.p4info.tables.get(table_id)
+        return table.name if table is not None else ""
+
+    @staticmethod
+    def _goal_table(goal: str) -> str:
+        """The table an entry-coverage goal targets ('' for special goals)."""
+        if goal.startswith("entry:"):
+            return goal.split(":", 2)[1]
+        return ""
 
     # ------------------------------------------------------------------
     # Control plane (p4-fuzzer)
@@ -202,6 +224,8 @@ class SwitchVHarness:
                             observed=st.message,
                             test_input=repr(update.entry),
                             source="p4-fuzzer",
+                            table_id=update.entry.table_id,
+                            table_name=self._table_name(update.entry.table_id),
                         )
                     )
         for generated in packets:
@@ -228,6 +252,7 @@ class SwitchVHarness:
                         observed=f"egress={observed.egress_port} punt={observed.punted}",
                         test_input=f"{generated.profile} packet, port {generated.ingress_port}",
                         source="p4-symbolic",
+                        table_name=self._goal_table(generated.goal),
                     )
                 )
         self.switch.drain_packet_ins()
@@ -340,6 +365,8 @@ class SwitchVHarness:
                             observed=st.message,
                             test_input=repr(update.entry),
                             source="p4-symbolic",
+                            table_id=update.entry.table_id,
+                            table_name=self._table_name(update.entry.table_id),
                         )
                     )
         state = self._decode_state(entries, report)
@@ -453,6 +480,7 @@ class SwitchVHarness:
                     observed=f"egress={observed.egress_port} punt={observed.punted}",
                     test_input=f"{generated.profile} packet, port {generated.ingress_port}",
                     source="p4-symbolic",
+                    table_name=self._goal_table(generated.goal),
                 )
             )
         return 1 if observed.punted else 0

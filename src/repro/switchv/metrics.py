@@ -23,6 +23,7 @@ from repro.p4.ast import P4Program
 from repro.p4.p4info import build_p4info
 from repro.p4rt.messages import TableEntry
 from repro.switchv.harness import SwitchVHarness
+from repro.switchv.report import Incident
 
 # Default feature decomposition of the SAI-shaped models.
 DEFAULT_FEATURES: Dict[str, Tuple[str, ...]] = {
@@ -77,6 +78,28 @@ def _feature_of(table_name: str, features: Mapping[str, Tuple[str, ...]]) -> Opt
     return None
 
 
+def attribute_incident(
+    incident: Incident, features: Mapping[str, Tuple[str, ...]]
+) -> List[str]:
+    """Every feature an incident belongs to, from its structured tables.
+
+    Attribution reads :meth:`Incident.tables` (the table the oracle or
+    harness recorded, plus any referenced tables), never summary
+    substrings: ``"route"`` must not absorb an incident on
+    ``"route_ext_tbl"``.  An incident touching tables of several features
+    counts against each of them — no first-match ``break``.  Transport
+    flakes attribute to nothing: availability is not a feature regression.
+    """
+    if incident.is_flake:
+        return []
+    implicated = incident.tables()
+    matched = []
+    for feature, tables in features.items():
+        if any(t in tables for t in implicated):
+            matched.append(feature)
+    return matched
+
+
 def collect_feature_metrics(
     model: P4Program,
     switch,
@@ -107,10 +130,8 @@ def collect_feature_metrics(
         if feature:
             metrics[feature].control_updates += 1
     for incident in result.incidents:
-        for feature, tables in features.items():
-            if any(t in incident.summary or t in incident.test_input for t in tables):
-                metrics[feature].control_incidents += 1
-                break
+        for feature in attribute_incident(incident, features):
+            metrics[feature].control_incidents += 1
 
     # Data plane: entry-coverage goals grouped by the goal's table.
     harness.clear_switch()
@@ -125,11 +146,8 @@ def collect_feature_metrics(
         if feature:
             metrics[feature].data_goals += 1
     for incident in report.incidents:
-        # Goal names embed the table: "entry:<table>:<digest>".
-        for feature, tables in features.items():
-            if any(f"entry:{t}:" in incident.summary for t in tables):
-                metrics[feature].data_incidents += 1
-                break
+        for feature in attribute_incident(incident, features):
+            metrics[feature].data_incidents += 1
 
     return [metrics[name] for name in features]
 

@@ -23,11 +23,25 @@ class IncidentKind(enum.Enum):
     READBACK_MISMATCH = "read-back disagrees with expected state"
     PIPELINE_CONFIG = "pipeline config handling"
     SWITCH_UNRESPONSIVE = "switch crashed or became unresponsive"
+    # Model artefacts (a bug in the model itself, e.g. a malformed
+    # @entry_restriction that would silently disable constraint checking).
+    MODEL_ERROR = "malformed model artifact"
+    # Transport availability (not a model divergence): a dropped or
+    # ambiguous RPC the retry layer could not fully absorb.
+    TRANSPORT_FLAKE = "transport flake (dropped or ambiguous RPC)"
     # Data plane
     FORWARDING_MISMATCH = "forwarding behavior not admitted by model"
     UNEXPECTED_PACKET_IN = "unexpected packet punted to controller"
     UNEXPECTED_EGRESS = "unexpected packet emitted on data port"
     PACKET_IO = "packet-io misbehavior"
+
+
+# Availability kinds: the switch (or its transport) was *unreachable or
+# flaky*, which is a different triage queue from a model divergence.
+# Reports and metrics count these separately from model incidents.
+TRANSPORT_KINDS = frozenset(
+    {IncidentKind.SWITCH_UNRESPONSIVE, IncidentKind.TRANSPORT_FLAKE}
+)
 
 
 @dataclass
@@ -41,6 +55,25 @@ class Incident:
     observed: str = ""
     test_input: str = ""
     source: str = ""  # "p4-fuzzer" | "p4-symbolic" | "trivial-suite"
+    # Structured attribution: the table the incident is about (empty when
+    # no single table applies, e.g. a pipeline-config failure), plus any
+    # other tables implicated (e.g. the target of a dangling reference).
+    # Feature metrics attribute from these, never from summary substrings.
+    table_id: int = 0
+    table_name: str = ""
+    related_tables: Tuple[str, ...] = ()
+
+    @property
+    def is_flake(self) -> bool:
+        return self.kind in TRANSPORT_KINDS
+
+    def tables(self) -> Tuple[str, ...]:
+        """Every table this incident implicates, primary first."""
+        if self.table_name:
+            return (self.table_name,) + tuple(
+                t for t in self.related_tables if t != self.table_name
+            )
+        return tuple(self.related_tables)
 
     def dedup_key(self) -> Tuple:
         return (self.kind, self.summary)
@@ -72,6 +105,27 @@ def render_generation_stats(stats) -> str:
     return "\n".join(lines)
 
 
+def render_transport_stats(transport) -> str:
+    """Human-facing retry/timeout/reconnect summary for one campaign.
+
+    Takes a :class:`repro.fuzzer.fuzzer.TransportSummary` (duck-typed to
+    avoid a circular import).  These counters are the flake ledger the
+    acceptance criteria require to be reported *separately* from model
+    incidents: a noisy transport with zero model incidents is a healthy
+    switch behind a bad cable, not a bug."""
+    lines = [
+        "transport:",
+        f"    retries:      {transport.retries}"
+        f" ({transport.deadline_exceeded} deadline misses,"
+        f" {transport.reconnects} reconnects)",
+        f"    ambiguity:    {transport.ambiguous_batches} ambiguous batch(es),"
+        f" {transport.resyncs} oracle resync(s),"
+        f" {transport.idempotent_rescues} idempotent rescue(s)",
+        f"    flakes:       {transport.flakes} abandoned RPC(s)",
+    ]
+    return "\n".join(lines)
+
+
 @dataclass
 class IncidentLog:
     """A run's incidents, deduplicated by (kind, summary)."""
@@ -93,6 +147,33 @@ class IncidentLog:
     @property
     def count(self) -> int:
         return len(self.incidents)
+
+    # ------------------------------------------------------------------
+    # Model-incident / transport-flake separation
+    # ------------------------------------------------------------------
+    def model_only(self) -> "IncidentLog":
+        """The incidents that indicate a model/switch divergence (flakes
+        and unresponsiveness are an availability problem, not a verdict)."""
+        out = IncidentLog()
+        for incident in self.incidents:
+            if not incident.is_flake:
+                out.report(incident)
+        return out
+
+    def flakes_only(self) -> "IncidentLog":
+        out = IncidentLog()
+        for incident in self.incidents:
+            if incident.is_flake:
+                out.report(incident)
+        return out
+
+    @property
+    def model_count(self) -> int:
+        return sum(1 for i in self.incidents if not i.is_flake)
+
+    @property
+    def flake_count(self) -> int:
+        return sum(1 for i in self.incidents if i.is_flake)
 
     def by_kind(self) -> Dict[IncidentKind, int]:
         out: Dict[IncidentKind, int] = {}
@@ -117,18 +198,35 @@ class IncidentLog:
 
     def render(self) -> str:
         """The human-facing incident log (§2: testers inspect this to
-        identify the root cause)."""
+        identify the root cause).  Transport/availability incidents are
+        listed in their own section: they route to the infra on-call, not
+        to the switch-vs-model triage queue."""
         if not self.incidents:
             return "no incidents: switch behaviour matched the model.\n"
+
+        def blocks(incidents, start):
+            out = []
+            for index, incident in enumerate(incidents, start=start):
+                out.append(f"[{index}] {incident.kind.value}  (found by {incident.source})")
+                out.append(f"    summary:  {incident.summary}")
+                if incident.expected:
+                    out.append(f"    expected: {incident.expected}")
+                if incident.observed:
+                    out.append(f"    observed: {incident.observed}")
+                if incident.test_input:
+                    out.append(f"    input:    {incident.test_input}")
+                out.append("")
+            return out
+
+        model = [i for i in self.incidents if not i.is_flake]
+        flakes = [i for i in self.incidents if i.is_flake]
         lines = [f"{self.count} incident(s):", ""]
-        for index, incident in enumerate(self.incidents, start=1):
-            lines.append(f"[{index}] {incident.kind.value}  (found by {incident.source})")
-            lines.append(f"    summary:  {incident.summary}")
-            if incident.expected:
-                lines.append(f"    expected: {incident.expected}")
-            if incident.observed:
-                lines.append(f"    observed: {incident.observed}")
-            if incident.test_input:
-                lines.append(f"    input:    {incident.test_input}")
+        lines.extend(blocks(model, start=1))
+        if flakes:
+            lines.append(
+                f"{len(flakes)} transport/availability incident(s) "
+                "(not model divergences):"
+            )
             lines.append("")
+            lines.extend(blocks(flakes, start=len(model) + 1))
         return "\n".join(lines)

@@ -1,0 +1,392 @@
+"""Tests for the fault-injecting transport and the retrying client."""
+
+import pytest
+
+from repro.p4rt.channel import (
+    PROFILES,
+    ChannelError,
+    ChannelReset,
+    DeadlineExceeded,
+    FaultInjectingChannel,
+    FaultProfile,
+    RequestDropped,
+    ResponseDropped,
+    RetriesExhausted,
+    resolve_profile,
+)
+from repro.p4rt.messages import (
+    ActionInvocation,
+    FieldMatch,
+    ReadRequest,
+    ReadResponse,
+    TableEntry,
+    Update,
+    UpdateType,
+    WriteRequest,
+    WriteResponse,
+)
+from repro.p4rt.retry import (
+    RetryingP4RuntimeClient,
+    RetryPolicy,
+    build_resilient_client,
+)
+from repro.p4rt.service import P4RuntimeService
+from repro.p4rt.status import Code, Status
+
+
+class FakeSwitch(P4RuntimeService):
+    """A minimal in-memory switch with P4Runtime insert/modify/delete
+    semantics, recording every write that actually reaches it."""
+
+    def __init__(self):
+        self.entries = {}
+        self.write_calls = []
+
+    def set_forwarding_pipeline_config(self, p4info):
+        return Status()
+
+    def write(self, request):
+        self.write_calls.append(request)
+        statuses = []
+        for update in request.updates:
+            key = update.entry.match_key()
+            if update.type is UpdateType.INSERT:
+                if key in self.entries:
+                    statuses.append(Status(Code.ALREADY_EXISTS, "exists"))
+                else:
+                    self.entries[key] = update.entry
+                    statuses.append(Status())
+            elif update.type is UpdateType.DELETE:
+                if key not in self.entries:
+                    statuses.append(Status(Code.NOT_FOUND, "missing"))
+                else:
+                    del self.entries[key]
+                    statuses.append(Status())
+            else:
+                if key not in self.entries:
+                    statuses.append(Status(Code.NOT_FOUND, "missing"))
+                else:
+                    self.entries[key] = update.entry
+                    statuses.append(Status())
+        return WriteResponse(statuses=tuple(statuses))
+
+    def read(self, request):
+        return ReadResponse(entries=tuple(self.entries.values()))
+
+    def packet_out(self, packet):
+        return Status()
+
+    def drain_packet_ins(self):
+        return []
+
+
+def _entry(n: int) -> TableEntry:
+    return TableEntry(
+        table_id=1,
+        matches=(FieldMatch(field_id=1, kind="exact", value=bytes([n])),),
+        action=ActionInvocation(action_id=1),
+    )
+
+
+def _insert(n: int) -> Update:
+    return Update(UpdateType.INSERT, _entry(n))
+
+
+def _request(*ns: int) -> WriteRequest:
+    return WriteRequest(updates=tuple(_insert(n) for n in ns))
+
+
+class TestFaultProfiles:
+    def test_catalogue_has_the_acceptance_profiles(self):
+        for name in ("none", "drop_request", "drop_response", "duplicate",
+                     "delay", "reset", "crash", "chaos"):
+            assert name in PROFILES
+
+    def test_resolve_accepts_names_and_reseeds(self):
+        profile = resolve_profile("duplicate", seed=99)
+        assert profile.duplicate_rate == 0.10
+        assert profile.seed == 99
+
+    def test_single_fault_profiles_are_at_most_ten_percent(self):
+        for name, profile in PROFILES.items():
+            for rate in (profile.drop_request_rate, profile.drop_response_rate,
+                         profile.duplicate_rate, profile.delay_rate,
+                         profile.reset_rate, profile.crash_rate):
+                assert rate <= 0.10, name
+
+
+class TestFaultInjectingChannel:
+    def _channel(self, switch, **rates):
+        seed = rates.pop("seed", 7)
+        return FaultInjectingChannel(
+            switch, FaultProfile(name="test", seed=seed, **rates)
+        )
+
+    def test_clean_profile_passes_everything_through(self):
+        switch = FakeSwitch()
+        channel = self._channel(switch)
+        response = channel.write(_request(1, 2))
+        assert all(s.ok for s in response.statuses)
+        assert len(switch.write_calls) == 1
+        assert channel.stats.faults_injected == 0
+
+    def test_fault_sequence_is_deterministic(self):
+        def run():
+            switch = FakeSwitch()
+            channel = self._channel(
+                switch, drop_request_rate=0.3, drop_response_rate=0.3, seed=5
+            )
+            outcomes = []
+            for n in range(40):
+                try:
+                    channel.write(_request(n))
+                    outcomes.append("ok")
+                except ChannelError as exc:
+                    outcomes.append(type(exc).__name__)
+            return outcomes
+
+        assert run() == run()
+
+    def test_dropped_request_never_reaches_the_switch(self):
+        switch = FakeSwitch()
+        channel = self._channel(switch, drop_request_rate=1.0)
+        with pytest.raises(RequestDropped):
+            channel.write(_request(1))
+        assert switch.write_calls == []
+        assert switch.entries == {}
+
+    def test_dropped_response_is_applied_anyway(self):
+        switch = FakeSwitch()
+        channel = self._channel(switch, drop_response_rate=1.0)
+        with pytest.raises(ResponseDropped):
+            channel.write(_request(1))
+        assert len(switch.entries) == 1
+
+    def test_duplicate_applies_twice_and_returns_first_response(self):
+        switch = FakeSwitch()
+        channel = self._channel(switch, duplicate_rate=1.0)
+        response = channel.write(_request(1))
+        # First application inserted; the duplicate's ALREADY_EXISTS is lost.
+        assert response.statuses[0].ok
+        assert len(switch.write_calls) == 2
+        assert len(switch.entries) == 1
+
+    def test_delay_under_the_deadline_is_transparent(self):
+        switch = FakeSwitch()
+        channel = self._channel(switch, delay_rate=1.0, max_delay_s=0.01)
+        channel.rpc_deadline_s = 0.05
+        response = channel.write(_request(1))
+        assert response.statuses[0].ok
+        assert channel.stats.delays == 1
+        assert channel.stats.deadline_exceeded == 0
+
+    def test_delay_past_the_deadline_raises(self):
+        switch = FakeSwitch()
+        channel = self._channel(switch, delay_rate=1.0, max_delay_s=10.0)
+        channel.rpc_deadline_s = 0.0001
+        with pytest.raises(DeadlineExceeded):
+            channel.write(_request(1))
+        assert channel.stats.deadline_exceeded == 1
+
+    def test_reset_takes_the_channel_down_until_reconnect(self):
+        switch = FakeSwitch()
+        channel = self._channel(switch, reset_rate=1.0)
+        with pytest.raises(ChannelReset):
+            channel.write(_request(1))
+        assert not channel.connected
+        # Still down: even a clean RPC fails.
+        with pytest.raises(ChannelReset):
+            channel.read(ReadRequest(table_id=0))
+        channel.reconnect()
+        assert channel.connected
+
+    def test_crash_commits_a_strict_prefix(self):
+        switch = FakeSwitch()
+        channel = self._channel(switch, crash_rate=1.0, seed=3)
+        with pytest.raises(ChannelReset):
+            channel.write(_request(1, 2, 3, 4, 5))
+        assert len(switch.entries) < 5
+        assert not channel.connected
+        assert channel.stats.crashes == 1
+
+    def test_read_faults_have_no_side_effects(self):
+        switch = FakeSwitch()
+        channel = self._channel(switch, drop_request_rate=1.0)
+        with pytest.raises(RequestDropped):
+            channel.read(ReadRequest(table_id=0))
+        assert switch.write_calls == []
+
+
+class FlakyService(P4RuntimeService):
+    """Raises a scripted sequence of exceptions before succeeding."""
+
+    def __init__(self, inner, failures):
+        self.inner = inner
+        self.failures = list(failures)
+
+    def set_forwarding_pipeline_config(self, p4info):
+        return self.inner.set_forwarding_pipeline_config(p4info)
+
+    def _maybe_fail(self, applied_anyway, request=None):
+        if self.failures:
+            exc = self.failures.pop(0)
+            if applied_anyway and request is not None:
+                self.inner.write(request)
+            raise exc
+
+    def write(self, request):
+        # ResponseDropped-style failures apply the write before raising.
+        if self.failures:
+            exc = self.failures.pop(0)
+            if isinstance(exc, (ResponseDropped, DeadlineExceeded)):
+                self.inner.write(request)
+            raise exc
+        return self.inner.write(request)
+
+    def read(self, request):
+        if self.failures:
+            raise self.failures.pop(0)
+        return self.inner.read(request)
+
+    def packet_out(self, packet):
+        return self.inner.packet_out(packet)
+
+    def drain_packet_ins(self):
+        return self.inner.drain_packet_ins()
+
+
+class TestRetryingClient:
+    def test_retries_dropped_requests_until_success(self):
+        switch = FakeSwitch()
+        flaky = FlakyService(switch, [RequestDropped("x"), RequestDropped("x")])
+        client = RetryingP4RuntimeClient(flaky)
+        response = client.write(_request(1))
+        assert response.statuses[0].ok
+        assert client.retry_stats.retries == 2
+        assert client.last_write_info.attempts == 3
+        assert not client.last_write_info.ambiguous
+
+    def test_dropped_request_is_not_ambiguous_no_rewrite(self):
+        """A first-attempt ALREADY_EXISTS after clean retries is a real
+        verdict and must pass through untouched."""
+        switch = FakeSwitch()
+        switch.write(_request(1))  # pre-install
+        flaky = FlakyService(switch, [RequestDropped("x")])
+        client = RetryingP4RuntimeClient(flaky)
+        response = client.write(_request(1))
+        assert response.statuses[0].code is Code.ALREADY_EXISTS
+        assert client.retry_stats.idempotent_rescues == 0
+
+    def test_ambiguous_retry_rescues_already_exists(self):
+        """Response lost after application: the retried INSERT's
+        ALREADY_EXISTS means the first attempt landed — that's success."""
+        switch = FakeSwitch()
+        flaky = FlakyService(switch, [ResponseDropped("lost")])
+        client = RetryingP4RuntimeClient(flaky)
+        response = client.write(_request(1))
+        assert response.statuses[0].ok
+        assert client.last_write_info.ambiguous
+        assert client.last_write_info.rescued == 1
+        assert client.retry_stats.idempotent_rescues == 1
+        assert len(switch.entries) == 1
+
+    def test_ambiguous_retry_rescues_not_found_on_delete(self):
+        switch = FakeSwitch()
+        switch.write(_request(1))
+        flaky = FlakyService(switch, [DeadlineExceeded("slow")])
+        client = RetryingP4RuntimeClient(flaky)
+        request = WriteRequest(updates=(Update(UpdateType.DELETE, _entry(1)),))
+        response = client.write(request)
+        assert response.statuses[0].ok
+        assert client.retry_stats.idempotent_rescues == 1
+        assert switch.entries == {}
+
+    def test_rescue_disabled_by_policy(self):
+        switch = FakeSwitch()
+        flaky = FlakyService(switch, [ResponseDropped("lost")])
+        client = RetryingP4RuntimeClient(
+            flaky, RetryPolicy(idempotent_retries=False)
+        )
+        response = client.write(_request(1))
+        assert response.statuses[0].code is Code.ALREADY_EXISTS
+        assert client.last_write_info.ambiguous
+
+    def test_reset_triggers_reconnect(self):
+        switch = FakeSwitch()
+        channel = FaultInjectingChannel(switch, FaultProfile(name="t"))
+        # Scripted reset at the channel level: take the session down and
+        # let the retry client bring it back.
+        channel._connected = False
+        client = RetryingP4RuntimeClient(channel)
+        response = client.write(_request(1))
+        assert response.statuses[0].ok
+        assert client.retry_stats.reconnects >= 1
+        assert channel.connected
+
+    def test_exhaustion_raises_with_stats(self):
+        switch = FakeSwitch()
+        flaky = FlakyService(switch, [RequestDropped("x")] * 50)
+        client = RetryingP4RuntimeClient(flaky, RetryPolicy(max_attempts=3))
+        with pytest.raises(RetriesExhausted):
+            client.write(_request(1))
+        assert client.retry_stats.exhausted == 1
+        assert client.retry_stats.retries == 2
+
+    def test_backoff_is_deterministic_and_bounded(self):
+        def backoffs():
+            client = RetryingP4RuntimeClient(FakeSwitch(), RetryPolicy())
+            for attempt in range(1, 8):
+                client._backoff(attempt)
+            return client.retry_stats.total_backoff_s
+
+        policy = RetryPolicy()
+        total = backoffs()
+        assert total == backoffs()
+        assert total <= 7 * policy.max_backoff_s
+
+    def test_backoff_is_simulated_not_slept_by_default(self):
+        slept = []
+        client = RetryingP4RuntimeClient(
+            FakeSwitch(), RetryPolicy(), sleep=slept.append
+        )
+        client._backoff(1)
+        assert len(slept) == 1
+        client_no_sleep = RetryingP4RuntimeClient(FakeSwitch(), RetryPolicy())
+        client_no_sleep._backoff(1)
+        assert client_no_sleep.retry_stats.total_backoff_s > 0
+
+    def test_read_retries_transport_failures(self):
+        switch = FakeSwitch()
+        switch.write(_request(1))
+        flaky = FlakyService(switch, [ResponseDropped("lost"), ChannelReset("rst")])
+        client = RetryingP4RuntimeClient(flaky)
+        response = client.read(ReadRequest(table_id=0))
+        assert len(response.entries) == 1
+        assert client.retry_stats.retries == 2
+
+    def test_deadline_propagates_to_the_channel(self):
+        switch = FakeSwitch()
+        channel = FaultInjectingChannel(switch, FaultProfile(name="t"))
+        RetryingP4RuntimeClient(channel, RetryPolicy(rpc_deadline_s=0.123))
+        assert channel.rpc_deadline_s == 0.123
+
+    def test_build_resilient_client_stacks_the_layers(self):
+        switch = FakeSwitch()
+        client = build_resilient_client(switch, fault_profile="duplicate", seed=4)
+        assert isinstance(client, RetryingP4RuntimeClient)
+        assert isinstance(client._service, FaultInjectingChannel)
+        assert client._service.profile.name == "duplicate"
+        # No profile: retry layer wraps the switch directly.
+        bare = build_resilient_client(switch)
+        assert bare._service is switch
+
+    def test_retried_writes_converge_to_exactly_once_state(self):
+        """Under every ambiguous failure mode, retry + idempotency leaves
+        the switch exactly as a fault-free run would."""
+        for exc in (ResponseDropped("x"), DeadlineExceeded("x")):
+            clean = FakeSwitch()
+            clean.write(_request(1))
+            faulty = FakeSwitch()
+            client = RetryingP4RuntimeClient(FlakyService(faulty, [exc]))
+            client.write(_request(1))
+            assert faulty.entries.keys() == clean.entries.keys()

@@ -363,6 +363,102 @@ class TestOracle:
         assert oracle.installed_entries() == []
 
 
+class TestOracleRegressions:
+    """Regressions: swallowed constraint errors and the cardinality-mismatch
+    desync."""
+
+    def _broken_p4info(self, tor_program):
+        """A fresh P4Info whose first constrained table has a malformed
+        @entry_restriction."""
+        import dataclasses
+
+        from repro.p4.p4info import build_p4info
+
+        p4info = build_p4info(tor_program)
+        tid, table = next(
+            (tid, t) for tid, t in p4info.tables.items() if t.entry_restriction
+        )
+        p4info.tables[tid] = dataclasses.replace(
+            table, entry_restriction="((this does not parse"
+        )
+        return p4info, p4info.tables[tid]
+
+    def test_malformed_constraint_is_surfaced_not_swallowed(self, tor_program):
+        p4info, table = self._broken_p4info(tor_program)
+        oracle = Oracle(p4info)
+        log = oracle.constraint_incidents()
+        assert log.count == 1
+        incident = log.incidents[0]
+        assert incident.kind.value == "malformed model artifact"
+        assert incident.table_name == table.name
+        assert "constraint checking disabled" in incident.summary
+
+    def test_strict_mode_raises_at_construction(self, tor_program):
+        from repro.p4.constraints.lang import ConstraintSyntaxError
+
+        p4info, _ = self._broken_p4info(tor_program)
+        with pytest.raises(ConstraintSyntaxError):
+            Oracle(p4info, strict_constraints=True)
+
+    def test_well_formed_model_reports_no_constraint_incidents(self, tor_p4info):
+        assert not Oracle(tor_p4info).constraint_incidents()
+
+    def test_fuzzer_reports_malformed_constraint_as_incident(self, tor_program):
+        p4info, table = self._broken_p4info(tor_program)
+        stack = PinsSwitchStack(tor_program)
+        fuzzer = P4Fuzzer(
+            p4info, stack, FuzzerConfig(num_writes=2, updates_per_write=5, seed=1)
+        )
+        result = fuzzer.run()
+        assert any(
+            i.kind.value == "malformed model artifact" and i.table_name == table.name
+            for i in result.incidents
+        )
+
+    def test_cardinality_mismatch_resyncs_from_read_back(self, tor_p4info):
+        """A truncated status list must not leave the oracle's expected
+        state stale: it resyncs from the read-back, so the next batch is
+        judged against the switch's actual state (no phantom incidents)."""
+        oracle = Oracle(tor_p4info)
+        b = EntryBuilder(tor_p4info)
+        entry = b.exact("vrf_tbl", {"vrf_id": 1}, "NoAction")
+        # The switch applied the insert but returned zero statuses.
+        log = oracle.judge_batch(
+            [Update(UpdateType.INSERT, entry)], WriteResponse(statuses=()), [entry]
+        )
+        assert log.count == 1
+        assert log.incidents[0].summary == "response cardinality mismatch"
+        # The read-back was adopted: the oracle now knows the entry exists.
+        assert [e.match_key() for e in oracle.installed_entries()] == [entry.match_key()]
+        # A duplicate insert is now judged against the adopted state:
+        # ALREADY_EXISTS is the correct verdict, not a phantom incident.
+        log2 = oracle.judge_batch(
+            [Update(UpdateType.INSERT, entry)],
+            WriteResponse(statuses=(Status(Code.ALREADY_EXISTS, "dup"),)),
+            [entry],
+        )
+        assert not log2
+
+    def test_cardinality_mismatch_without_read_back_keeps_projection(self, tor_p4info):
+        oracle = Oracle(tor_p4info)
+        b = EntryBuilder(tor_p4info)
+        entry = b.exact("vrf_tbl", {"vrf_id": 1}, "NoAction")
+        log = oracle.judge_batch(
+            [Update(UpdateType.INSERT, entry)], WriteResponse(statuses=()), None
+        )
+        assert log.count == 1
+        assert oracle.installed_entries() == []
+
+    def test_public_resync_adopts_observed_state(self, tor_p4info):
+        oracle = Oracle(tor_p4info)
+        b = EntryBuilder(tor_p4info)
+        entry = b.exact("vrf_tbl", {"vrf_id": 3}, "NoAction")
+        oracle.resync([entry])
+        assert [e.match_key() for e in oracle.installed_entries()] == [entry.match_key()]
+        oracle.resync([])
+        assert oracle.installed_entries() == []
+
+
 class TestCampaigns:
     def test_fault_free_pins_stack_produces_no_incidents(self, tor_program, tor_p4info):
         stack = PinsSwitchStack(tor_program)

@@ -5,6 +5,7 @@ from repro.switch import FaultRegistry, PinsSwitchStack
 from repro.switchv.metrics import (
     DEFAULT_FEATURES,
     FeatureMetrics,
+    attribute_incident,
     collect_feature_metrics,
     render_metrics,
 )
@@ -61,6 +62,60 @@ class TestFeatureMetrics:
         assert model_tables <= covered
 
 
+class TestAttribution:
+    """Regression tests for feature attribution: structured tables, no
+    substring matching, no first-match break."""
+
+    def _incident(self, **kwargs):
+        defaults = dict(
+            kind=IncidentKind.VALID_REQUEST_REJECTED,
+            summary="rejected",
+            source="p4-fuzzer",
+        )
+        defaults.update(kwargs)
+        return Incident(**defaults)
+
+    def test_substring_collision_does_not_misattribute(self):
+        # "route_tbl" is a substring-prefix of "route_ext_tbl"; attribution
+        # must come from the structured table name, never from text search.
+        features = {"a": ("route_tbl",), "b": ("route_ext_tbl",)}
+        incident = self._incident(
+            summary="INSERT rejected on route_ext_tbl (route_tbl was fine)",
+            table_name="route_ext_tbl",
+        )
+        assert attribute_incident(incident, features) == ["b"]
+
+    def test_incident_counts_against_every_implicated_feature(self):
+        # A dangling reference implicates the referrer AND the target; both
+        # features regress (the old code broke out after the first match).
+        features = {"routing": ("ipv4_tbl",), "nexthop-resolution": ("nexthop_tbl",)}
+        incident = self._incident(
+            summary="dangling reference",
+            table_name="ipv4_tbl",
+            related_tables=("nexthop_tbl",),
+        )
+        assert sorted(attribute_incident(incident, features)) == [
+            "nexthop-resolution",
+            "routing",
+        ]
+
+    def test_transport_flakes_attribute_to_nothing(self):
+        features = {"routing": ("ipv4_tbl",)}
+        for kind in (IncidentKind.TRANSPORT_FLAKE, IncidentKind.SWITCH_UNRESPONSIVE):
+            incident = self._incident(kind=kind, table_name="ipv4_tbl")
+            assert attribute_incident(incident, features) == []
+
+    def test_unattributed_incident_matches_no_feature(self):
+        incident = self._incident(summary="pipeline config rejected")
+        assert attribute_incident(incident, DEFAULT_FEATURES) == []
+
+    def test_incident_tables_puts_primary_first_and_dedups(self):
+        incident = self._incident(
+            table_name="ipv4_tbl", related_tables=("nexthop_tbl", "ipv4_tbl")
+        )
+        assert incident.tables() == ("ipv4_tbl", "nexthop_tbl")
+
+
 class TestIncidentRendering:
     def test_empty_log(self):
         assert "no incidents" in IncidentLog().render()
@@ -82,3 +137,26 @@ class TestIncidentRendering:
         assert "expected: egress 2" in text
         assert "observed: egress 3" in text
         assert "p4-symbolic" in text
+
+    def test_flakes_render_in_their_own_section(self):
+        log = IncidentLog()
+        log.report(
+            Incident(
+                kind=IncidentKind.READBACK_MISMATCH,
+                summary="entry missing",
+                source="p4-fuzzer",
+            )
+        )
+        log.report(
+            Incident(
+                kind=IncidentKind.TRANSPORT_FLAKE,
+                summary="write abandoned",
+                source="p4-fuzzer",
+            )
+        )
+        text = log.render()
+        assert "not model divergences" in text
+        assert log.model_count == 1
+        assert log.flake_count == 1
+        assert [i.summary for i in log.model_only()] == ["entry missing"]
+        assert [i.summary for i in log.flakes_only()] == ["write abandoned"]

@@ -1,0 +1,107 @@
+"""Acceptance tests for the transport layer: fuzzing over a faulty channel
+must produce *zero phantom incidents* — the model-incident set and the
+final switch state must match a fault-free run of the same seed."""
+
+import pytest
+
+from repro.fuzzer import FuzzerConfig, P4Fuzzer
+from repro.p4rt.channel import FaultInjectingChannel, resolve_profile
+from repro.p4rt.retry import build_resilient_client
+from repro.switch import PinsSwitchStack
+from repro.switchv.campaign import CampaignConfig, run_soak_campaign
+from repro.switchv.report import TRANSPORT_KINDS, render_transport_stats
+
+CONFIG = FuzzerConfig(num_writes=15, updates_per_write=20, seed=21)
+
+
+def _campaign(tor_program, tor_p4info, profile_name):
+    stack = PinsSwitchStack(tor_program)
+    channel = None
+    switch = stack
+    if profile_name is not None:
+        channel = FaultInjectingChannel(stack, resolve_profile(profile_name, seed=13))
+        switch = channel
+    client = build_resilient_client(switch)
+    fuzzer = P4Fuzzer(tor_p4info, client, CONFIG)
+    return fuzzer.run(), channel
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    from repro.p4.p4info import build_p4info
+    from repro.p4.programs import build_tor_program
+
+    program = build_tor_program()
+    return _campaign(program, build_p4info(program), None)[0]
+
+
+@pytest.mark.parametrize(
+    "profile",
+    ["drop_request", "drop_response", "duplicate", "delay", "reset", "crash", "chaos"],
+)
+def test_no_phantom_incidents_under_transport_faults(
+    tor_program, tor_p4info, baseline, profile
+):
+    result, channel = _campaign(tor_program, tor_p4info, profile)
+
+    # The channel actually misbehaved (the test exercises something).
+    assert channel.stats.faults_injected > 0, profile
+
+    # Zero phantoms: every model incident matches the fault-free run
+    # (an all-healthy stack: both sets should in fact be empty).
+    base_keys = {i.dedup_key() for i in baseline.incidents.model_only()}
+    soak_keys = {i.dedup_key() for i in result.incidents.model_only()}
+    assert soak_keys == base_keys, result.incidents.summary_lines()
+
+    # Same final switch state as the fault-free run.
+    assert {e.match_key() for e in result.final_entries} == {
+        e.match_key() for e in baseline.final_entries
+    }
+
+    # The transport ledger is reported separately from model incidents.
+    # (Duplicates never raise, so they alone cause no retries.)
+    assert result.transport.retries > 0 or channel.stats.duplicated > 0, profile
+    for incident in result.incidents.flakes_only():
+        assert incident.kind in TRANSPORT_KINDS
+
+
+def test_transport_counters_surface_in_reports(tor_program, tor_p4info):
+    result, _ = _campaign(tor_program, tor_p4info, "chaos")
+    text = render_transport_stats(result.transport)
+    assert "retries:" in text
+    assert "resync" in text
+    assert str(result.transport.retries) in text
+
+
+def test_clean_channel_reports_no_transport_activity(tor_program, tor_p4info, baseline):
+    assert baseline.transport.retries == 0
+    assert baseline.transport.flakes == 0
+    assert baseline.transport.ambiguous_batches == 0
+    assert not baseline.transport.any_activity
+
+
+def test_reset_recovery_reconnects_the_session(tor_program, tor_p4info):
+    result, channel = _campaign(tor_program, tor_p4info, "reset")
+    assert channel.stats.resets > 0
+    assert result.transport.reconnects > 0
+    # Every reset was recovered: the campaign ran to completion (writes_sent
+    # counts batches, so it is at least one per generation wave).
+    assert result.writes_sent >= CONFIG.num_writes
+
+
+def test_ambiguous_batches_trigger_oracle_resync(tor_program, tor_p4info):
+    result, _ = _campaign(tor_program, tor_p4info, "drop_response")
+    assert result.transport.ambiguous_batches > 0
+    assert result.transport.resyncs == result.transport.ambiguous_batches
+
+
+def test_soak_campaign_smoke():
+    outcome = run_soak_campaign(
+        "pins",
+        CampaignConfig(fuzz_writes=8, fuzz_updates_per_write=15, seed=5, soak_cycles=2),
+        fault_profile="chaos",
+    )
+    assert outcome.cycles == 2
+    assert outcome.ok, (outcome.phantom_cycles, outcome.state_divergences)
+    assert outcome.faults_injected > 0
+    assert outcome.retries > 0
