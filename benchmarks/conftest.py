@@ -60,9 +60,9 @@ def print_table(title: str, headers, rows) -> None:
         max(len(str(headers[i])), *(len(str(row[i])) for row in rows)) if rows else len(str(headers[i]))
         for i in range(len(headers))
     ]
-    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths, strict=True))
     print(f"\n=== {title} ===")
     print(line)
     print("-" * len(line))
     for row in rows:
-        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths, strict=True)))

@@ -203,7 +203,7 @@ control cerberus_ingress(inout headers_t headers,
         actions = { set_nexthop_id };
         const default_action = NoAction;
         size = 128;
-        implementation = action_selector(wcmp_group_selector, 128);
+        implementation = action_selector(wcmp_group_selector, 128, { ipv4.src_addr, ipv4.dst_addr, ipv4.protocol });
     }
     table nexthop_tbl {
         key = {

@@ -1,0 +1,60 @@
+"""repro.analysis — static lints for P4 models (the spec's own spec check).
+
+SwitchV treats the P4 model as the switch's formal specification; this
+package checks the specification itself, in milliseconds at load time,
+before a malformed model can crash — or silently skew — a fuzzing or
+symbolic-execution campaign hours in.
+
+* :mod:`repro.analysis.structural` — pure AST walks: dangling references,
+  undefined fields, width mismatches, duplicate/colliding ids, key-shape
+  problems, malformed restrictions, name/field drift.
+* :mod:`repro.analysis.semantic` — SMT-backed proofs on the havoc
+  abstraction: unsatisfiable restrictions, dead branches/tables, tables no
+  packet can hit, reads of unparsed headers.
+* :mod:`repro.analysis.diagnostics` — the structured findings both layers
+  emit, and the report container.
+
+``analyze_program`` is the façade everything (harness gate, CLI, tests,
+benchmarks) goes through; ``python -m repro.analysis`` lints the shipped
+programs or ``.p4`` files.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.p4.ast import P4Program
+from repro.analysis.diagnostics import AnalysisReport, Diagnostic, Severity
+from repro.analysis.semantic import run_semantic_passes
+from repro.analysis.structural import STRUCTURAL_PASSES, run_structural_passes
+
+
+def analyze_program(program: P4Program, semantic: bool = True) -> AnalysisReport:
+    """Run every lint pass over ``program``.
+
+    Structural passes always run.  Semantic passes run only when requested
+    *and* the structural layer found no errors — encoding a program with
+    dangling fields or unparseable restrictions would crash or, worse,
+    prove properties about a different program than the one shipped.
+    """
+    report = AnalysisReport(program_name=program.name)
+    start = time.perf_counter()
+    report.extend(run_structural_passes(program))
+    report.structural_seconds = time.perf_counter() - start
+    if semantic and not report.has_errors:
+        start = time.perf_counter()
+        report.extend(run_semantic_passes(program))
+        report.semantic_seconds = time.perf_counter() - start
+        report.semantic_ran = True
+    return report
+
+
+__all__ = [
+    "AnalysisReport",
+    "Diagnostic",
+    "STRUCTURAL_PASSES",
+    "Severity",
+    "analyze_program",
+    "run_semantic_passes",
+    "run_structural_passes",
+]

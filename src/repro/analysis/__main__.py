@@ -1,0 +1,94 @@
+"""``python -m repro.analysis`` — lint P4 models from the command line.
+
+Each argument is either the name of a shipped program (``toy``, ``tor``,
+``wan``, ``cerberus``) or a path to a ``.p4`` source file in the project
+dialect (e.g. ``p4src/sai_tor.p4``).  With no arguments, all shipped
+programs are linted — that is what the CI ``lint-model`` job runs.
+
+Exit status is non-zero when any linted program has a finding at or above
+``--fail-on`` (default: error), so the command slots directly into CI and
+pre-commit hooks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+from repro.p4.ast import P4Program
+from repro.p4.parser import P4ParseError, parse_program
+from repro.p4.programs import (
+    build_cerberus_program,
+    build_tor_program,
+    build_toy_program,
+    build_wan_program,
+)
+from repro.switchv.report import render_diagnostics
+from repro.analysis import analyze_program
+
+SHIPPED: Dict[str, Callable[[], P4Program]] = {
+    "toy": build_toy_program,
+    "tor": build_tor_program,
+    "wan": build_wan_program,
+    "cerberus": build_cerberus_program,
+}
+
+
+def _load(spec: str) -> P4Program:
+    if spec in SHIPPED:
+        return SHIPPED[spec]()
+    with open(spec, "r", encoding="utf-8") as handle:
+        return parse_program(handle.read())
+
+
+def main(argv: List[str] = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="statically lint P4 models before they reach a campaign",
+    )
+    ap.add_argument(
+        "specs",
+        nargs="*",
+        default=list(SHIPPED),
+        help="shipped program names (toy/tor/wan/cerberus) or .p4 paths "
+        "(default: all shipped programs)",
+    )
+    ap.add_argument(
+        "--no-semantic",
+        action="store_true",
+        help="skip the SMT-backed passes (structural lints only)",
+    )
+    ap.add_argument(
+        "--fail-on",
+        choices=("error", "warning"),
+        default="error",
+        help="exit non-zero when a finding at or above this severity "
+        "exists (default: error)",
+    )
+    args = ap.parse_args(argv)
+
+    failed = False
+    for spec in args.specs:
+        try:
+            program = _load(spec)
+        except FileNotFoundError:
+            print(f"error: {spec}: no such shipped program or file")
+            return 2
+        except P4ParseError as exc:
+            print(f"error: {spec}: does not parse: {exc}")
+            failed = True
+            continue
+        report = analyze_program(program, semantic=not args.no_semantic)
+        print(render_diagnostics(report))
+        print(
+            f"  timing: structural {report.structural_seconds * 1e3:.1f}ms, "
+            f"semantic {report.semantic_seconds * 1e3:.1f}ms"
+        )
+        if report.has_errors or (args.fail_on == "warning" and report.warnings):
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

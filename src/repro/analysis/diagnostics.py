@@ -1,0 +1,139 @@
+"""Structured findings produced by the model linter.
+
+Every analysis pass reports :class:`Diagnostic` values — never free-form
+strings — so the harness can gate campaigns on severity, tests can assert
+exact codes, and the text renderer in :mod:`repro.switchv.report` can format
+them uniformly.  Locations use the same vocabulary as the IR's
+constructor-time errors (``table <name>``, ``action <name>``, ``if <label>``)
+so a finding and a runtime crash point at the same place.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List
+
+
+class Severity(enum.Enum):
+    """How a finding gates the pipeline.
+
+    ``ERROR`` findings make the model unusable as a specification (the
+    fuzzer, symbolic executor or simulator would crash or silently judge
+    against garbage); the harness's ``lint_model`` gate refuses to start a
+    campaign on them.  ``WARNING`` findings are suspicious but the model is
+    still executable (e.g. the key-name/field drift heuristic).
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+# ----------------------------------------------------------------------
+# Diagnostic codes (the stable contract asserted by tests)
+# ----------------------------------------------------------------------
+
+# Structural passes (AST walks, no solver).
+UNDEFINED_FIELD = "undefined-field"
+WIDTH_MISMATCH = "width-mismatch"
+DANGLING_REF = "dangling-ref"
+REF_WIDTH_MISMATCH = "ref-width-mismatch"
+REF_CYCLE = "ref-cycle"
+DUPLICATE_TABLE = "duplicate-table"
+DUPLICATE_ACTION = "duplicate-action"
+DUPLICATE_KEY = "duplicate-key"
+ID_COLLISION = "id-collision"
+KEY_SHAPE = "key-shape"
+ACTION_SCOPE = "action-scope"
+UNREACHABLE_ACTION = "unreachable-action"
+RESTRICTION_SYNTAX = "restriction-syntax"
+RESTRICTION_UNKNOWN_KEY = "restriction-unknown-key"
+RESTRICTION_ACCESSOR = "restriction-accessor"
+KEY_NAME_DRIFT = "key-name-drift"
+PARSER_PATTERN = "parser-pattern"
+
+# Semantic passes (SMT-backed, repro.smt).
+RESTRICTION_UNSAT = "restriction-unsat"
+UNREACHABLE_BRANCH = "unreachable-branch"
+UNREACHABLE_TABLE = "unreachable-table"
+TABLE_NEVER_HITS = "table-never-hits"
+INVALID_HEADER_READ = "invalid-header-read"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One linter finding.
+
+    ``location`` is human-oriented (``table acl_ingress_tbl, key icmp_type``);
+    ``table_name`` carries the structured attribution the incident pipeline
+    uses (empty when no single table applies).
+    """
+
+    code: str
+    severity: Severity
+    location: str
+    message: str
+    fix_hint: str = ""
+    table_name: str = ""
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity is Severity.ERROR
+
+    def __repr__(self) -> str:
+        return f"{self.severity.value}[{self.code}] {self.location}: {self.message}"
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one analyzer run over one program produced."""
+
+    program_name: str
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    # True when the semantic (SMT) passes ran; False when structural errors
+    # made the program unsafe to encode (or the caller disabled them).
+    semantic_ran: bool = False
+    # Wall-clock attribution, for the fail-fast budget benchmark.
+    structural_seconds: float = 0.0
+    semantic_seconds: float = 0.0
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.is_error]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if not d.is_error]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.is_error for d in self.diagnostics)
+
+    def codes(self) -> List[str]:
+        return [d.code for d in self.diagnostics]
+
+    def by_code(self, code: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    def extend(self, diagnostics: List[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def __bool__(self) -> bool:
+        return bool(self.diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+
+def table_location(table_name: str, detail: str = "") -> str:
+    base = f"table {table_name}"
+    return f"{base}, {detail}" if detail else base
+
+
+def action_location(action_name: str, detail: str = "") -> str:
+    base = f"action {action_name}"
+    return f"{base}, {detail}" if detail else base
+
+
+def branch_location(label: str) -> str:
+    return f"if {label}"

@@ -1,0 +1,541 @@
+"""Semantic lint passes: SMT-backed proofs over the model, no entries needed.
+
+Where the symbolic executor (:mod:`repro.symbolic.executor`) answers "what
+does the program do to *this* table state", these passes answer "can the
+program ever do X under *any* table state" — so instead of encoding
+installed entries, table applications **havoc** every field their actions
+could write (a fresh unconstrained variable, conditionally merged).  A
+property proven UNSAT under havoc is UNSAT under every concrete table
+state, which is what makes these passes safe to gate campaigns on: an
+``unreachable-branch`` or ``table-never-hits`` finding cannot be an
+artifact of the abstraction.
+
+Two walker modes share one implementation:
+
+* **havoc-entry** — metadata and standard fields start as fresh variables
+  (any preceding pipeline could have produced them).  Used for the
+  dead-code passes: a branch/table unreachable even with arbitrary
+  metadata is genuinely dead.
+* **zero-entry** — metadata starts at zero, exactly like the concrete
+  interpreter with no entries installed.  Used for the invalid-header-read
+  pass: a SAT read witness is then a real packet through the real empty
+  pipeline, never an artifact of havocked classification metadata.
+
+Header validity is concrete per parser profile (§5's "semi-hardcoded"
+parser patterns), so ``IsValid`` folds to TRUE/FALSE and reads of header
+fields are checked against the profile that leaves the header unparsed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.p4.ast import (
+    BinOp,
+    BoolOp,
+    Cmp,
+    Const,
+    FieldRef,
+    HashExpr,
+    If,
+    IsValid,
+    MatchKind,
+    P4Program,
+    Param,
+    Seq,
+    Statement,
+    Table,
+    TableApply,
+)
+from repro.p4.constraints.lang import ConstraintSyntaxError, parse_constraint
+from repro.p4.constraints.symbolic import SymbolicKeySet, encode_constraint
+from repro.p4.p4info import build_p4info
+from repro.smt import Result, Solver
+from repro.smt import terms as T
+from repro.symbolic.profiles import ParserProfile, profiles_for_pattern
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    INVALID_HEADER_READ,
+    PARSER_PATTERN,
+    RESTRICTION_UNSAT,
+    Severity,
+    TABLE_NEVER_HITS,
+    UNREACHABLE_BRANCH,
+    UNREACHABLE_TABLE,
+    branch_location,
+    table_location,
+)
+
+
+@dataclass
+class _ProfileRun:
+    """Everything one walk of one profile learned."""
+
+    profile: ParserProfile
+    constraints: List[T.Term]
+    # (label, taken) -> condition under which that direction executes.
+    branch_reach: Dict[Tuple[str, bool], T.Term] = field(default_factory=dict)
+    # table name -> condition under which the table is applied.
+    table_reach: Dict[str, T.Term] = field(default_factory=dict)
+    # table name -> [(ctx, key field path -> term at apply time)]
+    key_states: Dict[str, List[Tuple[T.Term, Dict[str, T.Term]]]] = field(
+        default_factory=dict
+    )
+    # (location, field path) -> condition under which a field of an
+    # unparsed header is read (If conditions and exact/LPM keys only).
+    header_reads: Dict[Tuple[str, str], T.Term] = field(default_factory=dict)
+
+
+class _Walker:
+    """One symbolic walk of the pipeline for one profile and entry mode."""
+
+    def __init__(
+        self, program: P4Program, profile: ParserProfile, havoc_entry: bool
+    ) -> None:
+        self.program = program
+        self.profile = profile
+        self.run = _ProfileRun(profile=profile, constraints=[])
+        self._fresh_counter = 0
+        self._state: Dict[str, T.Term] = {}
+
+        pins = profile.pin_map()
+        prefix = profile.name
+        for path in program.all_field_paths():
+            width = program.field_width(path)
+            header = path.split(".", 1)[0]
+            if header in profile.valid_headers:
+                if path in pins:
+                    self._state[path] = T.bv_const(pins[path], width)
+                else:
+                    self._state[path] = T.bv_var(f"{prefix}::{path}", width)
+            elif path == "standard.ingress_port":
+                self._state[path] = T.bv_var(f"{prefix}::{path}", width)
+            elif header in ("meta", "standard") and havoc_entry:
+                self._state[path] = T.bv_var(f"{prefix}::entry::{path}", width)
+            else:
+                # Unparsed headers (and, in zero-entry mode, metadata)
+                # start at zero, matching the concrete interpreter.
+                self._state[path] = T.bv_const(0, width)
+        for path, excluded in profile.exclusions:
+            term = self._state[path]
+            for value in excluded:
+                self.run.constraints.append(term.ne(value))
+
+    def walk(self) -> _ProfileRun:
+        self._run_block(self.program.ingress, T.TRUE)
+        not_dropped = self._state["standard.drop"].eq(T.bv_const(0, 1))
+        self._run_block(self.program.egress, not_dropped)
+        return self.run
+
+    # ------------------------------------------------------------------
+    # Control flow
+    # ------------------------------------------------------------------
+    def _fresh_var(self, name: str, width: int) -> T.Term:
+        self._fresh_counter += 1
+        return T.bv_var(f"{self.profile.name}::{name}#{self._fresh_counter}", width)
+
+    def _fresh_bool(self, name: str) -> T.Term:
+        self._fresh_counter += 1
+        return T.bool_var(f"{self.profile.name}::{name}#{self._fresh_counter}")
+
+    def _run_block(self, block: Seq, ctx: T.Term) -> None:
+        for node in block:
+            if isinstance(node, TableApply):
+                self._apply_table(node.table, ctx)
+            elif isinstance(node, If):
+                label = node.label or repr(node.cond)
+                cond = self._eval_bool(node.cond, ctx, T.TRUE, branch_location(label))
+                then_ctx = T.and_(ctx, cond)
+                else_ctx = T.and_(ctx, T.not_(cond))
+                reach = self.run.branch_reach
+                reach[(label, True)] = T.or_(
+                    reach.get((label, True), T.FALSE), then_ctx
+                )
+                reach[(label, False)] = T.or_(
+                    reach.get((label, False), T.FALSE), else_ctx
+                )
+                self._run_block(node.then_block, then_ctx)
+                self._run_block(node.else_block, else_ctx)
+            elif isinstance(node, Statement):
+                value = self._eval_expr(
+                    node.value, self.program.field_width(node.dest.path)
+                )
+                old = self._state[node.dest.path]
+                self._state[node.dest.path] = T.ite(ctx, value, old)
+
+    def _apply_table(self, table: Table, ctx: T.Term) -> None:
+        reach = self.run.table_reach
+        reach[table.name] = T.or_(reach.get(table.name, T.FALSE), ctx)
+        self.run.key_states.setdefault(table.name, []).append(
+            (ctx, {k.field.path: self._state[k.field.path] for k in table.keys})
+        )
+        # Reads through exact/LPM keys are unconditional header reads; a
+        # ternary/optional key can be wildcarded, so the model never *has*
+        # to look at the field.
+        for key in table.keys:
+            if key.kind in (MatchKind.EXACT, MatchKind.LPM):
+                self._record_read(
+                    key.field.path,
+                    ctx,
+                    table_location(table.name, f"key {key.key_name}"),
+                )
+        # Havoc: any of the table's actions may fire (for some entry set)
+        # and write any value to the fields it assigns.
+        assigned: Set[str] = set()
+        for ref in table.actions:
+            for stmt in ref.action.body:
+                assigned.add(stmt.dest.path)
+        for stmt in table.default_action.body:
+            assigned.add(stmt.dest.path)
+        for path in sorted(assigned):
+            width = self.program.field_width(path)
+            fired = self._fresh_bool(f"havoc:{table.name}:{path}")
+            value = self._fresh_var(f"havoc:{table.name}:{path}", width)
+            self._state[path] = T.ite(
+                T.and_(ctx, fired), value, self._state[path]
+            )
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def _record_read(self, path: str, reach: T.Term, location: str) -> None:
+        header = path.split(".", 1)[0]
+        if header in ("meta", "standard") or header in self.profile.valid_headers:
+            return
+        reads = self.run.header_reads
+        key = (location, path)
+        reads[key] = T.or_(reads.get(key, T.FALSE), reach)
+
+    def _record_expr_reads(self, expr, reach: T.Term, location: str) -> None:
+        if isinstance(expr, FieldRef):
+            self._record_read(expr.path, reach, location)
+        elif isinstance(expr, BinOp):
+            self._record_expr_reads(expr.left, reach, location)
+            self._record_expr_reads(expr.right, reach, location)
+        # HashExpr inputs are free (§5): hashing an unparsed field is not a
+        # read the model depends on.
+
+    def _eval_expr(self, expr, width_hint: int) -> T.Term:
+        if isinstance(expr, Const):
+            return T.bv_const(expr.value, expr.width if expr.width else width_hint)
+        if isinstance(expr, FieldRef):
+            return self._state[expr.path]
+        if isinstance(expr, BinOp):
+            left = self._eval_expr(expr.left, width_hint)
+            right = self._eval_expr(expr.right, left.width)
+            if left.width != right.width:
+                if right.width < left.width:
+                    right = T.zext(right, left.width - right.width)
+                else:
+                    left = T.zext(left, right.width - left.width)
+            ops = {
+                "+": lambda a, b: a + b,
+                "-": lambda a, b: a - b,
+                "&": lambda a, b: a & b,
+                "|": lambda a, b: a | b,
+                "^": lambda a, b: a ^ b,
+            }
+            return ops[expr.op](left, right)
+        if isinstance(expr, (HashExpr, Param)):
+            # Hash outputs are free; a raw Param outside an action body has
+            # no binding — both havoc to a fresh variable.
+            width = expr.width if isinstance(expr, HashExpr) else width_hint
+            return self._fresh_var("free", width or width_hint or 1)
+        raise TypeError(f"unknown expression {expr!r}")
+
+    def _eval_bool(self, cond, ctx: T.Term, guard: T.Term, location: str) -> T.Term:
+        """Evaluate a condition, threading the short-circuit ``guard``:
+        inside ``a && b``, ``b``'s field reads only happen when ``a`` held
+        (this is what keeps ``IsValid(h) && h.f == v`` read-safe)."""
+        if isinstance(cond, IsValid):
+            return T.TRUE if cond.header in self.profile.valid_headers else T.FALSE
+        if isinstance(cond, Cmp):
+            read_reach = T.and_(ctx, guard)
+            self._record_expr_reads(cond.left, read_reach, location)
+            self._record_expr_reads(cond.right, read_reach, location)
+            left = self._eval_expr(cond.left, 0)
+            right = self._eval_expr(cond.right, left.width)
+            if left.width != right.width:
+                if right.width < left.width:
+                    right = T.zext(right, left.width - right.width)
+                else:
+                    left = T.zext(left, right.width - left.width)
+            if cond.op == "==":
+                return left.eq(right)
+            if cond.op == "!=":
+                return left.ne(right)
+            if cond.op == "<":
+                return left.ult(right)
+            if cond.op == "<=":
+                return left.ule(right)
+            if cond.op == ">":
+                return right.ult(left)
+            return right.ule(left)
+        if isinstance(cond, BoolOp):
+            if cond.op == "not":
+                return T.not_(self._eval_bool(cond.args[0], ctx, guard, location))
+            terms: List[T.Term] = []
+            running = guard
+            for arg in cond.args:
+                term = self._eval_bool(arg, ctx, running, location)
+                terms.append(term)
+                if cond.op == "and":
+                    running = T.and_(running, term)
+                else:
+                    running = T.and_(running, T.not_(term))
+            return T.and_(*terms) if cond.op == "and" else T.or_(*terms)
+        raise TypeError(f"unknown condition {cond!r}")
+
+
+def _walk_all(
+    program: P4Program, profiles: List[ParserProfile], havoc_entry: bool
+) -> List[_ProfileRun]:
+    return [_Walker(program, p, havoc_entry).walk() for p in profiles]
+
+
+def _profile_solver(run: _ProfileRun) -> Solver:
+    solver = Solver()
+    solver.add(*run.constraints)
+    return solver
+
+
+# ----------------------------------------------------------------------
+# Pass: unsatisfiable entry restrictions
+# ----------------------------------------------------------------------
+
+
+def check_restriction_sat(program: P4Program) -> Tuple[List[Diagnostic], Set[str]]:
+    """Tables whose @entry_restriction admits no well-formed entry at all.
+
+    Such a table can never hold an entry — the fuzzer's constraint-aware
+    generator would spin forever looking for a compliant one.  Returns the
+    diagnostics plus the set of offending table names so downstream passes
+    do not also assert the contradiction.
+    """
+    out: List[Diagnostic] = []
+    unsat: Set[str] = set()
+    info = build_p4info(program)
+    for table in program.programmable_tables():
+        if not table.entry_restriction:
+            continue
+        try:
+            expr = parse_constraint(table.entry_restriction)
+        except ConstraintSyntaxError:
+            continue  # reported by the structural restriction pass
+        table_info = info.table_by_name(table.name)
+        if table_info is None:  # pragma: no cover - programmable implies listed
+            continue
+        keys = SymbolicKeySet(table_info)
+        try:
+            constraint = encode_constraint(expr, keys)
+        except KeyError:
+            continue  # unknown key, reported structurally
+        solver = Solver()
+        solver.add(keys.wellformedness(), constraint)
+        if solver.check() is Result.UNSAT:
+            unsat.add(table.name)
+            out.append(
+                Diagnostic(
+                    code=RESTRICTION_UNSAT,
+                    severity=Severity.ERROR,
+                    location=table_location(table.name, "@entry_restriction"),
+                    message="no well-formed entry satisfies the restriction; "
+                    "the table can never hold an entry",
+                    fix_hint="the restriction contradicts itself or the "
+                    "match kinds; relax it",
+                    table_name=table.name,
+                )
+            )
+    return out, unsat
+
+
+# ----------------------------------------------------------------------
+# Passes: dead control flow (havoc-entry runs)
+# ----------------------------------------------------------------------
+
+
+def check_dead_branches(
+    runs: List[_ProfileRun], solvers: List[Solver]
+) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    labels: Dict[Tuple[str, bool], None] = {}
+    for run in runs:
+        for key in run.branch_reach:
+            labels.setdefault(key, None)
+    for label, taken in labels:
+        reachable = any(
+            solver.check(run.branch_reach.get((label, taken), T.FALSE))
+            is Result.SAT
+            for run, solver in zip(runs, solvers, strict=True)
+        )
+        if not reachable:
+            direction = "then" if taken else "else"
+            out.append(
+                Diagnostic(
+                    code=UNREACHABLE_BRANCH,
+                    severity=Severity.WARNING,
+                    location=branch_location(label),
+                    message=f"the {direction} direction is unreachable in "
+                    "every parser profile, for every table state",
+                    fix_hint="the condition is decided by the parser/guards; "
+                    "delete the dead arm or fix the condition",
+                )
+            )
+    return out
+
+
+def check_dead_tables(
+    runs: List[_ProfileRun], solvers: List[Solver]
+) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    names: Dict[str, None] = {}
+    for run in runs:
+        for name in run.table_reach:
+            names.setdefault(name, None)
+    for name in names:
+        reachable = any(
+            solver.check(run.table_reach.get(name, T.FALSE)) is Result.SAT
+            for run, solver in zip(runs, solvers, strict=True)
+        )
+        if not reachable:
+            out.append(
+                Diagnostic(
+                    code=UNREACHABLE_TABLE,
+                    severity=Severity.WARNING,
+                    location=table_location(name),
+                    message="no packet reaches this table in any parser "
+                    "profile, for any table state",
+                    fix_hint="its guards are contradictory; entries "
+                    "installed here are dead weight",
+                    table_name=name,
+                )
+            )
+    return out
+
+
+def check_table_hits(
+    program: P4Program,
+    runs: List[_ProfileRun],
+    solvers: List[Solver],
+    skip: Set[str],
+) -> List[Diagnostic]:
+    """Tables where no reachable packet can match any well-formed,
+    restriction-compliant entry."""
+    out: List[Diagnostic] = []
+    info = build_p4info(program)
+    for table in program.programmable_tables():
+        if table.name in skip or not table.keys:
+            continue
+        table_info = info.table_by_name(table.name)
+        if table_info is None:  # pragma: no cover - programmable implies listed
+            continue
+        keys = SymbolicKeySet(table_info)
+        side = [keys.wellformedness()]
+        if table.entry_restriction:
+            try:
+                side.append(
+                    encode_constraint(
+                        parse_constraint(table.entry_restriction), keys
+                    )
+                )
+            except (ConstraintSyntaxError, KeyError):
+                pass  # reported structurally
+        hittable = False
+        for run, solver in zip(runs, solvers, strict=True):
+            arms = []
+            for ctx, state in run.key_states.get(table.name, ()):
+                conjuncts = [ctx]
+                for key in table.keys:
+                    value = state[key.field.path]
+                    mask = keys.mask_vars[key.key_name]
+                    conjuncts.append(
+                        (value & mask).eq(keys.value_vars[key.key_name])
+                    )
+                arms.append(T.and_(*conjuncts))
+            if arms and solver.check(T.or_(*arms), *side) is Result.SAT:
+                hittable = True
+                break
+        if not hittable:
+            out.append(
+                Diagnostic(
+                    code=TABLE_NEVER_HITS,
+                    severity=Severity.WARNING,
+                    location=table_location(table.name),
+                    message="no reachable packet matches any well-formed "
+                    "entry; only the default action can ever fire",
+                    fix_hint="the keys/restriction exclude every packet "
+                    "the guards let through",
+                    table_name=table.name,
+                )
+            )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Pass: reads of unparsed header fields (zero-entry runs)
+# ----------------------------------------------------------------------
+
+
+def check_invalid_reads(
+    runs: List[_ProfileRun], solvers: List[Solver]
+) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    flagged: Set[Tuple[str, str]] = set()
+    for run, solver in zip(runs, solvers, strict=True):
+        for (location, path), reach in run.header_reads.items():
+            if (location, path) in flagged:
+                continue
+            if solver.check(reach) is Result.SAT:
+                flagged.add((location, path))
+                header = path.split(".", 1)[0]
+                out.append(
+                    Diagnostic(
+                        code=INVALID_HEADER_READ,
+                        severity=Severity.ERROR,
+                        location=location,
+                        message=f"reads {path} on a path where {header} "
+                        f"is not parsed (e.g. profile {run.profile.name}); "
+                        "the model sees zero, the switch sees garbage",
+                        fix_hint=f"guard the read with isValid({header}) "
+                        "or a ternary key",
+                    )
+                )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+
+
+def run_semantic_passes(program: P4Program) -> List[Diagnostic]:
+    """All SMT-backed passes.  Assumes the structural passes found no
+    errors (callers gate on that): fields resolve, restrictions parse."""
+    try:
+        profiles = profiles_for_pattern(program.parser.pattern)
+    except ValueError:
+        return [
+            Diagnostic(
+                code=PARSER_PATTERN,
+                severity=Severity.ERROR,
+                location="parser",
+                message=f"unknown parser pattern "
+                f"{program.parser.pattern!r}; no profiles to analyze",
+                fix_hint="use a registered pattern (ethernet_ipv4_ipv6)",
+            )
+        ]
+    out, unsat_restrictions = check_restriction_sat(program)
+
+    havoc_runs = _walk_all(program, profiles, havoc_entry=True)
+    havoc_solvers = [_profile_solver(r) for r in havoc_runs]
+    out.extend(check_dead_branches(havoc_runs, havoc_solvers))
+    out.extend(check_dead_tables(havoc_runs, havoc_solvers))
+    out.extend(
+        check_table_hits(program, havoc_runs, havoc_solvers, unsat_restrictions)
+    )
+
+    zero_runs = _walk_all(program, profiles, havoc_entry=False)
+    zero_solvers = [_profile_solver(r) for r in zero_runs]
+    out.extend(check_invalid_reads(zero_runs, zero_solvers))
+    return out

@@ -1,0 +1,714 @@
+"""Structural lint passes: pure AST walks over a :class:`P4Program`.
+
+These passes need no solver and run in microseconds; they catch the model
+defects that would otherwise crash (or silently skew) the fuzzer, the
+symbolic executor or the BMv2 simulator deep into a campaign:
+
+* ``FieldRef``s naming fields no header/metadata declares;
+* width mismatches in assignments, comparisons and binary operations;
+* dangling ``@refers_to`` targets, reference cycles, and reference edges
+  whose two ends disagree on bit width;
+* duplicate table/action definitions and stable-ID collisions;
+* match-kind/key-shape inconsistencies (duplicate key names, multiple LPM
+  keys — the executor's priority order is defined for at most one);
+* ``@entry_restriction`` strings that fail to parse, name unknown keys, or
+  use accessors their key's match kind does not have;
+* action references that can never fire (``@defaultonly`` + ``@tableonly``,
+  or ``@defaultonly`` behind a different const default);
+* the key-name/field drift heuristic that catches a key like ``icmp_type``
+  bound to ``icmp.code`` (the paper's wrong-field model-bug class).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.p4 import ast
+from repro.p4.ast import (
+    Action,
+    BinOp,
+    BoolOp,
+    Cmp,
+    Const,
+    FieldRef,
+    HashExpr,
+    If,
+    MatchKind,
+    P4Program,
+    Param,
+    Seq,
+    Statement,
+    STANDARD_FIELDS,
+    Table,
+)
+from repro.p4.constraints.lang import (
+    CAnd,
+    CCmp,
+    CKey,
+    CNot,
+    COr,
+    ConstraintSyntaxError,
+    parse_constraint,
+)
+from repro.p4.p4info import ACTION_PREFIX, TABLE_PREFIX, _stable_id
+from repro.analysis.diagnostics import (
+    ACTION_SCOPE,
+    DANGLING_REF,
+    DUPLICATE_ACTION,
+    DUPLICATE_KEY,
+    DUPLICATE_TABLE,
+    Diagnostic,
+    ID_COLLISION,
+    KEY_NAME_DRIFT,
+    KEY_SHAPE,
+    REF_CYCLE,
+    REF_WIDTH_MISMATCH,
+    RESTRICTION_ACCESSOR,
+    RESTRICTION_SYNTAX,
+    RESTRICTION_UNKNOWN_KEY,
+    Severity,
+    UNDEFINED_FIELD,
+    UNREACHABLE_ACTION,
+    WIDTH_MISMATCH,
+    action_location,
+    branch_location,
+    table_location,
+)
+
+
+def _field_width(program: P4Program, path: str) -> Optional[int]:
+    try:
+        return program.field_width(path)
+    except KeyError:
+        return None
+
+
+def _expr_width(
+    program: P4Program,
+    expr,
+    params: Dict[str, int],
+    out: List[Diagnostic],
+    location: str,
+    table_name: str,
+) -> Optional[int]:
+    """Static width of an expression; ``None`` when not derivable (e.g. the
+    expression references an undefined field, reported elsewhere)."""
+    if isinstance(expr, Const):
+        return expr.width or None
+    if isinstance(expr, FieldRef):
+        return _field_width(program, expr.path)
+    if isinstance(expr, Param):
+        return params.get(expr.name)
+    if isinstance(expr, HashExpr):
+        return expr.width
+    if isinstance(expr, BinOp):
+        left = _expr_width(program, expr.left, params, out, location, table_name)
+        right = _expr_width(program, expr.right, params, out, location, table_name)
+        if left is not None and right is not None and left != right:
+            out.append(
+                Diagnostic(
+                    code=WIDTH_MISMATCH,
+                    severity=Severity.ERROR,
+                    location=location,
+                    message=f"operands of {expr!r} have widths {left} and {right}",
+                    fix_hint="make both operands the same bit width "
+                    "(the executor would zero-extend, the switch will not)",
+                    table_name=table_name,
+                )
+            )
+        return left if left is not None else right
+    return None
+
+
+def _walk_exprs(expr) -> Iterable:
+    """Every sub-expression, including ``expr`` itself."""
+    yield expr
+    if isinstance(expr, BinOp):
+        yield from _walk_exprs(expr.left)
+        yield from _walk_exprs(expr.right)
+    elif isinstance(expr, HashExpr):
+        yield from expr.fields
+
+
+def _walk_conds(cond) -> Iterable:
+    yield cond
+    if isinstance(cond, BoolOp):
+        for arg in cond.args:
+            yield from _walk_conds(arg)
+    elif isinstance(cond, Cmp):
+        yield from _walk_exprs(cond.left)
+        yield from _walk_exprs(cond.right)
+
+
+def _control_nodes(program: P4Program) -> Iterable[Tuple[str, object]]:
+    """(location, node) pairs for every control-flow node, in order."""
+
+    def walk(block: Seq, where: str):
+        for node in block:
+            if isinstance(node, If):
+                label = node.label or repr(node.cond)
+                yield branch_location(label), node
+                yield from walk(node.then_block, where)
+                yield from walk(node.else_block, where)
+            else:
+                yield where, node
+
+    yield from walk(program.ingress, "ingress")
+    yield from walk(program.egress, "egress")
+
+
+# ----------------------------------------------------------------------
+# Pass: undefined fields
+# ----------------------------------------------------------------------
+
+
+def check_fields(program: P4Program) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    seen: Set[Tuple[str, str]] = set()
+
+    def check(path: str, location: str, table_name: str = "") -> None:
+        if (path, location) in seen:
+            return
+        seen.add((path, location))
+        if _field_width(program, path) is None:
+            out.append(
+                Diagnostic(
+                    code=UNDEFINED_FIELD,
+                    severity=Severity.ERROR,
+                    location=location,
+                    message=f"field {path} is not declared by any header, "
+                    "metadata or standard field",
+                    fix_hint="declare the field or fix the dotted path",
+                    table_name=table_name,
+                )
+            )
+
+    def check_expr(expr, location: str, table_name: str = "") -> None:
+        for sub in _walk_exprs(expr):
+            if isinstance(sub, FieldRef):
+                check(sub.path, location, table_name)
+
+    def check_action(action: Action, table: Table) -> None:
+        location = action_location(action.name)
+        for stmt in action.body:
+            check(stmt.dest.path, location, table.name)
+            check_expr(stmt.value, location, table.name)
+
+    for table in program.tables():
+        for key in table.keys:
+            check(
+                key.field.path,
+                table_location(table.name, f"key {key.key_name}"),
+                table.name,
+            )
+        for ref in table.actions:
+            check_action(ref.action, table)
+        check_action(table.default_action, table)
+        if table.implementation is not None:
+            for f in table.implementation.selector_fields:
+                check(
+                    f.path,
+                    table_location(table.name, "action selector"),
+                    table.name,
+                )
+    for location, node in _control_nodes(program):
+        if isinstance(node, If):
+            for sub in _walk_conds(node.cond):
+                if isinstance(sub, FieldRef):
+                    check(sub.path, location)
+        elif isinstance(node, Statement):
+            check(node.dest.path, location)
+            check_expr(node.value, location)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Pass: width mismatches
+# ----------------------------------------------------------------------
+
+
+def check_widths(program: P4Program) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+
+    def check_stmt(stmt: Statement, params: Dict[str, int], location: str, table: str):
+        dest = _field_width(program, stmt.dest.path)
+        value = _expr_width(program, stmt.value, params, out, location, table)
+        if dest is not None and value is not None and dest != value:
+            out.append(
+                Diagnostic(
+                    code=WIDTH_MISMATCH,
+                    severity=Severity.ERROR,
+                    location=location,
+                    message=f"assignment {stmt!r}: destination is {dest} bits, "
+                    f"value is {value} bits",
+                    fix_hint="match the value width to the destination field",
+                    table_name=table,
+                )
+            )
+
+    def check_cond(cond, location: str, table: str = "") -> None:
+        for sub in _walk_conds(cond):
+            if isinstance(sub, Cmp):
+                left = _expr_width(program, sub.left, {}, out, location, table)
+                right = _expr_width(program, sub.right, {}, out, location, table)
+                if left is not None and right is not None and left != right:
+                    out.append(
+                        Diagnostic(
+                            code=WIDTH_MISMATCH,
+                            severity=Severity.ERROR,
+                            location=location,
+                            message=f"comparison {sub!r} compares a {left}-bit "
+                            f"operand with a {right}-bit operand",
+                            fix_hint="compare same-width operands",
+                            table_name=table,
+                        )
+                    )
+
+    seen_actions: Set[str] = set()
+    for table in program.tables():
+        for ref in tuple(table.actions) + (ast.ActionRef(table.default_action),):
+            action = ref.action
+            if action.name in seen_actions:
+                continue
+            seen_actions.add(action.name)
+            params = {p.name: p.width for p in action.params}
+            for stmt in action.body:
+                check_stmt(stmt, params, action_location(action.name), table.name)
+    for location, node in _control_nodes(program):
+        if isinstance(node, If):
+            check_cond(node.cond, location)
+        elif isinstance(node, Statement):
+            check_stmt(node, {}, location, "")
+    return out
+
+
+# ----------------------------------------------------------------------
+# Pass: duplicate definitions and ID collisions
+# ----------------------------------------------------------------------
+
+
+def check_duplicates(program: P4Program) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    tables = program.tables()
+
+    by_name: Dict[str, List[Table]] = {}
+    for table in tables:
+        by_name.setdefault(table.name, []).append(table)
+    for name, defs in by_name.items():
+        if len(defs) > 1:
+            out.append(
+                Diagnostic(
+                    code=DUPLICATE_TABLE,
+                    severity=Severity.ERROR,
+                    location=table_location(name),
+                    message=f"table {name} is defined {len(defs)} times "
+                    "(P4Info IDs derive from names; duplicates collide)",
+                    fix_hint="rename one definition or apply a single instance",
+                    table_name=name,
+                )
+            )
+
+    actions_by_name: Dict[str, List[Action]] = {}
+    for table in tables:
+        for ref in tuple(table.actions) + (ast.ActionRef(table.default_action),):
+            defs = actions_by_name.setdefault(ref.action.name, [])
+            if all(existing != ref.action for existing in defs):
+                defs.append(ref.action)
+    for name, defs in actions_by_name.items():
+        if len(defs) > 1:
+            out.append(
+                Diagnostic(
+                    code=DUPLICATE_ACTION,
+                    severity=Severity.ERROR,
+                    location=action_location(name),
+                    message=f"action {name} has {len(defs)} conflicting "
+                    "definitions across tables",
+                    fix_hint="share one Action value or rename",
+                )
+            )
+
+    ids: Dict[int, str] = {}
+    for kind, prefix, names in (
+        ("table", TABLE_PREFIX, sorted(by_name)),
+        ("action", ACTION_PREFIX, sorted(actions_by_name)),
+    ):
+        for name in names:
+            oid = _stable_id(prefix, name)
+            other = ids.get(oid)
+            if other is not None and other != name:
+                out.append(
+                    Diagnostic(
+                        code=ID_COLLISION,
+                        severity=Severity.ERROR,
+                        location=f"{kind} {name}",
+                        message=f"stable ID 0x{oid:08x} collides with {other}",
+                        fix_hint="rename either object",
+                    )
+                )
+            ids[oid] = name
+    return out
+
+
+# ----------------------------------------------------------------------
+# Pass: key shapes
+# ----------------------------------------------------------------------
+
+
+def check_keys(program: P4Program) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    for table in program.tables():
+        seen: Set[str] = set()
+        for key in table.keys:
+            if key.key_name in seen:
+                out.append(
+                    Diagnostic(
+                        code=DUPLICATE_KEY,
+                        severity=Severity.ERROR,
+                        location=table_location(table.name, f"key {key.key_name}"),
+                        message=f"key name {key.key_name} appears more than once",
+                        fix_hint="give every key a unique @name",
+                        table_name=table.name,
+                    )
+                )
+            seen.add(key.key_name)
+        lpm = [k.key_name for k in table.keys if k.kind is MatchKind.LPM]
+        if len(lpm) > 1:
+            out.append(
+                Diagnostic(
+                    code=KEY_SHAPE,
+                    severity=Severity.ERROR,
+                    location=table_location(table.name),
+                    message=f"table has {len(lpm)} LPM keys ({', '.join(lpm)}); "
+                    "longest-prefix ordering is defined for at most one",
+                    fix_hint="use ternary matches for all but one prefix key",
+                    table_name=table.name,
+                )
+            )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Pass: references (@refers_to)
+# ----------------------------------------------------------------------
+
+
+def _reference_edges(program: P4Program) -> List[Tuple[str, str, int, str, str]]:
+    """(owner_table, location, source_width, target_table, target_key)."""
+    edges = []
+    for table in program.programmable_tables():
+        for key in table.keys:
+            if key.refers_to is not None:
+                width = _field_width(program, key.field.path) or 0
+                edges.append(
+                    (
+                        table.name,
+                        table_location(table.name, f"key {key.key_name}"),
+                        width,
+                        key.refers_to[0],
+                        key.refers_to[1],
+                    )
+                )
+        for ref in table.actions:
+            for param in ref.action.params:
+                for target_table, target_key in param.references():
+                    edges.append(
+                        (
+                            table.name,
+                            table_location(
+                                table.name,
+                                f"action {ref.action.name}, param {param.name}",
+                            ),
+                            param.width,
+                            target_table,
+                            target_key,
+                        )
+                    )
+    return edges
+
+
+def check_references(program: P4Program) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    tables = {t.name: t for t in program.programmable_tables()}
+    graph: Dict[str, Set[str]] = {}
+
+    for owner, location, width, target_table, target_key in _reference_edges(program):
+        target = tables.get(target_table)
+        if target is None:
+            out.append(
+                Diagnostic(
+                    code=DANGLING_REF,
+                    severity=Severity.ERROR,
+                    location=location,
+                    message=f"@refers_to({target_table}, {target_key}) names a "
+                    "table that does not exist (or is not programmable)",
+                    fix_hint="point the reference at a programmable table",
+                    table_name=owner,
+                )
+            )
+            continue
+        target_kspec = next(
+            (k for k in target.keys if k.key_name == target_key), None
+        )
+        if target_kspec is None:
+            out.append(
+                Diagnostic(
+                    code=DANGLING_REF,
+                    severity=Severity.ERROR,
+                    location=location,
+                    message=f"@refers_to({target_table}, {target_key}) names a "
+                    f"key {target_table} does not have",
+                    fix_hint=f"one of: {', '.join(k.key_name for k in target.keys)}",
+                    table_name=owner,
+                )
+            )
+            continue
+        graph.setdefault(owner, set()).add(target_table)
+        target_width = _field_width(program, target_kspec.field.path)
+        if width and target_width is not None and width != target_width:
+            out.append(
+                Diagnostic(
+                    code=REF_WIDTH_MISMATCH,
+                    severity=Severity.ERROR,
+                    location=location,
+                    message=f"reference is {width} bits but "
+                    f"{target_table}.{target_key} is {target_width} bits",
+                    fix_hint="make both ends of the reference the same width",
+                    table_name=owner,
+                )
+            )
+
+    # Cycle detection over the table-reference graph.  Referential
+    # integrity orders inserts referenced-first; a cycle makes that order
+    # (and the batcher built on it) unsatisfiable.
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {name: WHITE for name in tables}
+    reported: Set[frozenset] = set()
+
+    def visit(name: str, path: List[str]) -> None:
+        color[name] = GREY
+        path.append(name)
+        for succ in sorted(graph.get(name, ())):
+            if color.get(succ, WHITE) == GREY:
+                cycle = path[path.index(succ):] + [succ]
+                key = frozenset(cycle)
+                if key not in reported:
+                    reported.add(key)
+                    out.append(
+                        Diagnostic(
+                            code=REF_CYCLE,
+                            severity=Severity.ERROR,
+                            location=table_location(succ),
+                            message="@refers_to cycle: " + " -> ".join(cycle),
+                            fix_hint="break the cycle; referential integrity "
+                            "needs a referenced-first insert order",
+                            table_name=succ,
+                        )
+                    )
+            elif color.get(succ, WHITE) == WHITE:
+                visit(succ, path)
+        path.pop()
+        color[name] = BLACK
+
+    for name in sorted(tables):
+        if color[name] == WHITE:
+            visit(name, [])
+    return out
+
+
+# ----------------------------------------------------------------------
+# Pass: action reference scopes
+# ----------------------------------------------------------------------
+
+
+def check_action_scopes(program: P4Program) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    for table in program.tables():
+        for ref in table.actions:
+            location = table_location(table.name, f"action {ref.action.name}")
+            if ref.default_only and ref.table_only:
+                out.append(
+                    Diagnostic(
+                        code=ACTION_SCOPE,
+                        severity=Severity.ERROR,
+                        location=location,
+                        message="action is both @defaultonly and @tableonly; "
+                        "no entry and no default may use it",
+                        fix_hint="drop one of the two annotations",
+                        table_name=table.name,
+                    )
+                )
+            elif (
+                ref.default_only
+                and table.const_default
+                and table.default_action.name != ref.action.name
+            ):
+                out.append(
+                    Diagnostic(
+                        code=UNREACHABLE_ACTION,
+                        severity=Severity.ERROR,
+                        location=location,
+                        message="@defaultonly action can never fire: the "
+                        f"default is const {table.default_action.name}",
+                        fix_hint="make it the default action or drop @defaultonly",
+                        table_name=table.name,
+                    )
+                )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Pass: entry restrictions (structural part)
+# ----------------------------------------------------------------------
+
+
+def check_restrictions(program: P4Program) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    for table in program.tables():
+        if not table.entry_restriction:
+            continue
+        location = table_location(table.name, "@entry_restriction")
+        try:
+            expr = parse_constraint(table.entry_restriction)
+        except ConstraintSyntaxError as exc:
+            out.append(
+                Diagnostic(
+                    code=RESTRICTION_SYNTAX,
+                    severity=Severity.ERROR,
+                    location=location,
+                    message=f"restriction does not parse: {exc}",
+                    fix_hint="fix the restriction grammar "
+                    "(the oracle would disable constraint checking)",
+                    table_name=table.name,
+                )
+            )
+            continue
+        keys = {k.key_name: k for k in table.keys}
+
+        def walk(node, table=table, keys=keys, location=location) -> None:
+            if isinstance(node, CCmp):
+                for side in (node.left, node.right):
+                    if not isinstance(side, CKey):
+                        continue
+                    key = keys.get(side.name)
+                    if key is None:
+                        out.append(
+                            Diagnostic(
+                                code=RESTRICTION_UNKNOWN_KEY,
+                                severity=Severity.ERROR,
+                                location=location,
+                                message=f"restriction references key "
+                                f"{side.name}, which the table does not have",
+                                fix_hint=f"one of: {', '.join(sorted(keys))}",
+                                table_name=table.name,
+                            )
+                        )
+                    elif side.accessor == "mask" and key.kind is MatchKind.EXACT:
+                        out.append(
+                            Diagnostic(
+                                code=RESTRICTION_ACCESSOR,
+                                severity=Severity.ERROR,
+                                location=location,
+                                message=f"{side.name}::mask on an exact key "
+                                "(the mask is always all-ones)",
+                                fix_hint="use the bare key value",
+                                table_name=table.name,
+                            )
+                        )
+                    elif (
+                        side.accessor == "prefix_length"
+                        and key.kind is not MatchKind.LPM
+                    ):
+                        out.append(
+                            Diagnostic(
+                                code=RESTRICTION_ACCESSOR,
+                                severity=Severity.ERROR,
+                                location=location,
+                                message=f"{side.name}::prefix_length on a "
+                                f"{key.kind.value} key (only LPM keys have one)",
+                                fix_hint="use ::mask or the bare value",
+                                table_name=table.name,
+                            )
+                        )
+            elif isinstance(node, CNot):
+                walk(node.arg)
+            elif isinstance(node, (CAnd, COr)):
+                for arg in node.args:
+                    walk(arg)
+
+        walk(expr)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Pass: key-name / field drift heuristic
+# ----------------------------------------------------------------------
+
+
+def _header_fields(program: P4Program, header: str) -> List[str]:
+    if header == "meta":
+        return [name for name, _w in program.metadata]
+    if header == "standard":
+        return [path.split(".", 1)[1] for path in STANDARD_FIELDS]
+    try:
+        return [name for name, _w in program.header(header).fields]
+    except KeyError:
+        return []
+
+
+def check_key_name_drift(program: P4Program) -> List[Diagnostic]:
+    """A key whose P4Runtime name clearly describes one field of its header
+    but is bound to a different one.
+
+    This is the static signature of the paper's wrong-field model-bug class
+    (a model matching ``icmp.code`` under a key still named ``icmp_type``):
+    the controller contract says one thing, the dataplane matches another.
+    Heuristic, hence a warning — a name is only "describing" a field when it
+    equals the field, equals ``<header>_<field>``, or ends in ``_<field>``.
+    """
+    out: List[Diagnostic] = []
+    for table in program.tables():
+        for key in table.keys:
+            header, _, actual = key.field.path.partition(".")
+            fields = _header_fields(program, header)
+            if actual not in fields:
+                continue  # undefined-field territory, reported elsewhere
+            candidates = [
+                f
+                for f in fields
+                if key.key_name == f
+                or key.key_name == f"{header}_{f}"
+                or key.key_name.endswith(f"_{f}")
+            ]
+            if candidates and actual not in candidates:
+                out.append(
+                    Diagnostic(
+                        code=KEY_NAME_DRIFT,
+                        severity=Severity.WARNING,
+                        location=table_location(table.name, f"key {key.key_name}"),
+                        message=f"key {key.key_name} matches {key.field.path} "
+                        f"but its name describes {header}.{candidates[0]}",
+                        fix_hint=f"bind the key to {header}.{candidates[0]} "
+                        "or rename it",
+                        table_name=table.name,
+                    )
+                )
+    return out
+
+
+STRUCTURAL_PASSES = (
+    check_fields,
+    check_widths,
+    check_duplicates,
+    check_keys,
+    check_references,
+    check_action_scopes,
+    check_restrictions,
+    check_key_name_drift,
+)
+
+
+def run_structural_passes(program: P4Program) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    for p in STRUCTURAL_PASSES:
+        out.extend(p(program))
+    return out

@@ -132,7 +132,7 @@ class Controller:
                 status = Status(Code.UNAVAILABLE, str(exc))
                 result.rejected.extend((u.entry, status) for u in batch)
                 continue
-            for update, status in zip(batch, response.statuses):
+            for update, status in zip(batch, response.statuses, strict=False):
                 if status.ok:
                     result.accepted += 1
                     self.shadow[update.entry.match_key()] = update.entry
@@ -159,7 +159,7 @@ class Controller:
                 status = Status(Code.UNAVAILABLE, str(exc))
                 result.rejected.extend((u.entry, status) for u in batch)
                 continue
-            for update, status in zip(batch, response.statuses):
+            for update, status in zip(batch, response.statuses, strict=False):
                 if status.ok:
                     result.accepted += 1
                     self.shadow.pop(update.entry.match_key(), None)

@@ -234,7 +234,7 @@ class P4Fuzzer:
             return
         result.updates_sent += len(batch)
 
-        for update, status in zip(batch, response.statuses):
+        for update, status in zip(batch, response.statuses, strict=False):
             if status.ok and update.type.value == "MODIFY":
                 self._modified_keys.add(update.entry.match_key())
 

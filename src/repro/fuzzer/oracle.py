@@ -134,7 +134,7 @@ class Oracle:
                 self.resync(read_back)
             return log
 
-        for update, status in zip(updates, response.statuses):
+        for update, status in zip(updates, response.statuses, strict=False):
             self._judge_update(update, status, log)
 
         if read_back is not None:

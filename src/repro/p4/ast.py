@@ -43,6 +43,21 @@ CPU_PORT = 0xFFF0  # distinguished port value meaning "the controller"
 DROP_PORT = 0xFFFF  # distinguished port value meaning "dropped"
 
 
+class ModelConstructionError(ValueError):
+    """An IR node was built that cannot mean anything.
+
+    Raised at *construction* time for mistakes that need no program context
+    (a boolean where a bitvector belongs, two literals of different widths,
+    a body referencing an undeclared parameter).  Containers (``Action``,
+    ``Table``, ``If``) prefix their messages with the same location
+    vocabulary the analyzer's diagnostics use — ``action <name>:``,
+    ``table <name>:``, ``if <label>:`` — so a constructor crash and a
+    lint finding point at the same place.  Mistakes that *do* need program
+    context (field widths, reference targets) are the analyzer's job:
+    :mod:`repro.analysis`.
+    """
+
+
 class MatchKind(enum.Enum):
     """P4Runtime match kinds supported by the model."""
 
@@ -74,6 +89,18 @@ class Const:
     value: int
     width: int
 
+    def __post_init__(self) -> None:
+        if self.width < 0:
+            raise ModelConstructionError(f"constant width {self.width} is negative")
+        if self.value < 0:
+            raise ModelConstructionError(
+                f"constant {self.value} is negative (bitvectors are unsigned)"
+            )
+        if self.width and self.value >> self.width:
+            raise ModelConstructionError(
+                f"constant {self.value} does not fit in {self.width} bit(s)"
+            )
+
     def __repr__(self) -> str:
         return f"{self.value}w{self.width}"
 
@@ -95,6 +122,13 @@ class BinOp:
     op: str
     left: "Expr"
     right: "Expr"
+
+    def __post_init__(self) -> None:
+        if self.op not in ("+", "-", "&", "|", "^"):
+            raise ModelConstructionError(f"unknown binary operator {self.op!r}")
+        _require_bitvector_operand(self.left, f"operator {self.op}")
+        _require_bitvector_operand(self.right, f"operator {self.op}")
+        _check_literal_widths(self.left, self.right, f"operator {self.op}")
 
     def __repr__(self) -> str:
         return f"({self.left!r} {self.op} {self.right!r})"
@@ -133,6 +167,13 @@ class Cmp:
     left: Expr
     right: Expr
 
+    def __post_init__(self) -> None:
+        if self.op not in ("==", "!=", "<", "<=", ">", ">="):
+            raise ModelConstructionError(f"unknown comparison operator {self.op!r}")
+        _require_bitvector_operand(self.left, f"comparison {self.op}")
+        _require_bitvector_operand(self.right, f"comparison {self.op}")
+        _check_literal_widths(self.left, self.right, f"comparison {self.op}")
+
     def __repr__(self) -> str:
         return f"({self.left!r} {self.op} {self.right!r})"
 
@@ -154,6 +195,18 @@ class BoolOp:
     op: str
     args: Tuple["BoolExpr", ...]
 
+    def __post_init__(self) -> None:
+        if self.op not in ("and", "or", "not"):
+            raise ModelConstructionError(f"unknown boolean connective {self.op!r}")
+        if self.op == "not" and len(self.args) != 1:
+            raise ModelConstructionError(
+                f"'not' takes exactly one argument, got {len(self.args)}"
+            )
+        if not self.args:
+            raise ModelConstructionError(f"'{self.op}' needs at least one argument")
+        for arg in self.args:
+            _require_bool_operand(arg, f"connective {self.op}")
+
     def __repr__(self) -> str:
         if self.op == "not":
             return f"!({self.args[0]!r})"
@@ -162,6 +215,46 @@ class BoolOp:
 
 
 BoolExpr = Union[Cmp, IsValid, BoolOp]
+
+
+def _require_bitvector_operand(node, where: str) -> None:
+    """Sort check: boolean nodes cannot appear where a bitvector belongs.
+
+    Resolved at call time (the boolean classes are defined below the
+    bitvector ones), which is safe: no IR node is constructed while this
+    module is still importing.
+    """
+    if isinstance(node, (Cmp, IsValid, BoolOp)):
+        raise ModelConstructionError(
+            f"{where}: operand {node!r} is boolean, expected a bitvector"
+        )
+
+
+def _require_bool_operand(node, where: str) -> None:
+    if not isinstance(node, (Cmp, IsValid, BoolOp)):
+        raise ModelConstructionError(
+            f"{where}: operand {node!r} is a bitvector, expected a boolean"
+        )
+
+
+def _literal_width(node) -> Optional[int]:
+    """The width of an expression when it is statically known *without*
+    program context: literals and hashes carry one; fields and parameters
+    resolve only against a program (the analyzer's job)."""
+    if isinstance(node, Const):
+        return node.width or None
+    if isinstance(node, HashExpr):
+        return node.width
+    return None
+
+
+def _check_literal_widths(left, right, where: str) -> None:
+    lw, rw = _literal_width(left), _literal_width(right)
+    if lw is not None and rw is not None and lw != rw:
+        raise ModelConstructionError(
+            f"{where}: operand widths differ ({left!r} is {lw} bit(s), "
+            f"{right!r} is {rw} bit(s))"
+        )
 
 
 def and_(*args: BoolExpr) -> BoolExpr:
@@ -192,6 +285,13 @@ class Statement:
 
     dest: FieldRef
     value: Expr
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.dest, FieldRef):
+            raise ModelConstructionError(
+                f"assignment destination must be a field, got {self.dest!r}"
+            )
+        _require_bitvector_operand(self.value, "assignment")
 
     def __repr__(self) -> str:
         return f"{self.dest!r} := {self.value!r}"
@@ -239,6 +339,12 @@ class ActionParamSpec:
     width: int
     refers_to: Optional[Tuple] = None  # (table, key) or ((table, key), ...)
 
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ModelConstructionError(
+                f"parameter {self.name}: width must be positive, got {self.width}"
+            )
+
     def references(self) -> Tuple[Tuple[str, str], ...]:
         """The parameter's reference edges, normalised to a tuple of pairs."""
         if self.refers_to is None:
@@ -255,6 +361,36 @@ class Action:
     name: str
     params: Tuple[ActionParamSpec, ...] = ()
     body: Tuple[Statement, ...] = ()
+
+    def __post_init__(self) -> None:
+        env: Dict[str, int] = {}
+        for p in self.params:
+            if p.name in env:
+                raise ModelConstructionError(
+                    f"action {self.name}: duplicate parameter {p.name}"
+                )
+            env[p.name] = p.width
+
+        def width_of(expr) -> Optional[int]:
+            if isinstance(expr, Param):
+                if expr.name not in env:
+                    raise ModelConstructionError(
+                        f"action {self.name}: body references undeclared "
+                        f"parameter ${expr.name}"
+                    )
+                return env[expr.name]
+            if isinstance(expr, BinOp):
+                lw, rw = width_of(expr.left), width_of(expr.right)
+                if lw is not None and rw is not None and lw != rw:
+                    raise ModelConstructionError(
+                        f"action {self.name}: operand widths differ in "
+                        f"{expr!r} ({lw} vs {rw} bit(s))"
+                    )
+                return lw if lw is not None else rw
+            return _literal_width(expr)
+
+        for stmt in self.body:
+            width_of(stmt.value)
 
     def param(self, name: str) -> ActionParamSpec:
         for p in self.params:
@@ -333,6 +469,25 @@ class Table:
     # controller (§3 "Mirror Sessions").
     is_logical: bool = False
 
+    def __post_init__(self) -> None:
+        # Duplicate key names make P4Runtime match-field ids ambiguous.
+        # The entry_restriction text is deliberately NOT parsed here: a
+        # malformed restriction is a model artifact the oracle/analyzer
+        # report in context, and tests construct them on purpose.
+        seen = set()
+        for k in self.keys:
+            if k.key_name in seen:
+                raise ModelConstructionError(
+                    f"table {self.name}: duplicate key {k.key_name}"
+                )
+            seen.add(k.key_name)
+        for ref in self.actions:
+            if not isinstance(ref, ActionRef):
+                raise ModelConstructionError(
+                    f"table {self.name}: actions must be ActionRef, "
+                    f"got {ref!r}"
+                )
+
     def key(self, name: str) -> TableKey:
         for k in self.keys:
             if k.key_name == name:
@@ -388,6 +543,18 @@ class If:
     # Stable label used by coverage bookkeeping; derived from position if
     # not given.
     label: str = ""
+
+    def __post_init__(self) -> None:
+        where = f"if {self.label}" if self.label else "if"
+        if not isinstance(self.cond, (Cmp, IsValid, BoolOp)):
+            raise ModelConstructionError(
+                f"{where}: condition {self.cond!r} is not boolean"
+            )
+        for block_name, block in (("then", self.then_block), ("else", self.else_block)):
+            if not isinstance(block, Seq):
+                raise ModelConstructionError(
+                    f"{where}: {block_name} branch must be a Seq, got {block!r}"
+                )
 
 
 @dataclass(frozen=True)

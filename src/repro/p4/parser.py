@@ -299,7 +299,8 @@ class _Parser:
         name = self.expect_kind("ident")
         self.expect("{")
         keys: List[TableKey] = []
-        action_names: List[str] = []
+        # (action name, default_only, table_only)
+        action_refs: List[Tuple[str, bool, bool]] = []
         default_action = "NoAction"
         size = 1024
         implementation: Optional[ActionProfile] = None
@@ -318,7 +319,20 @@ class _Parser:
                     if self.peek()[1] == ",":
                         self.advance()
                         continue
-                    action_names.append(self.expect_kind("ident"))
+                    default_only = table_only = False
+                    while self.peek()[0] == "at":
+                        annotation = self.advance()[1]
+                        if annotation == "@defaultonly":
+                            default_only = True
+                        elif annotation == "@tableonly":
+                            table_only = True
+                        else:
+                            raise P4ParseError(
+                                f"unknown action annotation {annotation!r}"
+                            )
+                    action_refs.append(
+                        (self.expect_kind("ident"), default_only, table_only)
+                    )
                 self.expect("}")
                 self.expect(";")
             elif member == "const":
@@ -337,9 +351,23 @@ class _Parser:
                 profile_name = self.expect_kind("ident")
                 self.expect(",")
                 max_group = self._int()
+                selector_fields: List[FieldRef] = []
+                if self.peek()[1] == ",":
+                    self.advance()
+                    self.expect("{")
+                    while self.peek()[1] != "}":
+                        if self.peek()[1] == ",":
+                            self.advance()
+                            continue
+                        selector_fields.append(
+                            FieldRef(self.expect_kind("path"))
+                        )
+                    self.expect("}")
                 self.expect(")")
                 self.expect(";")
-                implementation = ActionProfile(profile_name, max_group)
+                implementation = ActionProfile(
+                    profile_name, max_group, tuple(selector_fields)
+                )
             else:
                 raise P4ParseError(f"unknown table member {member!r}")
         self.expect("}")
@@ -355,7 +383,10 @@ class _Parser:
         self._tables[name] = Table(
             name=name,
             keys=tuple(keys),
-            actions=tuple(ActionRef(lookup(a)) for a in action_names),
+            actions=tuple(
+                ActionRef(lookup(a), default_only=d, table_only=t)
+                for a, d, t in action_refs
+            ),
             default_action=lookup(default_action),
             size=size,
             entry_restriction=annotations.get("entry_restriction"),
@@ -371,7 +402,7 @@ class _Parser:
         try:
             match_kind = MatchKind(kind)
         except ValueError:
-            raise P4ParseError(f"unknown match kind {kind!r}")
+            raise P4ParseError(f"unknown match kind {kind!r}") from None
         key_name = None
         refers_to = None
         while self.peek()[0] == "at":
@@ -396,8 +427,7 @@ class _Parser:
     def _parse_apply(self) -> Seq:
         self.expect("apply")
         self.expect("{")
-        block = self._parse_block()
-        return block
+        return self._parse_block()
 
     def _parse_block(self) -> Seq:
         nodes = []

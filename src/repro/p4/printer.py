@@ -94,14 +94,27 @@ def _table(table: Table, out: List[str]) -> None:
             f" @name(\"{key.key_name}\"){annotation};"
         )
     out.append("        }")
-    actions = ", ".join(ref.action.name for ref in table.actions)
+    def _action_ref(ref: ast.ActionRef) -> str:
+        scope = ""
+        if ref.default_only:
+            scope = "@defaultonly "
+        elif ref.table_only:
+            scope = "@tableonly "
+        return f"{scope}{ref.action.name}"
+
+    actions = ", ".join(_action_ref(ref) for ref in table.actions)
     out.append(f"        actions = {{ {actions} }};")
     out.append(f"        const default_action = {table.default_action.name};")
     out.append(f"        size = {table.size};")
     if table.implementation is not None:
         impl = table.implementation
+        selector = ""
+        if impl.selector_fields:
+            inner = ", ".join(f.path for f in impl.selector_fields)
+            selector = f", {{ {inner} }}"
         out.append(
-            f"        implementation = action_selector({impl.name}, {impl.max_group_size});"
+            f"        implementation = action_selector("
+            f"{impl.name}, {impl.max_group_size}{selector});"
         )
     out.append("    }")
 

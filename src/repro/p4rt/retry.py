@@ -185,7 +185,7 @@ class RetryingP4RuntimeClient(P4RuntimeService):
         """Apply the idempotency rule to a re-applied write's statuses."""
         statuses: List[Status] = []
         rewritten = False
-        for update, status in zip(request.updates, response.statuses):
+        for update, status in zip(request.updates, response.statuses, strict=False):
             if not status.ok and (
                 (update.type is UpdateType.INSERT and status.code is Code.ALREADY_EXISTS)
                 or (update.type is UpdateType.DELETE and status.code is Code.NOT_FOUND)

@@ -134,7 +134,7 @@ class BitBlaster:
                 abits = self.encode_bv(a)
                 bbits = self.encode_bv(b)
                 lit = self._emit_and(
-                    [self._emit_iff(x, y) for x, y in zip(abits, bbits)]
+                    [self._emit_iff(x, y) for x, y in zip(abits, bbits, strict=True)]
                 )
         elif op in (T.OP_ULT, T.OP_ULE):
             lit = self._encode_unsigned_cmp(term.args[0], term.args[1], strict=op == T.OP_ULT)
@@ -151,7 +151,7 @@ class BitBlaster:
         # result starts as (not strict) for the empty suffix, then from LSB to
         # MSB: result = (a_i < b_i) or (a_i == b_i and result)
         result = self._const_lit(not strict)
-        for x, y in zip(abits, bbits):
+        for x, y in zip(abits, bbits, strict=True):
             less = self._emit_and([x ^ 1, y])
             same = self._emit_iff(x, y)
             result = self._emit_or([less, self._emit_and([same, result])])
@@ -162,7 +162,7 @@ class BitBlaster:
         bbits = self.encode_bv(b)
         asign, bsign = abits[-1], bbits[-1]
         unsigned = self._const_lit(not strict)
-        for x, y in zip(abits[:-1], bbits[:-1]):
+        for x, y in zip(abits[:-1], bbits[:-1], strict=True):
             less = self._emit_and([x ^ 1, y])
             same = self._emit_iff(x, y)
             unsigned = self._emit_or([less, self._emit_and([same, unsigned])])
@@ -191,17 +191,17 @@ class BitBlaster:
         elif op == T.OP_BVAND:
             bits = [
                 self._emit_and([x, y])
-                for x, y in zip(self.encode_bv(term.args[0]), self.encode_bv(term.args[1]))
+                for x, y in zip(self.encode_bv(term.args[0]), self.encode_bv(term.args[1]), strict=True)
             ]
         elif op == T.OP_BVOR:
             bits = [
                 self._emit_or([x, y])
-                for x, y in zip(self.encode_bv(term.args[0]), self.encode_bv(term.args[1]))
+                for x, y in zip(self.encode_bv(term.args[0]), self.encode_bv(term.args[1]), strict=True)
             ]
         elif op == T.OP_BVXOR:
             bits = [
                 self._emit_xor(x, y)
-                for x, y in zip(self.encode_bv(term.args[0]), self.encode_bv(term.args[1]))
+                for x, y in zip(self.encode_bv(term.args[0]), self.encode_bv(term.args[1]), strict=True)
             ]
         elif op == T.OP_BVADD:
             bits = self._encode_add(
@@ -255,7 +255,7 @@ class BitBlaster:
             for node in reversed(chain):
                 c = self.encode_bool(node.args[0])
                 tbits = self.encode_bv(node.args[1])
-                bits = [self._emit_ite(c, x, y) for x, y in zip(tbits, bits)]
+                bits = [self._emit_ite(c, x, y) for x, y in zip(tbits, bits, strict=True)]
                 self._bv_cache[node] = bits
         else:  # pragma: no cover - defensive
             raise NotImplementedError(f"encode_bv: unknown op {op}")
@@ -266,7 +266,7 @@ class BitBlaster:
     def _encode_add(self, abits: List[int], bbits: List[int], carry_in: bool) -> List[int]:
         carry = self._const_lit(carry_in)
         out = []
-        for x, y in zip(abits, bbits):
+        for x, y in zip(abits, bbits, strict=True):
             s, carry = self._full_adder(x, y, carry)
             out.append(s)
         return out

@@ -123,7 +123,7 @@ class Solver:
         if self._last_result is not Result.SAT:
             raise RuntimeError("model() requires a preceding SAT check()")
         values: Dict[str, int] = {}
-        for name, sort in self._var_sorts.items():
+        for name in self._var_sorts:
             bits = self._blaster.variable_bits(name)
             if bits is None:
                 # Variable was simplified away entirely; any value works.

@@ -107,7 +107,7 @@ class Term:
         _TERM_CACHE[key] = self
         return self
 
-    def __setattr__(self, name, value):  # pragma: no cover - guard rail
+    def __setattr__(self, _name, _value):  # pragma: no cover - guard rail
         raise AttributeError("Term objects are immutable")
 
     def __hash__(self) -> int:

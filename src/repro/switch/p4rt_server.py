@@ -183,7 +183,7 @@ class P4RuntimeServer:
                 f"dangling reference {ref.source} -> "
                 f"{ref.target_table}.{ref.target_key} = {ref.value}"
             )
-        status = self._dispatch(table, "insert", decoded)
+        status = self._dispatch("insert", decoded)
         if status.ok:
             self._store[key] = _StoredEntry(wire=entry, decoded=decoded)
             self._track_insert(entry)
@@ -200,7 +200,7 @@ class P4RuntimeServer:
                 f"dangling reference {ref.source} -> "
                 f"{ref.target_table}.{ref.target_key} = {ref.value}"
             )
-        status = self._dispatch(table, "modify", decoded)
+        status = self._dispatch("modify", decoded)
         if status.ok:
             if self._faults.enabled("modify_keeps_old_params"):
                 # The new action parameters never reach the store or the
@@ -224,13 +224,13 @@ class P4RuntimeServer:
                     return failed_precondition(
                         f"entry in {table.name} is still referenced"
                     )
-        status = self._dispatch(table, "delete", decoded)
+        status = self._dispatch("delete", decoded)
         if status.ok:
             self._track_delete(self._store[key].wire)
             del self._store[key]
         return status
 
-    def _dispatch(self, table, op: str, decoded: InstalledEntry) -> Status:
+    def _dispatch(self, op: str, decoded: InstalledEntry) -> Status:
         try:
             self._orchagent.apply(op, decoded)
         except OrchAgentError as exc:
@@ -480,7 +480,7 @@ class P4RuntimeServer:
         try:
             ok = evaluate_constraint(constraint, decoded.key_values())
         except Exception as exc:  # constraint referencing unknown keys
-            raise _ValidationFailure(internal(f"constraint evaluation error: {exc}"))
+            raise _ValidationFailure(internal(f"constraint evaluation error: {exc}")) from exc
         if not ok:
             raise _ValidationFailure(
                 invalid_argument(f"entry violates @entry_restriction on {table.name}")

@@ -64,6 +64,10 @@ class CampaignConfig:
     retry_policy: Optional[RetryPolicy] = None
     # Soak mode: how many fuzz cycles run_soak_campaign executes.
     soak_cycles: int = 3
+    # Fail-fast gate: lint the model before the campaign starts; a model
+    # with error-severity diagnostics yields MODEL_ERROR incidents and no
+    # fuzzing/replay happens (repro.analysis).
+    lint_model: bool = False
 
 
 def run_fault_campaign(
@@ -87,7 +91,20 @@ def run_fault_campaign(
         workers=config.workers,
         fault_profile=config.fault_profile,
         retry_policy=config.retry_policy,
+        lint_model=config.lint_model,
     )
+
+    if harness.p4info is None:
+        # The lint gate refused the model: the "campaign" is just the
+        # findings, reported through the same incident pipeline.
+        report = harness.validate_control_plane()
+        return FaultOutcome(
+            fault=fault,
+            detected=bool(report.incidents),
+            detected_by=sorted(report.incidents.by_source()),
+            incident_count=report.incidents.count,
+            incidents=report.incidents,
+        )
 
     entries = production_like_entries(
         build_p4info(model), total=config.workload_entries, seed=config.seed

@@ -104,8 +104,18 @@ class SwitchVHarness:
         workers: int = 1,
         fault_profile=None,
         retry_policy=None,
+        lint_model: bool = False,
     ) -> None:
         self.model = model
+        # Fail-fast gate: lint the model before anything derives from it.
+        # An error-severity finding means the model is unusable as a
+        # specification; every validate_* entry point then refuses to run
+        # and reports the findings as MODEL_ERROR incidents instead.
+        self.lint_report = None
+        if lint_model:
+            from repro.analysis import analyze_program
+
+            self.lint_report = analyze_program(model)
         # Transport-availability testing: wrap the P4RT session in a
         # fault-injecting channel plus a retrying client.  The behavioural
         # fault registry (repro.switch.faults) is orthogonal to this layer.
@@ -116,7 +126,12 @@ class SwitchVHarness:
                 switch, fault_profile=fault_profile, retry_policy=retry_policy
             )
         self.switch = switch
-        self.p4info = build_p4info(model)
+        # A model that failed the lint gate may not even survive P4Info
+        # derivation (undefined fields crash field_width), so don't try.
+        if self.lint_report is not None and self.lint_report.has_errors:
+            self.p4info = None
+        else:
+            self.p4info = build_p4info(model)
         self.valid_ports = tuple(valid_ports)
         self.cache = cache
         # Goal-solving parallelism for packet generation (1 = sequential).
@@ -125,6 +140,29 @@ class SwitchVHarness:
         # found simulator bugs too; they surface as mismatches like any
         # other divergence).
         self.simulator_faults = simulator_faults
+
+    def _lint_gate(self, report: ValidationReport) -> bool:
+        """True when the model failed the lint gate (campaign must not run).
+
+        Error-severity diagnostics surface as MODEL_ERROR incidents with
+        the same structured table attribution the rest of the incident
+        pipeline uses, so metrics and triage treat a broken model exactly
+        like any other model artifact failure.
+        """
+        if self.lint_report is None or not self.lint_report.has_errors:
+            return False
+        for diag in self.lint_report.errors:
+            report.incidents.report(
+                Incident(
+                    kind=IncidentKind.MODEL_ERROR,
+                    summary=f"model lint [{diag.code}] {diag.location}: "
+                    f"{diag.message}",
+                    expected=diag.fix_hint,
+                    source="repro-analysis",
+                    table_name=diag.table_name,
+                )
+            )
+        return True
 
     def _table_name(self, table_id: int) -> str:
         table = self.p4info.tables.get(table_id)
@@ -144,6 +182,8 @@ class SwitchVHarness:
         self, config: Optional[FuzzerConfig] = None
     ) -> ValidationReport:
         report = ValidationReport()
+        if self._lint_gate(report):
+            return report
         fuzzer = P4Fuzzer(self.p4info, self.switch, config or FuzzerConfig())
         result = fuzzer.run()
         report.fuzz = result
@@ -163,6 +203,8 @@ class SwitchVHarness:
         exercise_update_path: bool = True,
     ) -> ValidationReport:
         report = ValidationReport()
+        if self._lint_gate(report):
+            return report
         stats = DataPlaneStats()
         report.data_plane = stats
 
@@ -181,7 +223,7 @@ class SwitchVHarness:
             state = self._decode_state(entries, report)
 
         packets = self._generate_packets(
-            state, mode, custom_goals, stats, report,
+            state, mode, custom_goals, stats,
             cacheable=not caller_supplied_goals,
         )
         simulator = Bmv2Simulator(self.model, state, faults=self.simulator_faults)
@@ -214,7 +256,7 @@ class SwitchVHarness:
         updates = [Update(UpdateType.MODIFY, e) for e in entries]
         for batch in make_batches(self.p4info, updates):
             response = self.switch.write(WriteRequest(updates=tuple(batch)))
-            for update, st in zip(batch, response.statuses):
+            for update, st in zip(batch, response.statuses, strict=False):
                 if not st.ok:
                     report.incidents.report(
                         Incident(
@@ -265,6 +307,8 @@ class SwitchVHarness:
     ) -> ValidationReport:
         """Full SwitchV run: control-plane then data-plane validation."""
         report = self.validate_control_plane(fuzzer_config)
+        if self.lint_report is not None and self.lint_report.has_errors:
+            return report
         # §7 extension: replay the state the fuzz campaign left behind
         # through p4-symbolic, targeting only the churned (modified)
         # entries — update-path bugs are invisible to a fresh install.
@@ -354,7 +398,7 @@ class SwitchVHarness:
         install_failed = False
         for batch in make_batches(self.p4info, updates):
             response = self.switch.write(WriteRequest(updates=tuple(batch)))
-            for update, st in zip(batch, response.statuses):
+            for update, st in zip(batch, response.statuses, strict=False):
                 if not st.ok:
                     install_failed = True
                     report.incidents.report(
@@ -403,7 +447,6 @@ class SwitchVHarness:
         mode: CoverageMode,
         custom_goals: Sequence[CoverageGoal],
         stats: DataPlaneStats,
-        report: ValidationReport,
         cacheable: bool = True,
     ) -> List[GeneratedPacket]:
         # The harness's standard special goals are deterministic, so they

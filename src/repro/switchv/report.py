@@ -105,6 +105,31 @@ def render_generation_stats(stats) -> str:
     return "\n".join(lines)
 
 
+def render_diagnostics(report) -> str:
+    """Human-facing rendering of one model-lint run.
+
+    Takes a :class:`repro.analysis.AnalysisReport` (duck-typed to avoid a
+    circular import) and renders it the way the incident log renders
+    divergences: errors first, then warnings, one fix-hint per finding.
+    This is what the ``python -m repro.analysis`` CLI prints and what the
+    harness logs before refusing to start a campaign."""
+    errors = report.errors
+    warnings = report.warnings
+    scope = "structural+semantic" if report.semantic_ran else "structural only"
+    lines = [
+        f"model lint: {report.program_name} ({scope}): "
+        f"{len(errors)} error(s), {len(warnings)} warning(s)"
+    ]
+    for diag in list(errors) + list(warnings):
+        lines.append(f"  {diag.severity.value}[{diag.code}] {diag.location}")
+        lines.append(f"      {diag.message}")
+        if diag.fix_hint:
+            lines.append(f"      fix: {diag.fix_hint}")
+    if not report.diagnostics:
+        lines.append("  clean: the model is usable as a specification")
+    return "\n".join(lines)
+
+
 def render_transport_stats(transport) -> str:
     """Human-facing retry/timeout/reconnect summary for one campaign.
 

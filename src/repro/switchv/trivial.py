@@ -86,7 +86,7 @@ def run_trivial_suite(
     failure = None
     for batch in make_batches(p4info, [Update(UpdateType.INSERT, e) for e in entries]):
         response = switch.write(WriteRequest(updates=tuple(batch)))
-        for update, st in zip(batch, response.statuses):
+        for update, st in zip(batch, response.statuses, strict=False):
             if not st.ok and failure is None:
                 failure = (
                     f"insert into table 0x{update.entry.table_id:08x} failed: "

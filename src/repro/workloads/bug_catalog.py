@@ -175,12 +175,11 @@ def aggregate_figure7(
 ) -> Dict[str, Dict[str, int]]:
     """Figure 7's series: Total / Symbolic / Fuzzer histogram per bucket."""
     resolved = [(tool, d) for tool, d in population if d is not None]
-    series = {
+    return {
         "Total": bucket_counts([d for _t, d in resolved]),
         "Symbolic": bucket_counts([d for t, d in resolved if t == "p4-symbolic"]),
         "Fuzzer": bucket_counts([d for t, d in resolved if t == "p4-fuzzer"]),
     }
-    return series
 
 
 def median_resolution_days(population: List[Tuple[str, Optional[int]]]) -> float:

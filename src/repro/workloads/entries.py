@@ -220,7 +220,7 @@ PUNT_CANARY_IP = 0x0AFFFF01  # 10.255.255.1
 _PREFIX_MIX = [16] * 2 + [20] * 3 + [22] * 4 + [24] * 8 + [26] * 2 + [28] * 1
 
 
-def _role_specific_entries(p4info: P4Info, b: EntryBuilder, num_ports: int, rng) -> List[TableEntry]:
+def _role_specific_entries(p4info: P4Info, b: EntryBuilder) -> List[TableEntry]:
     """Entries exercising role-specific features: ICMP and TTL ACL matches
     on ToR-style ACLs, mirroring, and tunnel encap/decap on Cerberus."""
     entries: List[TableEntry] = []
@@ -375,7 +375,7 @@ def production_like_entries(
             )
         )
 
-    entries.extend(_role_specific_entries(p4info, b, num_ports, rng))
+    entries.extend(_role_specific_entries(p4info, b))
 
     vrfs = [1] + extra_vrfs
     seen_routes = set()

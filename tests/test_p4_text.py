@@ -41,7 +41,10 @@ class TestPrinter:
 
     def test_emits_selector_implementation(self, tor_program):
         text = print_program(tor_program)
-        assert "implementation = action_selector(wcmp_group_selector, 128);" in text
+        assert (
+            "implementation = action_selector(wcmp_group_selector, 128,"
+            " { ipv4.src_addr, ipv4.dst_addr, ipv4.protocol });" in text
+        )
 
     def test_labels_in_apply(self, tor_program):
         text = print_program(tor_program)
@@ -75,6 +78,63 @@ class TestRoundTrip:
             original = Interpreter(tor_program, state, SeededHash(1)).run(packet, 2)
             reparsed = Interpreter(parsed, state, SeededHash(1)).run(packet, 2)
             assert original.behavior_signature() == reparsed.behavior_signature()
+
+    @pytest.mark.parametrize("build", ALL_BUILDERS)
+    def test_selector_fields_survive(self, build):
+        """action_selector hash fields must not be dropped by the printer."""
+        program = build()
+        parsed = parse_program(print_program(program))
+        for table in program.tables():
+            if table.implementation is None:
+                continue
+            reparsed = parsed.table(table.name).implementation
+            assert reparsed is not None
+            assert reparsed.name == table.implementation.name
+            assert reparsed.max_group_size == table.implementation.max_group_size
+            assert [f.path for f in reparsed.selector_fields] == [
+                f.path for f in table.implementation.selector_fields
+            ]
+
+    def test_action_ref_flags_survive(self, toy_program):
+        """@defaultonly / @tableonly scope markers round-trip."""
+        from dataclasses import replace
+
+        from repro.p4.ast import ActionRef, If, Seq, TableApply
+
+        original = toy_program.table("ipv4_tbl")
+        flagged = replace(
+            original,
+            actions=(
+                replace(original.actions[0], default_only=True),
+                replace(original.actions[1], table_only=True),
+            ),
+        )
+
+        def swap(block):
+            nodes = []
+            for node in block:
+                if isinstance(node, TableApply) and node.table.name == "ipv4_tbl":
+                    node = TableApply(flagged)
+                elif isinstance(node, If):
+                    node = replace(
+                        node,
+                        then_block=swap(node.then_block),
+                        else_block=swap(node.else_block),
+                    )
+                nodes.append(node)
+            return Seq(tuple(nodes))
+
+        program = replace(toy_program, ingress=swap(toy_program.ingress))
+        assert program.table("ipv4_tbl").actions[0].default_only
+        text = print_program(program)
+        assert "@defaultonly" in text
+        assert "@tableonly" in text
+        parsed = parse_program(text)
+        refs = parsed.table("ipv4_tbl").actions
+        assert isinstance(refs[0], ActionRef) and refs[0].default_only
+        assert not refs[0].table_only
+        assert refs[1].table_only and not refs[1].default_only
+        assert print_program(parsed) == text
 
     def test_structure_survives(self, cerberus_program):
         parsed = parse_program(print_program(cerberus_program))

@@ -28,7 +28,7 @@ class TestSatSolver:
         vs = [s.new_var() for _ in range(5)]
         # v0 and (v_i -> v_{i+1})
         s.add_clause([pos_lit(vs[0])])
-        for a, b in zip(vs, vs[1:]):
+        for a, b in zip(vs, vs[1:], strict=False):
             s.add_clause([neg_lit(a), pos_lit(b)])
         assert s.solve()
         assert all(s.model_value(v) for v in vs)

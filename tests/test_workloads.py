@@ -18,7 +18,7 @@ def install_all(switch, p4info, entries):
     for batch in make_batches(p4info, updates):
         response = switch.write(WriteRequest(updates=tuple(batch)))
         failures.extend(
-            (u.entry, s) for u, s in zip(batch, response.statuses) if not s.ok
+            (u.entry, s) for u, s in zip(batch, response.statuses, strict=False) if not s.ok
         )
     return failures
 
