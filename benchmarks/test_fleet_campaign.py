@@ -1,0 +1,112 @@
+"""Fleet-campaign benchmark: sequential vs sharded catalogue wall time.
+
+Runs the full pins+cerberus fault catalogue once sequentially
+(run_full_campaign per stack) and once sharded across worker processes
+(run_fleet_campaign), records the wall-clock table, and verifies the
+acceptance bar: identical detection verdicts and incident dedup-key sets
+for the same seeds.  The speedup assertion is gated on the machine
+actually having cores to shard over; the equivalence assertion is not.
+
+The ``smoke`` test is the CI job (2 workers, seconds); the full table
+scales with ``REPRO_BENCH_SCALE=paper``.
+"""
+
+import os
+import time
+
+from conftest import print_table
+
+from repro.switchv.campaign import CampaignConfig, run_full_campaign
+from repro.switchv.fleet import run_fleet_campaign
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+def _config():
+    writes, updates, entries = (3, 6, 25) if SCALE == "small" else (15, 25, 70)
+    return CampaignConfig(
+        fuzz_writes=writes,
+        fuzz_updates_per_write=updates,
+        workload_entries=entries,
+        seed=11,
+        run_trivial=False,
+    )
+
+
+def _assert_equivalent(sequential, report):
+    clean = report.fault_outcomes(profile=None)
+    assert len(clean) == len(sequential)
+    for seq, par in zip(clean, sequential, strict=True):
+        assert seq.fault.name == par.fault.name
+        assert seq.detected == par.detected, seq.fault.name
+        assert {i.dedup_key() for i in seq.incidents} == {
+            i.dedup_key() for i in par.incidents
+        }, seq.fault.name
+
+
+def test_fleet_smoke():
+    """CI gate: a 2-worker fleet over the full catalogue, equivalent to
+    the sequential run."""
+    config = _config()
+    start = time.perf_counter()
+    sequential = [
+        outcome
+        for stack in ("pins", "cerberus")
+        for outcome in run_full_campaign(stack, config)
+    ]
+    sequential_s = time.perf_counter() - start
+    report = run_fleet_campaign(config=config, workers=2)
+    print_table(
+        "fleet campaign (smoke, 2 workers)",
+        ["metric", "value"],
+        [
+            ["tasks", len(report.results)],
+            ["detected", f"{report.detected}/{len(report.results)}"],
+            ["degraded tasks", report.degraded_tasks],
+            ["sequential wall clock", f"{sequential_s:.1f}s"],
+            ["fleet wall clock", f"{report.elapsed_seconds:.1f}s"],
+            ["speedup", f"{sequential_s / report.elapsed_seconds:.2f}x"],
+        ],
+    )
+    _assert_equivalent(sequential, report)
+    assert report.degraded_tasks == 0
+
+
+def test_fleet_worker_sweep():
+    """The Table-3-style scaling table: catalogue wall clock by worker
+    count, with the workers=4 acceptance row asserted for equivalence
+    (and for speedup when the machine has cores to shard over)."""
+    config = _config()
+    start = time.perf_counter()
+    sequential = [
+        outcome
+        for stack in ("pins", "cerberus")
+        for outcome in run_full_campaign(stack, config)
+    ]
+    sequential_s = time.perf_counter() - start
+
+    rows = [["sequential", 1, f"{sequential_s:.1f}s", "1.00x", "-"]]
+    four_worker_report = None
+    for workers in (2, 4):
+        report = run_fleet_campaign(config=config, workers=workers)
+        _assert_equivalent(sequential, report)
+        rows.append(
+            [
+                "fleet",
+                workers,
+                f"{report.elapsed_seconds:.1f}s",
+                f"{sequential_s / report.elapsed_seconds:.2f}x",
+                report.degraded_tasks,
+            ]
+        )
+        if workers == 4:
+            four_worker_report = report
+    print_table(
+        f"fault catalogue: sequential vs sharded ({SCALE}, "
+        f"{os.cpu_count()} cpu(s))",
+        ["mode", "workers", "wall clock", "speedup", "degraded"],
+        rows,
+    )
+    # Wall-clock speedup needs hardware parallelism; equivalence does not.
+    if (os.cpu_count() or 1) >= 2:
+        assert four_worker_report.elapsed_seconds < sequential_s

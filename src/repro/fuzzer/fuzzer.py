@@ -119,6 +119,12 @@ class P4Fuzzer:
         )
         self.oracle = Oracle(p4info)
         self._modified_keys = set()
+        # True when the oracle's expected state is stale: an ambiguous
+        # write was abandoned and the recovery read-back also failed, so
+        # the projection may or may not include the abandoned batch.
+        # Judging anything against a stale projection is unsound; the
+        # next batch adopts a fresh read-back before judging resumes.
+        self._needs_resync = False
 
     # ------------------------------------------------------------------
     # Campaign
@@ -220,7 +226,11 @@ class P4Fuzzer:
                     source="p4-fuzzer",
                 )
             )
-            self._resync_oracle(result)
+            if not self._resync_oracle(result):
+                # The abandoned write may have been applied and even the
+                # recovery read-back failed: the oracle's view is stale
+                # until a read-back lands.
+                self._needs_resync = True
             return
         except Exception as exc:  # a crash is itself a finding
             result.incidents.report(
@@ -241,14 +251,20 @@ class P4Fuzzer:
         # An ambiguous outcome (some attempt of this write may or may not
         # have been applied before the one that answered) makes per-update
         # status judging unsound: a re-applied INSERT legitimately answers
-        # ALREADY_EXISTS, a re-applied DELETE answers NOT_FOUND.  Per the
-        # oracle's §4.3 design, read the state back and adopt it instead
-        # of reporting phantom incidents.
+        # ALREADY_EXISTS, a re-applied DELETE answers NOT_FOUND.  A stale
+        # oracle (an earlier recovery read-back failed) is unsound the same
+        # way: the expected state the statuses would be judged against may
+        # not include an abandoned-but-applied batch.  Per the oracle's
+        # §4.3 design, read the state back and adopt it instead of
+        # reporting phantom incidents.
         info = getattr(self.switch, "last_write_info", None)
-        if info is not None and info.ambiguous:
+        if self._needs_resync or (info is not None and info.ambiguous):
             result.transport.ambiguous_batches += 1
             if self._resync_oracle(result):
                 result.transport.resyncs += 1
+                self._needs_resync = False
+            else:
+                self._needs_resync = True
             self.generator.state.replace_all(self.oracle.installed_entries())
             return
 
@@ -259,6 +275,11 @@ class P4Fuzzer:
             try:
                 read_back = list(self.switch.read(ReadRequest(table_id=0)).entries)
             except ChannelError as exc:
+                # A failed read-back downgrades this batch to status-only
+                # judging (read_back stays None): the write's statuses are
+                # real and the oracle must still project the batch forward,
+                # or its expected state silently drifts and the *next*
+                # read-back reports phantom incidents.
                 result.transport.flakes += 1
                 result.incidents.report(
                     Incident(
@@ -268,7 +289,6 @@ class P4Fuzzer:
                         source="p4-fuzzer",
                     )
                 )
-                return
             except Exception as exc:
                 result.incidents.report(
                     Incident(
@@ -278,7 +298,6 @@ class P4Fuzzer:
                         source="p4-fuzzer",
                     )
                 )
-                return
 
         log = self.oracle.judge_batch(batch, response, read_back)
         result.incidents.extend(log)

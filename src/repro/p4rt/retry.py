@@ -140,7 +140,7 @@ class RetryingP4RuntimeClient(P4RuntimeService):
             reconnect = getattr(self._service, "reconnect", None)
             if reconnect is not None:
                 reconnect()
-            self.retry_stats.reconnects += 1
+                self.retry_stats.reconnects += 1
 
     # ------------------------------------------------------------------
     # Write (the only RPC with ambiguous side effects)
@@ -165,6 +165,7 @@ class RetryingP4RuntimeClient(P4RuntimeService):
                 last = exc
             if attempt >= self.policy.max_attempts:
                 self.retry_stats.exhausted += 1
+                info.attempts = attempt
                 self.last_write_info = info
                 raise RetriesExhausted(
                     f"write abandoned after {attempt} attempts: {last}"
@@ -183,9 +184,15 @@ class RetryingP4RuntimeClient(P4RuntimeService):
         self, request: WriteRequest, response: WriteResponse, info: WriteInfo
     ) -> WriteResponse:
         """Apply the idempotency rule to a re-applied write's statuses."""
+        if len(response.statuses) != len(request.updates):
+            # A faulty switch answered with the wrong number of statuses.
+            # Rewriting (and rebuilding the response at the truncated
+            # length) would mask the oracle's batch-cardinality check —
+            # pass the malformed response through for it to judge.
+            return response
         statuses: List[Status] = []
         rewritten = False
-        for update, status in zip(request.updates, response.statuses, strict=False):
+        for update, status in zip(request.updates, response.statuses, strict=True):
             if not status.ok and (
                 (update.type is UpdateType.INSERT and status.code is Code.ALREADY_EXISTS)
                 or (update.type is UpdateType.DELETE and status.code is Code.NOT_FOUND)

@@ -19,11 +19,14 @@ integration test suite of §6.2 (:mod:`repro.switchv.trivial`).
 from repro.switchv.report import Incident, IncidentKind, IncidentLog
 
 __all__ = [
+    "FleetReport",
+    "FleetTask",
     "Incident",
     "IncidentKind",
     "IncidentLog",
     "SwitchVHarness",
     "ValidationReport",
+    "run_fleet_campaign",
 ]
 
 
@@ -34,4 +37,8 @@ def __getattr__(name):
         from repro.switchv import harness
 
         return getattr(harness, name)
+    if name in ("FleetReport", "FleetTask", "run_fleet_campaign"):
+        from repro.switchv import fleet
+
+        return getattr(fleet, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

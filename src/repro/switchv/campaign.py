@@ -9,7 +9,7 @@ trivial test suite (§6.2), and records what detected it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Callable, Dict, List, Optional
 
 from repro.fuzzer import FuzzerConfig, P4Fuzzer, TransportSummary
@@ -70,10 +70,26 @@ class CampaignConfig:
     lint_model: bool = False
 
 
-def run_fault_campaign(
+@dataclass
+class CampaignSetup:
+    """One fault campaign's constructed components.
+
+    Construction is factored out of :func:`run_fault_campaign` so fleet
+    workers (:mod:`repro.switchv.fleet`) can ship only picklable inputs —
+    ``(fault_name, stack_kind, config)`` — across the process boundary and
+    build the stack/harness on their side of the fork."""
+
+    fault: Fault
+    stack_kind: str
+    model: P4Program
+    harness: SwitchVHarness
+    config: CampaignConfig
+
+
+def build_campaign(
     fault_name: str, stack_kind: str, config: Optional[CampaignConfig] = None
-) -> FaultOutcome:
-    """Run SwitchV (and the trivial suite) against one seeded fault."""
+) -> CampaignSetup:
+    """Build the faulted stack + harness for one catalogue fault."""
     config = config or CampaignConfig()
     fault = FAULTS_BY_NAME[fault_name]
     build = STACK_PROGRAMS[stack_kind]
@@ -93,6 +109,17 @@ def run_fault_campaign(
         retry_policy=config.retry_policy,
         lint_model=config.lint_model,
     )
+    return CampaignSetup(
+        fault=fault, stack_kind=stack_kind, model=model, harness=harness, config=config
+    )
+
+
+def run_fault_campaign(
+    fault_name: str, stack_kind: str, config: Optional[CampaignConfig] = None
+) -> FaultOutcome:
+    """Run SwitchV (and the trivial suite) against one seeded fault."""
+    setup = build_campaign(fault_name, stack_kind, config)
+    fault, model, harness, config = setup.fault, setup.model, setup.harness, setup.config
 
     if harness.p4info is None:
         # The lint gate refused the model: the "campaign" is just the
@@ -128,7 +155,9 @@ def run_fault_campaign(
     outcome.detected_by = sorted(report.incidents.by_source())
 
     if config.run_trivial:
-        trivial_stack = PinsSwitchStack(build(), faults=FaultRegistry([fault_name]))
+        trivial_stack = PinsSwitchStack(
+            STACK_PROGRAMS[setup.stack_kind](), faults=FaultRegistry([fault_name])
+        )
         trivial = run_trivial_suite(model, trivial_stack)
         outcome.trivial_first_failure = trivial.first_failure
     return outcome
@@ -138,10 +167,11 @@ def run_full_campaign(
     stack_kind: str, config: Optional[CampaignConfig] = None
 ) -> List[FaultOutcome]:
     """Run the whole catalogue for one stack ('pins' or 'cerberus')."""
+    # faults_for_stack already partitions the catalogue by stack
+    # (tests/test_fault_mechanics.py::test_stack_partition).
     return [
         run_fault_campaign(fault.name, stack_kind, config)
         for fault in faults_for_stack(stack_kind)
-        if stack_kind == "pins" or fault.stack == "cerberus"
     ]
 
 
@@ -174,6 +204,11 @@ class SoakOutcome:
     def ok(self) -> bool:
         return self.phantom_cycles == 0 and self.state_divergences == 0
 
+    def absorb(self, other: "SoakOutcome") -> None:
+        """Fold another outcome's counters in (fleet/per-cycle merge)."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
 
 def _fuzz_cycle(stack_kind: str, config: CampaignConfig, seed: int, fault_profile):
     """One fuzz-only cycle against a healthy stack; returns (result, channel)."""
@@ -200,6 +235,43 @@ def _fuzz_cycle(stack_kind: str, config: CampaignConfig, seed: int, fault_profil
     return fuzzer.run(), channel
 
 
+def run_soak_cycle(
+    stack_kind: str,
+    config: Optional[CampaignConfig] = None,
+    cycle: int = 0,
+    fault_profile="chaos",
+) -> SoakOutcome:
+    """One soak cycle (seed = config.seed + cycle) as a one-cycle outcome.
+
+    Each cycle is self-contained — its own baseline and faulty run — so
+    cycles shard cleanly across fleet workers and merge with
+    :meth:`SoakOutcome.absorb`."""
+    config = config or CampaignConfig()
+    seed = config.seed + cycle
+    baseline, _ = _fuzz_cycle(stack_kind, config, seed, fault_profile=None)
+    faulty, channel = _fuzz_cycle(stack_kind, config, seed, fault_profile)
+
+    outcome = SoakOutcome(cycles=1)
+    base_keys = {i.dedup_key() for i in baseline.incidents.model_only()}
+    soak_keys = {i.dedup_key() for i in faulty.incidents.model_only()}
+    if base_keys != soak_keys:
+        outcome.phantom_cycles += 1
+    base_state = {e.match_key() for e in baseline.final_entries}
+    soak_state = {e.match_key() for e in faulty.final_entries}
+    if base_state != soak_state:
+        outcome.state_divergences += 1
+
+    outcome.model_incidents += faulty.incidents.model_count
+    outcome.flakes += faulty.transport.flakes
+    outcome.retries += faulty.transport.retries
+    outcome.ambiguous_batches += faulty.transport.ambiguous_batches
+    outcome.resyncs += faulty.transport.resyncs
+    outcome.reconnects += faulty.transport.reconnects
+    if channel is not None:
+        outcome.faults_injected += channel.stats.faults_injected
+    return outcome
+
+
 def run_soak_campaign(
     stack_kind: str,
     config: Optional[CampaignConfig] = None,
@@ -211,26 +283,5 @@ def run_soak_campaign(
     config = config or CampaignConfig()
     outcome = SoakOutcome()
     for cycle in range(config.soak_cycles):
-        seed = config.seed + cycle
-        baseline, _ = _fuzz_cycle(stack_kind, config, seed, fault_profile=None)
-        faulty, channel = _fuzz_cycle(stack_kind, config, seed, fault_profile)
-
-        outcome.cycles += 1
-        base_keys = {i.dedup_key() for i in baseline.incidents.model_only()}
-        soak_keys = {i.dedup_key() for i in faulty.incidents.model_only()}
-        if base_keys != soak_keys:
-            outcome.phantom_cycles += 1
-        base_state = {e.match_key() for e in baseline.final_entries}
-        soak_state = {e.match_key() for e in faulty.final_entries}
-        if base_state != soak_state:
-            outcome.state_divergences += 1
-
-        outcome.model_incidents += faulty.incidents.model_count
-        outcome.flakes += faulty.transport.flakes
-        outcome.retries += faulty.transport.retries
-        outcome.ambiguous_batches += faulty.transport.ambiguous_batches
-        outcome.resyncs += faulty.transport.resyncs
-        outcome.reconnects += faulty.transport.reconnects
-        if channel is not None:
-            outcome.faults_injected += channel.stats.faults_injected
+        outcome.absorb(run_soak_cycle(stack_kind, config, cycle, fault_profile))
     return outcome

@@ -9,8 +9,8 @@ observed; an :class:`IncidentLog` collects and deduplicates them per run.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from dataclasses import dataclass, field, fields
+from typing import Dict, Iterable, List, Tuple
 
 
 class IncidentKind(enum.Enum):
@@ -221,6 +221,15 @@ class IncidentLog:
     def __iter__(self):
         return iter(self.incidents)
 
+    def merged(self, others: Iterable["IncidentLog"]) -> "IncidentLog":
+        """A new log holding this log's incidents plus the others', in
+        order, deduplicated by the usual (kind, summary) key."""
+        out = IncidentLog()
+        out.extend(self)
+        for other in others:
+            out.extend(other)
+        return out
+
     def render(self) -> str:
         """The human-facing incident log (§2: testers inspect this to
         identify the root cause).  Transport/availability incidents are
@@ -255,3 +264,83 @@ class IncidentLog:
             lines.append("")
             lines.extend(blocks(flakes, start=len(model) + 1))
         return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Fleet ledger merging + rendering
+# ----------------------------------------------------------------------
+def merge_incident_logs(logs: Iterable[IncidentLog]) -> IncidentLog:
+    """Fold per-worker incident logs into one, preserving the given order
+    (callers pass logs in deterministic task order) and deduplicating by
+    the usual (kind, summary) key."""
+    out = IncidentLog()
+    for log in logs:
+        if log is not None:
+            out.extend(log)
+    return out
+
+
+def merge_transport_summaries(summaries):
+    """Sum per-worker transport ledgers into one summary of the same type.
+
+    Duck-typed over :class:`repro.fuzzer.fuzzer.TransportSummary` (any
+    dataclass of numeric counters works) to keep this module free of a
+    fuzzer import.  Returns ``None`` when no ledger was recorded at all."""
+    merged = None
+    for summary in summaries:
+        if summary is None:
+            continue
+        if merged is None:
+            merged = type(summary)()
+        for f in fields(summary):
+            setattr(merged, f.name, getattr(merged, f.name) + getattr(summary, f.name))
+    return merged
+
+
+def render_fleet_report(report) -> str:
+    """Human-facing summary of one fleet campaign.
+
+    Takes a :class:`repro.switchv.fleet.FleetReport` (duck-typed to avoid
+    a circular import): the sharding headline, the per-stack detection
+    table, the soak ledger when soak tasks ran, and the merged transport
+    ledger."""
+    degraded = (
+        f", {report.degraded_tasks} task(s) re-run in-process after worker loss"
+        if report.degraded_tasks
+        else ""
+    )
+    lines = [
+        f"fleet campaign: {len(report.results)} task(s) across "
+        f"{report.workers} worker process(es) in {report.elapsed_seconds:.1f}s"
+        f"{degraded}",
+    ]
+    by_stack: Dict[str, List] = {}
+    for result in report.fault_results():
+        by_stack.setdefault(result.task.stack_kind, []).append(result)
+    for stack_kind in sorted(by_stack):
+        results = by_stack[stack_kind]
+        detected = sum(1 for r in results if r.outcome.detected)
+        lines.append(f"  {stack_kind}: detected {detected}/{len(results)}")
+        for result in results:
+            outcome = result.outcome
+            tools = "+".join(outcome.detected_by) if outcome.detected else "NOT DETECTED"
+            profile = f" [{result.task.profile}]" if result.task.profile else ""
+            lines.append(f"    {outcome.fault.name:38s}{profile} {tools}")
+    soaks = report.soak_results()
+    if soaks:
+        merged = None
+        for result in soaks:
+            if merged is None:
+                merged = type(result.soak)()
+            merged.absorb(result.soak)
+        verdict = "ok" if merged.ok else (
+            f"{merged.phantom_cycles} phantom cycle(s), "
+            f"{merged.state_divergences} state divergence(s)"
+        )
+        lines.append(
+            f"  soak: {merged.cycles} cycle(s), {merged.faults_injected} fault(s) "
+            f"injected, {verdict}"
+        )
+    if report.transport is not None and report.transport.any_activity:
+        lines.append(render_transport_stats(report.transport))
+    return "\n".join(lines)

@@ -332,6 +332,70 @@ class TestRetryingClient:
         assert client.retry_stats.exhausted == 1
         assert client.retry_stats.retries == 2
 
+    def test_exhausted_write_reports_every_attempt(self):
+        """An abandoned write must not misreport itself as a single
+        attempt: last_write_info.attempts carries the real count."""
+        switch = FakeSwitch()
+        flaky = FlakyService(switch, [ResponseDropped("lost")] * 50)
+        client = RetryingP4RuntimeClient(flaky, RetryPolicy(max_attempts=6))
+        with pytest.raises(RetriesExhausted):
+            client.write(_request(1))
+        assert client.last_write_info.attempts == 6
+        assert client.last_write_info.ambiguous
+
+    def test_cardinality_mismatch_passes_through_unrewritten(self):
+        """A wrong-length status list from a faulty switch must reach the
+        oracle untouched — rewriting would rebuild the response and mask
+        the batch-cardinality check."""
+
+        class PaddingService(P4RuntimeService):
+            """Answers every write with one extra phantom status."""
+
+            def __init__(self, inner):
+                self.inner = inner
+
+            def set_forwarding_pipeline_config(self, p4info):
+                return self.inner.set_forwarding_pipeline_config(p4info)
+
+            def write(self, request):
+                response = self.inner.write(request)
+                return WriteResponse(
+                    statuses=response.statuses + (Status(Code.INTERNAL, "pad"),)
+                )
+
+            def read(self, request):
+                return self.inner.read(request)
+
+            def packet_out(self, packet):
+                return self.inner.packet_out(packet)
+
+            def drain_packet_ins(self):
+                return self.inner.drain_packet_ins()
+
+        switch = FakeSwitch()
+        # An ambiguous failure precedes the response, so the idempotency
+        # rewrite *would* fire on the retried INSERT's ALREADY_EXISTS.
+        flaky = FlakyService(PaddingService(switch), [ResponseDropped("lost")])
+        client = RetryingP4RuntimeClient(flaky)
+        response = client.write(_request(1))
+        assert client.last_write_info.ambiguous
+        # Two statuses for one update, exactly as the switch answered.
+        assert len(response.statuses) == 2
+        assert response.statuses[0].code is Code.ALREADY_EXISTS  # not rescued
+        assert response.statuses[1].code is Code.INTERNAL
+        assert client.retry_stats.idempotent_rescues == 0
+        assert client.last_write_info.rescued == 0
+
+    def test_reset_without_reconnectable_service_counts_no_reconnect(self):
+        """A ChannelReset against a service with no reconnect() must not
+        claim a reconnect happened."""
+        switch = FakeSwitch()
+        flaky = FlakyService(switch, [ChannelReset("rst")])
+        client = RetryingP4RuntimeClient(flaky)
+        response = client.write(_request(1))
+        assert response.statuses[0].ok
+        assert client.retry_stats.reconnects == 0
+
     def test_backoff_is_deterministic_and_bounded(self):
         def backoffs():
             client = RetryingP4RuntimeClient(FakeSwitch(), RetryPolicy())

@@ -1,0 +1,161 @@
+"""Fleet campaigns: sharded execution must be behaviourally equivalent to
+the sequential catalogue run — same detection verdicts, same incident
+dedup keys — with crash-degradation to in-process execution."""
+
+import pytest
+
+from repro.switch.faults import faults_for_stack
+from repro.switchv import fleet
+from repro.switchv.campaign import CampaignConfig, run_full_campaign, run_soak_campaign
+from repro.switchv.fleet import FleetTask, build_fleet_tasks, run_fleet_campaign
+from repro.switchv.report import render_fleet_report
+
+# Small but real: every cerberus fault end-to-end, no trivial suite.
+CONFIG = CampaignConfig(
+    fuzz_writes=3, fuzz_updates_per_write=6, workload_entries=25, run_trivial=False
+)
+
+
+class TestTaskList:
+    def test_cross_product_expansion(self):
+        tasks = build_fleet_tasks(
+            stacks=("pins", "cerberus"),
+            profiles=(None, "drop_response"),
+            soak_profiles=("chaos",),
+            config=CampaignConfig(soak_cycles=2),
+        )
+        pins = len(faults_for_stack("pins"))
+        cerberus = len(faults_for_stack("cerberus"))
+        fault_tasks = [t for t in tasks if t.kind == "fault"]
+        soak_tasks = [t for t in tasks if t.kind == "soak"]
+        assert len(fault_tasks) == 2 * (pins + cerberus)
+        assert len(soak_tasks) == 2 * 2  # two stacks x two cycles
+        assert {t.profile for t in fault_tasks} == {None, "drop_response"}
+
+    def test_task_list_is_deterministic(self):
+        assert build_fleet_tasks() == build_fleet_tasks()
+
+    def test_tasks_are_picklable(self):
+        import pickle
+
+        tasks = build_fleet_tasks(config=CONFIG)
+        assert pickle.loads(pickle.dumps(tasks)) == tasks
+
+
+@pytest.fixture(scope="module")
+def sequential_cerberus():
+    return run_full_campaign("cerberus", CONFIG)
+
+
+@pytest.fixture(scope="module")
+def fleet_cerberus():
+    return run_fleet_campaign(stacks=("cerberus",), config=CONFIG, workers=4)
+
+
+class TestEquivalence:
+    def test_same_detection_verdicts(self, sequential_cerberus, fleet_cerberus):
+        fleet_outcomes = fleet_cerberus.fault_outcomes("cerberus")
+        assert len(fleet_outcomes) == len(sequential_cerberus)
+        for seq, par in zip(fleet_outcomes, sequential_cerberus, strict=True):
+            assert seq.fault.name == par.fault.name
+            assert seq.detected == par.detected, seq.fault.name
+            assert seq.detected_by == par.detected_by, seq.fault.name
+
+    def test_same_incident_dedup_keys(self, sequential_cerberus, fleet_cerberus):
+        for seq, par in zip(
+            fleet_cerberus.fault_outcomes("cerberus"), sequential_cerberus, strict=True
+        ):
+            assert {i.dedup_key() for i in seq.incidents} == {
+                i.dedup_key() for i in par.incidents
+            }, seq.fault.name
+
+    def test_merged_ledger_covers_every_task(self, sequential_cerberus, fleet_cerberus):
+        merged_keys = {i.dedup_key() for i in fleet_cerberus.incidents}
+        per_task_keys = set()
+        for outcome in sequential_cerberus:
+            per_task_keys |= {i.dedup_key() for i in outcome.incidents}
+        assert merged_keys == per_task_keys
+
+    def test_report_is_deterministic_across_runs(self, fleet_cerberus):
+        again = run_fleet_campaign(stacks=("cerberus",), config=CONFIG, workers=2)
+        assert [r.task for r in again.results] == [
+            r.task for r in fleet_cerberus.results
+        ]
+        assert [r.outcome.detected for r in again.fault_results()] == [
+            r.outcome.detected for r in fleet_cerberus.fault_results()
+        ]
+        assert {i.dedup_key() for i in again.incidents} == {
+            i.dedup_key() for i in fleet_cerberus.incidents
+        }
+
+
+class TestDegradation:
+    def test_workers_1_never_builds_a_pool(self, monkeypatch):
+        def boom(*args, **kwargs):
+            raise AssertionError("workers=1 must not build a process pool")
+
+        monkeypatch.setattr(fleet, "ProcessPoolExecutor", boom)
+        tasks = [FleetTask("fault", "cerberus", "bmv2_optional_zero_match")]
+        report = run_fleet_campaign(config=CONFIG, workers=1, tasks=tasks)
+        assert len(report.results) == 1
+        assert report.degraded_tasks == 0
+
+    def test_crashed_workers_degrade_to_in_process(self, monkeypatch):
+        """Forked workers that die immediately lose their shards; the
+        parent must re-run every task in-process and still produce the
+        full, correct report."""
+        monkeypatch.setattr(fleet, "_FAULT_INJECT", True)
+        tasks = [
+            FleetTask("fault", "cerberus", "bmv2_optional_zero_match"),
+            FleetTask("fault", "cerberus", "tunnel_delete_leaves_state"),
+        ]
+        report = run_fleet_campaign(config=CONFIG, workers=2, tasks=tasks)
+        assert report.degraded_tasks == len(tasks)
+        assert len(report.results) == len(tasks)
+        assert all(r.outcome is not None for r in report.results)
+        assert all(r.outcome.detected for r in report.results)
+
+
+class TestSoakSharding:
+    def test_sharded_soak_matches_sequential_counters(self):
+        config = CampaignConfig(
+            fuzz_writes=6, fuzz_updates_per_write=10, seed=5, soak_cycles=2
+        )
+        sequential = run_soak_campaign("pins", config, fault_profile="chaos")
+        report = run_fleet_campaign(
+            stacks=("pins",),
+            config=config,
+            workers=2,
+            profiles=(),
+            soak_profiles=("chaos",),
+        )
+        merged = report.merged_soak()
+        assert merged is not None
+        assert merged.cycles == sequential.cycles
+        assert merged.ok == sequential.ok
+        assert merged.faults_injected == sequential.faults_injected
+        assert merged.retries == sequential.retries
+        assert merged.resyncs == sequential.resyncs
+
+
+class TestTransportProfiles:
+    def test_profiled_task_records_a_transport_ledger(self):
+        tasks = [
+            FleetTask(
+                "fault", "cerberus", "bmv2_optional_zero_match", profile="drop_response"
+            )
+        ]
+        report = run_fleet_campaign(config=CONFIG, workers=1, tasks=tasks)
+        outcome = report.results[0].outcome
+        assert outcome.detected  # the behavioural fault is still found
+        assert report.transport is not None
+        assert report.transport.any_activity  # the profile actually fired
+
+
+class TestRendering:
+    def test_render_fleet_report(self, fleet_cerberus):
+        text = render_fleet_report(fleet_cerberus)
+        assert "fleet campaign:" in text
+        assert "cerberus: detected" in text
+        for fault in faults_for_stack("cerberus"):
+            assert fault.name in text
