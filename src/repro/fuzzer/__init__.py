@@ -11,6 +11,7 @@ specification (§4.3).
 * :mod:`repro.fuzzer.mutations` — the curated mutation catalogue (§4.2).
 * :mod:`repro.fuzzer.oracle` — response/readback admissibility judging.
 * :mod:`repro.fuzzer.batching` — dependency-respecting batch assembly.
+* :mod:`repro.fuzzer.pipeline` — windowed in-flight write scheduling.
 * :mod:`repro.fuzzer.fuzzer` — the campaign driver.
 """
 
@@ -18,13 +19,17 @@ from repro.fuzzer.fuzzer import FuzzerConfig, FuzzResult, P4Fuzzer, TransportSum
 from repro.fuzzer.generator import RequestGenerator
 from repro.fuzzer.mutations import MUTATION_NAMES
 from repro.fuzzer.oracle import Oracle
+from repro.fuzzer.pipeline import BatchOutcome, PipelineStats, WriteScheduler
 
 __all__ = [
+    "BatchOutcome",
     "FuzzResult",
     "FuzzerConfig",
     "MUTATION_NAMES",
     "Oracle",
     "P4Fuzzer",
+    "PipelineStats",
     "RequestGenerator",
     "TransportSummary",
+    "WriteScheduler",
 ]

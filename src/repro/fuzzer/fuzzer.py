@@ -17,6 +17,7 @@ from repro.fuzzer.batching import make_batches
 from repro.fuzzer.generator import RequestGenerator
 from repro.fuzzer.mutations import MUST_REJECT, apply_random_mutation
 from repro.fuzzer.oracle import Oracle
+from repro.fuzzer.pipeline import BatchOutcome, PipelineStats, WriteScheduler
 from repro.p4.p4info import P4Info
 from repro.p4rt.channel import ChannelError
 from repro.p4rt.messages import ReadRequest, Update, WriteRequest
@@ -40,6 +41,22 @@ class FuzzerConfig:
     # Read the switch state back after every batch (the oracle's design);
     # lowering frequency trades confidence for speed.
     read_back_every: int = 1
+    # §4.2-sound pipelining (repro.fuzzer.pipeline): keep up to this many
+    # mutually independent batches in flight per window.  1 = the
+    # sequential loop; >1 overlaps transport waits and coalesces
+    # read-backs to one per window.
+    pipeline_depth: int = 1
+    # Overlap next-wave generation with the wave's last in-flight window.
+    # None = automatic (on at depth > 1).  Generation then sees the oracle
+    # state one window behind — sound (the window's batches are
+    # independent of anything generated against the pre-window state would
+    # conflict-check against), but the update stream differs from the
+    # sequential loop's; disable for strict stream-equivalence runs.
+    overlap_generation: Optional[bool] = None
+    # Testing knob: route depth<=1 campaigns through the windowed
+    # scheduler anyway, to assert the depth-1 pipeline reproduces the
+    # sequential loop byte for byte.
+    force_pipeline: bool = False
 
 
 @dataclass
@@ -90,12 +107,31 @@ class FuzzResult:
     # through update churn.
     final_entries: List = field(default_factory=list)
     modified_entries: List = field(default_factory=list)
+    # Modeled transport wait the campaign experienced (injected delays,
+    # retry backoff) under its actual schedule: per-RPC sums for the
+    # sequential loop, per-window makespans for the pipelined one.
+    transport_wait_seconds: float = 0.0
+    # Windowed-scheduler counters when the pipelined loop ran.
+    pipeline: Optional[PipelineStats] = None
 
     @property
     def updates_per_second(self) -> float:
         if self.elapsed_seconds == 0:
             return 0.0
         return self.updates_sent / self.elapsed_seconds
+
+    @property
+    def modeled_seconds(self) -> float:
+        """Wall-clock CPU time plus the modeled transport wait — what the
+        campaign would have taken against a real switch at these
+        latencies."""
+        return self.elapsed_seconds + self.transport_wait_seconds
+
+    @property
+    def modeled_updates_per_second(self) -> float:
+        if self.modeled_seconds == 0:
+            return 0.0
+        return self.updates_sent / self.modeled_seconds
 
 
 class P4Fuzzer:
@@ -152,14 +188,17 @@ class P4Fuzzer:
             result.elapsed_seconds = time.perf_counter() - start
             return result
 
-        for write_index in range(self.config.num_writes):
-            updates = self._generate_wave(result)
-            if not updates:
-                continue
-            batches = make_batches(self.p4info, updates, self.config.updates_per_write)
-            for batch in batches:
-                self._send_batch(batch, write_index, result)
-            result.writes_sent += len(batches)
+        if self.config.pipeline_depth > 1 or self.config.force_pipeline:
+            self._run_pipelined(result)
+        else:
+            for write_index in range(self.config.num_writes):
+                updates = self._generate_wave(result)
+                if not updates:
+                    continue
+                batches = make_batches(self.p4info, updates, self.config.updates_per_write)
+                for batch in batches:
+                    self._send_batch(batch, write_index, result)
+                result.writes_sent += len(batches)
         result.elapsed_seconds = time.perf_counter() - start
         result.final_entries = self.oracle.installed_entries()
         result.modified_entries = [
@@ -217,6 +256,7 @@ class P4Fuzzer:
             # The transport gave up (retries exhausted): a flake, not a
             # model incident.  The batch's outcome is unknown, so resync
             # the oracle from a read-back instead of projecting.
+            result.transport_wait_seconds += self._last_write_wait()
             result.transport.flakes += 1
             result.incidents.report(
                 Incident(
@@ -242,6 +282,7 @@ class P4Fuzzer:
                 )
             )
             return
+        result.transport_wait_seconds += self._last_write_wait()
         result.updates_sent += len(batch)
 
         for update, status in zip(batch, response.statuses, strict=False):
@@ -274,7 +315,9 @@ class P4Fuzzer:
         if self.config.read_back_every and write_index % self.config.read_back_every == 0:
             try:
                 read_back = list(self.switch.read(ReadRequest(table_id=0)).entries)
+                result.transport_wait_seconds += self._last_read_wait()
             except ChannelError as exc:
+                result.transport_wait_seconds += self._last_read_wait()
                 # A failed read-back downgrades this batch to status-only
                 # judging (read_back stays None): the write's statuses are
                 # real and the oracle must still project the batch forward,
@@ -310,7 +353,9 @@ class P4Fuzzer:
         repair the oracle's view."""
         try:
             read_back = list(self.switch.read(ReadRequest(table_id=0)).entries)
+            result.transport_wait_seconds += self._last_read_wait()
         except ChannelError as exc:
+            result.transport_wait_seconds += self._last_read_wait()
             result.transport.flakes += 1
             result.incidents.report(
                 Incident(
@@ -334,3 +379,238 @@ class P4Fuzzer:
         self.oracle.resync(read_back)
         self.generator.state.replace_all(self.oracle.installed_entries())
         return True
+
+    # ------------------------------------------------------------------
+    # Transport-wait transparency
+    # ------------------------------------------------------------------
+    def _last_write_wait(self) -> float:
+        """Modeled wait of the calling thread's last write RPC."""
+        info = getattr(self.switch, "last_write_info", None)
+        if info is not None:
+            return getattr(info, "wait_s", 0.0)
+        return getattr(self.switch, "last_rpc_wait_s", 0.0)
+
+    def _last_read_wait(self) -> float:
+        """Modeled wait of the calling thread's last read RPC."""
+        wait = getattr(self.switch, "last_read_wait_s", None)
+        if wait is not None:
+            return wait
+        return getattr(self.switch, "last_rpc_wait_s", 0.0)
+
+    # ------------------------------------------------------------------
+    # Pipelined campaign (§4.2-sound windowed scheduling)
+    # ------------------------------------------------------------------
+    def _run_pipelined(self, result: FuzzResult) -> None:
+        """The windowed campaign loop.
+
+        Judging-order invariant: outcomes are judged strictly in
+        submission order, and a window of size one performs exactly the
+        sequential loop's operations in exactly its order — write,
+        conditional read, judge, adopt.  Conflicting batches are never in
+        the same window, so at any window size the responses and
+        read-backs a window can observe are independent of in-flight
+        interleaving; pipelining changes *when* the oracle judges, never
+        *what* it concludes.
+        """
+        depth = max(1, self.config.pipeline_depth)
+        overlap = self.config.overlap_generation
+        if overlap is None:
+            overlap = depth > 1
+        # Deterministic roll streams matter on simulated transports; only
+        # a real-time stack (injected sleeper) trades them for wall-clock
+        # overlap.
+        strict = not getattr(self.switch, "real_time", False)
+        scheduler = WriteScheduler(
+            self.switch, self.p4info, depth, strict_order=strict
+        )
+        result.pipeline = scheduler.stats
+        # The batch stream, tagged with its wave index (the read gate's
+        # clock).  Windows draw from the front across wave boundaries —
+        # a wave is typically a single batch (wave size == max batch
+        # size), so cross-wave windows are where the depth comes from.
+        queue: List[tuple] = []
+        next_wave = 0
+        def refill() -> None:
+            # Generate waves until `depth` batches are queued.  Waves
+            # generated in one burst all see the state as of the last
+            # judged window — up to `depth` batches stale.  That changes
+            # which updates get generated (e.g. a delete raced by a
+            # queued delete), never how they are judged: the oracle
+            # judges against its true expected state at application time,
+            # so staleness cannot manufacture incidents.
+            nonlocal next_wave
+            while next_wave < self.config.num_writes and len(queue) < depth:
+                next_wave += 1
+                updates = self._generate_wave(result)
+                if not updates:
+                    continue
+                batches = make_batches(
+                    self.p4info, updates, self.config.updates_per_write
+                )
+                result.writes_sent += len(batches)
+                wave_index = next_wave - 1
+                queue.extend((wave_index, batch) for batch in batches)
+
+        try:
+            while True:
+                refill()
+                if not queue:
+                    break
+                # Fill the window from the queue with out-of-order pickup:
+                # a batch joins the window when it is independent of
+                # everything already in flight AND of every earlier queued
+                # batch it would overtake (conflicting batches are never
+                # reordered relative to each other, so dependent writes
+                # still observe their predecessors' effects).  Skipped
+                # batches keep their queue position for a later window.
+                window = [queue.pop(0)]
+                in_flight = [batch for _, batch in window]
+                skipped: List[List[Update]] = []
+                index = 0
+                while len(window) < depth and index < len(queue):
+                    candidate = queue[index][1]
+                    if scheduler.conflicts(
+                        in_flight, candidate
+                    ) or scheduler.conflicts(skipped, candidate):
+                        scheduler.stats.conflict_stalls += 1
+                        skipped.append(candidate)
+                        index += 1
+                        continue
+                    window.append(queue.pop(index))
+                    in_flight.append(candidate)
+                hook = refill if overlap else None
+                outcomes = scheduler.send_window(in_flight, while_in_flight=hook)
+                self._judge_window(
+                    outcomes, max(wave for wave, _ in window), result, scheduler
+                )
+        finally:
+            scheduler.close()
+        result.transport_wait_seconds = scheduler.stats.pipelined_wait_s
+
+    def _judge_window(
+        self,
+        outcomes: List[BatchOutcome],
+        write_index: int,
+        result: FuzzResult,
+        scheduler: WriteScheduler,
+    ) -> None:
+        """Drain one window's outcomes in submission order.
+
+        Mirrors _send_batch decision for decision; at window size one the
+        incident stream, counters, and oracle operations are identical to
+        the sequential loop's.
+        """
+        pending: List[BatchOutcome] = []
+        reached = 0  # batches whose write answered (sequential would read back each)
+        resync_flake = False  # a write flaked: adopt a read-back, uncounted
+        resync_counted = False  # ambiguous/stale: adopt and count a resync
+        mismatch = False  # response cardinality mismatch in the window
+        for outcome in outcomes:
+            error = outcome.error
+            if error is not None:
+                if isinstance(error, ChannelError):
+                    result.transport.flakes += 1
+                    result.incidents.report(
+                        Incident(
+                            kind=IncidentKind.TRANSPORT_FLAKE,
+                            summary=f"write abandoned by the transport: {type(error).__name__}",
+                            observed=str(error),
+                            source="p4-fuzzer",
+                        )
+                    )
+                    resync_flake = True
+                else:
+                    result.incidents.report(
+                        Incident(
+                            kind=IncidentKind.SWITCH_UNRESPONSIVE,
+                            summary=f"switch raised {type(error).__name__} during write",
+                            observed=str(error),
+                            source="p4-fuzzer",
+                        )
+                    )
+                continue
+            batch, response = outcome.batch, outcome.response
+            result.updates_sent += len(batch)
+            reached += 1
+            for update, status in zip(batch, response.statuses, strict=False):
+                if status.ok and update.type.value == "MODIFY":
+                    self._modified_keys.add(update.entry.match_key())
+            info = outcome.info
+            if self._needs_resync or (info is not None and info.ambiguous):
+                result.transport.ambiguous_batches += 1
+                resync_counted = True
+                continue
+            if len(response.statuses) != len(batch):
+                mismatch = True
+            pending.append(outcome)
+
+        need_resync = resync_flake or resync_counted
+        gate = (
+            bool(self.config.read_back_every)
+            and write_index % self.config.read_back_every == 0
+        )
+        read_back = None
+        if need_resync or (gate and reached):
+            read_back = self._window_read(
+                result, scheduler, reached, resync=need_resync
+            )
+
+        # Judge in submission order.  The coalesced read-back stands in
+        # for the per-batch read the sequential loop would have taken
+        # after the *last* batch; earlier batches are judged status-only
+        # (their entries are untouched by their independent siblings, so
+        # the final read still checks them).  When the window needs an
+        # adoption instead — a flaked or ambiguous sibling, or a
+        # cardinality mismatch — every batch is judged status-only and
+        # the read-back is adopted afterwards, exactly the sequential
+        # recovery.
+        attach_rb = read_back is not None and not need_resync and not mismatch
+        for position, outcome in enumerate(pending):
+            rb = read_back if attach_rb and position == len(pending) - 1 else None
+            log = self.oracle.judge_batch(outcome.batch, outcome.response, rb)
+            result.incidents.extend(log)
+        if read_back is not None and (need_resync or mismatch):
+            self.oracle.resync(read_back)
+            if resync_counted:
+                result.transport.resyncs += 1
+                self._needs_resync = False
+        elif need_resync and read_back is None:
+            self._needs_resync = True
+        self.generator.state.replace_all(self.oracle.installed_entries())
+
+    def _window_read(
+        self,
+        result: FuzzResult,
+        scheduler: WriteScheduler,
+        reached: int,
+        resync: bool,
+    ) -> Optional[List]:
+        """One coalesced state read for the window; None when it failed."""
+        try:
+            entries = list(self.switch.read(ReadRequest(table_id=0)).entries)
+        except ChannelError as exc:
+            scheduler.note_read(self._last_read_wait(), reached)
+            result.transport.flakes += 1
+            context = "resync read" if resync else "read"
+            result.incidents.report(
+                Incident(
+                    kind=IncidentKind.TRANSPORT_FLAKE,
+                    summary=f"{context} abandoned by the transport: {type(exc).__name__}",
+                    observed=str(exc),
+                    source="p4-fuzzer",
+                )
+            )
+            return None
+        except Exception as exc:
+            context = "resync read" if resync else "read"
+            result.incidents.report(
+                Incident(
+                    kind=IncidentKind.SWITCH_UNRESPONSIVE,
+                    summary=f"switch raised {type(exc).__name__} during {context}",
+                    observed=str(exc),
+                    source="p4-fuzzer",
+                )
+            )
+            return None
+        scheduler.note_read(self._last_read_wait(), reached)
+        return entries

@@ -35,8 +35,9 @@ through untouched (the connection gate models the P4RT session only).
 from __future__ import annotations
 
 import random
+import threading
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.p4.p4info import P4Info
 from repro.p4rt.messages import (
@@ -170,6 +171,7 @@ class FaultInjectingChannel(P4RuntimeService):
         inner: P4RuntimeService,
         profile: FaultProfile,
         rpc_deadline_s: float = 0.05,
+        sleeper: Optional[Callable[[float], None]] = None,
     ) -> None:
         self.inner = inner
         self.profile = profile
@@ -179,6 +181,30 @@ class FaultInjectingChannel(P4RuntimeService):
         self.rng = random.Random(profile.seed)
         self.stats = ChannelStats()
         self._connected = True
+        # None = delays are modeled (accounted, never slept): the default
+        # for the in-process stacks, and what keeps tests instant.  A real
+        # sleeper (time.sleep) makes injected latency wall-clock real for
+        # out-of-process drivers.
+        self._sleeper = sleeper
+        # Fault rolls, inner-service calls, and stats mutation happen under
+        # one lock so concurrent callers (the pipelined fuzzer's executor
+        # threads) can never interleave mid-RPC; the roll stream stays a
+        # pure function of the *order* RPCs enter the channel.  Sleeps
+        # happen outside the lock so real-time callers genuinely overlap.
+        self._lock = threading.RLock()
+        # Per-thread modeled wait of the last write/read RPC (delay faults
+        # only; drops and resets are modeled as instant).
+        self._tls = threading.local()
+
+    @property
+    def real_time(self) -> bool:
+        """Whether injected latency is actually slept (vs only accounted)."""
+        return self._sleeper is not None
+
+    @property
+    def last_rpc_wait_s(self) -> float:
+        """Modeled wait of this thread's most recent write/read RPC."""
+        return getattr(self._tls, "wait_s", 0.0)
 
     # ------------------------------------------------------------------
     # Connection lifecycle
@@ -188,8 +214,9 @@ class FaultInjectingChannel(P4RuntimeService):
         return self._connected
 
     def reconnect(self) -> None:
-        self._connected = True
-        self.stats.reconnects += 1
+        with self._lock:
+            self._connected = True
+            self.stats.reconnects += 1
 
     def _require_connection(self) -> None:
         if not self._connected:
@@ -203,15 +230,20 @@ class FaultInjectingChannel(P4RuntimeService):
     def _roll(self, rate: float) -> bool:
         return rate > 0.0 and self.rng.random() < rate
 
-    def _maybe_delay(self) -> None:
-        """Bounded delay; past the deadline it becomes an ambiguous timeout."""
+    def _maybe_delay(self) -> float:
+        """Bounded delay; past the deadline it becomes an ambiguous timeout.
+
+        Returns the modeled wait the caller experienced.  When the sampled
+        latency exceeds the deadline the caller waited exactly the deadline
+        before giving up, so the raised DeadlineExceeded is charged
+        ``rpc_deadline_s`` of wait (see :meth:`_finish`)."""
         if not self._roll(self.profile.delay_rate):
-            return
+            return 0.0
         latency = self.rng.uniform(0.0, self.profile.max_delay_s)
         self.stats.delays += 1
         self.stats.simulated_delay_s += latency
         if latency <= self.rpc_deadline_s:
-            return
+            return latency
         self.stats.deadline_exceeded += 1
         # Whether the request made it out before the stall is part of the
         # ambiguity; the caller only sees DeadlineExceeded either way.
@@ -220,65 +252,105 @@ class FaultInjectingChannel(P4RuntimeService):
             f"{self.rpc_deadline_s * 1000:.0f}ms deadline"
         )
 
+    def _finish(self, wait_s: float, exc: Optional[ChannelError], response):
+        """Record the RPC's modeled wait, sleep it for real-time callers
+        (outside the channel lock), and deliver the outcome."""
+        self._tls.wait_s = wait_s
+        if wait_s and self._sleeper is not None:
+            self._sleeper(wait_s)
+        if exc is not None:
+            raise exc
+        return response
+
     # ------------------------------------------------------------------
     # Faulted RPCs
     # ------------------------------------------------------------------
     def write(self, request: WriteRequest) -> WriteResponse:
-        self.stats.writes += 1
-        self._require_connection()
-        if self._roll(self.profile.drop_request_rate):
-            self.stats.dropped_requests += 1
-            raise RequestDropped("write request dropped before reaching the switch")
-        if self._roll(self.profile.reset_rate):
-            self.stats.resets += 1
-            applied = self.rng.random() < 0.5
-            if applied:
-                self.inner.write(request)
-            self._connected = False
-            raise ChannelReset("connection reset during write")
-        if self._roll(self.profile.crash_rate) and request.updates:
-            # Crash/restart mid-batch: the switch commits a prefix of the
-            # batch, then the session dies.  The uncommitted tail is lost.
-            self.stats.crashes += 1
-            committed = self.rng.randrange(0, len(request.updates))
-            if committed:
-                self.inner.write(replace(request, updates=request.updates[:committed]))
-            self._connected = False
-            raise ChannelReset(
-                f"switch crashed after committing {committed}/{len(request.updates)} "
-                "updates of the batch"
-            )
-        dropped_response = self._roll(self.profile.drop_response_rate)
-        duplicated = self._roll(self.profile.duplicate_rate)
-        self._maybe_delay()
-        response = self.inner.write(request)
-        if duplicated:
-            # At-least-once delivery: the transport retransmitted and the
-            # switch applied the batch a second time.  The client sees the
-            # first (true) response; the duplicate's statuses are lost.
-            self.stats.duplicated += 1
-            self.inner.write(request)
-        if dropped_response:
-            self.stats.dropped_responses += 1
-            raise ResponseDropped("write response lost after the switch applied it")
-        return response
+        self._tls.wait_s = 0.0
+        wait_s = 0.0
+        exc: Optional[ChannelError] = None
+        response = None
+        with self._lock:
+            try:
+                self.stats.writes += 1
+                self._require_connection()
+                if self._roll(self.profile.drop_request_rate):
+                    self.stats.dropped_requests += 1
+                    raise RequestDropped(
+                        "write request dropped before reaching the switch"
+                    )
+                if self._roll(self.profile.reset_rate):
+                    self.stats.resets += 1
+                    applied = self.rng.random() < 0.5
+                    if applied:
+                        self.inner.write(request)
+                    self._connected = False
+                    raise ChannelReset("connection reset during write")
+                if self._roll(self.profile.crash_rate) and request.updates:
+                    # Crash/restart mid-batch: the switch commits a prefix of
+                    # the batch, then the session dies.  The uncommitted tail
+                    # is lost.
+                    self.stats.crashes += 1
+                    committed = self.rng.randrange(0, len(request.updates))
+                    if committed:
+                        self.inner.write(
+                            replace(request, updates=request.updates[:committed])
+                        )
+                    self._connected = False
+                    raise ChannelReset(
+                        f"switch crashed after committing "
+                        f"{committed}/{len(request.updates)} updates of the batch"
+                    )
+                dropped_response = self._roll(self.profile.drop_response_rate)
+                duplicated = self._roll(self.profile.duplicate_rate)
+                wait_s = self._maybe_delay()
+                response = self.inner.write(request)
+                if duplicated:
+                    # At-least-once delivery: the transport retransmitted and
+                    # the switch applied the batch a second time.  The client
+                    # sees the first (true) response; the duplicate's statuses
+                    # are lost.
+                    self.stats.duplicated += 1
+                    self.inner.write(request)
+                if dropped_response:
+                    self.stats.dropped_responses += 1
+                    raise ResponseDropped(
+                        "write response lost after the switch applied it"
+                    )
+            except DeadlineExceeded as deadline_exc:
+                wait_s = self.rpc_deadline_s
+                exc = deadline_exc
+            except ChannelError as channel_exc:
+                exc = channel_exc
+        return self._finish(wait_s, exc, response)
 
     def read(self, request: ReadRequest) -> ReadResponse:
-        self.stats.reads += 1
-        self._require_connection()
-        if self._roll(self.profile.drop_request_rate):
-            self.stats.dropped_requests += 1
-            raise RequestDropped("read request dropped")
-        if self._roll(self.profile.reset_rate):
-            self.stats.resets += 1
-            self._connected = False
-            raise ChannelReset("connection reset during read")
-        self._maybe_delay()
-        response = self.inner.read(request)
-        if self._roll(self.profile.drop_response_rate):
-            self.stats.dropped_responses += 1
-            raise ResponseDropped("read response lost")
-        return response
+        self._tls.wait_s = 0.0
+        wait_s = 0.0
+        exc: Optional[ChannelError] = None
+        response = None
+        with self._lock:
+            try:
+                self.stats.reads += 1
+                self._require_connection()
+                if self._roll(self.profile.drop_request_rate):
+                    self.stats.dropped_requests += 1
+                    raise RequestDropped("read request dropped")
+                if self._roll(self.profile.reset_rate):
+                    self.stats.resets += 1
+                    self._connected = False
+                    raise ChannelReset("connection reset during read")
+                wait_s = self._maybe_delay()
+                response = self.inner.read(request)
+                if self._roll(self.profile.drop_response_rate):
+                    self.stats.dropped_responses += 1
+                    raise ResponseDropped("read response lost")
+            except DeadlineExceeded as deadline_exc:
+                wait_s = self.rpc_deadline_s
+                exc = deadline_exc
+            except ChannelError as channel_exc:
+                exc = channel_exc
+        return self._finish(wait_s, exc, response)
 
     # ------------------------------------------------------------------
     # Unfaulted pass-throughs (not part of the modelled P4RT session)

@@ -31,6 +31,7 @@ instead of judging per-update statuses.  Both consumers are wired in
 from __future__ import annotations
 
 import random
+import threading
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
@@ -70,6 +71,13 @@ class RetryPolicy:
     # Rewrite ALREADY_EXISTS/NOT_FOUND into OK on retried INSERT/DELETE
     # after an ambiguous outcome (see module docstring).
     idempotent_retries: bool = True
+    # Wall-clock budget for one RPC *including* retries and backoff: once
+    # spent, the client gives up even with attempts remaining.  Measured
+    # against the injected monotonic clock when one is wired, otherwise
+    # against the modeled wait (channel delays + backoff) so simulated
+    # campaigns enforce the same budget without sleeping.  None = no
+    # budget (attempt-bounded only, the historical behaviour).
+    total_deadline_s: Optional[float] = None
 
 
 @dataclass
@@ -96,6 +104,11 @@ class WriteInfo:
     ambiguous: bool = False
     # Statuses rewritten to OK under the idempotency rule.
     rescued: int = 0
+    # Modeled (or, with a real sleeper, actually slept) time this write
+    # spent waiting on the transport: injected channel latency plus
+    # retry backoff, summed across attempts.  The pipelined fuzzer uses
+    # this to compute window makespans.
+    wait_s: float = 0.0
 
 
 class RetryingP4RuntimeClient(P4RuntimeService):
@@ -106,23 +119,51 @@ class RetryingP4RuntimeClient(P4RuntimeService):
         service: P4RuntimeService,
         policy: Optional[RetryPolicy] = None,
         sleep: Optional[Callable[[float], None]] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         self._service = service
         self.policy = policy or RetryPolicy()
         # None = simulated backoff (accounted, not slept): the in-process
         # transport has no real clock to wait out.
         self._sleep = sleep
+        # Monotonic clock for wall-clock deadline enforcement
+        # (policy.total_deadline_s).  None = simulated time: the budget is
+        # charged against the modeled wait instead, so tests stay instant.
+        self._clock = clock
         self._jitter = random.Random(self.policy.jitter_seed)
         self.retry_stats = RetryStats()
+        # Per-thread RPC transparency: concurrent pipelined writers each
+        # see their own write's info, never a sibling thread's.
+        self._tls = threading.local()
         self.last_write_info = WriteInfo()
         # Propagate the per-RPC deadline down to the transport.
         if hasattr(service, "rpc_deadline_s"):
             service.rpc_deadline_s = self.policy.rpc_deadline_s
 
+    @property
+    def real_time(self) -> bool:
+        """Whether waits are actually slept here or below (vs modeled)."""
+        return self._sleep is not None or bool(
+            getattr(self._service, "real_time", False)
+        )
+
+    @property
+    def last_write_info(self) -> WriteInfo:
+        return getattr(self._tls, "write_info", None) or WriteInfo()
+
+    @last_write_info.setter
+    def last_write_info(self, info: WriteInfo) -> None:
+        self._tls.write_info = info
+
+    @property
+    def last_read_wait_s(self) -> float:
+        """Transport wait of this thread's most recent read RPC."""
+        return getattr(self._tls, "read_wait_s", 0.0)
+
     # ------------------------------------------------------------------
     # Backoff
     # ------------------------------------------------------------------
-    def _backoff(self, attempt: int) -> None:
+    def _backoff(self, attempt: int) -> float:
         """Exponential backoff with deterministic seeded jitter in [50%, 100%]."""
         ceiling = min(
             self.policy.max_backoff_s,
@@ -132,6 +173,21 @@ class RetryingP4RuntimeClient(P4RuntimeService):
         self.retry_stats.total_backoff_s += delay
         if self._sleep is not None:
             self._sleep(delay)
+        return delay
+
+    def _service_wait(self) -> float:
+        """The underlying channel's modeled wait for the attempt just made."""
+        return getattr(self._service, "last_rpc_wait_s", 0.0)
+
+    def _budget_spent(self, started: Optional[float], modeled_wait_s: float) -> bool:
+        """Whether the RPC's wall-clock budget is exhausted (no budget =
+        never)."""
+        budget = self.policy.total_deadline_s
+        if budget is None:
+            return False
+        if self._clock is not None and started is not None:
+            return self._clock() - started >= budget
+        return modeled_wait_s >= budget
 
     def _note_failure(self, exc: ChannelError) -> None:
         if isinstance(exc, DeadlineExceeded):
@@ -148,22 +204,28 @@ class RetryingP4RuntimeClient(P4RuntimeService):
     def write(self, request: WriteRequest) -> WriteResponse:
         info = WriteInfo()
         self.retry_stats.rpcs += 1
+        started = self._clock() if self._clock is not None else None
         attempt = 0
         while True:
             attempt += 1
             try:
                 response = self._service.write(request)
+                info.wait_s += self._service_wait()
                 break
             except RequestDropped as exc:
                 # Known not applied: a plain retry, no ambiguity.
+                info.wait_s += self._service_wait()
                 last = exc
             except ChannelError as exc:
                 # ResponseDropped / DeadlineExceeded / ChannelReset: the
                 # request may have been applied.
+                info.wait_s += self._service_wait()
                 info.ambiguous = True
                 self._note_failure(exc)
                 last = exc
-            if attempt >= self.policy.max_attempts:
+            if attempt >= self.policy.max_attempts or self._budget_spent(
+                started, info.wait_s
+            ):
                 self.retry_stats.exhausted += 1
                 info.attempts = attempt
                 self.last_write_info = info
@@ -171,7 +233,7 @@ class RetryingP4RuntimeClient(P4RuntimeService):
                     f"write abandoned after {attempt} attempts: {last}"
                 ) from last
             self.retry_stats.retries += 1
-            self._backoff(attempt)
+            info.wait_s += self._backoff(attempt)
         info.attempts = attempt
         if info.ambiguous:
             self.retry_stats.ambiguous_writes += 1
@@ -212,20 +274,28 @@ class RetryingP4RuntimeClient(P4RuntimeService):
     # ------------------------------------------------------------------
     def read(self, request: ReadRequest) -> ReadResponse:
         self.retry_stats.rpcs += 1
+        started = self._clock() if self._clock is not None else None
+        wait_s = 0.0
         attempt = 0
         while True:
             attempt += 1
             try:
-                return self._service.read(request)
+                response = self._service.read(request)
+                self._tls.read_wait_s = wait_s + self._service_wait()
+                return response
             except ChannelError as exc:
+                wait_s += self._service_wait()
                 self._note_failure(exc)
-                if attempt >= self.policy.max_attempts:
+                if attempt >= self.policy.max_attempts or self._budget_spent(
+                    started, wait_s
+                ):
                     self.retry_stats.exhausted += 1
+                    self._tls.read_wait_s = wait_s
                     raise RetriesExhausted(
                         f"read abandoned after {attempt} attempts: {exc}"
                     ) from exc
                 self.retry_stats.retries += 1
-                self._backoff(attempt)
+                wait_s += self._backoff(attempt)
 
     # ------------------------------------------------------------------
     # Pass-throughs (unfaulted by the channel)
@@ -249,14 +319,23 @@ def build_resilient_client(
     retry_policy: Optional[RetryPolicy] = None,
     seed: Optional[int] = None,
     sleep: Optional[Callable[[float], None]] = None,
+    clock: Optional[Callable[[], float]] = None,
 ) -> RetryingP4RuntimeClient:
     """Wrap a switch in (optionally) a fault-injecting channel + retry client.
 
     ``fault_profile`` may be a :class:`FaultProfile`, a catalogue name from
     :data:`repro.p4rt.channel.PROFILES`, or ``None`` for a clean transport
     (the retry client is still useful: it absorbs nothing but costs nothing).
+
+    ``sleep``/``clock`` opt into real time end to end: injected channel
+    latency and retry backoff are actually slept, and
+    ``RetryPolicy.total_deadline_s`` is enforced against the monotonic
+    clock.  The defaults keep both simulated (accounted, instant), which is
+    what every test and in-process campaign wants.
     """
     service: P4RuntimeService = switch
     if fault_profile is not None:
-        service = FaultInjectingChannel(service, resolve_profile(fault_profile, seed))
-    return RetryingP4RuntimeClient(service, retry_policy, sleep=sleep)
+        service = FaultInjectingChannel(
+            service, resolve_profile(fault_profile, seed), sleeper=sleep
+        )
+    return RetryingP4RuntimeClient(service, retry_policy, sleep=sleep, clock=clock)

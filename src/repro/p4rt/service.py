@@ -10,6 +10,7 @@ writes, full-state reads) without changing semantics.
 from __future__ import annotations
 
 import abc
+import threading
 from typing import List, Sequence
 
 from repro.p4.p4info import P4Info
@@ -49,6 +50,48 @@ class P4RuntimeService(abc.ABC):
     @abc.abstractmethod
     def drain_packet_ins(self) -> List[PacketIn]:
         """Collect packets the switch punted to the controller."""
+
+
+class SerializedP4RuntimeService(P4RuntimeService):
+    """Thread-safe facade: serializes every RPC through one reentrant lock.
+
+    The in-process switch stacks are plain single-threaded Python objects;
+    when several threads share one session (the pipelined fuzzer's executor
+    in real-time mode, a multi-threaded driver), wrap the stack in this
+    facade so RPCs never interleave mid-call.  The fault-injecting channel
+    and retry client already serialize their own roll/stats bookkeeping;
+    this wrapper is for bare stacks and custom services that do not.
+    """
+
+    def __init__(self, service: P4RuntimeService) -> None:
+        self._service = service
+        self._lock = threading.RLock()
+
+    def set_forwarding_pipeline_config(self, p4info: P4Info) -> Status:
+        with self._lock:
+            return self._service.set_forwarding_pipeline_config(p4info)
+
+    def write(self, request: WriteRequest) -> WriteResponse:
+        with self._lock:
+            return self._service.write(request)
+
+    def read(self, request: ReadRequest) -> ReadResponse:
+        with self._lock:
+            return self._service.read(request)
+
+    def packet_out(self, packet: PacketOut) -> Status:
+        with self._lock:
+            return self._service.packet_out(packet)
+
+    def drain_packet_ins(self) -> List[PacketIn]:
+        with self._lock:
+            return self._service.drain_packet_ins()
+
+    def __getattr__(self, name):
+        # Data-plane helpers (send_packet, drain_egress) reach the wrapped
+        # stack unserialized: they are the tester's physical ports, driven
+        # from the harness thread only.
+        return getattr(self._service, name)
 
 
 class P4RuntimeClient:

@@ -64,6 +64,9 @@ class CampaignConfig:
     retry_policy: Optional[RetryPolicy] = None
     # Soak mode: how many fuzz cycles run_soak_campaign executes.
     soak_cycles: int = 3
+    # Fuzzing-loop pipelining: keep up to this many independent batches in
+    # flight per window (repro.fuzzer.pipeline).  1 = sequential loop.
+    pipeline_depth: int = 1
     # Fail-fast gate: lint the model before the campaign starts; a model
     # with error-severity diagnostics yields MODEL_ERROR incidents and no
     # fuzzing/replay happens (repro.analysis).
@@ -108,6 +111,7 @@ def build_campaign(
         fault_profile=config.fault_profile,
         retry_policy=config.retry_policy,
         lint_model=config.lint_model,
+        pipeline_depth=config.pipeline_depth,
     )
     return CampaignSetup(
         fault=fault, stack_kind=stack_kind, model=model, harness=harness, config=config
@@ -142,6 +146,7 @@ def run_fault_campaign(
             num_writes=config.fuzz_writes,
             updates_per_write=config.fuzz_updates_per_write,
             seed=config.seed,
+            pipeline_depth=config.pipeline_depth,
         ),
     )
 
@@ -230,6 +235,7 @@ def _fuzz_cycle(stack_kind: str, config: CampaignConfig, seed: int, fault_profil
             num_writes=config.fuzz_writes,
             updates_per_write=config.fuzz_updates_per_write,
             seed=seed,
+            pipeline_depth=config.pipeline_depth,
         ),
     )
     return fuzzer.run(), channel

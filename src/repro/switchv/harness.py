@@ -71,6 +71,7 @@ class DataPlaneStats:
     cache_hit: bool = False
     # Generation-effort attribution (see repro.switchv.report.render_generation_stats).
     goals_from_cache: int = 0
+    goals_subsumed: int = 0
     solver_queries: int = 0
     sat_conflicts: int = 0
     sat_decisions: int = 0
@@ -105,6 +106,7 @@ class SwitchVHarness:
         fault_profile=None,
         retry_policy=None,
         lint_model: bool = False,
+        pipeline_depth: int = 1,
     ) -> None:
         self.model = model
         # Fail-fast gate: lint the model before anything derives from it.
@@ -136,6 +138,9 @@ class SwitchVHarness:
         self.cache = cache
         # Goal-solving parallelism for packet generation (1 = sequential).
         self.workers = max(1, workers)
+        # Fuzz campaigns keep up to this many independent batches in
+        # flight (repro.fuzzer.pipeline); 1 = the sequential loop.
+        self.pipeline_depth = max(1, pipeline_depth)
         # Fault registry consulted by the BMv2 simulator only (the paper
         # found simulator bugs too; they surface as mismatches like any
         # other divergence).
@@ -184,7 +189,14 @@ class SwitchVHarness:
         report = ValidationReport()
         if self._lint_gate(report):
             return report
-        fuzzer = P4Fuzzer(self.p4info, self.switch, config or FuzzerConfig())
+        config = config or FuzzerConfig()
+        if self.pipeline_depth > 1 and config.pipeline_depth == 1:
+            # The harness knob applies unless the caller's config already
+            # chose a depth of its own.
+            import dataclasses
+
+            config = dataclasses.replace(config, pipeline_depth=self.pipeline_depth)
+        fuzzer = P4Fuzzer(self.p4info, self.switch, config)
         result = fuzzer.run()
         report.fuzz = result
         report.incidents.extend(result.incidents)
@@ -474,6 +486,7 @@ class SwitchVHarness:
         stats.goals_total = result.stats.goals_total
         stats.goals_covered = result.stats.goals_covered
         stats.goals_from_cache = result.stats.goals_from_cache
+        stats.goals_subsumed = result.stats.goals_subsumed
         stats.solver_queries = result.stats.solver_queries
         stats.sat_conflicts = result.stats.sat_conflicts
         stats.sat_decisions = result.stats.sat_decisions

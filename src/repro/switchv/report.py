@@ -94,7 +94,8 @@ def render_generation_stats(stats) -> str:
     lines = [
         "packet generation:",
         f"    goals:        {stats.goals_covered}/{stats.goals_total} covered"
-        f" ({stats.goals_from_cache} from cache)",
+        f" ({stats.goals_from_cache} from cache,"
+        f" {getattr(stats, 'goals_subsumed', 0)} subsumed)",
         f"    wall clock:   {stats.generation_seconds:.2f}s"
         f" ({stats.workers} worker(s){', whole-run cache hit' if stats.cache_hit else ''})",
         f"    solver:       {stats.solver_queries} queries,"
@@ -148,6 +149,41 @@ def render_transport_stats(transport) -> str:
         f" {transport.idempotent_rescues} idempotent rescue(s)",
         f"    flakes:       {transport.flakes} abandoned RPC(s)",
     ]
+    return "\n".join(lines)
+
+
+def render_pipeline_stats(result) -> str:
+    """Human-facing pipelined-campaign summary.
+
+    Takes a :class:`repro.fuzzer.fuzzer.FuzzResult` (duck-typed to avoid a
+    circular import) and renders the windowed scheduler's work: in-flight
+    depth, coalesced read-backs, and the modeled throughput that charges
+    both CPU and the schedule's transport wait."""
+    lines = [
+        "pipeline:",
+        f"    throughput:   {result.modeled_updates_per_second:.0f} updates/s modeled"
+        f" ({result.updates_sent} updates,"
+        f" {result.elapsed_seconds:.2f}s cpu"
+        f" + {result.transport_wait_seconds:.2f}s transport wait)",
+    ]
+    stats = result.pipeline
+    if stats is None:
+        lines.append("    schedule:     sequential (one batch in flight)")
+        return "\n".join(lines)
+    lines.append(
+        f"    in flight:    depth {stats.depth},"
+        f" peak {stats.max_in_flight},"
+        f" {stats.windows} window(s),"
+        f" {stats.conflict_stalls} conflict stall(s)"
+    )
+    lines.append(
+        f"    read-backs:   {stats.read_backs} taken,"
+        f" {stats.read_backs_coalesced} coalesced away"
+    )
+    lines.append(
+        f"    overlap:      {stats.overlap_saved_s:.2f}s transport wait saved"
+        f" ({stats.overlapped_generation_s:.2f}s generation overlapped)"
+    )
     return "\n".join(lines)
 
 

@@ -47,6 +47,10 @@ class GenerationStats:
     cache_hit: bool = False
     # Per-goal cache: how many goals were answered without any solving.
     goals_from_cache: int = 0
+    # Coverage subsumption: goals an already-generated packet of the same
+    # profile happened to satisfy (checked by concrete evaluation), covered
+    # without touching the solver.
+    goals_subsumed: int = 0
     # Aggregate SAT-solver effort behind the queries, summed across every
     # per-profile solver (and every worker, in parallel runs) — the numbers
     # that make benchmark regressions attributable to the solver rather
@@ -64,6 +68,7 @@ class GenerationStats:
         self.goals_unsatisfiable += other.goals_unsatisfiable
         self.solver_queries += other.solver_queries
         self.goals_from_cache += other.goals_from_cache
+        self.goals_subsumed += other.goals_subsumed
         self.sat_conflicts += other.sat_conflicts
         self.sat_decisions += other.sat_decisions
         self.sat_propagations += other.sat_propagations
@@ -91,6 +96,13 @@ class PacketGenerator:
         self._executions: Optional[List[ProfileExecution]] = None
         self._solvers: Dict[str, Solver] = {}
         self._constraint_digests: Dict[str, str] = {}
+        # Background/soft-dst refinements memoised per
+        # (profile, constrained-variable-set) — goals over the same table
+        # constrain the same variables, so the conjunctions rebuild once.
+        self._refinement_cache: Dict[tuple, tuple] = {}
+        # Concrete input assignments of already-generated packets, for
+        # subsumption checks (keyed by packet object identity).
+        self._assignment_cache: Dict[int, Dict[str, int]] = {}
 
     # ------------------------------------------------------------------
     def executions(self) -> List[ProfileExecution]:
@@ -137,6 +149,9 @@ class PacketGenerator:
             )
         start = time.perf_counter()
         stats = GenerationStats()
+        # Assignment memos are keyed by packet object identity; stale ids
+        # from a previous run's (collected) packets must not alias.
+        self._assignment_cache.clear()
         executions = self.executions()
         goals = goals_for_mode(executions, mode, custom_goals)
         stats.goals_total = len(goals)
@@ -156,6 +171,18 @@ class PacketGenerator:
                         uncovered.append(goal.name)
                         stats.goals_unsatisfiable += 1
                     continue
+            generated = self.subsume_goal(goal, executions, packets)
+            if generated is not None:
+                stats.goals_subsumed += 1
+                packets.append(generated)
+                stats.goals_covered += 1
+                if key is not None:
+                    from repro.symbolic.cache import CachedGoal
+
+                    goal_cache.store_goal(
+                        key, CachedGoal(goal=goal.name, packet=generated)
+                    )
+                continue
             generated = self._solve_goal(goal, executions, stats, index)
             if generated is not None:
                 packets.append(generated)
@@ -238,12 +265,11 @@ class PacketGenerator:
                 continue
             solver = self._solver_for(execution)
             port_term = execution.inputs["standard.ingress_port"]
-            background = self._background_refinement(execution, condition)
             # Soft preference: place the destination inside the common route
             # space even when the goal constrains it loosely (e.g. an ACL
             # guard's negations) — divergences on *forwarded* packets are
             # observable, dropped ones often are not.
-            soft_dst = self._soft_dst_preference(execution, condition)
+            background, soft_dst = self._refinements(execution, condition)
             attempts = [
                 # Canonical forwarding context: the first valid port (whose
                 # VRF owns the background route space) plus a routable
@@ -262,8 +288,27 @@ class PacketGenerator:
                     return self._packet_from_model(goal, execution, solver.model())
         return None
 
-    def _soft_dst_preference(self, execution, condition: T.Term) -> T.Term:
-        constrained = set(T.free_variables(condition))
+    def _refinements(self, execution, condition: T.Term) -> tuple:
+        """(background, soft_dst) refinement conjunctions for a goal.
+
+        Both depend only on *which* variables the condition constrains,
+        not on how — and goals over the same table constrain the same
+        variable set — so the free-variable scan and conjunction rebuild
+        happen once per (profile, constrained-set) instead of once per
+        goal attempt.
+        """
+        constrained = frozenset(T.free_variables(condition))
+        key = (execution.profile.name, constrained)
+        cached = self._refinement_cache.get(key)
+        if cached is None:
+            cached = (
+                self._background_refinement(execution, constrained),
+                self._soft_dst_preference(execution, constrained),
+            )
+            self._refinement_cache[key] = cached
+        return cached
+
+    def _soft_dst_preference(self, execution, constrained: frozenset) -> T.Term:
         clauses = []
         for path in ("ipv4.dst_addr", "ipv6.dst_addr"):
             term = execution.inputs.get(path)
@@ -272,7 +317,7 @@ class PacketGenerator:
             clauses.append(term.eq(self._BACKGROUND[path] & ((1 << term.width) - 1)))
         return T.and_(*clauses) if clauses else T.TRUE
 
-    def _background_refinement(self, execution, condition: T.Term) -> T.Term:
+    def _background_refinement(self, execution, constrained: frozenset) -> T.Term:
         """Pin fields the goal leaves free to realistic background values.
 
         Only fields whose variables do not occur in the goal condition are
@@ -282,7 +327,6 @@ class PacketGenerator:
         solver's previous queries left in those variables — all-zero TTLs
         and addresses that mask real divergences.
         """
-        constrained = set(T.free_variables(condition))
         clauses = []
         for path, term in execution.inputs.items():
             if term.is_const or term.name in constrained:
@@ -291,6 +335,63 @@ class PacketGenerator:
                 width = term.width
                 clauses.append(term.eq(self._BACKGROUND[path] & ((1 << width) - 1)))
         return T.and_(*clauses) if clauses else T.TRUE
+
+    # ------------------------------------------------------------------
+    # Coverage subsumption
+    # ------------------------------------------------------------------
+    def subsume_goal(
+        self,
+        goal: CoverageGoal,
+        executions: Sequence[ProfileExecution],
+        packets: Sequence[GeneratedPacket],
+    ) -> Optional[GeneratedPacket]:
+        """A prior packet that already witnesses ``goal``, or None.
+
+        Before paying a solver cascade, evaluate the goal condition
+        concretely under each already-generated packet of the same parser
+        profile (the profile constraints hold for those by construction).
+        A hit covers the goal for free; the witness is re-labelled so
+        downstream replay still attributes behaviour per goal.
+        """
+        for execution in executions:
+            condition = goal.condition(execution)
+            if condition is None or condition is T.FALSE:
+                continue
+            needed = set(T.free_variables(condition))
+            for prior in packets:
+                if prior.profile != execution.profile.name:
+                    continue
+                assignment = self._packet_assignment(prior, execution)
+                # Concrete evaluation is only a proof when every variable
+                # the condition mentions has a value from the packet.
+                if not needed <= assignment.keys():
+                    continue
+                if T.evaluate(condition, assignment):
+                    return GeneratedPacket(
+                        goal=goal.name,
+                        profile=prior.profile,
+                        packet=prior.packet.copy(),
+                        ingress_port=prior.ingress_port,
+                    )
+        return None
+
+    def _packet_assignment(
+        self, generated: GeneratedPacket, execution: ProfileExecution
+    ) -> Dict[str, int]:
+        """The variable assignment a generated packet induces."""
+        cached = self._assignment_cache.get(id(generated.packet))
+        if cached is not None:
+            return cached
+        assignment: Dict[str, int] = {}
+        for path, term in execution.inputs.items():
+            if term.is_const:
+                continue
+            if path == "standard.ingress_port":
+                assignment[term.name] = generated.ingress_port
+            elif path in generated.packet.fields:
+                assignment[term.name] = generated.packet.fields[path]
+        self._assignment_cache[id(generated.packet)] = assignment
+        return assignment
 
     # ------------------------------------------------------------------
     # Background values for input fields the goal leaves unconstrained.

@@ -63,8 +63,21 @@ def _solve_shard(indices: List[int]):
     shard_stats = GenerationStats()
     effort_before = generator._solver_effort()
     solved = []
+    # Shard-local subsumption: a goal an earlier packet of this shard
+    # already witnesses is covered without a solver cascade.  (Cross-shard
+    # subsumption would need the other workers' packets — not worth the
+    # synchronisation; missed hits just solve normally.)
+    shard_packets: List[GeneratedPacket] = []
     for index in indices:
-        generated = generator._solve_goal(goals[index], executions, shard_stats, index)
+        generated = generator.subsume_goal(goals[index], executions, shard_packets)
+        if generated is not None:
+            shard_stats.goals_subsumed += 1
+        else:
+            generated = generator._solve_goal(
+                goals[index], executions, shard_stats, index
+            )
+        if generated is not None:
+            shard_packets.append(generated)
         solved.append((index, generated))
     generator._account_effort(shard_stats, effort_before)
     return solved, shard_stats
@@ -167,6 +180,15 @@ def _solve_sequentially(
 ) -> None:
     """In-parent fallback: solve the given goal indices one by one."""
     effort_before = generator._solver_effort()
+    solved_packets: List[GeneratedPacket] = []
     for index in indices:
-        outcomes[index] = generator._solve_goal(goals[index], executions, stats, index)
+        generated = generator.subsume_goal(goals[index], executions, solved_packets)
+        if generated is not None:
+            stats.goals_subsumed += 1
+        else:
+            generated = generator._solve_goal(goals[index], executions, stats, index)
+        if generated is not None:
+            solved_packets.append(generated)
+        outcomes[index] = generated
     generator._account_effort(stats, effort_before)
+

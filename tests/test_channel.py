@@ -454,3 +454,123 @@ class TestRetryingClient:
             client = RetryingP4RuntimeClient(FlakyService(faulty, [exc]))
             client.write(_request(1))
             assert faulty.entries.keys() == clean.entries.keys()
+
+
+class TestRealTimeAndDeadlines:
+    """The real-clock satellite: injectable sleeper/clock, wall-clock
+    write budgets, and the simulated-by-default contract."""
+
+    def test_default_client_is_simulated(self):
+        client = RetryingP4RuntimeClient(FakeSwitch())
+        assert not client.real_time
+
+    def test_injected_sleeper_marks_the_stack_real_time(self):
+        client = RetryingP4RuntimeClient(FakeSwitch(), sleep=lambda s: None)
+        assert client.real_time
+        channel = FaultInjectingChannel(
+            FakeSwitch(), FaultProfile(name="t"), sleeper=lambda s: None
+        )
+        assert channel.real_time
+        # real_time propagates up from a sleeping channel even when the
+        # retry layer itself is simulated.
+        assert RetryingP4RuntimeClient(channel).real_time
+
+    def test_channel_sleeper_actually_sleeps_injected_delays(self):
+        slept = []
+        channel = FaultInjectingChannel(
+            FakeSwitch(),
+            FaultProfile(name="laggy", delay_rate=1.0, max_delay_s=0.01, seed=3),
+            rpc_deadline_s=10.0,  # keep delays below the deadline
+            sleeper=slept.append,
+        )
+        channel.write(_request(1))
+        assert slept and slept[0] == pytest.approx(channel.stats.simulated_delay_s)
+
+    def test_backoff_sleeps_through_the_injected_sleeper(self):
+        slept = []
+        switch = FakeSwitch()
+        flaky = FlakyService(switch, [RequestDropped("x"), RequestDropped("x")])
+        client = RetryingP4RuntimeClient(flaky, sleep=slept.append)
+        client.write(_request(1))
+        assert len(slept) == 2
+        assert sum(slept) == pytest.approx(client.retry_stats.total_backoff_s)
+
+    def test_total_deadline_enforced_against_injected_clock(self):
+        """With a monotonic clock wired, the write budget is wall time:
+        the client abandons the RPC once the clock passes the budget,
+        attempts notwithstanding."""
+        now = [0.0]
+
+        def clock():
+            now[0] += 0.4  # each observation costs 0.4s of wall time
+            return now[0]
+
+        switch = FakeSwitch()
+        flaky = FlakyService(switch, [RequestDropped("x")] * 10)
+        client = RetryingP4RuntimeClient(
+            flaky,
+            RetryPolicy(max_attempts=10, total_deadline_s=1.0),
+            clock=clock,
+        )
+        with pytest.raises(RetriesExhausted):
+            client.write(_request(1))
+        assert client.last_write_info.attempts < 10
+        assert client.retry_stats.exhausted == 1
+
+    def test_total_deadline_enforced_against_modeled_wait_without_clock(self):
+        """No clock: the same budget is charged against the modeled wait
+        (channel delays + backoff), so simulated campaigns enforce it
+        without sleeping."""
+        switch = FakeSwitch()
+        flaky = FlakyService(switch, [RequestDropped("x")] * 10)
+        client = RetryingP4RuntimeClient(
+            flaky,
+            RetryPolicy(
+                max_attempts=10, base_backoff_s=0.5, total_deadline_s=1.0
+            ),
+        )
+        with pytest.raises(RetriesExhausted):
+            client.write(_request(1))
+        assert client.last_write_info.attempts < 10
+        assert client.last_write_info.wait_s >= 1.0
+
+    def test_no_budget_keeps_the_historical_attempt_bound(self):
+        switch = FakeSwitch()
+        flaky = FlakyService(switch, [RequestDropped("x")] * 3)
+        client = RetryingP4RuntimeClient(
+            flaky, RetryPolicy(max_attempts=10, base_backoff_s=10.0)
+        )
+        response = client.write(_request(1))
+        assert response.statuses[0].ok
+        assert client.last_write_info.attempts == 4
+
+    def test_read_honours_the_wall_clock_budget(self):
+        now = [0.0]
+
+        def clock():
+            now[0] += 0.6
+            return now[0]
+
+        switch = FakeSwitch()
+        flaky = FlakyService(switch, [ChannelReset("rst")] * 10)
+        client = RetryingP4RuntimeClient(
+            flaky,
+            RetryPolicy(max_attempts=10, total_deadline_s=1.0),
+            clock=clock,
+        )
+        with pytest.raises(RetriesExhausted):
+            client.read(ReadRequest(table_id=0))
+        assert client.retry_stats.retries < 9
+
+    def test_build_resilient_client_wires_sleep_and_clock_end_to_end(self):
+        slept = []
+        client = build_resilient_client(
+            FakeSwitch(),
+            fault_profile="delay",
+            seed=2,
+            sleep=slept.append,
+            clock=lambda: 0.0,
+        )
+        assert client.real_time
+        assert client._service.real_time
+        assert client._clock is not None

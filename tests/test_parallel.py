@@ -130,3 +130,28 @@ class TestHarnessWiring:
         assert report.ok, report.incidents.summary_lines()
         assert report.data_plane.workers == 2
         assert report.data_plane.solver_queries > 0
+
+
+class TestSubsumptionReporting:
+    def test_render_counts_subsumed_goals(self):
+        stats = DataPlaneStats(
+            goals_total=10,
+            goals_covered=9,
+            goals_from_cache=3,
+            goals_subsumed=2,
+            generation_seconds=0.5,
+            workers=1,
+        )
+        text = render_generation_stats(stats)
+        assert "2 subsumed" in text
+
+    def test_parallel_and_sequential_agree_with_subsumption(
+        self, tor_program, tor_state
+    ):
+        seq = PacketGenerator(tor_program, tor_state).generate(CoverageMode.ENTRY)
+        par = PacketGenerator(tor_program, tor_state).generate(
+            CoverageMode.ENTRY, workers=2
+        )
+        assert {p.goal for p in par.packets} == {p.goal for p in seq.packets}
+        # Both paths subsume (shard-locally for workers); neither loses goals.
+        assert par.stats.goals_covered == seq.stats.goals_covered

@@ -362,3 +362,91 @@ class TestPerGoalCache:
         )
         assert warm.stats.solver_queries == 0
         assert warm.stats.goals_from_cache == warm.stats.goals_total
+
+
+class TestSubsumptionAndMemoization:
+    """Coverage subsumption (a goal an earlier packet already witnesses is
+    covered by evaluation, not solving) and per-(profile, constrained-set)
+    refinement memoization."""
+
+    def test_subsumption_covers_goals_without_solving(self, tor_program, tor_p4info):
+        from repro.workloads import production_like_entries
+
+        entries = production_like_entries(tor_p4info, total=60, seed=2)
+        state = decode_state(tor_p4info, entries)
+        result = PacketGenerator(tor_program, state).generate(CoverageMode.ENTRY)
+        assert result.stats.goals_subsumed > 0
+        # Subsumed goals count as covered and emit a witness packet.
+        assert result.stats.goals_covered == len(result.packets)
+
+    def test_subsumed_witnesses_are_sound(self, tor_program, tor_p4info):
+        """A re-used witness must drive the concrete interpreter through
+        its goal, exactly like a freshly solved one."""
+        from repro.workloads import production_like_entries
+
+        entries = production_like_entries(tor_p4info, total=60, seed=2)
+        state = decode_state(tor_p4info, entries)
+        result = PacketGenerator(tor_program, state).generate(CoverageMode.ENTRY)
+        assert result.stats.goals_subsumed > 0
+        interp = Interpreter(tor_program, state)
+        for generated in result.packets:
+            if not generated.goal.startswith("entry:"):
+                continue
+            table = generated.goal.split(":")[1]
+            run = interp.run(generated.packet, generated.ingress_port)
+            hit = [t for t, e, _a in run.trace.table_hits if e is not None]
+            assert table in hit, generated.goal
+
+    def test_subsumed_witness_is_an_independent_copy(self, tor_program, tor_p4info):
+        """Re-labelled clones must not alias the prior packet: mutating
+        one generated packet can't corrupt another's witness."""
+        from repro.workloads import production_like_entries
+
+        entries = production_like_entries(tor_p4info, total=60, seed=2)
+        state = decode_state(tor_p4info, entries)
+        result = PacketGenerator(tor_program, state).generate(CoverageMode.ENTRY)
+        seen = set()
+        for generated in result.packets:
+            assert id(generated.packet) not in seen
+            seen.add(id(generated.packet))
+
+    def test_subsumption_skips_partial_assignments(self, toy_program, toy_state):
+        """A condition over variables the prior packet never bound must
+        not be 'evaluated' with default zeros."""
+        generator = PacketGenerator(toy_program, toy_state)
+        executions = generator.executions()
+        result = generator.generate(CoverageMode.ENTRY)
+        # Whatever subsumption concluded, every witness evaluates its
+        # goal's condition to true under the packet's own field values —
+        # the invariant the partial-assignment guard protects.
+        from repro.symbolic.coverage import goals_for_mode
+
+        goals = {g.name: g for g in goals_for_mode(executions, CoverageMode.ENTRY, ())}
+        for generated in result.packets:
+            goal = goals[generated.goal]
+            hit = generator.subsume_goal(goal, executions, [generated])
+            assert hit is not None, generated.goal
+
+    def test_refinements_memoized_per_profile_and_constrained_set(
+        self, tor_program, tor_p4info
+    ):
+        from repro.workloads import production_like_entries
+
+        entries = production_like_entries(tor_p4info, total=60, seed=2)
+        state = decode_state(tor_p4info, entries)
+        generator = PacketGenerator(tor_program, state)
+        result = generator.generate(CoverageMode.ENTRY)
+        assert result.packets
+        # Many goals share a (profile, constrained-variable-set) signature,
+        # so the memo stays far smaller than the goal list.
+        assert generator._refinement_cache
+        assert len(generator._refinement_cache) < result.stats.goals_total
+
+    def test_memoized_refinements_are_stable(self, toy_program, toy_state):
+        """Two generators over the same state produce identical packets —
+        memoization changes cost, never witnesses."""
+        first = PacketGenerator(toy_program, toy_state).generate(CoverageMode.ENTRY)
+        second = PacketGenerator(toy_program, toy_state).generate(CoverageMode.ENTRY)
+        assert [p.packet.fields for p in first.packets] == [
+            p.packet.fields for p in second.packets
+        ]
