@@ -9,6 +9,11 @@ on top of the paper's whole-run cache:
 * **Per-goal caching** — a warm re-run (zero solver queries), and the §6.3
   refinement: after editing one table entry, only the goals whose solved
   formulas mention it are re-solved.
+* **Cross-state solver pooling** — the same single-entry-edit replay
+  through a shared :class:`~repro.smt.pool.SolverPool`, which keeps the
+  bit-blasted encoding, learned clauses, and solved-formula results alive
+  across states (see ``benchmarks/test_compiled_eval.py`` for the full
+  edit-sequence table).
 
 Run with ``REPRO_BENCH_SCALE=paper`` for the full 798-entry workload.
 """
@@ -21,6 +26,7 @@ from conftest import print_table
 from repro.bmv2.entries import decode_table_entry
 from repro.p4.p4info import build_p4info
 from repro.p4.programs import build_tor_program
+from repro.smt.pool import SolverPool
 from repro.switchv.harness import DataPlaneStats
 from repro.switchv.report import render_generation_stats
 from repro.symbolic import PacketGenerator
@@ -40,9 +46,10 @@ def _tor_state(total, seed=1):
     return program, p4info, entries, state
 
 
-def _timed_generate(program, state, **kwargs):
+def _timed_generate(program, state, pool=None, **kwargs):
     start = time.perf_counter()
-    result = PacketGenerator(program, state).generate(CoverageMode.ENTRY, **kwargs)
+    generator = PacketGenerator(program, state, solver_pool=pool)
+    result = generator.generate(CoverageMode.ENTRY, **kwargs)
     return time.perf_counter() - start, result
 
 
@@ -111,17 +118,27 @@ def test_per_goal_cache_reuse(scale):
         edited_state.setdefault(decoded.table_name, []).append(decoded)
     edit_seconds, edited = _timed_generate(program, edited_state, goal_cache=cache)
 
+    # The same edit replayed through a warm SolverPool (no goal cache):
+    # the pool answers unchanged solved formulas from its memo, so only
+    # edit-affected goals touch a solver — and that solver is warm.
+    pool = SolverPool()
+    _timed_generate(program, state, pool=pool)  # warm the pool on state 0
+    pool_seconds, pooled = _timed_generate(program, edited_state, pool=pool)
+
     print_table(
         f"Per-goal cache (ToR entry coverage, {scale.name} scale)",
-        ["Run", "Goals", "From cache", "Queries", "Wall clock"],
+        ["Run", "Goals", "From cache", "Pool hits", "Queries", "Wall clock"],
         [
             ("cold", cold.stats.goals_total, cold.stats.goals_from_cache,
-             cold.stats.solver_queries, f"{cold_seconds:.2f}s"),
+             0, cold.stats.solver_queries, f"{cold_seconds:.2f}s"),
             ("warm (unchanged)", warm.stats.goals_total, warm.stats.goals_from_cache,
-             warm.stats.solver_queries, f"{warm_seconds:.2f}s"),
+             0, warm.stats.solver_queries, f"{warm_seconds:.2f}s"),
             ("warm (1 entry edited)", edited.stats.goals_total,
-             edited.stats.goals_from_cache, edited.stats.solver_queries,
+             edited.stats.goals_from_cache, 0, edited.stats.solver_queries,
              f"{edit_seconds:.2f}s"),
+            ("pool (1 entry edited)", pooled.stats.goals_total,
+             pooled.stats.goals_from_cache, pooled.stats.pool_hits,
+             pooled.stats.solver_queries, f"{pool_seconds:.2f}s"),
         ],
     )
 
@@ -132,6 +149,15 @@ def test_per_goal_cache_reuse(scale):
     # Edited state: only the affected goals are re-solved.
     assert 0 < edited.stats.solver_queries < cold.stats.solver_queries
     assert edited.stats.goals_from_cache > edited.stats.goals_total // 2
+    # Warm pool: most attempts are memo hits, and the packets are
+    # byte-identical to the cold run on the same state (canonical
+    # witnesses are solver-history-independent).
+    assert pooled.stats.pool_hits > 0
+    assert pooled.stats.solver_queries < cold.stats.solver_queries
+    cold_edit = PacketGenerator(program, edited_state).generate(CoverageMode.ENTRY)
+    assert [(p.goal, p.packet) for p in pooled.packets] == [
+        (p.goal, p.packet) for p in cold_edit.packets
+    ]
 
 
 def test_parallel_smoke():

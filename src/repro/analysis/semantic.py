@@ -53,6 +53,7 @@ from repro.p4.constraints.symbolic import SymbolicKeySet, encode_constraint
 from repro.p4.p4info import build_p4info
 from repro.smt import Result, Solver
 from repro.smt import terms as T
+from repro.smt.compile import compile_term
 from repro.symbolic.profiles import ParserProfile, profiles_for_pattern
 from repro.analysis.diagnostics import (
     Diagnostic,
@@ -300,6 +301,47 @@ def _profile_solver(run: _ProfileRun) -> Solver:
     return solver
 
 
+class _ReachChecker:
+    """SAT oracle for reach queries under one profile run's constraints.
+
+    Most reach conditions in a real pipeline are satisfiable, and the
+    packets that witness them overlap heavily (reach terms share guard
+    structure).  So before paying for a SAT check, compile the full
+    formula ``and(run.constraints, *terms)`` to bytecode and evaluate it
+    under cheap concrete candidates: witnesses recovered from earlier SAT
+    answers in this run, then all-zeros, then all-ones.  Any candidate
+    that evaluates true *is* a model — the answer is SAT with no solver
+    work.  Only queries every candidate misses (including every UNSAT
+    one) reach the solver, so verdicts are unchanged.
+    """
+
+    _MAX_WITNESSES = 8
+
+    def __init__(self, run: _ProfileRun, solver: Solver) -> None:
+        self.run = run
+        self.solver = solver
+        self._witnesses: List[Dict[str, int]] = []
+
+    def sat(self, *terms: T.Term) -> bool:
+        if any(t is T.FALSE for t in terms):
+            return False
+        compiled = compile_term(T.and_(*self.run.constraints, *terms))
+        for witness in self._witnesses:
+            if compiled.evaluate(witness):
+                return True
+        if compiled.evaluate({}):  # all-zeros
+            return True
+        if compiled.evaluate(compiled.var_masks):  # all-ones
+            return True
+        if self.solver.check(*terms) is not Result.SAT:
+            return False
+        witness = dict(self.solver.model(compiled.variables))
+        self._witnesses.append(witness)
+        if len(self._witnesses) > self._MAX_WITNESSES:
+            self._witnesses.pop(0)
+        return True
+
+
 # ----------------------------------------------------------------------
 # Pass: unsatisfiable entry restrictions
 # ----------------------------------------------------------------------
@@ -356,7 +398,7 @@ def check_restriction_sat(program: P4Program) -> Tuple[List[Diagnostic], Set[str
 
 
 def check_dead_branches(
-    runs: List[_ProfileRun], solvers: List[Solver]
+    runs: List[_ProfileRun], checkers: List[_ReachChecker]
 ) -> List[Diagnostic]:
     out: List[Diagnostic] = []
     labels: Dict[Tuple[str, bool], None] = {}
@@ -365,9 +407,8 @@ def check_dead_branches(
             labels.setdefault(key, None)
     for label, taken in labels:
         reachable = any(
-            solver.check(run.branch_reach.get((label, taken), T.FALSE))
-            is Result.SAT
-            for run, solver in zip(runs, solvers, strict=True)
+            checker.sat(run.branch_reach.get((label, taken), T.FALSE))
+            for run, checker in zip(runs, checkers, strict=True)
         )
         if not reachable:
             direction = "then" if taken else "else"
@@ -386,7 +427,7 @@ def check_dead_branches(
 
 
 def check_dead_tables(
-    runs: List[_ProfileRun], solvers: List[Solver]
+    runs: List[_ProfileRun], checkers: List[_ReachChecker]
 ) -> List[Diagnostic]:
     out: List[Diagnostic] = []
     names: Dict[str, None] = {}
@@ -395,8 +436,8 @@ def check_dead_tables(
             names.setdefault(name, None)
     for name in names:
         reachable = any(
-            solver.check(run.table_reach.get(name, T.FALSE)) is Result.SAT
-            for run, solver in zip(runs, solvers, strict=True)
+            checker.sat(run.table_reach.get(name, T.FALSE))
+            for run, checker in zip(runs, checkers, strict=True)
         )
         if not reachable:
             out.append(
@@ -417,7 +458,7 @@ def check_dead_tables(
 def check_table_hits(
     program: P4Program,
     runs: List[_ProfileRun],
-    solvers: List[Solver],
+    checkers: List[_ReachChecker],
     skip: Set[str],
 ) -> List[Diagnostic]:
     """Tables where no reachable packet can match any well-formed,
@@ -442,7 +483,7 @@ def check_table_hits(
             except (ConstraintSyntaxError, KeyError):
                 pass  # reported structurally
         hittable = False
-        for run, solver in zip(runs, solvers, strict=True):
+        for run, checker in zip(runs, checkers, strict=True):
             arms = []
             for ctx, state in run.key_states.get(table.name, ()):
                 conjuncts = [ctx]
@@ -453,7 +494,7 @@ def check_table_hits(
                         (value & mask).eq(keys.value_vars[key.key_name])
                     )
                 arms.append(T.and_(*conjuncts))
-            if arms and solver.check(T.or_(*arms), *side) is Result.SAT:
+            if arms and checker.sat(T.or_(*arms), *side):
                 hittable = True
                 break
         if not hittable:
@@ -478,15 +519,15 @@ def check_table_hits(
 
 
 def check_invalid_reads(
-    runs: List[_ProfileRun], solvers: List[Solver]
+    runs: List[_ProfileRun], checkers: List[_ReachChecker]
 ) -> List[Diagnostic]:
     out: List[Diagnostic] = []
     flagged: Set[Tuple[str, str]] = set()
-    for run, solver in zip(runs, solvers, strict=True):
+    for run, checker in zip(runs, checkers, strict=True):
         for (location, path), reach in run.header_reads.items():
             if (location, path) in flagged:
                 continue
-            if solver.check(reach) is Result.SAT:
+            if checker.sat(reach):
                 flagged.add((location, path))
                 header = path.split(".", 1)[0]
                 out.append(
@@ -528,14 +569,18 @@ def run_semantic_passes(program: P4Program) -> List[Diagnostic]:
     out, unsat_restrictions = check_restriction_sat(program)
 
     havoc_runs = _walk_all(program, profiles, havoc_entry=True)
-    havoc_solvers = [_profile_solver(r) for r in havoc_runs]
-    out.extend(check_dead_branches(havoc_runs, havoc_solvers))
-    out.extend(check_dead_tables(havoc_runs, havoc_solvers))
+    havoc_checkers = [
+        _ReachChecker(r, _profile_solver(r)) for r in havoc_runs
+    ]
+    out.extend(check_dead_branches(havoc_runs, havoc_checkers))
+    out.extend(check_dead_tables(havoc_runs, havoc_checkers))
     out.extend(
-        check_table_hits(program, havoc_runs, havoc_solvers, unsat_restrictions)
+        check_table_hits(program, havoc_runs, havoc_checkers, unsat_restrictions)
     )
 
     zero_runs = _walk_all(program, profiles, havoc_entry=False)
-    zero_solvers = [_profile_solver(r) for r in zero_runs]
-    out.extend(check_invalid_reads(zero_runs, zero_solvers))
+    zero_checkers = [
+        _ReachChecker(r, _profile_solver(r)) for r in zero_runs
+    ]
+    out.extend(check_invalid_reads(zero_runs, zero_checkers))
     return out

@@ -57,6 +57,12 @@ class FuzzerConfig:
     # scheduler anyway, to assert the depth-1 pipeline reproduces the
     # sequential loop byte for byte.
     force_pipeline: bool = False
+    # Accept a harness-provided SolverPool for the constraint-aware key
+    # planner (warm per-table solvers across campaigns).  False forces
+    # cold private solvers; generated request streams are identical either
+    # way (model blocking rides on check() assumptions, and cached
+    # constraint models are sampled deterministically from the seed).
+    reuse_solvers: bool = True
 
 
 @dataclass
@@ -142,16 +148,22 @@ class P4Fuzzer:
         p4info: P4Info,
         switch: P4RuntimeService,
         config: Optional[FuzzerConfig] = None,
+        solver_pool=None,
     ) -> None:
         self.p4info = p4info
         self.switch = switch
         self.config = config or FuzzerConfig()
         self.rng = random.Random(self.config.seed)
+        # The harness hands its SolverPool down so the generator's
+        # per-table constraint solvers stay warm across campaigns;
+        # config.reuse_solvers=False opts a campaign out (cold solvers).
+        self.solver_pool = solver_pool if self.config.reuse_solvers else None
         self.generator = RequestGenerator(
             p4info,
             self.rng,
             valid_ports=self.config.valid_ports,
             constraint_aware=self.config.constraint_aware,
+            solver_pool=self.solver_pool,
         )
         self.oracle = Oracle(p4info)
         self._modified_keys = set()

@@ -38,6 +38,8 @@ from repro.p4rt.messages import (
     UpdateType,
 )
 from repro.smt import Result, Solver
+from repro.smt import terms as T
+from repro.smt.pool import SolverPool
 
 
 # Heuristics for parameters that denote switch resources rather than
@@ -84,10 +86,19 @@ class RequestGenerator:
         rng: random.Random,
         valid_ports: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8),
         constraint_aware: bool = False,
+        solver_pool: Optional[SolverPool] = None,
     ) -> None:
         self.p4info = p4info
         self.rng = rng
         self.valid_ports = tuple(valid_ports)
+        # Per-table constraint solvers come from the pool when one is
+        # supplied (shared with the harness's packet-generation solvers),
+        # falling back to a private cache otherwise.  Either way the solver
+        # outlives a single sampling round: model blocking happens through
+        # check() assumptions, never permanent assertions, so the encoding
+        # stays clean and reusable across campaigns.
+        self._pool = solver_pool
+        self._constraint_solvers: Dict[int, Solver] = {}
         self.refs = ReferenceGraph(p4info)
         self.state = GeneratorState()
         self._available_cache = None
@@ -389,32 +400,66 @@ class RequestGenerator:
         solve only happens when the cache is cold.
         """
         cached = self._constraint_models.get(table.id)
+        if not cached and self._pool is not None:
+            # Models sampled by an earlier campaign sharing this pool.
+            # Reused verbatim so the request stream matches what a cold
+            # generator would produce (the first computation always runs
+            # against a cold solver, and sampling from the models is
+            # seeded by the campaign's own rng).
+            cached = self._pool.memo.get(
+                ("fuzzer-models", self.p4info.program_name, table.name)
+            )
+            if cached:
+                self._constraint_models[table.id] = cached
         if not cached:
-            solver = Solver()
             keys = SymbolicKeySet(table)
-            solver.add(keys.wellformedness())
-            solver.add(encode_constraint(self._constraints[table.id], keys))
+            solver = self._constraint_solvers.get(table.id)
+            if solver is None:
+                constraints = (
+                    keys.wellformedness(),
+                    encode_constraint(self._constraints[table.id], keys),
+                )
+                if self._pool is not None:
+                    # Key variables are named per table, so the encoding is
+                    # table-specific; hash-consing makes the constraint
+                    # terms identical across campaigns and the pool asserts
+                    # them exactly once.
+                    solver = self._pool.solver(
+                        ("fuzzer-keys", self.p4info.program_name, table.name),
+                        constraints,
+                    )
+                else:
+                    solver = Solver()
+                    solver.add(*constraints)
+                self._constraint_solvers[table.id] = solver
             models: List[Dict[str, int]] = []
-            # Collect a few diverse models by blocking previous ones.
+            # Collect a few diverse models by blocking previous ones.  The
+            # blockers ride along as check() assumptions rather than
+            # permanent assertions, so the cached solver still encodes
+            # exactly wellformedness ∧ constraint afterwards and stays
+            # reusable (across campaigns, and by anyone sharing the pool).
+            blocks: List[T.Term] = []
             for _ in range(4):
-                if solver.check() is not Result.SAT:
+                if solver.check(*blocks) is not Result.SAT:
                     break
                 model = solver.model()
                 models.append(dict(model))
                 # Block this exact assignment of the value variables.
-                from repro.smt import terms as T
-
                 blockers = []
                 for mf in table.match_fields:
                     var = keys.value_vars[mf.name]
                     blockers.append(var.ne(model.get(var.name, 0)))
                 if blockers:
-                    solver.add(T.or_(*blockers))
+                    blocks.append(T.or_(*blockers))
                 else:
                     break
             if not models:
                 return None
             self._constraint_models[table.id] = models
+            if self._pool is not None:
+                self._pool.memo[
+                    ("fuzzer-models", self.p4info.program_name, table.name)
+                ] = models
             cached = models
         model = self.rng.choice(cached)
         plan: Dict[str, Optional[Tuple[int, int, int]]] = {}

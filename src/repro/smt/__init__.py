@@ -14,6 +14,11 @@ equality, so we implement exactly that:
   assumptions, which p4-symbolic uses to pose many coverage queries against
   a single bit-blasted program encoding.
 * :mod:`repro.smt.solver` — the user-facing ``Solver`` with model extraction.
+* :mod:`repro.smt.compile` — postorder bytecode compilation of term DAGs for
+  fast repeated concrete evaluation (subsumption, model checks, lint
+  prefilters).
+* :mod:`repro.smt.pool` — keyed long-lived solvers reused across table
+  states, the cross-state incremental-solving backbone of the harness.
 """
 
 import sys as _sys
@@ -35,20 +40,26 @@ from repro.smt.terms import (
     bv_var,
     evaluate,
 )
+from repro.smt.compile import CompiledTerm, compile_term, evaluate_compiled
+from repro.smt.pool import SolverPool
 from repro.smt.solver import Model, Result, Solver
 
 __all__ = [
     "BV",
     "BVSort",
     "BoolSort",
+    "CompiledTerm",
     "FALSE",
     "Model",
     "Result",
     "Solver",
+    "SolverPool",
     "TRUE",
     "Term",
     "bool_var",
     "bv_const",
     "bv_var",
+    "compile_term",
     "evaluate",
+    "evaluate_compiled",
 ]

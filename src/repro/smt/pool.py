@@ -1,0 +1,146 @@
+"""Cross-state solver pooling for incremental packet generation.
+
+The harness validates a *sequence* of table states (fuzzing batches, churn
+replays, single-entry edits).  Constructing a fresh :class:`Solver` per
+state re-bit-blasts the entire program encoding even though the profile
+constraints — parser pins, port validity, exclusions — are identical across
+states, and the goal conditions mostly share structure with the previous
+state's (hash-consing gives the *same term objects* for unchanged
+subformulas).
+
+A :class:`SolverPool` keeps one long-lived solver per key (per
+(program, profile) for generation, per table for the fuzzer's constraint
+models).  Only the state-independent constraint groups are ever asserted
+permanently; per-state goal conditions flow in through
+``Solver.check(assumptions)``, whose Tseitin root literals act as the
+activation literals — flipping which condition is "on" is a new assumption
+set against the same encoding, reusing the blaster's per-term caches and
+the SAT solver's learned clauses (``SatSolver.solve(assumptions)``).
+Editing one entry therefore re-encodes only the conditions that
+structurally mention it; everything else hits the cache.
+
+Soundness: fresh-variable names (``name#counter``) collide across states,
+but those are shared *free* variables and only one state's condition is
+assumed per check, so a pooled solver can never mix constraints from two
+states.  The accumulated encoding grows monotonically; stale definitional
+clauses are satisfiable on their own and cost only memory.
+
+Pools fork cleanly: parallel shard workers inherit a warm pool through
+fork's copy-on-write memory and keep solving against the parent's learned
+clauses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Set, Tuple
+
+from repro.smt import terms as T
+from repro.smt.solver import Solver
+
+PoolKey = Tuple[str, ...]
+
+# Sentinel distinguishing "never solved" from "solved, unsatisfiable".
+MISS = object()
+
+
+class SolverPool:
+    """Keyed, long-lived incremental solvers with assert-once constraints."""
+
+    def __init__(self) -> None:
+        self._solvers: Dict[PoolKey, Solver] = {}
+        # Terms already permanently asserted per solver.  Identity-keyed:
+        # hash-consing makes "same structure" mean "same object", so an
+        # unchanged constraint group re-offered for a new table state is
+        # recognised without a structural walk.
+        self._asserted: Dict[PoolKey, Set[T.Term]] = {}
+        # Solved-formula memo: (program, formula-term) -> canonical witness
+        # (or None for UNSAT).  A formula's verdict and its canonical
+        # witness are pure functions of the formula itself — never of
+        # solver history — so across table states every goal whose solved
+        # formula is unchanged (the same hash-consed term) is answered here
+        # without touching a solver.  Only the formulas a table edit
+        # actually changed reach the warm solver, which in turn re-encodes
+        # only their changed subterms.
+        self._formula_results: Dict[Tuple[str, T.Term], Optional[Dict[str, int]]] = {}
+        # General-purpose side memo for derived artifacts whose first
+        # (cold) computation is deterministic — e.g. the fuzzer's sampled
+        # constraint models.  Reusing the cold result verbatim keeps
+        # behaviour independent of pool warmth: a warm solver might
+        # legitimately return *different* models, and anything downstream
+        # of those choices (request streams) must not depend on who warmed
+        # the pool first.
+        self.memo: Dict[Tuple, object] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def solver(
+        self,
+        key: PoolKey,
+        constraints: Sequence[T.Term] = (),
+        simplify_terms: bool = True,
+    ) -> Solver:
+        """The pooled solver for ``key``, with ``constraints`` asserted once.
+
+        The first request for a key builds the solver; later requests — the
+        next fuzzing batch, the next table state — return the warm instance
+        and assert only constraint terms it has not seen before.
+        """
+        solver = self._solvers.get(key)
+        if solver is None:
+            solver = Solver(simplify_terms=simplify_terms)
+            self._solvers[key] = solver
+            self._asserted[key] = set()
+            self.misses += 1
+        else:
+            self.hits += 1
+        asserted = self._asserted[key]
+        for constraint in constraints:
+            if constraint not in asserted:
+                asserted.add(constraint)
+                solver.add(constraint)
+        return solver
+
+    # ------------------------------------------------------------------
+    # Solved-formula memo
+    # ------------------------------------------------------------------
+    def lookup_formula(self, key: Tuple[str, T.Term]):
+        """The memoised outcome for a solved formula.
+
+        Returns the canonical witness dict, ``None`` for a memoised UNSAT,
+        or the :data:`MISS` sentinel when the formula was never solved.
+        """
+        return self._formula_results.get(key, MISS)
+
+    def store_formula(
+        self, key: Tuple[str, T.Term], witness: Optional[Dict[str, int]]
+    ) -> None:
+        self._formula_results[key] = witness
+
+    def __len__(self) -> int:
+        return len(self._solvers)
+
+    def __contains__(self, key: PoolKey) -> bool:
+        return key in self._solvers
+
+    def discard(self, key: PoolKey) -> None:
+        """Drop one solver (e.g. after an encoding reaches a size budget)."""
+        self._solvers.pop(key, None)
+        self._asserted.pop(key, None)
+
+    def clear(self) -> None:
+        self._solvers.clear()
+        self._asserted.clear()
+        self._formula_results.clear()
+        self.memo.clear()
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Aggregate SAT effort across every pooled solver."""
+        out = {"solvers": len(self._solvers), "hits": self.hits, "misses": self.misses,
+               "conflicts": 0, "decisions": 0, "propagations": 0}
+        for solver in self._solvers.values():
+            s = solver.stats
+            out["conflicts"] += s["conflicts"]
+            out["decisions"] += s["decisions"]
+            out["propagations"] += s["propagations"]
+        return out

@@ -378,27 +378,46 @@ class SatSolver:
             to_remove.add(i)
         if not to_remove:
             return
-        # Rebuild clause storage compactly and remap watches.
-        new_clauses: List[List[int]] = []
-        new_activity: List[float] = []
+        # Compact only the learned suffix.  Problem-clause indices (below
+        # ``base``) never move, so their watch entries and any reasons
+        # pointing at them stay valid untouched; only watch lists that
+        # actually contain a removed or relocated learned clause are
+        # rewritten, and every surviving clause keeps its two watched
+        # literals — no clearing and re-watching of the whole structure.
+        base = self._num_problem_clauses
+        clauses = self._clauses
+        activity = self._clause_activity
         remap: Dict[int, int] = {}
-        for i, clause in enumerate(self._clauses):
-            if i in to_remove:
+        dirty = set()
+        write = base
+        for read in range(base, len(clauses)):
+            if read in to_remove:
+                c = clauses[read]
+                dirty.add(c[0])
+                dirty.add(c[1])
                 continue
-            remap[i] = len(new_clauses)
-            new_clauses.append(clause)
-            new_activity.append(self._clause_activity[i])
-        self._clauses = new_clauses
-        self._clause_activity = new_activity
-        for lit in range(len(self._watches)):
-            self._watches[lit] = []
-        for i, clause in enumerate(self._clauses):
-            self._watches[clause[0]].append(i)
-            self._watches[clause[1]].append(i)
-        for v in range(1, self._num_vars + 1):
-            r = self._reason[v]
-            if r != -1:
-                self._reason[v] = remap.get(r, -1)
+            if read != write:
+                remap[read] = write
+                c = clauses[read]
+                dirty.add(c[0])
+                dirty.add(c[1])
+            write += 1
+        for read, dst in remap.items():
+            clauses[dst] = clauses[read]
+            activity[dst] = activity[read]
+        del clauses[write:]
+        del activity[write:]
+        for lit in dirty:
+            self._watches[lit] = [
+                remap.get(i, i) for i in self._watches[lit] if i not in to_remove
+            ]
+        # Reasons only exist for assigned vars, i.e. vars on the trail, and
+        # a removed clause is never locked as a reason.
+        for lit in self._trail:
+            var = var_of(lit)
+            r = self._reason[var]
+            if r >= base:
+                self._reason[var] = remap.get(r, r)
 
     # ------------------------------------------------------------------
     # Main solve loop

@@ -11,10 +11,11 @@ per-entry coverage goals tractable.
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, Iterable, List, Mapping, Optional
 
 from repro.smt import terms as T
 from repro.smt.bitblast import BitBlaster
+from repro.smt.compile import evaluate_compiled
 from repro.smt.sat import SatSolver
 from repro.smt.simplify import simplify
 
@@ -44,8 +45,12 @@ class Model(Mapping[str, int]):
         return len(self._values)
 
     def evaluate(self, term: T.Term) -> int:
-        """Evaluate an arbitrary term under this model."""
-        return T.evaluate(term, self._values)
+        """Evaluate an arbitrary term under this model.
+
+        Uses the compiled evaluator (:mod:`repro.smt.compile`); repeated
+        evaluation of the same term across models pays compilation once.
+        """
+        return evaluate_compiled(term, self._values)
 
     def __repr__(self) -> str:
         inner = ", ".join(f"{k}={v}" for k, v in sorted(self._values.items()))
@@ -118,12 +123,24 @@ class Solver:
         self._last_result = Result.SAT if sat else Result.UNSAT
         return self._last_result
 
-    def model(self) -> Model:
-        """The model from the last successful :meth:`check`."""
+    def model(self, names: Optional[Iterable[str]] = None) -> Model:
+        """The model from the last successful :meth:`check`.
+
+        ``names`` restricts extraction to those variables (unknown names are
+        skipped, matching the "absent from the formula ⇒ absent from the
+        model" contract).  Long-lived pooled solvers accumulate variables
+        across many table states, so extracting only the variables a caller
+        actually reads keeps model cost proportional to the query, not to
+        the solver's lifetime.
+        """
         if self._last_result is not Result.SAT:
             raise RuntimeError("model() requires a preceding SAT check()")
         values: Dict[str, int] = {}
-        for name in self._var_sorts:
+        if names is None:
+            wanted = self._var_sorts
+        else:
+            wanted = [n for n in names if n in self._var_sorts]
+        for name in wanted:
             bits = self._blaster.variable_bits(name)
             if bits is None:
                 # Variable was simplified away entirely; any value works.

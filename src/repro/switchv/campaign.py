@@ -71,6 +71,12 @@ class CampaignConfig:
     # with error-severity diagnostics yields MODEL_ERROR incidents and no
     # fuzzing/replay happens (repro.analysis).
     lint_model: bool = False
+    # Cross-state incremental solving: keep one SolverPool alive for the
+    # whole campaign so successive table states reuse bit-blasting, learned
+    # clauses, and solved-formula results (repro.smt.pool).  Verdicts and
+    # packets are byte-identical either way; False rebuilds solvers per
+    # state (the pre-pool behaviour).
+    reuse_solvers: bool = True
 
 
 @dataclass
@@ -112,6 +118,7 @@ def build_campaign(
         retry_policy=config.retry_policy,
         lint_model=config.lint_model,
         pipeline_depth=config.pipeline_depth,
+        reuse_solvers=config.reuse_solvers,
     )
     return CampaignSetup(
         fault=fault, stack_kind=stack_kind, model=model, harness=harness, config=config

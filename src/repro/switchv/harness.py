@@ -29,6 +29,7 @@ from repro.fuzzer.batching import make_batches, order_inserts
 from repro.p4.ast import P4Program
 from repro.p4.p4info import build_p4info
 from repro.p4rt.messages import TableEntry, Update, UpdateType, WriteRequest
+from repro.smt.pool import SolverPool
 from repro.switchv.report import Incident, IncidentKind, IncidentLog
 from repro.symbolic.cache import PacketCache, cache_key
 from repro.symbolic.coverage import CoverageGoal, CoverageMode, entry_goal
@@ -107,6 +108,8 @@ class SwitchVHarness:
         retry_policy=None,
         lint_model: bool = False,
         pipeline_depth: int = 1,
+        reuse_solvers: bool = True,
+        solver_pool: Optional[SolverPool] = None,
     ) -> None:
         self.model = model
         # Fail-fast gate: lint the model before anything derives from it.
@@ -145,6 +148,16 @@ class SwitchVHarness:
         # found simulator bugs too; they surface as mismatches like any
         # other divergence).
         self.simulator_faults = simulator_faults
+        # Cross-state incremental solving: one pool of per-(program,
+        # profile) solvers — plus the fuzzer's per-table constraint solvers
+        # — kept warm across every table state this harness validates
+        # (fuzzing batches, churn replays, re-validation after an edit).
+        # Witness packets are canonical (solver-history-independent), so a
+        # warm pool produces byte-identical results to a cold run.
+        if solver_pool is not None:
+            self.solver_pool: Optional[SolverPool] = solver_pool
+        else:
+            self.solver_pool = SolverPool() if reuse_solvers else None
 
     def _lint_gate(self, report: ValidationReport) -> bool:
         """True when the model failed the lint gate (campaign must not run).
@@ -196,7 +209,7 @@ class SwitchVHarness:
             import dataclasses
 
             config = dataclasses.replace(config, pipeline_depth=self.pipeline_depth)
-        fuzzer = P4Fuzzer(self.p4info, self.switch, config)
+        fuzzer = P4Fuzzer(self.p4info, self.switch, config, solver_pool=self.solver_pool)
         result = fuzzer.run()
         report.fuzz = result
         report.incidents.extend(result.incidents)
@@ -474,7 +487,9 @@ class SwitchVHarness:
                 stats.goals_covered = cached.stats.goals_covered
                 stats.cache_hit = True
                 return cached.packets
-        generator = PacketGenerator(self.model, state, self.valid_ports)
+        generator = PacketGenerator(
+            self.model, state, self.valid_ports, solver_pool=self.solver_pool
+        )
         # The whole-run key missed (or caching is off for this request);
         # the per-goal layer still recovers every goal whose solved formula
         # is unchanged since an earlier, slightly different state.

@@ -20,6 +20,8 @@ from repro.bmv2.packet import Packet
 from repro.p4.ast import P4Program
 from repro.smt import Result, Solver
 from repro.smt import terms as T
+from repro.smt.compile import compile_term
+from repro.smt.pool import MISS, SolverPool
 from repro.symbolic.coverage import CoverageGoal, CoverageMode, goals_for_mode
 from repro.symbolic.executor import ProfileExecution, SymbolicExecutor
 
@@ -51,6 +53,13 @@ class GenerationStats:
     # profile happened to satisfy (checked by concrete evaluation), covered
     # without touching the solver.
     goals_subsumed: int = 0
+    # Canonicalisation: extra assumption checks spent pinning witness
+    # packets to solver-history-independent values (what makes warm-pool,
+    # cold, and per-worker runs byte-identical).
+    canonical_checks: int = 0
+    # Attempt formulas answered by the SolverPool's solved-formula memo
+    # (unchanged since a previous table state) without any SAT work.
+    pool_hits: int = 0
     # Aggregate SAT-solver effort behind the queries, summed across every
     # per-profile solver (and every worker, in parallel runs) — the numbers
     # that make benchmark regressions attributable to the solver rather
@@ -67,6 +76,8 @@ class GenerationStats:
         self.goals_covered += other.goals_covered
         self.goals_unsatisfiable += other.goals_unsatisfiable
         self.solver_queries += other.solver_queries
+        self.canonical_checks += other.canonical_checks
+        self.pool_hits += other.pool_hits
         self.goals_from_cache += other.goals_from_cache
         self.goals_subsumed += other.goals_subsumed
         self.sat_conflicts += other.sat_conflicts
@@ -89,12 +100,24 @@ class PacketGenerator:
         program: P4Program,
         state: Mapping[str, Sequence[InstalledEntry]],
         valid_ports: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8),
+        solver_pool: Optional[SolverPool] = None,
     ) -> None:
         self.program = program
         self.state = state
         self.valid_ports = tuple(valid_ports)
+        # When a SolverPool is supplied, per-profile solvers are borrowed
+        # from it instead of built fresh: across table states the profile
+        # constraints are identical and unchanged goal subformulas are the
+        # *same* hash-consed terms, so a warm solver reuses its Tseitin
+        # encoding and learned clauses and only encodes what an edit
+        # actually changed.
+        self._pool = solver_pool
         self._executions: Optional[List[ProfileExecution]] = None
         self._solvers: Dict[str, Solver] = {}
+        # SAT-effort counters of each solver at acquisition time: pooled
+        # solvers arrive with lifetime counters, and stats must only report
+        # the effort this generator caused.
+        self._effort_base: Dict[str, tuple] = {}
         self._constraint_digests: Dict[str, str] = {}
         # Background/soft-dst refinements memoised per
         # (profile, constrained-variable-set) — goals over the same table
@@ -112,15 +135,27 @@ class PacketGenerator:
         return self._executions
 
     def _solver_for(self, execution: ProfileExecution) -> Solver:
-        solver = self._solvers.get(execution.profile.name)
+        name = execution.profile.name
+        solver = self._solvers.get(name)
         if solver is None:
             # Trace/output terms were already simplified by the executor;
             # re-simplifying every (large) goal assumption inside the solver
             # costs more than it saves.
-            solver = Solver(simplify_terms=False)
-            for constraint in execution.constraints:
-                solver.add(constraint)
-            self._solvers[execution.profile.name] = solver
+            if self._pool is not None:
+                solver = self._pool.solver(
+                    ("packets", self.program.name, name),
+                    execution.constraints,
+                    simplify_terms=False,
+                )
+            else:
+                solver = Solver(simplify_terms=False)
+                for constraint in execution.constraints:
+                    solver.add(constraint)
+            self._solvers[name] = solver
+            s = solver.stats
+            self._effort_base[name] = (
+                s["conflicts"], s["decisions"], s["propagations"],
+            )
         return solver
 
     # ------------------------------------------------------------------
@@ -200,13 +235,18 @@ class PacketGenerator:
 
     # ------------------------------------------------------------------
     def _solver_effort(self) -> tuple:
-        """Cumulative (conflicts, decisions, propagations) over all solvers."""
+        """Cumulative (conflicts, decisions, propagations) over all solvers.
+
+        Measured relative to each solver's counters at acquisition, so a
+        warm pooled solver only contributes work this generator caused.
+        """
         conflicts = decisions = propagations = 0
-        for solver in self._solvers.values():
+        for name, solver in self._solvers.items():
             s = solver.stats
-            conflicts += s["conflicts"]
-            decisions += s["decisions"]
-            propagations += s["propagations"]
+            base = self._effort_base.get(name, (0, 0, 0))
+            conflicts += s["conflicts"] - base[0]
+            decisions += s["decisions"] - base[1]
+            propagations += s["propagations"] - base[2]
         return conflicts, decisions, propagations
 
     def _account_effort(self, stats: GenerationStats, before: tuple) -> None:
@@ -283,10 +323,271 @@ class PacketGenerator:
                 (condition,),
             ]
             for assumptions in attempts:
+                # The solved formula (constraints ∧ assumptions) fully
+                # determines both the SAT verdict and the canonical witness,
+                # so the pool memoises outcomes by formula identity: across
+                # table states, every attempt whose formula is unchanged —
+                # the same hash-consed term — is answered here, and only
+                # edit-affected formulas reach the warm solver.
+                key = None
+                if self._pool is not None:
+                    formula = T.and_(*execution.constraints, *assumptions)
+                    key = (self.program.name, formula)
+                    cached = self._pool.lookup_formula(key)
+                    if cached is not MISS:
+                        stats.pool_hits += 1
+                        if cached is None:
+                            continue  # memoised UNSAT for this attempt
+                        return self._packet_from_model(goal, execution, cached)
                 stats.solver_queries += 1
                 if solver.check(*assumptions) is Result.SAT:
-                    return self._packet_from_model(goal, execution, solver.model())
+                    witness = self._canonical_witness(
+                        solver, execution, assumptions, stats
+                    )
+                    if key is not None:
+                        self._pool.store_formula(key, witness)
+                    return self._packet_from_model(goal, execution, witness)
+                if key is not None:
+                    self._pool.store_formula(key, None)
         return None
+
+    # ------------------------------------------------------------------
+    # Canonical witness extraction
+    # ------------------------------------------------------------------
+    # A CDCL model is an accident of solver history: phase saving, learned
+    # clauses, and activity orders all feed into which satisfying assignment
+    # comes out, so a warm pooled solver (or a forked worker) would emit
+    # different — equally valid — packets than a cold run.  To keep results
+    # byte-identical across solver histories, the model is never used
+    # directly.  Instead, every input variable the solved formula mentions
+    # is pinned to the first value in a history-independent candidate order
+    # (structural pin from the assumptions, hint mined from masked-equality
+    # conjuncts, background value, zero, then per-bit descent) that keeps
+    # the formula satisfiable.  "Keeps satisfiable" is decided by the
+    # solver's SAT/UNSAT verdict — which is model-independent — with a
+    # compiled-evaluation fast path: if completing the candidate with the
+    # current model already satisfies the formula concretely, it is a
+    # witness and the solver call is skipped (the verdict would have been
+    # SAT either way, so the shortcut never changes the outcome).
+
+    def _canonical_witness(
+        self, solver: Solver, execution: ProfileExecution, assumptions, stats
+    ) -> Dict[str, int]:
+        inputs_by_name: Dict[str, tuple] = {}
+        for path, term in execution.inputs.items():
+            if not term.is_const:
+                inputs_by_name[term.name] = (path, term)
+        formula = T.and_(*execution.constraints, *assumptions)
+        compiled = compile_term(formula)
+        pinned, hints = self._structural_pins(assumptions, inputs_by_name)
+        targets = sorted(
+            name
+            for name in compiled.variables
+            if name in inputs_by_name and name not in pinned
+        )
+        witness: Dict[str, int] = {
+            name: value for name, value in pinned.items() if name in inputs_by_name
+        }
+        if not targets:
+            return witness
+        # The current model is one valid completion of any prefix we have
+        # pinned so far; it seeds the concrete fast path only.
+        model = dict(solver.model(compiled.variables | set(inputs_by_name)))
+        # Batched fast path: if every target's *first-choice* candidate is
+        # jointly satisfiable, the sequential loop below would accept each
+        # first choice too (every prefix of a jointly-SAT pin set stays
+        # SAT), so the whole witness resolves in one evaluation or one
+        # solver check.  First choices are pure functions of the formula
+        # and the background table — determinism is unaffected; a joint
+        # UNSAT just falls through to the per-variable loop.
+        first_choice: Dict[str, int] = {}
+        for name in targets:
+            path, term = inputs_by_name[name]
+            hinted = hints.get(name, ())
+            first_choice[name] = (
+                hinted[0]
+                if hinted
+                else self._BACKGROUND.get(path, 0) & ((1 << term.width) - 1)
+            )
+        if compiled.evaluate({**model, **witness, **first_choice}):
+            witness.update(first_choice)
+            return witness
+        stats.canonical_checks += 1
+        batch = [
+            inputs_by_name[name][1].eq(
+                T.bv_const(value, inputs_by_name[name][1].width)
+            )
+            for name, value in first_choice.items()
+        ]
+        if solver.check(*assumptions, *batch) is Result.SAT:
+            witness.update(first_choice)
+            return witness
+        fixed: List[T.Term] = []
+        for name in targets:
+            path, term = inputs_by_name[name]
+            mask = (1 << term.width) - 1
+            background = self._BACKGROUND.get(path, 0) & mask
+            candidates = []
+            # The MSB-flipped background serves goals that *exclude* the
+            # background space (route misses, ACL negations): it leaves
+            # every prefix the background belongs to while keeping the
+            # low bits recognisable, and costs one check instead of a
+            # per-bit descent.
+            far = background ^ (1 << (term.width - 1))
+            for value in (*hints.get(name, ()), background, far, 0):
+                if value not in candidates:
+                    candidates.append(value)
+            chosen = None
+            for value in candidates:
+                trial = {**model, **witness, name: value}
+                if compiled.evaluate(trial):
+                    chosen = value
+                    break
+                stats.canonical_checks += 1
+                if solver.check(*assumptions, *fixed, term.eq(value)) is Result.SAT:
+                    chosen = value
+                    # Refresh the completion seed: the new model satisfies
+                    # everything fixed so far, keeping the fast path alive.
+                    model = dict(solver.model(compiled.variables | set(inputs_by_name)))
+                    break
+            if chosen is None:
+                chosen = self._descend_bits(
+                    solver, assumptions, fixed, term, background, stats
+                )
+            witness[name] = chosen
+            fixed.append(term.eq(T.bv_const(chosen, term.width)))
+        return witness
+
+    def _structural_pins(self, assumptions, inputs_by_name) -> tuple:
+        """(pins, hints) mined from the assumption conjuncts.
+
+        Pins are exact ``var == const`` conjuncts (background refinement,
+        port preference, exact-match goal fields): they hold in every model
+        of the assumption set, so they are adopted without any solver
+        query.  Hints come from masked equalities ``(var & mask) == const``
+        (ternary/LPM matches): merging the required bits over the
+        background value gives a strong first candidate.
+        """
+        pins: Dict[str, int] = {}
+        hints: Dict[str, tuple] = {}
+        for assumption in assumptions:
+            conjuncts = (
+                assumption.args if assumption.op == T.OP_AND else (assumption,)
+            )
+            for c in conjuncts:
+                if c.op != T.OP_EQ:
+                    continue
+                lhs, rhs = c.args
+                if not rhs.is_const:
+                    lhs, rhs = rhs, lhs
+                if not rhs.is_const:
+                    continue
+                if lhs.op == T.OP_VAR:
+                    if lhs.payload in inputs_by_name:
+                        pins.setdefault(lhs.payload, rhs.payload)
+                    continue
+                if lhs.op != T.OP_BVAND:
+                    continue
+                var, mask_term = lhs.args
+                if not mask_term.is_const:
+                    var, mask_term = mask_term, var
+                if not (mask_term.is_const and var.op == T.OP_VAR):
+                    continue
+                name = var.payload
+                entry = inputs_by_name.get(name)
+                if entry is None:
+                    continue
+                path, term = entry
+                width_mask = (1 << term.width) - 1
+                background = self._BACKGROUND.get(path, 0) & width_mask
+                hint = ((background & ~mask_term.payload) | rhs.payload) & width_mask
+                hints[name] = hints.get(name, ()) + (hint,)
+        return pins, hints
+
+    def _descend_bits(
+        self, solver, assumptions, fixed, term, background: int, stats
+    ) -> int:
+        """Deterministic last resort: the value a greedy MSB-first walk
+        would produce — at each position prefer the background bit, flip
+        only when the preferred bit is unsatisfiable given the bits fixed
+        so far.  Computed segment-wise instead of bit-wise: first try the
+        whole remaining suffix of background bits in one check; on
+        failure, binary-search the longest satisfiable preferred prefix
+        (prefix satisfiability is monotone), after which the next bit's
+        flip is forced — every model of the pinned prefix already has it
+        flipped, so no check is needed.  O(flips · log width) solver
+        checks instead of O(width), same witness bit for bit.
+
+        Precondition: the caller already established that the full
+        background value is unsatisfiable (it was a rejected candidate),
+        so the first iteration skips the whole-suffix check."""
+        value = 0
+        pins: List[T.Term] = []
+        full_suffix_known_unsat = True
+
+        def preferred_pins(msb: int, count: int) -> List[T.Term]:
+            return [
+                T.extract(term, b, b).eq(T.bv_const((background >> b) & 1, 1))
+                for b in range(msb, msb - count, -1)
+            ]
+
+        def sat_with(extra: List[T.Term]) -> bool:
+            stats.canonical_checks += 1
+            return (
+                solver.check(*assumptions, *fixed, *pins, *extra) is Result.SAT
+            )
+
+        # A completion consistent with `fixed` (one guaranteed-SAT check).
+        # Its bits are SAT *witnesses*: wherever the completion already
+        # agrees with the background, the corresponding preferred-run
+        # check is known SAT without asking the solver.  It never decides
+        # a value — the greedy preferred-first choice is unchanged — so
+        # the witness stays solver-history-independent.
+        stats.canonical_checks += 1
+        solver.check(*assumptions, *fixed)
+        comp = solver.model([term.name])[term.name]
+
+        def agreement(msb: int, limit: int) -> int:
+            run = 0
+            while run < limit and (
+                ((comp >> (msb - run)) & 1) == ((background >> (msb - run)) & 1)
+            ):
+                run += 1
+            return run
+
+        bit = term.width - 1
+        while bit >= 0:
+            remaining = bit + 1
+            agree = agreement(bit, remaining)
+            if not full_suffix_known_unsat:
+                if agree == remaining or sat_with(preferred_pins(bit, remaining)):
+                    pins.extend(preferred_pins(bit, remaining))
+                    value |= background & ((1 << remaining) - 1)
+                    break
+            full_suffix_known_unsat = False
+            # Longest satisfiable run of preferred bits below `bit`:
+            # lo is known-SAT (the completion witnesses `agree`),
+            # hi known-UNSAT.
+            lo, hi = agree, remaining
+            while hi - lo > 1:
+                mid = (lo + hi) // 2
+                if sat_with(preferred_pins(bit, mid)):
+                    comp = solver.model([term.name])[term.name]
+                    # The fresh completion satisfies the mid-run and may
+                    # agree further down — extend lo for free.
+                    lo = max(mid, agreement(bit, remaining - 1))
+                else:
+                    hi = mid
+            if lo:
+                pins.extend(preferred_pins(bit, lo))
+                run = (background >> (bit - lo + 1)) & ((1 << lo) - 1)
+                value |= run << (bit - lo + 1)
+                bit -= lo
+            flipped = 1 - ((background >> bit) & 1)
+            pins.append(T.extract(term, bit, bit).eq(T.bv_const(flipped, 1)))
+            value |= flipped << bit
+            bit -= 1
+        return value
 
     def _refinements(self, execution, condition: T.Term) -> tuple:
         """(background, soft_dst) refinement conjunctions for a goal.
@@ -357,7 +658,11 @@ class PacketGenerator:
             condition = goal.condition(execution)
             if condition is None or condition is T.FALSE:
                 continue
-            needed = set(T.free_variables(condition))
+            # Compiled once per condition (process-wide cache) and then
+            # evaluated in the flat bytecode loop against every candidate
+            # witness — this is the hottest concrete-evaluation path.
+            compiled = compile_term(condition)
+            needed = compiled.variables
             for prior in packets:
                 if prior.profile != execution.profile.name:
                     continue
@@ -366,7 +671,7 @@ class PacketGenerator:
                 # the condition mentions has a value from the packet.
                 if not needed <= assignment.keys():
                     continue
-                if T.evaluate(condition, assignment):
+                if compiled.evaluate(assignment):
                     return GeneratedPacket(
                         goal=goal.name,
                         profile=prior.profile,

@@ -336,3 +336,202 @@ class TestSolverProperties:
         s.add(x.eq(a), y.eq(b))
         assert s.check() is Result.SAT
         assert s.model().evaluate(expr) == expected
+
+
+def _guarded_pigeonhole(pigeons, holes):
+    """PHP(pigeons, holes) clauses guarded by one activation variable.
+
+    With the guard assumed true the instance is the classic UNSAT
+    pigeonhole; with it assumed false every guarded clause is satisfied
+    trivially.  Returns (solver, guard_var)."""
+    s = SatSolver()
+    g = s.new_var()
+    p = [[s.new_var() for _ in range(holes)] for _ in range(pigeons)]
+    for i in range(pigeons):
+        s.add_clause([neg_lit(g)] + [pos_lit(p[i][k]) for k in range(holes)])
+    for k in range(holes):
+        for i in range(pigeons):
+            for j in range(i + 1, pigeons):
+                s.add_clause([neg_lit(g), neg_lit(p[i][k]), neg_lit(p[j][k])])
+    return s, g
+
+
+class TestAssumptionSemantics:
+    """The contracts SolverPool relies on: TRUE/FALSE short-circuits,
+    failed-assumption subsets, and learned-clause reuse across checks."""
+
+    def test_true_assumption_is_skipped_entirely(self):
+        s = Solver()
+        x = bv_var("x", 8)
+        s.add(x.ult(10))
+        before = s.stats
+        assert s.check(T.TRUE) is Result.SAT
+        assert s.check(T.TRUE, x.eq(3)) is Result.SAT
+        assert s.model()["x"] == 3
+        # TRUE adds nothing to the encoding: no conflicts were needed.
+        assert s.stats["conflicts"] == before["conflicts"]
+
+    def test_false_assumption_short_circuits_before_sat(self):
+        s = Solver()
+        x = bv_var("x", 8)
+        s.add(x.ult(10))
+        before = s.stats
+        assert s.check(T.FALSE) is Result.UNSAT
+        # Short-circuited: the SAT core never ran.
+        after = s.stats
+        assert after["decisions"] == before["decisions"]
+        assert after["conflicts"] == before["conflicts"]
+        # A constant-false *structure* simplifies to FALSE and also
+        # short-circuits (assumptions are simplified before encoding).
+        assert s.check(T.bv_const(1, 8).eq(T.bv_const(2, 8))) is Result.UNSAT
+        assert after["decisions"] == s.stats["decisions"]
+        # The solver is still usable afterwards.
+        assert s.check(x.eq(4)) is Result.SAT
+
+    def test_failed_assumptions_subset_of_assumptions(self):
+        s = SatSolver()
+        a, b, c = s.new_var(), s.new_var(), s.new_var()
+        s.add_clause([neg_lit(a), pos_lit(b)])  # a -> b
+        assumed = [pos_lit(a), neg_lit(b), pos_lit(c)]
+        assert not s.solve(assumed)
+        failed = list(s.failed_assumptions)
+        assert failed
+        assert set(failed) <= set(assumed)
+        # The failing literal, together with the assumptions tried before
+        # it, is sufficient for UNSAT (assumptions apply in order).
+        prefix = assumed[: assumed.index(failed[0]) + 1]
+        assert not s.solve(prefix)
+        # The irrelevant assumption alone is fine.
+        assert s.solve([pos_lit(c)])
+
+    def test_failed_assumptions_cleared_on_sat(self):
+        s = SatSolver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([neg_lit(a), pos_lit(b)])
+        assert not s.solve([pos_lit(a), neg_lit(b)])
+        assert s.failed_assumptions
+        assert s.solve([pos_lit(a)])
+        assert s.failed_assumptions == []
+
+    def test_learned_clauses_reused_across_assumption_sets(self):
+        # First refutation of the guarded pigeonhole does real search;
+        # repeating the same assumption set must reuse what was learned
+        # (the conflict counter barely moves the second time).
+        s, g = _guarded_pigeonhole(6, 5)
+        assert not s.solve([pos_lit(g)])
+        first = s.conflicts
+        assert first > 20  # genuinely hard the first time
+        assert not s.solve([pos_lit(g)])
+        assert s.conflicts - first < first / 4
+        # Learned clauses never block the relaxed query.
+        assert s.solve([neg_lit(g)])
+
+    def test_solver_level_repeat_check_gets_cheaper(self):
+        s = Solver()
+        x = bv_var("mx", 12)
+        y = bv_var("my", 12)
+        s.add((x * y).eq(T.bv_const(3127, 12)))  # needs actual search
+        goal = x.ult(200)
+        assert s.check(goal) is Result.SAT
+        first = s.stats["conflicts"]
+        assert s.check(goal) is Result.SAT
+        assert s.stats["conflicts"] - first <= max(first // 4, 1)
+
+
+class TestReduceDb:
+    def test_reduce_db_keeps_solver_correct_under_pressure(self):
+        # PHP(8,7) drives >2000 learned clauses, so _reduce_db really
+        # fires (watch remapping, suffix compaction) mid-search.
+        s, g = _guarded_pigeonhole(8, 7)
+        assert not s.solve([pos_lit(g)])
+        learned = len(s._clauses) - s._num_problem_clauses
+        # Reduction actually discarded clauses: far fewer survive than
+        # the number of conflicts that each learned one.
+        assert s.conflicts > 2000
+        assert learned < s.conflicts
+        # Verdicts stay correct on the compacted database.
+        assert not s.solve([pos_lit(g)])
+        assert s.solve([neg_lit(g)])
+        assert s.solve([])
+
+    def test_explicit_reduce_db_preserves_answers(self):
+        s, g = _guarded_pigeonhole(6, 5)
+        assert not s.solve([pos_lit(g)])
+        s._cancel_until(0)
+        s._reduce_db()  # below threshold: must be a no-op, not a crash
+        assert not s.solve([pos_lit(g)])
+        assert s.solve([neg_lit(g)])
+
+
+class TestSolverPool:
+    def test_solver_reused_and_constraints_asserted_once(self):
+        from repro.smt.pool import SolverPool
+
+        pool = SolverPool()
+        x = bv_var("px", 8)
+        c = x.ult(10)
+        s1 = pool.solver(("k",), [c])
+        s2 = pool.solver(("k",), [c])
+        assert s1 is s2
+        assert len(s1.assertions) == 1  # identical term not re-asserted
+        assert pool.misses == 1 and pool.hits == 1
+        assert ("k",) in pool and len(pool) == 1
+        assert s1.check(x.eq(3)) is Result.SAT
+        assert s1.check(x.eq(100)) is Result.UNSAT
+
+    def test_distinct_keys_are_isolated(self):
+        from repro.smt.pool import SolverPool
+
+        pool = SolverPool()
+        x = bv_var("px", 8)
+        pool.solver(("a",), [x.eq(1)])
+        sb = pool.solver(("b",), [x.eq(2)])
+        assert sb.check() is Result.SAT
+        assert sb.model()["px"] == 2
+
+    def test_formula_memo_roundtrip(self):
+        from repro.smt.pool import MISS, SolverPool
+
+        pool = SolverPool()
+        x = bv_var("px", 8)
+        f = x.eq(5)
+        key = ("prog", f)
+        assert pool.lookup_formula(key) is MISS
+        pool.store_formula(key, {"px": 5})
+        assert pool.lookup_formula(key) == {"px": 5}
+        # Hash-consing: an equal-structure term is the same key.
+        assert pool.lookup_formula(("prog", bv_var("px", 8).eq(5))) == {"px": 5}
+        # UNSAT is memoised as None, distinct from MISS.
+        g = T.and_(x.eq(44), x.eq(1))
+        pool.store_formula(("prog", g), None)
+        assert pool.lookup_formula(("prog", g)) is None
+
+    def test_discard_and_clear(self):
+        from repro.smt.pool import MISS, SolverPool
+
+        pool = SolverPool()
+        x = bv_var("px", 8)
+        pool.solver(("k",), [x.ult(10)])
+        pool.store_formula(("p", x.eq(1)), {"px": 1})
+        pool.memo[("m",)] = [1, 2]
+        pool.discard(("k",))
+        assert ("k",) not in pool
+        fresh = pool.solver(("k",), [x.ult(10)])
+        assert len(fresh.assertions) == 1  # re-asserted after discard
+        pool.clear()
+        assert len(pool) == 0
+        assert pool.lookup_formula(("p", x.eq(1))) is MISS
+        assert pool.memo == {}
+
+    def test_stats_aggregate_across_solvers(self):
+        from repro.smt.pool import SolverPool
+
+        pool = SolverPool()
+        x = bv_var("px", 8)
+        sa = pool.solver(("a",), [x.ult(10)])
+        sa.check(x.eq(3))
+        sb = pool.solver(("b",), [x.ult(20)])
+        sb.check(x.eq(4))
+        stats = pool.stats
+        assert stats["solvers"] == 2
+        assert stats["propagations"] >= 1
