@@ -1,0 +1,103 @@
+"""Coverage-guided vs blind fuzzing benchmark (the FP4-style feedback win).
+
+Both arms run the tor model at an *equal update budget* and identical
+seeds; the blind arm still meters coverage (``track_coverage=True``) so
+the comparison counts the same trace keys the same way, but only the
+guided arm feeds them back into table/mutation selection and corpus
+replay.  The headline number is distinct model trace keys covered —
+tables hit, entries exercised, branch directions witnessed, miss paths,
+and @entry_restriction boundary-distance bands.
+
+Scoring adds no solver calls (compiled-term probe evaluation only), so
+both arms' wall clock stays CPU-bound and comparable.
+
+The ``smoke`` test is the CI job (seconds); ``REPRO_BENCH_SCALE=paper``
+lengthens the campaigns and sweeps more seeds.
+"""
+
+import os
+
+from conftest import print_table
+
+from repro.fuzzer import FuzzerConfig, P4Fuzzer
+from repro.p4.p4info import build_p4info
+from repro.p4.programs import build_tor_program
+from repro.switch import PinsSwitchStack
+from repro.switchv.metrics import collect_coverage_progress
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+NUM_WRITES = 20 if SCALE == "small" else 40
+UPDATES_PER_WRITE = 15
+SEEDS = (7, 23, 42) if SCALE == "small" else (7, 11, 23, 42, 57)
+
+_PROGRAM = build_tor_program()
+_P4INFO = build_p4info(_PROGRAM)
+
+
+def _campaign(guided, seed, num_writes=NUM_WRITES):
+    config = FuzzerConfig(
+        num_writes=num_writes,
+        updates_per_write=UPDATES_PER_WRITE,
+        seed=seed,
+        coverage_guided=guided,
+        track_coverage=True,
+    )
+    fuzzer = P4Fuzzer(_P4INFO, PinsSwitchStack(_PROGRAM), config, model=_PROGRAM)
+    result = fuzzer.run()
+    return collect_coverage_progress(result), result
+
+
+def test_coverage_guided_smoke():
+    """CI gate: at an equal update budget, guided covers strictly more
+    distinct trace keys than blind."""
+    seed = SEEDS[0]
+    blind, blind_result = _campaign(False, seed)
+    guided, guided_result = _campaign(True, seed)
+    assert blind_result.updates_sent == guided_result.updates_sent
+    print_table(
+        f"coverage-guided fuzzing (smoke, tor, seed {seed}, "
+        f"{NUM_WRITES}x{UPDATES_PER_WRITE} updates)",
+        ["arm", "trace keys", "entries", "branches", "corpus", "score cpu"],
+        [
+            ["blind", blind.covered, blind.by_kind().get("entry", 0),
+             blind.by_kind().get("branch", 0), "-",
+             f"{blind.score_seconds:.2f}s"],
+            ["guided", guided.covered, guided.by_kind().get("entry", 0),
+             guided.by_kind().get("branch", 0), guided.corpus_size,
+             f"{guided.score_seconds:.2f}s"],
+        ],
+    )
+    assert guided.covered > blind.covered, (
+        f"guided {guided.covered} <= blind {blind.covered} at equal budget"
+    )
+
+
+def test_coverage_guided_table():
+    """The full table: blind vs guided across seeds, plus the curve."""
+    rows = []
+    wins = 0
+    for seed in SEEDS:
+        blind, _ = _campaign(False, seed)
+        guided, _ = _campaign(True, seed)
+        delta = guided.covered - blind.covered
+        wins += delta > 0
+        half = next(
+            (keys for updates, keys in guided.samples
+             if updates >= NUM_WRITES * UPDATES_PER_WRITE // 2),
+            guided.covered,
+        )
+        rows.append(
+            [seed, blind.covered, guided.covered, f"{delta:+d}",
+             half, guided.corpus_size,
+             f"{guided.batches_skipped}/{guided.batches_scored + guided.batches_skipped}"]
+        )
+    print_table(
+        f"coverage-guided fuzzing ({SCALE}: tor, "
+        f"{NUM_WRITES}x{UPDATES_PER_WRITE} updates per arm)",
+        ["seed", "blind keys", "guided keys", "delta", "guided@50%",
+         "corpus", "skipped batches"],
+        rows,
+    )
+    # The acceptance bar: guided wins on a majority of seeds and never
+    # collapses (a tie on one seed is noise, a loss everywhere is a bug).
+    assert wins * 2 > len(SEEDS), rows

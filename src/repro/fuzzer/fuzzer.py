@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.fuzzer.batching import make_batches
+from repro.fuzzer.feedback import CoverageProgress, CoverageTracker
 from repro.fuzzer.generator import RequestGenerator
 from repro.fuzzer.mutations import MUST_REJECT, apply_random_mutation
 from repro.fuzzer.oracle import Oracle
@@ -63,6 +64,14 @@ class FuzzerConfig:
     # way (model blocking rides on check() assumptions, and cached
     # constraint models are sampled deterministically from the seed).
     reuse_solvers: bool = True
+    # Greybox coverage feedback (repro.fuzzer.feedback): score every judged
+    # batch against the model's symbolic trace and bias table/mutation
+    # selection toward uncovered regions.  Needs the P4 model —
+    # P4Fuzzer(..., model=program); the harness and campaigns pass it.
+    coverage_guided: bool = False
+    # Track coverage without biasing selection (the blind arm of benchmark
+    # comparisons).  None follows coverage_guided.
+    track_coverage: Optional[bool] = None
 
 
 @dataclass
@@ -119,6 +128,9 @@ class FuzzResult:
     transport_wait_seconds: float = 0.0
     # Windowed-scheduler counters when the pipelined loop ran.
     pipeline: Optional[PipelineStats] = None
+    # Coverage-feedback series when the campaign tracked coverage
+    # (coverage_guided or track_coverage).
+    coverage: Optional[CoverageProgress] = None
 
     @property
     def updates_per_second(self) -> float:
@@ -149,6 +161,7 @@ class P4Fuzzer:
         switch: P4RuntimeService,
         config: Optional[FuzzerConfig] = None,
         solver_pool=None,
+        model=None,
     ) -> None:
         self.p4info = p4info
         self.switch = switch
@@ -166,6 +179,27 @@ class P4Fuzzer:
             solver_pool=self.solver_pool,
         )
         self.oracle = Oracle(p4info)
+        # Greybox feedback: the tracker needs the P4 model (P4Info alone
+        # can't drive the symbolic executor).  Guided mode additionally
+        # biases the generator's table pick and the mutation try-order.
+        track = self.config.track_coverage
+        if track is None:
+            track = self.config.coverage_guided
+        self.feedback: Optional[CoverageTracker] = None
+        if track:
+            if model is None:
+                raise ValueError(
+                    "coverage tracking needs the P4 model: "
+                    "P4Fuzzer(..., model=program)"
+                )
+            self.feedback = CoverageTracker(
+                model,
+                p4info,
+                valid_ports=self.config.valid_ports,
+                constraint_models=self.generator.constraint_models,
+            )
+            if self.config.coverage_guided:
+                self.generator.table_bias = self.feedback.table_weights
         self._modified_keys = set()
         # True when the oracle's expected state is stale: an ambiguous
         # write was abandoned and the recovery read-back also failed, so
@@ -212,6 +246,8 @@ class P4Fuzzer:
                     self._send_batch(batch, write_index, result)
                 result.writes_sent += len(batches)
         result.elapsed_seconds = time.perf_counter() - start
+        if self.feedback is not None:
+            result.coverage = self.feedback.progress()
         result.final_entries = self.oracle.installed_entries()
         result.modified_entries = [
             entry
@@ -233,9 +269,16 @@ class P4Fuzzer:
         result.transport.idempotent_rescues = stats.idempotent_rescues
 
     def _generate_wave(self, result: FuzzResult) -> List[Update]:
+        guided = self.feedback is not None and self.config.coverage_guided
         updates: List[Update] = []
         for _ in range(self.config.updates_per_write):
-            update = self.generator.generate_update()
+            update = None
+            if guided:
+                # Greybox corpus replay: occasionally re-emit an update
+                # from a coverage-increasing batch (then mutate as usual).
+                update = self.feedback.corpus_seed(self.rng)
+            if update is None:
+                update = self.generator.generate_update()
             if update is None:
                 continue
             mutate = (
@@ -244,9 +287,16 @@ class P4Fuzzer:
             )
             if mutate:
                 mutated = apply_random_mutation(
-                    self.rng, self.p4info, update, allowed=self.config.mutations
+                    self.rng,
+                    self.p4info,
+                    update,
+                    allowed=self.config.mutations,
+                    state=self.generator.state,
+                    weights=self.feedback.mutation_weights() if guided else None,
                 )
                 if mutated is not None:
+                    if self.feedback is not None:
+                        self.feedback.tag_update(mutated.update, mutated.mutation)
                     result.mutation_counts[mutated.mutation] = (
                         result.mutation_counts.get(mutated.mutation, 0) + 1
                     )
@@ -358,6 +408,14 @@ class P4Fuzzer:
         result.incidents.extend(log)
         # Keep the generator's view in sync with the oracle's adopted state.
         self.generator.state.replace_all(self.oracle.installed_entries())
+        self._observe_coverage(batch, write_index)
+
+    def _observe_coverage(self, batch: List[Update], write_index: int) -> None:
+        """Score one judged batch against the model's coverage map."""
+        if self.feedback is not None:
+            self.feedback.observe_batch(
+                batch, self.oracle.installed_entries(), write_index
+            )
 
     def _resync_oracle(self, result: FuzzResult) -> bool:
         """Read the switch state back and adopt it (§4.3).  Returns False
@@ -581,6 +639,11 @@ class P4Fuzzer:
             rb = read_back if attach_rb and position == len(pending) - 1 else None
             log = self.oracle.judge_batch(outcome.batch, outcome.response, rb)
             result.incidents.extend(log)
+            # Coverage accounting rides the deferred in-order judging
+            # stage — never the in-flight path — so the tracker sees the
+            # oracle's post-judging states in submission order, exactly as
+            # the sequential loop's per-batch observation would.
+            self._observe_coverage(outcome.batch, write_index)
         if read_back is not None and (need_resync or mismatch):
             self.oracle.resync(read_back)
             if resync_counted:

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.p4.ast import MatchKind
 from repro.p4.constraints import parse_constraint
@@ -103,6 +103,10 @@ class RequestGenerator:
         self.state = GeneratorState()
         self._available_cache = None
         self._available_version = -1
+        # Coverage-guided table selection: a callable mapping the candidate
+        # pool to per-table weights (repro.fuzzer.feedback supplies it).
+        # None keeps the uniform pick — and the blind rng stream — intact.
+        self.table_bias: Optional[Callable[[Sequence[TableInfo]], Sequence[float]]] = None
         self.constraint_aware = constraint_aware
         self._constraints = {}
         for tid, table in p4info.tables.items():
@@ -204,7 +208,16 @@ class RequestGenerator:
         # Weight towards tables whose references are satisfiable right now.
         satisfiable = [t for t in tables if self._references_satisfiable(t)]
         pool = satisfiable or tables
+        if self.table_bias is not None:
+            weights = list(self.table_bias(pool))
+            return self.rng.choices(pool, weights=weights, k=1)[0]
         return self.rng.choice(pool)
+
+    def constraint_models(self) -> Dict[int, List[Dict[str, int]]]:
+        """The constraint-aware planner's cached per-table boundary models
+        (populated lazily as tables are planned) — read-only view for the
+        coverage feedback loop's boundary-distance regions."""
+        return self._constraint_models
 
     def _available(self):
         if self._available_cache is None or self._available_version != self.state.version:

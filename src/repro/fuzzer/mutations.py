@@ -47,13 +47,28 @@ class MutatedUpdate:
 
 
 Mutator = Callable[[random.Random, P4Info, Update], Optional[MutatedUpdate]]
+# Stateful mutators additionally see the generator's installed-state view
+# (an object with an ``entries`` dict keyed by match_key — duck-typed to
+# GeneratorState), or None when the caller has no state to offer.
+StatefulMutator = Callable[
+    [random.Random, P4Info, Update, Optional[object]], Optional[MutatedUpdate]
+]
 
 _MUTATORS: Dict[str, Mutator] = {}
+_STATEFUL_MUTATORS: Dict[str, StatefulMutator] = {}
 
 
 def _mutation(name: str):
     def register(fn: Mutator) -> Mutator:
         _MUTATORS[name] = fn
+        return fn
+
+    return register
+
+
+def _stateful_mutation(name: str):
+    def register(fn: StatefulMutator) -> StatefulMutator:
+        _STATEFUL_MUTATORS[name] = fn
         return fn
 
     return register
@@ -335,29 +350,72 @@ def wrong_priority(rng, p4info, update):
 # ----------------------------------------------------------------------
 
 
-@_mutation("duplicate_insert")
-def duplicate_insert(rng, p4info, update):
-    """Re-insert an existing entry: must fail with ALREADY_EXISTS.
+@_stateful_mutation("duplicate_insert")
+def duplicate_insert(rng, p4info, update, state):
+    """Re-insert an *installed* entry: must fail with ALREADY_EXISTS.
 
-    The update itself is well-formed; the oracle's state tracking supplies
-    the expectation, so this is tagged VALID here.
+    The duplicate is drawn from the generator's installed-state view, so
+    the switch's duplicate check is exercised deliberately — not left to
+    accidental key collisions in the fresh-insert stream.  Inapplicable
+    when nothing is installed yet (or no state view was supplied).  The
+    re-insert is well-formed; the oracle's state tracking supplies the
+    ALREADY_EXISTS expectation, so this is tagged VALID here.
     """
     if update.type is not UpdateType.INSERT:
         return None
-    return MutatedUpdate(update, "duplicate_insert", VALID)
+    if state is None or not state.entries:
+        return None
+    victim = rng.choice(list(state.entries.values()))
+    return MutatedUpdate(
+        Update(UpdateType.INSERT, victim), "duplicate_insert", VALID
+    )
 
 
-@_mutation("delete_nonexistent")
-def delete_nonexistent(rng, p4info, update):
-    """Delete an entry that was never installed: must fail NOT_FOUND."""
+@_stateful_mutation("delete_nonexistent")
+def delete_nonexistent(rng, p4info, update, state):
+    """Delete an entry that was never installed: must fail NOT_FOUND.
+
+    The fresh insert's key could collide with an installed entry (small
+    exact key spaces make this common), in which case the delete would
+    legitimately succeed; the installed-state view rules those out so the
+    mutant really targets a never-installed key.
+    """
     if update.type is not UpdateType.INSERT:
+        return None
+    if state is not None and update.entry.match_key() in state.entries:
         return None
     return MutatedUpdate(
         Update(UpdateType.DELETE, update.entry), "delete_nonexistent", VALID
     )
 
 
-MUTATION_NAMES: List[str] = sorted(_MUTATORS)
+MUTATION_NAMES: List[str] = sorted({**_MUTATORS, **_STATEFUL_MUTATORS})
+
+
+def _run_mutator(
+    name: str, rng: random.Random, p4info: P4Info, update: Update, state
+) -> Optional[MutatedUpdate]:
+    stateful = _STATEFUL_MUTATORS.get(name)
+    if stateful is not None:
+        return stateful(rng, p4info, update, state)
+    return _MUTATORS[name](rng, p4info, update)
+
+
+def _weighted_order(
+    rng: random.Random, names: List[str], weights: Dict[str, float]
+) -> List[str]:
+    """Sample the try-order without replacement, biased by weight.
+
+    Unknown names weigh 1.0; weights are floored so no mutation starves
+    entirely.  Deterministic given the rng state."""
+    remaining = list(names)
+    w = [max(weights.get(name, 1.0), 1e-6) for name in remaining]
+    ordered: List[str] = []
+    while remaining:
+        pick = rng.choices(range(len(remaining)), weights=w, k=1)[0]
+        ordered.append(remaining.pop(pick))
+        w.pop(pick)
+    return ordered
 
 
 def apply_random_mutation(
@@ -365,18 +423,29 @@ def apply_random_mutation(
     p4info: P4Info,
     update: Update,
     allowed: Optional[List[str]] = None,
+    state=None,
+    weights: Optional[Dict[str, float]] = None,
 ) -> Optional[MutatedUpdate]:
-    """Apply one randomly chosen applicable mutation to a valid update."""
+    """Apply one randomly chosen applicable mutation to a valid update.
+
+    ``state`` is the generator's installed-state view for the stateful
+    mutations; ``weights`` (name -> weight) biases the try-order — the
+    coverage-guided feedback loop supplies both.  Without weights the
+    order is a uniform shuffle, exactly the blind fuzzer's behaviour.
+    """
     names = list(allowed) if allowed is not None else list(MUTATION_NAMES)
-    rng.shuffle(names)
+    if weights is None:
+        rng.shuffle(names)
+    else:
+        names = _weighted_order(rng, names, weights)
     for name in names:
-        mutated = _MUTATORS[name](rng, p4info, update)
+        mutated = _run_mutator(name, rng, p4info, update, state)
         if mutated is not None:
             return mutated
     return None
 
 
 def apply_mutation(
-    name: str, rng: random.Random, p4info: P4Info, update: Update
+    name: str, rng: random.Random, p4info: P4Info, update: Update, state=None
 ) -> Optional[MutatedUpdate]:
-    return _MUTATORS[name](rng, p4info, update)
+    return _run_mutator(name, rng, p4info, update, state)

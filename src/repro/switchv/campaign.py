@@ -77,6 +77,10 @@ class CampaignConfig:
     # packets are byte-identical either way; False rebuilds solvers per
     # state (the pre-pool behaviour).
     reuse_solvers: bool = True
+    # Greybox coverage feedback for the fuzz phase (repro.fuzzer.feedback):
+    # per-batch trace-key scoring plus uncovered-region biasing.  Fleet
+    # workers inherit this through the pickled CampaignConfig.
+    coverage_guided: bool = False
 
 
 @dataclass
@@ -119,6 +123,7 @@ def build_campaign(
         lint_model=config.lint_model,
         pipeline_depth=config.pipeline_depth,
         reuse_solvers=config.reuse_solvers,
+        coverage_guided=config.coverage_guided,
     )
     return CampaignSetup(
         fault=fault, stack_kind=stack_kind, model=model, harness=harness, config=config
@@ -154,6 +159,7 @@ def run_fault_campaign(
             updates_per_write=config.fuzz_updates_per_write,
             seed=config.seed,
             pipeline_depth=config.pipeline_depth,
+            coverage_guided=config.coverage_guided,
         ),
     )
 
@@ -243,7 +249,9 @@ def _fuzz_cycle(stack_kind: str, config: CampaignConfig, seed: int, fault_profil
             updates_per_write=config.fuzz_updates_per_write,
             seed=seed,
             pipeline_depth=config.pipeline_depth,
+            coverage_guided=config.coverage_guided,
         ),
+        model=program,
     )
     return fuzzer.run(), channel
 

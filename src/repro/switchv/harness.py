@@ -110,6 +110,7 @@ class SwitchVHarness:
         pipeline_depth: int = 1,
         reuse_solvers: bool = True,
         solver_pool: Optional[SolverPool] = None,
+        coverage_guided: bool = False,
     ) -> None:
         self.model = model
         # Fail-fast gate: lint the model before anything derives from it.
@@ -144,6 +145,10 @@ class SwitchVHarness:
         # Fuzz campaigns keep up to this many independent batches in
         # flight (repro.fuzzer.pipeline); 1 = the sequential loop.
         self.pipeline_depth = max(1, pipeline_depth)
+        # Greybox feedback for fuzz campaigns (repro.fuzzer.feedback):
+        # coverage-score every judged batch against the model and bias
+        # generation toward uncovered regions.
+        self.coverage_guided = coverage_guided
         # Fault registry consulted by the BMv2 simulator only (the paper
         # found simulator bugs too; they surface as mismatches like any
         # other divergence).
@@ -209,7 +214,17 @@ class SwitchVHarness:
             import dataclasses
 
             config = dataclasses.replace(config, pipeline_depth=self.pipeline_depth)
-        fuzzer = P4Fuzzer(self.p4info, self.switch, config, solver_pool=self.solver_pool)
+        if self.coverage_guided and not config.coverage_guided:
+            import dataclasses
+
+            config = dataclasses.replace(config, coverage_guided=True)
+        fuzzer = P4Fuzzer(
+            self.p4info,
+            self.switch,
+            config,
+            solver_pool=self.solver_pool,
+            model=self.model,
+        )
         result = fuzzer.run()
         report.fuzz = result
         report.incidents.extend(result.incidents)

@@ -18,7 +18,7 @@ expressions Y, and T, discharged by the QF_BV solver.
   whole-run and per-goal.
 """
 
-from repro.symbolic.coverage import CoverageGoal, CoverageMode
+from repro.symbolic.coverage import CoverageGoal, CoverageMode, entry_goal_name
 from repro.symbolic.executor import SymbolicExecutor, TraceKey
 from repro.symbolic.packets import GeneratedPacket, GenerationResult, PacketGenerator
 from repro.symbolic.parallel import generate_parallel
@@ -31,5 +31,6 @@ __all__ = [
     "PacketGenerator",
     "SymbolicExecutor",
     "TraceKey",
+    "entry_goal_name",
     "generate_parallel",
 ]

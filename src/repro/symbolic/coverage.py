@@ -12,6 +12,7 @@ test engineers and let them assert selected trace combinations
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -33,6 +34,21 @@ class CoverageGoal:
     # Per-profile condition builder: given that profile's execution, return
     # the goal term, or None when the goal is not expressible there.
     condition: Callable[[ProfileExecution], Optional[T.Term]]
+
+
+def entry_goal_name(table: str, identity: Tuple) -> str:
+    """The canonical name of an entry-coverage goal.
+
+    The digest is structural — SHA-256 over the identity's repr (match-key
+    names, kinds, values, masks, priority; all primitives with stable
+    reprs) — never ``hash()``, which PYTHONHASHSEED randomises per process.
+    Goal names key the on-disk per-goal packet cache and the fuzzer's
+    coverage map, so they must be identical across runs, restarts, and
+    fleet shards.  Both :func:`goals_for_mode` and :func:`entry_goal` build
+    names here so the two can't drift.
+    """
+    digest = hashlib.sha256(repr(identity).encode()).hexdigest()[:8]
+    return f"entry:{table}:{digest}"
 
 
 def _trace_lookup(key: TraceKey) -> Callable[[ProfileExecution], Optional[T.Term]]:
@@ -63,7 +79,7 @@ def goals_for_mode(
         if kind == "entry":
             _kind, table, identity = key
             goals.append(
-                CoverageGoal(name=f"entry:{table}:{hash(identity) & 0xFFFFFFFF:08x}",
+                CoverageGoal(name=entry_goal_name(table, identity),
                              condition=_trace_lookup(key))
             )
         elif kind == "miss":
@@ -83,7 +99,7 @@ def goals_for_mode(
 def entry_goal(table: str, identity: Tuple) -> CoverageGoal:
     """A goal asserting a specific installed entry is hit."""
     return CoverageGoal(
-        name=f"entry:{table}:{hash(identity) & 0xFFFFFFFF:08x}",
+        name=entry_goal_name(table, identity),
         condition=_trace_lookup(("entry", table, identity)),
     )
 
