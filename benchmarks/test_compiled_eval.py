@@ -240,10 +240,11 @@ def test_warm_pool_results_identical_smoke():
     for build in builders:
         program = build()
         p4info = build_p4info(program)
-        if program.name == "toy_router":
-            state = _toy_state(p4info)
-        else:
-            state = _decode_state(p4info, baseline_entries(p4info))
+        state = (
+            _toy_state(p4info)
+            if program.name == "toy_router"
+            else _decode_state(p4info, baseline_entries(p4info))
+        )
 
         cold = PacketGenerator(program, state).generate(CoverageMode.ENTRY)
         pool = SolverPool()

@@ -50,11 +50,10 @@ def test_figure7_histogram(benchmark, scale):
     )
     series = aggregate_figure7(population)
 
-    rows = []
-    for label, _low, _high in FIGURE7_BUCKETS:
-        rows.append(
-            (label, series["Total"][label], series["Symbolic"][label], series["Fuzzer"][label])
-        )
+    rows = [
+        (label, series["Total"][label], series["Symbolic"][label], series["Fuzzer"][label])
+        for label, _low, _high in FIGURE7_BUCKETS
+    ]
     print_table(
         "Figure 7: days to resolution (PINS)",
         ["Bucket", "Total", "Symbolic", "Fuzzer"],

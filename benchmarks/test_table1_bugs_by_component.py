@@ -31,10 +31,10 @@ def _run_campaign(stack_kind: str, scale):
         seed=11,
         run_trivial=False,
     )
-    outcomes = []
-    for fault in faults_for_stack(stack_kind):
-        outcomes.append(run_fault_campaign(fault.name, stack_kind, config))
-    return outcomes
+    return [
+        run_fault_campaign(fault.name, stack_kind, config)
+        for fault in faults_for_stack(stack_kind)
+    ]
 
 
 def _aggregate(outcomes):
@@ -46,10 +46,11 @@ def _aggregate(outcomes):
         row[0] += 1
         # Attribute to the tool(s) that flagged it; when both did, credit
         # the tool the paper credits for this bug.
-        if len(outcome.detected_by) == 1:
-            tool = outcome.detected_by[0]
-        else:
-            tool = outcome.fault.discovered_by
+        tool = (
+            outcome.detected_by[0]
+            if len(outcome.detected_by) == 1
+            else outcome.fault.discovered_by
+        )
         if tool == "p4-fuzzer":
             row[1] += 1
         else:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List
+from typing import Dict, List
 
 
 class Severity(enum.Enum):
@@ -58,6 +58,14 @@ UNREACHABLE_BRANCH = "unreachable-branch"
 UNREACHABLE_TABLE = "unreachable-table"
 TABLE_NEVER_HITS = "table-never-hits"
 INVALID_HEADER_READ = "invalid-header-read"
+ACTION_NEVER_FIRES = "action-never-fires"
+
+# Contract passes (cross-program, repro.analysis.contract).
+CONTRACT_KEY_DRIFT = "contract-key-drift"
+CONTRACT_ID_DRIFT = "contract-id-drift"
+CONTRACT_ACTION_DRIFT = "contract-action-drift"
+CONTRACT_REF_DRIFT = "contract-ref-drift"
+CONTRACT_RESTRICTION_DRIFT = "contract-restriction-drift"
 
 
 @dataclass(frozen=True)
@@ -75,10 +83,29 @@ class Diagnostic:
     message: str
     fix_hint: str = ""
     table_name: str = ""
+    # Concrete evidence for the finding (a repro.analysis.witness.Witness:
+    # a minimized packet, a table entry, or a minimal unsat core).  Typed
+    # loosely to keep this module dependency-free; excluded from equality
+    # so a finding with and without its witness compares equal.
+    witness: object = field(default=None, compare=False)
 
     @property
     def is_error(self) -> bool:
         return self.severity is Severity.ERROR
+
+    def sort_key(self):
+        """Deterministic ordering: errors first, then by code and place.
+
+        Pass execution order (and within the semantic passes, dict/set
+        iteration) must never leak into rendered output — CI diffs two
+        runs' ``--format json`` artifacts byte for byte.
+        """
+        return (
+            0 if self.is_error else 1,
+            self.code,
+            self.location,
+            self.message,
+        )
 
     def __repr__(self) -> str:
         return f"{self.severity.value}[{self.code}] {self.location}: {self.message}"
@@ -96,6 +123,9 @@ class AnalysisReport:
     # Wall-clock attribution, for the fail-fast budget benchmark.
     structural_seconds: float = 0.0
     semantic_seconds: float = 0.0
+    # Pass-level counters (reach-checker cache hits, solver checks,
+    # action reachability totals) surfaced by the renderer and the CLI.
+    summary: Dict[str, int] = field(default_factory=dict)
 
     @property
     def errors(self) -> List[Diagnostic]:
@@ -117,6 +147,10 @@ class AnalysisReport:
 
     def extend(self, diagnostics: List[Diagnostic]) -> None:
         self.diagnostics.extend(diagnostics)
+
+    def sort(self) -> None:
+        """Order findings by (severity, code, location, message)."""
+        self.diagnostics.sort(key=Diagnostic.sort_key)
 
     def __bool__(self) -> bool:
         return bool(self.diagnostics)

@@ -24,12 +24,22 @@ Two walker modes share one implementation:
 Header validity is concrete per parser profile (§5's "semi-hardcoded"
 parser patterns), so ``IsValid`` folds to TRUE/FALSE and reads of header
 fields are checked against the profile that leaves the header unparsed.
+
+Solving is pooled: every pass queries long-lived per-(program digest,
+profile, mode) solvers from a module-level
+:class:`repro.smt.pool.SolverPool` through assumption-based
+``Solver.check(*assumptions)`` — nothing query-specific is ever asserted
+permanently, so semantic, reachability, contract, and witness queries all
+share bit-blasting caches and learned clauses.  Verdicts and witnesses
+are pure functions of the formulas (never of pool warmth), so a warm
+pool only changes wall time.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.p4.ast import (
     BinOp,
@@ -48,14 +58,20 @@ from repro.p4.ast import (
     Table,
     TableApply,
 )
-from repro.p4.constraints.lang import ConstraintSyntaxError, parse_constraint
+from repro.p4.constraints.lang import (
+    CAnd,
+    ConstraintSyntaxError,
+    parse_constraint,
+)
 from repro.p4.constraints.symbolic import SymbolicKeySet, encode_constraint
-from repro.p4.p4info import build_p4info
+from repro.p4.p4info import P4Info, build_p4info
 from repro.smt import Result, Solver
 from repro.smt import terms as T
 from repro.smt.compile import compile_term
+from repro.smt.pool import SolverPool
 from repro.symbolic.profiles import ParserProfile, profiles_for_pattern
 from repro.analysis.diagnostics import (
+    ACTION_NEVER_FIRES,
     Diagnostic,
     INVALID_HEADER_READ,
     PARSER_PATTERN,
@@ -67,6 +83,67 @@ from repro.analysis.diagnostics import (
     branch_location,
     table_location,
 )
+from repro.analysis.witness import (
+    input_variables,
+    packet_witness,
+    unsat_core_witness,
+)
+
+# The names CLI/CI use to select semantic passes (--only/--skip).
+SEMANTIC_PASS_NAMES = (
+    "restriction-sat",
+    "dead-branches",
+    "dead-tables",
+    "table-hits",
+    "action-reach",
+    "invalid-reads",
+)
+
+# ----------------------------------------------------------------------
+# The analysis solver pool
+# ----------------------------------------------------------------------
+
+# One process-wide pool shared by the semantic, reachability, and contract
+# passes.  Keys embed a structural program digest, so two different
+# programs (even with the same name, e.g. test programs all called
+# "synthetic") can never poison each other's solvers; only the
+# profile-exclusion constraints are asserted permanently, every
+# query-specific term flows through ``check(*assumptions)``.
+_POOL = SolverPool()
+
+
+def analysis_pool() -> SolverPool:
+    """The module-level pool (exposed for stats and benchmarks)."""
+    return _POOL
+
+
+def reset_analysis_pool() -> None:
+    """Drop every pooled solver (tests and cold-start benchmarks)."""
+    _POOL.clear()
+
+
+def _program_digest(program: P4Program) -> str:
+    """A structural digest keying pooled solvers.
+
+    Covers everything that determines the walker's variable namespace and
+    widths: the name, the parser pattern, every field path and width, and
+    the full control structure (dataclass reprs are deterministic and
+    address-free).  Programs with equal digests produce identical
+    constraint encodings, so sharing a solver between them is sound.
+    """
+    paths = tuple(
+        sorted((p, program.field_width(p)) for p in program.all_field_paths())
+    )
+    raw = repr(
+        (
+            program.name,
+            program.parser.pattern,
+            paths,
+            repr(program.ingress),
+            repr(program.egress),
+        )
+    )
+    return hashlib.sha256(raw.encode()).hexdigest()[:16]
 
 
 @dataclass
@@ -106,10 +183,11 @@ class _Walker:
             width = program.field_width(path)
             header = path.split(".", 1)[0]
             if header in profile.valid_headers:
-                if path in pins:
-                    self._state[path] = T.bv_const(pins[path], width)
-                else:
-                    self._state[path] = T.bv_var(f"{prefix}::{path}", width)
+                self._state[path] = (
+                    T.bv_const(pins[path], width)
+                    if path in pins
+                    else T.bv_var(f"{prefix}::{path}", width)
+                )
             elif path == "standard.ingress_port":
                 self._state[path] = T.bv_var(f"{prefix}::{path}", width)
             elif header in ("meta", "standard") and havoc_entry:
@@ -120,8 +198,7 @@ class _Walker:
                 self._state[path] = T.bv_const(0, width)
         for path, excluded in profile.exclusions:
             term = self._state[path]
-            for value in excluded:
-                self.run.constraints.append(term.ne(value))
+            self.run.constraints.extend(term.ne(value) for value in excluded)
 
     def walk(self) -> _ProfileRun:
         self._run_block(self.program.ingress, T.TRUE)
@@ -281,10 +358,9 @@ class _Walker:
             for arg in cond.args:
                 term = self._eval_bool(arg, ctx, running, location)
                 terms.append(term)
-                if cond.op == "and":
-                    running = T.and_(running, term)
-                else:
-                    running = T.and_(running, T.not_(term))
+                running = T.and_(
+                    running, term if cond.op == "and" else T.not_(term)
+                )
             return T.and_(*terms) if cond.op == "and" else T.or_(*terms)
         raise TypeError(f"unknown condition {cond!r}")
 
@@ -295,10 +371,20 @@ def _walk_all(
     return [_Walker(program, p, havoc_entry).walk() for p in profiles]
 
 
-def _profile_solver(run: _ProfileRun) -> Solver:
-    solver = Solver()
-    solver.add(*run.constraints)
-    return solver
+def _profile_solver(run: _ProfileRun, digest: str, mode: str) -> Solver:
+    """The pooled solver for one (program, profile, mode).
+
+    Only the profile's exclusion constraints are asserted permanently —
+    they are state-independent and identical (hash-consed) across repeated
+    analyses of the same program, so a warm pool asserts nothing and every
+    reach query reuses the existing encoding and learned clauses.
+    """
+    return _POOL.solver(("analysis", digest, mode, run.profile.name), run.constraints)
+
+
+def _witness_solver(digest: str) -> Solver:
+    """The pooled assumption-only solver for witness/restriction queries."""
+    return _POOL.solver(("analysis", digest, "witness"))
 
 
 class _ReachChecker:
@@ -313,6 +399,10 @@ class _ReachChecker:
     that evaluates true *is* a model — the answer is SAT with no solver
     work.  Only queries every candidate misses (including every UNSAT
     one) reach the solver, so verdicts are unchanged.
+
+    The witness cache is LRU: a hit moves the witness to the front, so
+    hot witnesses that keep answering reach queries are the last evicted
+    (eviction pops the least recently *useful* witness off the tail).
     """
 
     _MAX_WITNESSES = 8
@@ -321,13 +411,17 @@ class _ReachChecker:
         self.run = run
         self.solver = solver
         self._witnesses: List[Dict[str, int]] = []
+        self.cache_hits = 0
 
     def sat(self, *terms: T.Term) -> bool:
         if any(t is T.FALSE for t in terms):
             return False
         compiled = compile_term(T.and_(*self.run.constraints, *terms))
-        for witness in self._witnesses:
+        for index, witness in enumerate(self._witnesses):
             if compiled.evaluate(witness):
+                self.cache_hits += 1
+                if index:
+                    self._witnesses.insert(0, self._witnesses.pop(index))
                 return True
         if compiled.evaluate({}):  # all-zeros
             return True
@@ -336,10 +430,52 @@ class _ReachChecker:
         if self.solver.check(*terms) is not Result.SAT:
             return False
         witness = dict(self.solver.model(compiled.variables))
-        self._witnesses.append(witness)
+        self._witnesses.insert(0, witness)
         if len(self._witnesses) > self._MAX_WITNESSES:
-            self._witnesses.pop(0)
+            self._witnesses.pop()
         return True
+
+
+# ----------------------------------------------------------------------
+# Restriction encoding helpers (shared with the witness construction)
+# ----------------------------------------------------------------------
+
+
+def _restriction_terms(
+    table: Table, info: P4Info
+) -> Optional[Tuple[SymbolicKeySet, Optional[T.Term], List[Tuple[str, T.Term]]]]:
+    """(key set, encoded restriction or None, top-level conjuncts).
+
+    Returns ``None`` when the table is not in the catalogue or its
+    restriction fails to parse/encode (reported structurally)."""
+    table_info = info.table_by_name(table.name)
+    if table_info is None:  # pragma: no cover - programmable implies listed
+        return None
+    keys = SymbolicKeySet(table_info)
+    if not table.entry_restriction:
+        return keys, None, []
+    try:
+        expr = parse_constraint(table.entry_restriction)
+    except ConstraintSyntaxError:
+        return None
+    parts = expr.args if isinstance(expr, CAnd) else (expr,)
+    try:
+        conjuncts = [(repr(p), encode_constraint(p, keys)) for p in parts]
+        constraint = encode_constraint(expr, keys)
+    except KeyError:
+        return None  # unknown key, reported structurally
+    return keys, constraint, conjuncts
+
+
+def _restriction_core_witness(table: Table, info: P4Info, solver: Solver, note: str):
+    """Minimal unsat core of a table's restriction conjuncts, given
+    well-formedness — the evidence payload for restriction-unsat and for
+    findings caused by it (blocked references)."""
+    encoded = _restriction_terms(table, info)
+    if encoded is None:
+        return None
+    keys, _constraint, conjuncts = encoded
+    return unsat_core_witness(solver, [keys.wellformedness()], conjuncts, note=note)
 
 
 # ----------------------------------------------------------------------
@@ -347,7 +483,12 @@ class _ReachChecker:
 # ----------------------------------------------------------------------
 
 
-def check_restriction_sat(program: P4Program) -> Tuple[List[Diagnostic], Set[str]]:
+def check_restriction_sat(
+    program: P4Program,
+    info: P4Info,
+    digest: str,
+    witnesses: bool = False,
+) -> Tuple[List[Diagnostic], Set[str]]:
     """Tables whose @entry_restriction admits no well-formed entry at all.
 
     Such a table can never hold an entry — the fuzzer's constraint-aware
@@ -357,26 +498,25 @@ def check_restriction_sat(program: P4Program) -> Tuple[List[Diagnostic], Set[str
     """
     out: List[Diagnostic] = []
     unsat: Set[str] = set()
-    info = build_p4info(program)
     for table in program.programmable_tables():
         if not table.entry_restriction:
             continue
-        try:
-            expr = parse_constraint(table.entry_restriction)
-        except ConstraintSyntaxError:
-            continue  # reported by the structural restriction pass
-        table_info = info.table_by_name(table.name)
-        if table_info is None:  # pragma: no cover - programmable implies listed
+        encoded = _restriction_terms(table, info)
+        if encoded is None:
             continue
-        keys = SymbolicKeySet(table_info)
-        try:
-            constraint = encode_constraint(expr, keys)
-        except KeyError:
-            continue  # unknown key, reported structurally
-        solver = Solver()
-        solver.add(keys.wellformedness(), constraint)
-        if solver.check() is Result.UNSAT:
+        keys, constraint, conjuncts = encoded
+        solver = _witness_solver(digest)
+        if solver.check(keys.wellformedness(), constraint) is Result.UNSAT:
             unsat.add(table.name)
+            witness = None
+            if witnesses:
+                witness = unsat_core_witness(
+                    solver,
+                    [keys.wellformedness()],
+                    conjuncts,
+                    note="these conjuncts are jointly unsatisfiable for "
+                    "well-formed entries",
+                )
             out.append(
                 Diagnostic(
                     code=RESTRICTION_UNSAT,
@@ -387,6 +527,7 @@ def check_restriction_sat(program: P4Program) -> Tuple[List[Diagnostic], Set[str
                     fix_hint="the restriction contradicts itself or the "
                     "match kinds; relax it",
                     table_name=table.name,
+                    witness=witness,
                 )
             )
     return out, unsat
@@ -457,47 +598,72 @@ def check_dead_tables(
 
 def check_table_hits(
     program: P4Program,
+    info: P4Info,
+    digest: str,
     runs: List[_ProfileRun],
     checkers: List[_ReachChecker],
     skip: Set[str],
-) -> List[Diagnostic]:
+    witnesses: bool = False,
+) -> Tuple[List[Diagnostic], Set[str]]:
     """Tables where no reachable packet can match any well-formed,
-    restriction-compliant entry."""
+    restriction-compliant entry.  Returns (diagnostics, never-hit names)
+    so the action-reachability pass can suppress per-action findings the
+    table-level verdict already covers."""
     out: List[Diagnostic] = []
-    info = build_p4info(program)
+    never: Set[str] = set()
     for table in program.programmable_tables():
         if table.name in skip or not table.keys:
             continue
-        table_info = info.table_by_name(table.name)
-        if table_info is None:  # pragma: no cover - programmable implies listed
+        encoded = _restriction_terms(table, info)
+        if encoded is None:
             continue
-        keys = SymbolicKeySet(table_info)
+        keys, constraint, conjuncts = encoded
         side = [keys.wellformedness()]
-        if table.entry_restriction:
-            try:
-                side.append(
-                    encode_constraint(
-                        parse_constraint(table.entry_restriction), keys
-                    )
-                )
-            except (ConstraintSyntaxError, KeyError):
-                pass  # reported structurally
+        if constraint is not None:
+            side.append(constraint)
         hittable = False
+        reach_arms: List[T.Term] = []
         for run, checker in zip(runs, checkers, strict=True):
             arms = []
             for ctx, state in run.key_states.get(table.name, ()):
-                conjuncts = [ctx]
+                conj = [ctx]
                 for key in table.keys:
                     value = state[key.field.path]
                     mask = keys.mask_vars[key.key_name]
-                    conjuncts.append(
+                    conj.append(
                         (value & mask).eq(keys.value_vars[key.key_name])
                     )
-                arms.append(T.and_(*conjuncts))
+                arms.append(T.and_(*conj))
+            if arms:
+                reach_arms.append(
+                    T.and_(*run.constraints, T.or_(*arms))
+                    if run.constraints
+                    else T.or_(*arms)
+                )
             if arms and checker.sat(T.or_(*arms), *side):
                 hittable = True
                 break
         if not hittable:
+            never.add(table.name)
+            witness = None
+            if witnesses:
+                # Which restriction conjuncts (if any) are to blame, given
+                # that some reachable packet must also match the entry?
+                fixed = [keys.wellformedness()]
+                if reach_arms:
+                    fixed.append(T.or_(*reach_arms))
+                witness = unsat_core_witness(
+                    _witness_solver(digest),
+                    fixed,
+                    conjuncts,
+                    note=(
+                        "minimal restriction subset excluding every "
+                        "reachable packet"
+                        if conjuncts
+                        else "no reachable packet matches any well-formed "
+                        "entry, restriction aside"
+                    ),
+                )
             out.append(
                 Diagnostic(
                     code=TABLE_NEVER_HITS,
@@ -508,8 +674,118 @@ def check_table_hits(
                     fix_hint="the keys/restriction exclude every packet "
                     "the guards let through",
                     table_name=table.name,
+                    witness=witness,
                 )
             )
+    return out, never
+
+
+# ----------------------------------------------------------------------
+# Pass: action-level reachability (havoc-entry runs)
+# ----------------------------------------------------------------------
+
+
+def check_action_reach(
+    program: P4Program,
+    info: P4Info,
+    digest: str,
+    unsat_restrictions: Set[str],
+    never_hits: Set[str],
+    witnesses: bool,
+    summary: Dict[str, int],
+) -> List[Diagnostic]:
+    """Per (table, action): can some packet + installed entry execute it?
+
+    In this IR any entry may name any non-``@defaultonly`` action, so a
+    hittable table fires an action iff an entry *naming that action* is
+    installable — and installability is transitive through ``@refers_to``:
+    an entry whose action parameter references table X needs a live entry
+    in X first, so an action pointing (directly or through a chain) at a
+    table that can never hold an entry (unsat restriction) can never
+    fire, while its sibling actions on the same table still can.  That
+    per-action refinement is exactly what the table/branch granularity of
+    the other passes cannot see.
+
+    Tables already flagged (never-hit, unsat restriction) are suppressed:
+    the table-level finding covers every action at once.
+    """
+    out: List[Diagnostic] = []
+    tables = {t.name: t for t in program.programmable_tables()}
+    blocked = dict.fromkeys(unsat_restrictions, None)  # name -> root cause
+    memo: Dict[str, Optional[str]] = {}
+
+    def blocking_table(name: str, stack: Tuple[str, ...] = ()) -> Optional[str]:
+        """The table that stops entries from being installed in ``name``
+        (possibly itself), or None when installable.  The reference graph
+        is acyclic here (cycles are structural errors that stop the
+        semantic stage); the stack guard is belt and braces."""
+        if name in memo:
+            return memo[name]
+        if name in stack:
+            return name
+        table = tables.get(name)
+        result: Optional[str] = None
+        if table is None or not table.keys:
+            result = name  # dangling or keyless: cannot hold entries
+        elif name in unsat_restrictions:
+            result = name
+        else:
+            for key in table.keys:
+                if key.refers_to is not None:
+                    result = blocking_table(key.refers_to[0], stack + (name,))
+                    if result is not None:
+                        break
+        memo[name] = result
+        return result
+
+    total = reachable = 0
+    for table in program.programmable_tables():
+        if not table.keys:
+            continue
+        suppressed = table.name in never_hits or table.name in blocked
+        for ref in table.actions:
+            if ref.default_only:
+                continue
+            total += 1
+            if suppressed:
+                continue  # the table-level finding covers every action
+            cause: Optional[str] = blocking_table(table.name)
+            if cause is None:
+                for param in ref.action.params:
+                    for target_table, _key in param.references():
+                        cause = blocking_table(target_table)
+                        if cause is not None:
+                            break
+                    if cause is not None:
+                        break
+            if cause is None:
+                reachable += 1
+                continue
+            witness = None
+            if witnesses and cause in tables:
+                witness = _restriction_core_witness(
+                    tables[cause],
+                    info,
+                    _witness_solver(digest),
+                    note=f"entries naming this action need a live entry in "
+                    f"table {cause}, whose restriction admits none",
+                )
+            out.append(
+                Diagnostic(
+                    code=ACTION_NEVER_FIRES,
+                    severity=Severity.WARNING,
+                    location=table_location(table.name, f"action {ref.action.name}"),
+                    message=f"no installable entry can name this action: its "
+                    f"@refers_to chain requires an entry in table {cause}, "
+                    "which can never hold one",
+                    fix_hint="fix the referenced table's restriction or drop "
+                    "the reference",
+                    table_name=table.name,
+                    witness=witness,
+                )
+            )
+    summary["actions_total"] = summary.get("actions_total", 0) + total
+    summary["actions_reachable"] = summary.get("actions_reachable", 0) + reachable
     return out
 
 
@@ -519,7 +795,9 @@ def check_table_hits(
 
 
 def check_invalid_reads(
-    runs: List[_ProfileRun], checkers: List[_ReachChecker]
+    runs: List[_ProfileRun],
+    checkers: List[_ReachChecker],
+    witnesses: bool = False,
 ) -> List[Diagnostic]:
     out: List[Diagnostic] = []
     flagged: Set[Tuple[str, str]] = set()
@@ -530,6 +808,16 @@ def check_invalid_reads(
             if checker.sat(reach):
                 flagged.add((location, path))
                 header = path.split(".", 1)[0]
+                witness = None
+                if witnesses:
+                    formula = T.and_(*run.constraints, reach)
+                    witness = packet_witness(
+                        checker.solver,
+                        [formula],
+                        input_variables(formula),
+                        note=f"profile {run.profile.name}: this packet "
+                        f"reaches the read with {header} unparsed",
+                    )
                 out.append(
                     Diagnostic(
                         code=INVALID_HEADER_READ,
@@ -540,6 +828,7 @@ def check_invalid_reads(
                         "the model sees zero, the switch sees garbage",
                         fix_hint=f"guard the read with isValid({header}) "
                         "or a ternary key",
+                        witness=witness,
                     )
                 )
     return out
@@ -550,9 +839,18 @@ def check_invalid_reads(
 # ----------------------------------------------------------------------
 
 
-def run_semantic_passes(program: P4Program) -> List[Diagnostic]:
-    """All SMT-backed passes.  Assumes the structural passes found no
-    errors (callers gate on that): fields resolve, restrictions parse."""
+def run_semantic_passes(
+    program: P4Program,
+    selected: Optional[Sequence[str]] = None,
+    witnesses: bool = False,
+) -> Tuple[List[Diagnostic], Dict[str, int]]:
+    """The SMT-backed passes named by ``selected`` (default: all).
+
+    Assumes the structural passes found no errors (callers gate on that):
+    fields resolve, restrictions parse.  Returns the findings plus the
+    pass-level counters (reach-cache hits, action totals) merged into the
+    report summary."""
+    summary: Dict[str, int] = {}
     try:
         profiles = profiles_for_pattern(program.parser.pattern)
     except ValueError:
@@ -565,22 +863,67 @@ def run_semantic_passes(program: P4Program) -> List[Diagnostic]:
                 f"{program.parser.pattern!r}; no profiles to analyze",
                 fix_hint="use a registered pattern (ethernet_ipv4_ipv6)",
             )
+        ], summary
+
+    passes = set(SEMANTIC_PASS_NAMES if selected is None else selected)
+    digest = _program_digest(program)
+    info = build_p4info(program)
+    out: List[Diagnostic] = []
+    checkers: List[_ReachChecker] = []
+
+    # restriction-sat's unsat set feeds table-hits and action-reach even
+    # when the pass itself is deselected (its verdict, not its findings).
+    unsat_restrictions: Set[str] = set()
+    if passes & {"restriction-sat", "table-hits", "action-reach"}:
+        diags, unsat_restrictions = check_restriction_sat(
+            program, info, digest, witnesses=witnesses
+        )
+        if "restriction-sat" in passes:
+            out.extend(diags)
+
+    never_hits: Set[str] = set()
+    if passes & {"dead-branches", "dead-tables", "table-hits", "action-reach"}:
+        havoc_runs = _walk_all(program, profiles, havoc_entry=True)
+        havoc_checkers = [
+            _ReachChecker(r, _profile_solver(r, digest, "havoc")) for r in havoc_runs
         ]
-    out, unsat_restrictions = check_restriction_sat(program)
+        checkers.extend(havoc_checkers)
+        if "dead-branches" in passes:
+            out.extend(check_dead_branches(havoc_runs, havoc_checkers))
+        if "dead-tables" in passes:
+            out.extend(check_dead_tables(havoc_runs, havoc_checkers))
+        if passes & {"table-hits", "action-reach"}:
+            hit_diags, never_hits = check_table_hits(
+                program,
+                info,
+                digest,
+                havoc_runs,
+                havoc_checkers,
+                unsat_restrictions,
+                witnesses=witnesses,
+            )
+            if "table-hits" in passes:
+                out.extend(hit_diags)
+        if "action-reach" in passes:
+            out.extend(
+                check_action_reach(
+                    program,
+                    info,
+                    digest,
+                    unsat_restrictions,
+                    never_hits,
+                    witnesses,
+                    summary,
+                )
+            )
 
-    havoc_runs = _walk_all(program, profiles, havoc_entry=True)
-    havoc_checkers = [
-        _ReachChecker(r, _profile_solver(r)) for r in havoc_runs
-    ]
-    out.extend(check_dead_branches(havoc_runs, havoc_checkers))
-    out.extend(check_dead_tables(havoc_runs, havoc_checkers))
-    out.extend(
-        check_table_hits(program, havoc_runs, havoc_checkers, unsat_restrictions)
-    )
+    if "invalid-reads" in passes:
+        zero_runs = _walk_all(program, profiles, havoc_entry=False)
+        zero_checkers = [
+            _ReachChecker(r, _profile_solver(r, digest, "zero")) for r in zero_runs
+        ]
+        checkers.extend(zero_checkers)
+        out.extend(check_invalid_reads(zero_runs, zero_checkers, witnesses=witnesses))
 
-    zero_runs = _walk_all(program, profiles, havoc_entry=False)
-    zero_checkers = [
-        _ReachChecker(r, _profile_solver(r)) for r in zero_runs
-    ]
-    out.extend(check_invalid_reads(zero_runs, zero_checkers))
-    return out
+    summary["reach_cache_hits"] = sum(c.cache_hits for c in checkers)
+    return out, summary

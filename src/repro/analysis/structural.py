@@ -21,7 +21,7 @@ symbolic executor or the BMv2 simulator deep into a campaign:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.p4 import ast
 from repro.p4.ast import (
@@ -294,19 +294,19 @@ def check_duplicates(program: P4Program) -> List[Diagnostic]:
     by_name: Dict[str, List[Table]] = {}
     for table in tables:
         by_name.setdefault(table.name, []).append(table)
-    for name, defs in by_name.items():
-        if len(defs) > 1:
-            out.append(
-                Diagnostic(
-                    code=DUPLICATE_TABLE,
-                    severity=Severity.ERROR,
-                    location=table_location(name),
-                    message=f"table {name} is defined {len(defs)} times "
-                    "(P4Info IDs derive from names; duplicates collide)",
-                    fix_hint="rename one definition or apply a single instance",
-                    table_name=name,
-                )
-            )
+    out.extend(
+        Diagnostic(
+            code=DUPLICATE_TABLE,
+            severity=Severity.ERROR,
+            location=table_location(name),
+            message=f"table {name} is defined {len(defs)} times "
+            "(P4Info IDs derive from names; duplicates collide)",
+            fix_hint="rename one definition or apply a single instance",
+            table_name=name,
+        )
+        for name, defs in by_name.items()
+        if len(defs) > 1
+    )
 
     actions_by_name: Dict[str, List[Action]] = {}
     for table in tables:
@@ -314,18 +314,18 @@ def check_duplicates(program: P4Program) -> List[Diagnostic]:
             defs = actions_by_name.setdefault(ref.action.name, [])
             if all(existing != ref.action for existing in defs):
                 defs.append(ref.action)
-    for name, defs in actions_by_name.items():
-        if len(defs) > 1:
-            out.append(
-                Diagnostic(
-                    code=DUPLICATE_ACTION,
-                    severity=Severity.ERROR,
-                    location=action_location(name),
-                    message=f"action {name} has {len(defs)} conflicting "
-                    "definitions across tables",
-                    fix_hint="share one Action value or rename",
-                )
-            )
+    out.extend(
+        Diagnostic(
+            code=DUPLICATE_ACTION,
+            severity=Severity.ERROR,
+            location=action_location(name),
+            message=f"action {name} has {len(defs)} conflicting "
+            "definitions across tables",
+            fix_hint="share one Action value or rename",
+        )
+        for name, defs in actions_by_name.items()
+        if len(defs) > 1
+    )
 
     ids: Dict[int, str] = {}
     for kind, prefix, names in (
@@ -410,19 +410,19 @@ def _reference_edges(program: P4Program) -> List[Tuple[str, str, int, str, str]]
                 )
         for ref in table.actions:
             for param in ref.action.params:
-                for target_table, target_key in param.references():
-                    edges.append(
-                        (
+                edges.extend(
+                    (
+                        table.name,
+                        table_location(
                             table.name,
-                            table_location(
-                                table.name,
-                                f"action {ref.action.name}, param {param.name}",
-                            ),
-                            param.width,
-                            target_table,
-                            target_key,
-                        )
+                            f"action {ref.action.name}, param {param.name}",
+                        ),
+                        param.width,
+                        target_table,
+                        target_key,
                     )
+                    for target_table, target_key in param.references()
+                )
     return edges
 
 
@@ -706,9 +706,20 @@ STRUCTURAL_PASSES = (
     check_key_name_drift,
 )
 
+# Names the CLI uses to select structural passes (--only/--skip); the
+# "check_" prefix is an implementation detail, underscores become dashes.
+STRUCTURAL_PASS_NAMES = tuple(
+    p.__name__.removeprefix("check_").replace("_", "-") for p in STRUCTURAL_PASSES
+)
+_PASSES_BY_NAME = dict(zip(STRUCTURAL_PASS_NAMES, STRUCTURAL_PASSES, strict=True))
 
-def run_structural_passes(program: P4Program) -> List[Diagnostic]:
+
+def run_structural_passes(
+    program: P4Program, selected: Optional[Sequence[str]] = None
+) -> List[Diagnostic]:
+    names = STRUCTURAL_PASS_NAMES if selected is None else selected
     out: List[Diagnostic] = []
-    for p in STRUCTURAL_PASSES:
-        out.extend(p(program))
+    for name in names:
+        if name in _PASSES_BY_NAME:
+            out.extend(_PASSES_BY_NAME[name](program))
     return out

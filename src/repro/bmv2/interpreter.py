@@ -315,10 +315,11 @@ class Interpreter:
     def _match(
         self, table: Table, entries: Sequence[InstalledEntry], fields
     ) -> Optional[InstalledEntry]:
-        candidates: List[Tuple[int, InstalledEntry]] = []
-        for order, entry in enumerate(entries):
-            if self._entry_matches(table, entry, fields):
-                candidates.append((order, entry))
+        candidates: List[Tuple[int, InstalledEntry]] = [
+            (order, entry)
+            for order, entry in enumerate(entries)
+            if self._entry_matches(table, entry, fields)
+        ]
         if not candidates:
             return None
         if table.requires_priority:

@@ -105,8 +105,7 @@ class _BitWriter:
         self._bits: List[int] = []
 
     def write(self, value: int, width: int) -> None:
-        for i in range(width - 1, -1, -1):
-            self._bits.append((value >> i) & 1)
+        self._bits.extend((value >> i) & 1 for i in range(width - 1, -1, -1))
 
     def finish(self) -> bytes:
         if len(self._bits) % 8 != 0:

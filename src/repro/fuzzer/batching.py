@@ -105,8 +105,8 @@ def order_inserts(p4info: P4Info, updates: Sequence[Update]) -> List[Update]:
 def verify_batch_independence(p4info: P4Info, batch: Sequence[Update]) -> bool:
     """Check a batch contains no dependent pair (used by tests)."""
     refs = ReferenceGraph(p4info)
-    for i, a in enumerate(batch):
-        for b in batch[i + 1 :]:
-            if _conflicts(refs, a, b):
-                return False
-    return True
+    return not any(
+        _conflicts(refs, a, b)
+        for i, a in enumerate(batch)
+        for b in batch[i + 1 :]
+    )

@@ -290,10 +290,11 @@ class CoverageTracker:
     # Trace scoring (no solver calls)
     # ------------------------------------------------------------------
     def _candidate_keys(self, state: Dict[str, List[InstalledEntry]]) -> List[str]:
-        keys: List[str] = []
-        for table_name, installed in state.items():
-            if installed:
-                keys.append(f"table:{table_name}")
+        keys: List[str] = [
+            f"table:{table_name}"
+            for table_name, installed in state.items()
+            if installed
+        ]
         executions = SymbolicExecutor(
             self.program, state, self.valid_ports
         ).execute()

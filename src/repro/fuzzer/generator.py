@@ -247,9 +247,7 @@ class RequestGenerator:
     def _referenced_values(self, target_table: str, target_key: str) -> List[int]:
         values: List[int] = []
         for keyset in self._available().keysets(target_table):
-            for key, value in keyset:
-                if key == target_key:
-                    values.append(value)
+            values.extend(value for key, value in keyset if key == target_key)
         return values
 
     def _random_value(self, bitwidth: int) -> int:
@@ -292,10 +290,11 @@ class RequestGenerator:
         if mf.match_type is MatchKind.TERNARY:
             if self.rng.random() < 0.3:
                 return None  # wildcard: omit
-            if self.rng.random() < 0.5:
-                mask = (1 << mf.bitwidth) - 1
-            else:
-                mask = self.rng.getrandbits(mf.bitwidth) or 1
+            mask = (
+                (1 << mf.bitwidth) - 1
+                if self.rng.random() < 0.5
+                else self.rng.getrandbits(mf.bitwidth) or 1
+            )
             value = self._random_value(mf.bitwidth) & mask
             return FieldMatch(
                 mf.id,
@@ -481,8 +480,9 @@ class RequestGenerator:
             value = model.get(f"{base}::value", 0)
             mask = model.get(f"{base}::mask", 0)
             prefix_len = model.get(f"{base}::prefix_length", 0)
-            if mf.match_type is not MatchKind.EXACT and mask == 0:
-                plan[mf.name] = None
-            else:
-                plan[mf.name] = (value, mask, prefix_len)
+            plan[mf.name] = (
+                None
+                if mf.match_type is not MatchKind.EXACT and mask == 0
+                else (value, mask, prefix_len)
+            )
         return plan

@@ -338,10 +338,11 @@ def wrong_priority(rng, p4info, update):
     table = p4info.tables.get(update.entry.table_id)
     if table is None:
         return None
-    if table.requires_priority:
-        entry = replace(update.entry, priority=0)
-    else:
-        entry = replace(update.entry, priority=rng.randint(1, 10))
+    entry = (
+        replace(update.entry, priority=0)
+        if table.requires_priority
+        else replace(update.entry, priority=rng.randint(1, 10))
+    )
     return MutatedUpdate(Update(update.type, entry), "wrong_priority", MUST_REJECT)
 
 

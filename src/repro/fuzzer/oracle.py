@@ -98,9 +98,12 @@ class Oracle:
         except EntryDecodeError as exc:
             return Classified(update, "invalid", reason=exc.reason)
         constraint = self._constraints.get(update.entry.table_id)
-        if constraint is not None and update.type is not UpdateType.DELETE:
-            if not evaluate_constraint(constraint, decoded.key_values()):
-                return Classified(update, "invalid", reason="constraint_violation")
+        if (
+            constraint is not None
+            and update.type is not UpdateType.DELETE
+            and not evaluate_constraint(constraint, decoded.key_values())
+        ):
+            return Classified(update, "invalid", reason="constraint_violation")
         return Classified(update, "valid", decoded=decoded)
 
     # ------------------------------------------------------------------

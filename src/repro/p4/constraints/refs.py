@@ -139,13 +139,14 @@ class ReferenceGraph:
 
     def targets_of_table(self, table_name: str) -> List[Tuple[str, str]]:
         """Tables/keys that entries of ``table_name`` may reference."""
-        out: List[Tuple[str, str]] = []
         info = self._p4info.table_by_name(table_name)
         if info is None:
-            return out
-        for (source, _field), target in self._key_edges.items():
-            if source == table_name:
-                out.append(target)
+            return []
+        out: List[Tuple[str, str]] = [
+            target
+            for (source, _field), target in self._key_edges.items()
+            if source == table_name
+        ]
         for aid in info.action_ids:
             action = self._p4info.actions[aid]
             for table, pairs in self._action_edges.get(action.name, {}).items():

@@ -70,8 +70,9 @@ def _param(p: ast.ActionParamSpec) -> str:
 def _action(action: ast.Action, out: List[str]) -> None:
     params = ", ".join(_param(p) for p in action.params)
     out.append(f"    action {action.name}({params}) {{")
-    for stmt in action.body:
-        out.append(f"        {stmt.dest.path} = {_expr(stmt.value)};")
+    out.extend(
+        f"        {stmt.dest.path} = {_expr(stmt.value)};" for stmt in action.body
+    )
     out.append("    }")
 
 
@@ -145,13 +146,11 @@ def print_program(program: P4Program) -> str:
     out.append("")
     for header in program.headers:
         out.append(f"header {header.name}_t {{")
-        for fname, width in header.fields:
-            out.append(f"    bit<{width}> {fname};")
+        out.extend(f"    bit<{width}> {fname};" for fname, width in header.fields)
         out.append("}")
         out.append("")
     out.append("struct metadata_t {")
-    for name, width in program.metadata:
-        out.append(f"    bit<{width}> {name};")
+    out.extend(f"    bit<{width}> {name};" for name, width in program.metadata)
     out.append("}")
     out.append("")
     out.append(f"control {program.name}_ingress(inout headers_t headers,")

@@ -132,9 +132,9 @@ class CompiledTerm:
                     continue
                 visited.add(t)
                 stack.append((t, True))
-                for a in reversed(t.args):
-                    if a not in visited:
-                        stack.append((a, False))
+                stack.extend(
+                    (a, False) for a in reversed(t.args) if a not in visited
+                )
                 continue
             slot = len(template)
             template.append(0)

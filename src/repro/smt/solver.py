@@ -136,10 +136,11 @@ class Solver:
         if self._last_result is not Result.SAT:
             raise RuntimeError("model() requires a preceding SAT check()")
         values: Dict[str, int] = {}
-        if names is None:
-            wanted = self._var_sorts
-        else:
-            wanted = [n for n in names if n in self._var_sorts]
+        wanted = (
+            self._var_sorts
+            if names is None
+            else [n for n in names if n in self._var_sorts]
+        )
         for name in wanted:
             bits = self._blaster.variable_bits(name)
             if bits is None:

@@ -678,9 +678,7 @@ def term_digest(term: Term) -> str:
             continue
         if not ready:
             stack.append((t, True))
-            for a in t.args:
-                if a not in _DIGEST_CACHE:
-                    stack.append((a, False))
+            stack.extend((a, False) for a in t.args if a not in _DIGEST_CACHE)
         else:
             h = hashlib.sha256()
             h.update(t.op.encode())

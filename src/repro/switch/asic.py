@@ -520,9 +520,15 @@ class AsicSim:
         if path == "meta.is_ipv6":
             return 1 if pkt.is_valid("ipv6") else 0
         prefix = path.split(".", 1)[0]
-        if prefix in ("ethernet", "ipv4", "ipv6", "icmp", "tcp", "udp"):
-            if not pkt.is_valid(prefix):
-                return 0
+        if prefix in (
+            "ethernet",
+            "ipv4",
+            "ipv6",
+            "icmp",
+            "tcp",
+            "udp",
+        ) and not pkt.is_valid(prefix):
+            return 0
         return pkt.get(path, 0)
 
     def _acl_lookup(
@@ -541,12 +547,12 @@ class AsicSim:
                 if (field_value & mask) != (value & mask):
                     matched = False
                     break
-            if matched:
-                if best is None or (entry.priority, -entry.entry_id) > (
-                    best.priority,
-                    -best.entry_id,
-                ):
-                    best = entry
+            if matched and (
+                best is None
+                or (entry.priority, -entry.entry_id)
+                > (best.priority, -best.entry_id)
+            ):
+                best = entry
         return best
 
     def _lookup_route(

@@ -89,9 +89,12 @@ class ReferenceSwitch(P4RuntimeService):
             return invalid_argument(str(exc))
         table = self._p4info.tables[update.entry.table_id]
         constraint = self._constraints.get(table.id)
-        if constraint is not None and update.type is not UpdateType.DELETE:
-            if not evaluate_constraint(constraint, decoded.key_values()):
-                return invalid_argument(f"violates @entry_restriction on {table.name}")
+        if (
+            constraint is not None
+            and update.type is not UpdateType.DELETE
+            and not evaluate_constraint(constraint, decoded.key_values())
+        ):
+            return invalid_argument(f"violates @entry_restriction on {table.name}")
         key = decoded.identity()
         if update.type is UpdateType.INSERT:
             if key in self._store:

@@ -43,6 +43,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.switch.faults import faults_for_stack
 from repro.switchv.campaign import (
+    STACK_PROGRAMS,
     CampaignConfig,
     FaultOutcome,
     SoakOutcome,
@@ -50,6 +51,8 @@ from repro.switchv.campaign import (
     run_soak_cycle,
 )
 from repro.switchv.report import (
+    Incident,
+    IncidentKind,
     IncidentLog,
     merge_incident_logs,
     merge_transport_summaries,
@@ -100,6 +103,9 @@ class FleetReport:
     # Tasks re-run in-process after a worker death / broken pool.
     degraded_tasks: int = 0
     elapsed_seconds: float = 0.0
+    # Cross-stack role-contract report (repro.analysis.AnalysisReport),
+    # produced when lint_model is on and the tasks mixed stack kinds.
+    contract: Optional[object] = None
 
     def fault_results(self) -> List[FleetResult]:
         return [r for r in self.results if r.task.kind == "fault"]
@@ -145,15 +151,15 @@ def build_fleet_tasks(
     tasks: List[FleetTask] = []
     for stack_kind in stacks:
         for profile in profiles:
-            for fault in faults_for_stack(stack_kind):
-                tasks.append(
-                    FleetTask("fault", stack_kind, fault.name, profile=profile)
-                )
+            tasks.extend(
+                FleetTask("fault", stack_kind, fault.name, profile=profile)
+                for fault in faults_for_stack(stack_kind)
+            )
         for profile in soak_profiles:
-            for cycle in range(config.soak_cycles):
-                tasks.append(
-                    FleetTask("soak", stack_kind, profile=profile, cycle=cycle)
-                )
+            tasks.extend(
+                FleetTask("soak", stack_kind, profile=profile, cycle=cycle)
+                for cycle in range(config.soak_cycles)
+            )
     return tasks
 
 
@@ -242,6 +248,9 @@ def run_fleet_campaign(
     transport = merge_transport_summaries(
         r.outcome.transport for r in results if r.outcome is not None
     )
+    contract = None
+    if config.lint_model:
+        contract = _contract_gate(tasks, incidents)
     return FleetReport(
         results=results,
         incidents=incidents,
@@ -249,4 +258,34 @@ def run_fleet_campaign(
         workers=max(1, workers),
         degraded_tasks=degraded,
         elapsed_seconds=time.perf_counter() - start,
+        contract=contract,
     )
+
+
+def _contract_gate(tasks: Sequence[FleetTask], incidents: IncidentLog):
+    """Cross-stack contract pass for mixed-role fleets.
+
+    A fleet mixing stack kinds is exactly the shared-controller scenario
+    of §3: the same campaign code drives every role's model.  When the
+    per-program lint gate is on, role-to-role API drift is gated the same
+    way — every contract error becomes a MODEL_ERROR incident in the
+    merged ledger.  Returns the contract AnalysisReport (None when the
+    fleet ran a single stack kind: nothing to cross-check)."""
+    kinds = sorted({t.stack_kind for t in tasks if t.stack_kind in STACK_PROGRAMS})
+    if len(kinds) < 2:
+        return None
+    from repro.analysis import analyze_contract
+
+    report = analyze_contract([STACK_PROGRAMS[kind]() for kind in kinds])
+    for diag in report.errors:
+        incidents.report(
+            Incident(
+                kind=IncidentKind.MODEL_ERROR,
+                summary=f"contract[{diag.code}] {diag.location}: {diag.message}",
+                expected="role instantiations agree on the shared API",
+                observed=diag.message,
+                source="repro-analysis",
+                table_name=diag.table_name,
+            )
+        )
+    return report

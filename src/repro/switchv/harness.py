@@ -134,10 +134,11 @@ class SwitchVHarness:
         self.switch = switch
         # A model that failed the lint gate may not even survive P4Info
         # derivation (undefined fields crash field_width), so don't try.
-        if self.lint_report is not None and self.lint_report.has_errors:
-            self.p4info = None
-        else:
-            self.p4info = build_p4info(model)
+        self.p4info = (
+            None
+            if self.lint_report is not None and self.lint_report.has_errors
+            else build_p4info(model)
+        )
         self.valid_ports = tuple(valid_ports)
         self.cache = cache
         # Goal-solving parallelism for packet generation (1 = sequential).
@@ -362,12 +363,14 @@ class SwitchVHarness:
             # Target the modified entries and everything that references
             # them (a broken update blackholes traffic at the *referrer*).
             targets = list(report.fuzz.modified_entries)
-            for wire in report.fuzz.final_entries:
+            targets.extend(
+                wire
+                for wire in report.fuzz.final_entries
                 if any(
                     (r.target_table, r.target_key, r.value) in modified_values
                     for r in refs.references_of(wire)
-                ):
-                    targets.append(wire)
+                )
+            )
             goals = []
             for wire in targets:
                 try:

@@ -94,11 +94,11 @@ def attribute_incident(
     if incident.is_flake:
         return []
     implicated = incident.tables()
-    matched = []
-    for feature, tables in features.items():
-        if any(t in tables for t in implicated):
-            matched.append(feature)
-    return matched
+    return [
+        feature
+        for feature, tables in features.items()
+        if any(t in tables for t in implicated)
+    ]
 
 
 def collect_feature_metrics(

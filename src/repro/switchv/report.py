@@ -126,9 +126,53 @@ def render_diagnostics(report) -> str:
         lines.append(f"      {diag.message}")
         if diag.fix_hint:
             lines.append(f"      fix: {diag.fix_hint}")
+        witness = getattr(diag, "witness", None)
+        if witness is not None:
+            lines.extend(witness.render())
     if not report.diagnostics:
         lines.append("  clean: the model is usable as a specification")
+    summary = getattr(report, "summary", None)
+    if summary:
+        parts = ", ".join(
+            f"{key.replace('_', ' ')} {value}"
+            for key, value in sorted(summary.items())
+        )
+        lines.append(f"  summary: {parts}")
     return "\n".join(lines)
+
+
+def diagnostics_to_json(report) -> Dict:
+    """The machine-facing twin of :func:`render_diagnostics`.
+
+    A plain-dict rendering of one :class:`repro.analysis.AnalysisReport`
+    (duck-typed), stable under ``json.dumps(..., sort_keys=True)`` — the
+    CI lint-model job uploads this as an artifact and diffs runs byte for
+    byte, so everything here must be deterministically ordered (the report
+    is sorted by the analyzer) and free of wall-clock noise (timings are
+    deliberately excluded)."""
+    return {
+        "program": report.program_name,
+        "semantic_ran": report.semantic_ran,
+        "errors": len(report.errors),
+        "warnings": len(report.warnings),
+        "summary": dict(getattr(report, "summary", {}) or {}),
+        "diagnostics": [
+            {
+                "code": diag.code,
+                "severity": diag.severity.value,
+                "location": diag.location,
+                "message": diag.message,
+                "fix_hint": diag.fix_hint,
+                "table": diag.table_name,
+                "witness": (
+                    diag.witness.to_json()
+                    if getattr(diag, "witness", None) is not None
+                    else None
+                ),
+            }
+            for diag in report
+        ],
+    }
 
 
 def render_transport_stats(transport) -> str:

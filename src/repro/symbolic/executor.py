@@ -111,10 +111,11 @@ class SymbolicExecutor:
             width = self.program.field_width(path)
             header = path.split(".", 1)[0]
             if header in profile.valid_headers:
-                if path in pins:
-                    term = T.bv_const(pins[path], width)
-                else:
-                    term = T.bv_var(f"{prefix}::{path}", width)
+                term = (
+                    T.bv_const(pins[path], width)
+                    if path in pins
+                    else T.bv_var(f"{prefix}::{path}", width)
+                )
                 inputs[path] = term
                 state[path] = term
             elif path == "standard.ingress_port":
@@ -131,8 +132,7 @@ class SymbolicExecutor:
 
         for path, excluded in profile.exclusions:
             term = state[path]
-            for value in excluded:
-                constraints.append(term.ne(value))
+            constraints.extend(term.ne(value) for value in excluded)
 
         trace: Dict[TraceKey, T.Term] = {}
         self._run_block(self.program.ingress, state, profile, T.TRUE, trace)

@@ -559,11 +559,12 @@ class PacketGenerator:
         while bit >= 0:
             remaining = bit + 1
             agree = agreement(bit, remaining)
-            if not full_suffix_known_unsat:
-                if agree == remaining or sat_with(preferred_pins(bit, remaining)):
-                    pins.extend(preferred_pins(bit, remaining))
-                    value |= background & ((1 << remaining) - 1)
-                    break
+            if not full_suffix_known_unsat and (
+                agree == remaining or sat_with(preferred_pins(bit, remaining))
+            ):
+                pins.extend(preferred_pins(bit, remaining))
+                value |= background & ((1 << remaining) - 1)
+                break
             full_suffix_known_unsat = False
             # Longest satisfiable run of preferred bits below `bit`:
             # lo is known-SAT (the completion witnesses `agree`),

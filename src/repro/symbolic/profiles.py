@@ -64,15 +64,15 @@ def profiles_for_pattern(pattern: str) -> List[ParserProfile]:
                 exclusions=((proto_field, tuple(p for p, _n in _L4)),),
             )
         )
-        for proto, l4_header in _L4:
-            profiles.append(
-                ParserProfile(
-                    name=f"eth_{ip_header}_{l4_header}",
-                    valid_headers=frozenset({"ethernet", ip_header, l4_header}),
-                    pins=(
-                        ("ethernet.ether_type", ether_type),
-                        (proto_field, proto),
-                    ),
-                )
+        profiles.extend(
+            ParserProfile(
+                name=f"eth_{ip_header}_{l4_header}",
+                valid_headers=frozenset({"ethernet", ip_header, l4_header}),
+                pins=(
+                    ("ethernet.ether_type", ether_type),
+                    (proto_field, proto),
+                ),
             )
+            for proto, l4_header in _L4
+        )
     return profiles

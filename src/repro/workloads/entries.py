@@ -184,26 +184,27 @@ def baseline_entries(p4info: P4Info, ports: Sequence[int] = (1, 2, 3, 4)) -> Lis
         b.ternary("acl_pre_ingress_tbl", {}, "set_vrf", {"vrf_id": 1}, priority=1)
     )
     entries.append(b.ternary("l3_admit_tbl", {}, "admit_to_l3", priority=1))
-    for index, _port in enumerate(ports, start=1):
-        entries.append(
-            b.lpm(
-                "ipv4_tbl",
-                {"vrf_id": 1},
-                "ipv4_dst",
-                0x0A000000 + (index << 16),  # 10.<index>.0.0/16
-                16,
-                "set_nexthop_id",
-                {"nexthop_id": index},
-            )
+    entries.extend(
+        b.lpm(
+            "ipv4_tbl",
+            {"vrf_id": 1},
+            "ipv4_dst",
+            0x0A000000 + (index << 16),  # 10.<index>.0.0/16
+            16,
+            "set_nexthop_id",
+            {"nexthop_id": index},
         )
+        for index, _port in enumerate(ports, start=1)
+    )
     # Punt 10.255.255.1 (by destination, or source on WAN-style ACLs) to
     # the controller: the trivial suite's packet-in canary.
     acl_table = p4info.table_by_name("acl_ingress_tbl")
     if acl_table is not None:
-        if acl_table.match_field_by_name("dst_ip") is not None:
-            masked = {"dst_ip": (0x0AFFFF01, 0xFFFFFFFF)}
-        else:
-            masked = {"src_ip": (0x0AFFFF01, 0xFFFFFFFF)}
+        masked = (
+            {"dst_ip": (0x0AFFFF01, 0xFFFFFFFF)}
+            if acl_table.match_field_by_name("dst_ip") is not None
+            else {"src_ip": (0x0AFFFF01, 0xFFFFFFFF)}
+        )
         if acl_table.match_field_by_name("is_ipv4") is not None:
             # The role ACL constraints require IPv4 qualification when
             # matching IPv4 fields.

@@ -13,6 +13,7 @@ import pytest
 
 from repro.analysis import analyze_program, run_structural_passes
 from repro.analysis.diagnostics import (
+    ACTION_NEVER_FIRES,
     ACTION_SCOPE,
     DANGLING_REF,
     INVALID_HEADER_READ,
@@ -476,3 +477,286 @@ class TestStructuralEntryPoint:
     @pytest.mark.parametrize("build", ALL_BUILDERS)
     def test_clean_on_shipped(self, build):
         assert run_structural_passes(build()) == []
+
+
+# ----------------------------------------------------------------------
+# Action-level reachability (the @refers_to chain refinement)
+# ----------------------------------------------------------------------
+def _blocked_action_program():
+    """user_tbl has two actions; one's parameter @refers_to a table whose
+    restriction admits no entries, so only that action can never fire."""
+    target = _table(
+        name="target_tbl",
+        keys=(TableKey(FieldRef("meta.nexthop_id"), MatchKind.EXACT, name="nid"),),
+        entry_restriction="nid == 1 && nid == 2",
+    )
+    use_target = Action(
+        "use_target",
+        params=(ActionParamSpec("nid", 16, refers_to=("target_tbl", "nid")),),
+        body=(assign("meta.nexthop_id", ast.Param("nid")),),
+    )
+    no_ref = Action("no_ref", body=(assign("meta.l3_admit", Const(1, 1)),))
+    user = _table(name="user_tbl", actions=(ActionRef(use_target), ActionRef(no_ref)))
+    return _program(TableApply(target), TableApply(user))
+
+
+class TestActionReach:
+    def test_blocked_action_flagged_sibling_spared(self):
+        report = analyze_program(_blocked_action_program())
+        never = report.by_code(ACTION_NEVER_FIRES)
+        assert len(never) == 1
+        (diag,) = never
+        assert diag.severity is Severity.WARNING
+        assert diag.table_name == "user_tbl"
+        assert "use_target" in diag.location
+        assert "target_tbl" in diag.message
+        assert "no_ref" not in diag.location
+
+    def test_summary_counts_reachable_actions(self):
+        report = analyze_program(_blocked_action_program())
+        # use_target (blocked), no_ref (reachable), target_tbl's NoAction
+        # (suppressed by the table-level unsat-restriction finding).
+        assert report.summary["actions_total"] == 3
+        assert report.summary["actions_reachable"] == 1
+
+    def test_unsat_table_suppresses_its_own_actions(self):
+        report = analyze_program(_blocked_action_program())
+        assert all(
+            d.table_name != "target_tbl" for d in report.by_code(ACTION_NEVER_FIRES)
+        )
+
+    def test_witness_is_the_blocking_tables_core(self):
+        report = analyze_program(_blocked_action_program(), witnesses=True)
+        (diag,) = report.by_code(ACTION_NEVER_FIRES)
+        witness = diag.witness
+        assert witness is not None and witness.kind == "unsat-core"
+        assert len(witness.conjuncts) == 2
+        assert witness.replays()
+
+    def test_shipped_programs_have_all_actions_reachable(self):
+        for build in ALL_BUILDERS:
+            report = analyze_program(build())
+            assert report.summary["actions_total"] > 0
+            assert (
+                report.summary["actions_reachable"]
+                == report.summary["actions_total"]
+            )
+
+
+# ----------------------------------------------------------------------
+# Witness construction and replay
+# ----------------------------------------------------------------------
+class TestWitnesses:
+    def test_invalid_read_carries_replaying_packet(self):
+        cond = Cmp("<=", FieldRef("ipv4.ttl"), Const(1, 8))
+        node = If(cond, seq(), seq(), label="unguarded_ttl")
+        report = analyze_program(_program(node), witnesses=True)
+        hits = report.by_code(INVALID_HEADER_READ)
+        assert hits
+        for diag in hits:
+            assert diag.witness is not None
+            assert diag.witness.kind == "packet"
+            assert diag.witness.replays()
+
+    def test_restriction_unsat_core_is_minimal(self):
+        table = _table(
+            entry_restriction="vrf_id != 0 && vrf_id == 0 && vrf_id != 3"
+        )
+        report = analyze_program(_program(TableApply(table)), witnesses=True)
+        (diag,) = report.by_code(RESTRICTION_UNSAT)
+        witness = diag.witness
+        assert witness is not None and witness.kind == "unsat-core"
+        # vrf_id != 3 is redundant: the contradiction is the other two.
+        assert len(witness.conjuncts) == 2
+        assert not any("3" in text for text in witness.conjuncts)
+        assert witness.replays()
+
+    def test_witnesses_off_by_default(self):
+        table = _table(entry_restriction="vrf_id == 1 && vrf_id == 2")
+        report = analyze_program(_program(TableApply(table)))
+        (diag,) = report.by_code(RESTRICTION_UNSAT)
+        assert diag.witness is None
+
+    def test_rendered_report_shows_witness_lines(self):
+        table = _table(entry_restriction="vrf_id == 1 && vrf_id == 2")
+        report = analyze_program(_program(TableApply(table)), witnesses=True)
+        text = render_diagnostics(report)
+        assert "minimal unsat core" in text
+
+    def test_witness_json_round_trip(self):
+        cond = Cmp("<=", FieldRef("ipv4.ttl"), Const(1, 8))
+        node = If(cond, seq(), seq(), label="unguarded_ttl")
+        report = analyze_program(_program(node), witnesses=True)
+        from repro.switchv.report import diagnostics_to_json
+
+        payload = diagnostics_to_json(report)
+        kinds = {
+            d["witness"]["kind"]
+            for d in payload["diagnostics"]
+            if d["witness"] is not None
+        }
+        assert "packet" in kinds
+
+
+# ----------------------------------------------------------------------
+# The reach checker's LRU witness cache
+# ----------------------------------------------------------------------
+class TestReachCache:
+    def _checker(self):
+        from repro.analysis.semantic import _ProfileRun, _ReachChecker
+        from repro.smt import Solver
+
+        run = _ProfileRun(profile=None, constraints=[])
+        return _ReachChecker(run, Solver())
+
+    def test_cache_hit_skips_the_solver(self):
+        from repro.smt import terms as T
+
+        checker = self._checker()
+        v = T.bv_var("v", 8)
+        # eq(5): all-zeros and all-ones candidates miss, so the solver
+        # answers and its model {v: 5} is cached.
+        assert checker.sat(v.eq(T.bv_const(5, 8)))
+        assert checker.cache_hits == 0
+        assert checker._witnesses == [{"v": 5}]
+        # uge(4): the cached witness satisfies it — no solver call.
+        assert checker.sat(v.uge(T.bv_const(4, 8)))
+        assert checker.cache_hits == 1
+
+    def test_hit_moves_witness_to_front(self):
+        from repro.smt import terms as T
+
+        checker = self._checker()
+        names = [f"v{i}" for i in range(3)]
+        for name in names:
+            assert checker.sat(T.bv_var(name, 8).eq(T.bv_const(5, 8)))
+        assert checker._witnesses[0] == {"v2": 5}
+        # Hitting v0's witness (at the tail) must move it to the front.
+        assert checker.sat(T.bv_var("v0", 8).uge(T.bv_const(4, 8)))
+        assert checker.cache_hits == 1
+        assert checker._witnesses[0] == {"v0": 5}
+
+    def test_capacity_evicts_the_tail(self):
+        from repro.smt import terms as T
+
+        checker = self._checker()
+        count = checker._MAX_WITNESSES + 2
+        for i in range(count):
+            assert checker.sat(T.bv_var(f"v{i}", 8).eq(T.bv_const(5, 8)))
+        assert len(checker._witnesses) == checker._MAX_WITNESSES
+        # The two oldest witnesses (v0, v1) fell off the tail.
+        cached = {name for witness in checker._witnesses for name in witness}
+        assert "v0" not in cached and "v1" not in cached
+
+    def test_summary_reports_cache_hits(self):
+        report = analyze_program(build_tor_program())
+        assert "reach_cache_hits" in report.summary
+        assert report.summary["reach_cache_hits"] >= 0
+
+
+# ----------------------------------------------------------------------
+# Pass selection (--only / --skip)
+# ----------------------------------------------------------------------
+class TestPassSelection:
+    def _mixed(self):
+        table = _table(entry_restriction="vrf_id == 1 && vrf_id == 2")
+        cond = Cmp("<=", FieldRef("ipv4.ttl"), Const(1, 8))
+        return _program(
+            TableApply(table), If(cond, seq(), seq(), label="unguarded_ttl")
+        )
+
+    def test_only_scopes_to_one_pass(self):
+        report = analyze_program(self._mixed(), only=["restriction-sat"])
+        assert set(report.codes()) == {RESTRICTION_UNSAT}
+
+    def test_skip_removes_one_pass(self):
+        report = analyze_program(self._mixed(), skip=["invalid-reads"])
+        assert INVALID_HEADER_READ not in report.codes()
+        assert RESTRICTION_UNSAT in report.codes()
+
+    def test_unknown_pass_name_raises(self):
+        with pytest.raises(ValueError, match="unknown pass"):
+            analyze_program(self._mixed(), only=["no-such-pass"])
+
+    def test_structural_errors_still_gate_deselected(self):
+        # Even with every structural pass deselected from the report, a
+        # structurally broken model must not reach the SMT encoders.
+        report = analyze_program(_broken_model(), only=["restriction-sat"])
+        assert report.diagnostics == []
+        assert not report.semantic_ran
+
+    def test_list_passes_registry(self):
+        from repro.analysis import list_passes
+
+        passes = dict(list_passes())
+        assert passes["restriction-sat"] == "semantic"
+        assert passes["references"] == "structural"
+        assert passes["restriction-compat"] == "contract"
+        assert len(passes) == len(list_passes())  # names are unique
+
+    def test_cli_only_flag(self, capsys):
+        from repro.analysis.__main__ import main
+
+        assert main(["toy", "--only", "restriction-sat,invalid-reads"]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# Deterministic output across hash randomization
+# ----------------------------------------------------------------------
+def _drifty_program():
+    """A program with a spread of findings (errors and warnings, several
+    tables and branches) — the determinism stress input."""
+    unsat = _table(name="unsat_tbl", entry_restriction="vrf_id == 1 && vrf_id == 2")
+    dead_cond = ast.BoolOp("and", (IsValid("ipv4"), IsValid("ipv6")))
+    dead = If(dead_cond, seq(TableApply(_table(name="dead_tbl"))), seq(), label="both")
+    read = If(
+        Cmp("<=", FieldRef("ipv4.ttl"), Const(1, 8)), seq(), seq(), label="ttl"
+    )
+    return _program(TableApply(unsat), dead, read)
+
+
+_RENDER_CHILD = """
+import json
+import sys
+
+sys.path.insert(0, sys.argv[1])
+from tests.test_analysis import _drifty_program
+from repro.analysis import analyze_program
+from repro.switchv.report import diagnostics_to_json, render_diagnostics
+
+report = analyze_program(_drifty_program(), witnesses=True)
+print(render_diagnostics(report))
+print(json.dumps(diagnostics_to_json(report), sort_keys=True))
+"""
+
+
+class TestDeterministicOutput:
+    def _render_in_child(self, hash_seed):
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parent.parent
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(repo / "src")
+        env["PYTHONHASHSEED"] = hash_seed
+        proc = subprocess.run(
+            [sys.executable, "-c", _RENDER_CHILD, str(repo)],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+            timeout=300,
+        )
+        return proc.stdout
+
+    def test_render_is_byte_identical_across_hash_seeds(self):
+        assert self._render_in_child("1") == self._render_in_child("2")
+
+    def test_diagnostics_are_sorted(self):
+        report = analyze_program(_drifty_program(), witnesses=True)
+        keys = [d.sort_key() for d in report.diagnostics]
+        assert keys == sorted(keys)
+        assert report.diagnostics[0].is_error  # errors sort first

@@ -1,0 +1,277 @@
+"""Tests for repro.analysis.contract: cross-program role-contract drift.
+
+The shipped role programs (toy/tor/wan/cerberus) are instantiated from one
+component library, so every pairwise comparison must be clean — and every
+seeded drift edit (renamed key, reordered keys, widened parameter, dropped
+@refers_to, tightened restriction) must be flagged with the right code and
+a replaying witness.
+"""
+
+from dataclasses import replace
+from itertools import combinations
+
+import pytest
+
+from repro.analysis import analyze_contract
+from repro.analysis.diagnostics import (
+    CONTRACT_ACTION_DRIFT,
+    CONTRACT_ID_DRIFT,
+    CONTRACT_KEY_DRIFT,
+    CONTRACT_REF_DRIFT,
+    CONTRACT_RESTRICTION_DRIFT,
+)
+from repro.analysis.witness import KIND_ENTRY
+from repro.p4 import ast
+from repro.p4.ast import Action, ActionParamSpec, ActionRef, assign
+from repro.p4.programs import (
+    build_cerberus_program,
+    build_tor_program,
+    build_toy_program,
+    build_wan_program,
+)
+from repro.switch.model_faults import _map_tables
+from repro.switchv import fleet
+from repro.switchv.fleet import FleetTask
+from repro.switchv.report import IncidentKind, IncidentLog
+
+ALL_BUILDERS = [
+    build_toy_program,
+    build_tor_program,
+    build_wan_program,
+    build_cerberus_program,
+]
+
+
+def _edit_tables(program, fn):
+    return replace(
+        program,
+        ingress=_map_tables(program.ingress, fn),
+        egress=_map_tables(program.egress, fn),
+    )
+
+
+# ----------------------------------------------------------------------
+# Seeded drift edits (each returns a drifted copy of a role program)
+# ----------------------------------------------------------------------
+def rename_l3_admit_key(program):
+    """Rename a shared match field: the controller's field name diverges."""
+
+    def fn(table):
+        if table.name != "l3_admit_tbl":
+            return table
+        keys = tuple(
+            replace(k, name="dmac") if k.key_name == "dst_mac" else k
+            for k in table.keys
+        )
+        return replace(table, keys=keys)
+
+    return _edit_tables(program, fn)
+
+
+def reorder_l3_admit_keys(program):
+    """Same fields, different order: p4info match-field ids move."""
+
+    def fn(table):
+        if table.name != "l3_admit_tbl":
+            return table
+        return replace(table, keys=tuple(reversed(table.keys)))
+
+    return _edit_tables(program, fn)
+
+
+def widen_set_vrf_param(program):
+    """Widen a shared action parameter from 16 to 24 bits."""
+    wide = Action(
+        "set_vrf",
+        params=(ActionParamSpec("vrf_id", 24, refers_to=("vrf_tbl", "vrf_id")),),
+        body=(assign("meta.vrf_id", ast.Param("vrf_id")),),
+    )
+
+    def fn(table):
+        refs = tuple(
+            replace(ref, action=wide) if ref.action.name == "set_vrf" else ref
+            for ref in table.actions
+        )
+        return table if refs == table.actions else replace(table, actions=refs)
+
+    return _edit_tables(program, fn)
+
+
+def drop_ipv4_vrf_ref(program):
+    """Drop the @refers_to(vrf_tbl, vrf_id) edge from ipv4_tbl's key."""
+
+    def fn(table):
+        if table.name != "ipv4_tbl":
+            return table
+        keys = tuple(
+            replace(k, refers_to=None) if k.key_name == "vrf_id" else k
+            for k in table.keys
+        )
+        return replace(table, keys=keys)
+
+    return _edit_tables(program, fn)
+
+
+def tighten_vrf_restriction(program):
+    """Reserve one more VRF id in a single role only."""
+
+    def fn(table):
+        if table.name != "vrf_tbl":
+            return table
+        return replace(table, entry_restriction="vrf_id != 0 && vrf_id != 1")
+
+    return _edit_tables(program, fn)
+
+
+DRIFTS = [
+    pytest.param(rename_l3_admit_key, CONTRACT_KEY_DRIFT, id="rename-key"),
+    pytest.param(reorder_l3_admit_keys, CONTRACT_ID_DRIFT, id="reorder-keys"),
+    pytest.param(widen_set_vrf_param, CONTRACT_ACTION_DRIFT, id="widen-param"),
+    pytest.param(drop_ipv4_vrf_ref, CONTRACT_REF_DRIFT, id="drop-ref"),
+    pytest.param(
+        tighten_vrf_restriction, CONTRACT_RESTRICTION_DRIFT, id="tighten-restriction"
+    ),
+]
+
+
+class TestShippedProgramsAgree:
+    @pytest.mark.parametrize(
+        "build_a,build_b",
+        list(combinations(ALL_BUILDERS, 2)),
+        ids=lambda b: b.__name__.removeprefix("build_").removesuffix("_program"),
+    )
+    def test_every_shipped_pair_is_clean(self, build_a, build_b):
+        report = analyze_contract([build_a(), build_b()])
+        assert report.diagnostics == []
+        assert report.summary["pairs"] == 1
+        assert report.summary["tables_aligned"] > 0
+
+    def test_all_roles_at_once(self):
+        report = analyze_contract([b() for b in ALL_BUILDERS])
+        assert report.diagnostics == []
+        assert report.summary["pairs"] == 6
+
+
+class TestSeededDrift:
+    @pytest.mark.parametrize("edit,code", DRIFTS)
+    def test_drift_is_flagged_as_error(self, edit, code):
+        report = analyze_contract([build_tor_program(), edit(build_wan_program())])
+        codes = {d.code for d in report.diagnostics}
+        assert code in codes
+        assert all(d.is_error for d in report.diagnostics)
+
+    @pytest.mark.parametrize("edit,code", DRIFTS)
+    def test_drift_is_the_only_finding(self, edit, code):
+        report = analyze_contract([build_tor_program(), edit(build_wan_program())])
+        assert {d.code for d in report.diagnostics} == {code}
+
+    def test_rename_names_both_sides(self):
+        report = analyze_contract(
+            [build_tor_program(), rename_l3_admit_key(build_wan_program())]
+        )
+        (diag,) = report.diagnostics
+        assert "dst_mac" in diag.message and "dmac" in diag.message
+        assert diag.table_name == "l3_admit_tbl"
+
+    def test_width_drift_witness_replays(self):
+        report = analyze_contract(
+            [build_tor_program(), widen_set_vrf_param(build_wan_program())]
+        )
+        (diag,) = report.by_code(CONTRACT_ACTION_DRIFT)
+        witness = diag.witness
+        assert witness is not None and witness.kind == KIND_ENTRY
+        # The witness value fits the 24-bit role but not the 16-bit one,
+        # and re-evaluating the attached term under it proves that.
+        assert witness.assignment()["set_vrf.vrf_id::value"] == 1 << 16
+        assert witness.replays()
+
+    def test_restriction_drift_witness_is_the_disputed_entry(self):
+        report = analyze_contract(
+            [build_tor_program(), tighten_vrf_restriction(build_wan_program())]
+        )
+        (diag,) = report.by_code(CONTRACT_RESTRICTION_DRIFT)
+        # tor accepts vrf_id=1; the tightened wan rejects it.  The witness
+        # must be exactly that entry (vrf_id=1 is the only disputed value),
+        # and replaying it on the drift formula must succeed.
+        assert "sai_tor" in diag.location
+        witness = diag.witness
+        assert witness is not None and witness.kind == KIND_ENTRY
+        assert witness.assignment()["vrf_tbl.vrf_id::value"] == 1
+        assert witness.replays()
+
+    def test_restriction_drift_without_witnesses(self):
+        report = analyze_contract(
+            [build_tor_program(), tighten_vrf_restriction(build_wan_program())],
+            witnesses=False,
+        )
+        (diag,) = report.by_code(CONTRACT_RESTRICTION_DRIFT)
+        assert diag.witness is None
+
+    def test_pass_selection_scopes_the_findings(self):
+        programs = [build_tor_program(), tighten_vrf_restriction(build_wan_program())]
+        only_keys = analyze_contract(programs, selected=["key-align"])
+        assert only_keys.diagnostics == []
+        only_compat = analyze_contract(programs, selected=["restriction-compat"])
+        assert {d.code for d in only_compat.diagnostics} == {
+            CONTRACT_RESTRICTION_DRIFT
+        }
+
+    def test_contract_requires_two_programs(self):
+        with pytest.raises(ValueError):
+            analyze_contract([build_tor_program()])
+
+
+class TestFleetContractGate:
+    def _tasks(self, *kinds):
+        return [FleetTask("fault", kind, "some_fault") for kind in kinds]
+
+    def test_single_stack_fleet_has_nothing_to_cross_check(self):
+        incidents = IncidentLog()
+        assert fleet._contract_gate(self._tasks("pins", "pins"), incidents) is None
+        assert incidents.count == 0
+
+    def test_mixed_clean_fleet_passes_the_gate(self):
+        incidents = IncidentLog()
+        report = fleet._contract_gate(self._tasks("pins", "cerberus"), incidents)
+        assert report is not None
+        assert report.errors == []
+        assert incidents.count == 0
+
+    def test_drifted_role_becomes_model_error_incident(self, monkeypatch):
+        monkeypatch.setitem(
+            fleet.STACK_PROGRAMS,
+            "cerberus",
+            lambda: tighten_vrf_restriction(build_cerberus_program()),
+        )
+        incidents = IncidentLog()
+        report = fleet._contract_gate(self._tasks("pins", "cerberus"), incidents)
+        assert report is not None and report.has_errors
+        assert incidents.count >= 1
+        incident = incidents.incidents[0]
+        assert incident.kind is IncidentKind.MODEL_ERROR
+        assert incident.source == "repro-analysis"
+        assert "contract[contract-restriction-drift]" in incident.summary
+
+
+class TestContractCli:
+    def test_clean_pair_exits_zero(self, capsys):
+        from repro.analysis.__main__ import main
+
+        assert main(["--contract", "tor", "wan"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_contract_needs_two_programs(self, capsys):
+        from repro.analysis.__main__ import main
+
+        assert main(["--contract", "tor"]) == 2
+
+    def test_json_output_is_parseable_and_sorted(self, capsys):
+        import json
+
+        from repro.analysis.__main__ import main
+
+        assert main(["--contract", "tor", "wan", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["errors"] == 0
+        assert payload[0]["summary"]["pairs"] == 1

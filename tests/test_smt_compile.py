@@ -100,12 +100,13 @@ def _random_assignment(rng: random.Random, term: T.Term) -> dict:
     for name, sort in T.free_variables(term).items():
         if rng.random() < 0.15:
             continue  # missing variable: both evaluators must default to 0
-        if isinstance(sort, T.BVSort):
-            # Deliberately over-width sometimes: evaluators must mask.
-            assignment[name] = rng.getrandbits(sort.width + rng.randrange(0, 3))
-        else:
-            # Truthiness, not just 0/1.
-            assignment[name] = rng.choice([0, 1, 2, -1, 7])
+        # Bit-vectors deliberately over-width sometimes (evaluators must
+        # mask); booleans by truthiness, not just 0/1.
+        assignment[name] = (
+            rng.getrandbits(sort.width + rng.randrange(0, 3))
+            if isinstance(sort, T.BVSort)
+            else rng.choice([0, 1, 2, -1, 7])
+        )
     return assignment
 
 
