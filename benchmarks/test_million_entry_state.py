@@ -1,0 +1,177 @@
+"""Production-scale state benchmark: updates/sec and packets/sec vs size.
+
+The paper's workloads top out at 1314 entries; production switches carry
+route tables into the hundreds of thousands and sit at capacity.  Before
+the incremental-state fixes, the oracle and both switch implementations
+recomputed per-table counts, referenceable-value sets, and orphan checks
+from the full store on *every* update — O(N) per update, O(N^2) per
+campaign — and the interpreter scanned every installed entry per packet.
+
+This is the standing regression gate for those fixes.  Per tier it
+measures, on pre-seeded states of 1k / 100k (and 1M with
+``REPRO_MILLION=1``) entries:
+
+* indexed switch updates/sec over a CRM-style churn probe (delete +
+  re-insert at the capacity boundary);
+* indexed oracle judged updates/sec over the same probe;
+* indexed packets/sec through the interpreter's table indices;
+* the linear baseline's updates/sec over a small probe, for the speedup
+  column.
+
+Gates: per-update and per-packet cost must stay near-flat from the 1k tier
+to the top tier (bounded growth factor, not O(N)), and the indexed paths
+must beat the linear baseline by >=50x at the 100k tier (>=20x at the
+small-scale 20k tier).
+"""
+
+import os
+import time
+
+from conftest import print_table
+
+from repro.bmv2.packet import deparse_packet, make_ipv4_packet
+from repro.fuzzer.oracle import Oracle
+from repro.p4.programs import build_tor_program
+from repro.p4rt.messages import Update, UpdateType, WriteRequest, WriteResponse
+from repro.p4rt.status import Status
+from repro.switch import ReferenceSwitch
+from repro.workloads import crm_fill_updates, production_like_entries
+from repro.workloads.scale import production_scale_program
+
+# Growth allowance for "near-flat": per-update / per-packet cost at the top
+# tier may be at most this multiple of the 1k-tier cost.  The size ratio is
+# 20x-1000x, so anything superlinear blows through this immediately while
+# cache effects on giant dicts stay comfortably inside it.
+FLATNESS_BOUND = 4.0
+
+CHURN_PROBE = 400  # indexed probe: delete + re-insert pairs
+PACKET_PROBE = 150
+
+
+def _tiers():
+    tiers = [1_000]
+    if os.environ.get("REPRO_BENCH_SCALE", "small") == "paper":
+        tiers.append(100_000)
+        min_speedup = 50.0
+    else:
+        tiers.append(20_000)
+        min_speedup = 20.0
+    if os.environ.get("REPRO_MILLION"):
+        tiers.append(1_000_000)
+    return tiers, min_speedup
+
+
+def _workload(total):
+    program = build_tor_program()
+    scaled, p4info = production_scale_program(program, total + 1024)
+    entries = production_like_entries(p4info, total, seed=3)
+    route_table = p4info.table_by_name("ipv4_tbl").id
+    routes = [e for e in entries if e.table_id == route_table]
+    return scaled, p4info, entries, routes
+
+
+def _probe_updates(routes, count, seed):
+    return crm_fill_updates([], churn=count, seed=seed, victims=routes)
+
+
+def _seeded_switch(program, p4info, entries, indexed):
+    switch = ReferenceSwitch(program, indexed=indexed)
+    assert switch.set_forwarding_pipeline_config(p4info).ok
+    assert switch.preload(entries) == len(entries)
+    return switch
+
+
+def _updates_per_second(switch, updates):
+    start = time.perf_counter()
+    for update in updates:
+        status = switch.write(WriteRequest(updates=(update,))).statuses[0]
+        assert status.ok, status.message
+    elapsed = time.perf_counter() - start
+    return len(updates) / elapsed
+
+
+def _oracle_updates_per_second(p4info, entries, updates):
+    oracle = Oracle(p4info)
+    oracle.resync(entries)
+    ok = WriteResponse(statuses=(Status(),))
+    start = time.perf_counter()
+    for update in updates:
+        oracle.judge_batch([update], ok, read_back=None)
+    elapsed = time.perf_counter() - start
+    return len(updates) / elapsed
+
+
+def _packets_per_second(switch):
+    payloads = [
+        deparse_packet(make_ipv4_packet(dst_addr=0x0A000000 + i * 7919))
+        for i in range(PACKET_PROBE)
+    ]
+    switch.send_packet(payloads[0], ingress_port=1)  # warm the indices
+    start = time.perf_counter()
+    for index, payload in enumerate(payloads):
+        switch.send_packet(payload, ingress_port=1 + index % 4)
+    elapsed = time.perf_counter() - start
+    switch.drain_packet_ins()
+    return len(payloads) / elapsed
+
+
+def test_million_entry_state_table():
+    tiers, min_speedup = _tiers()
+    rows = []
+    per_update = {}
+    per_packet = {}
+    speedups = {}
+    for total in tiers:
+        program, p4info, entries, routes = _workload(total)
+
+        switch = _seeded_switch(program, p4info, entries, indexed=True)
+        upd_s = _updates_per_second(switch, _probe_updates(routes, CHURN_PROBE, seed=4))
+        pkt_s = _packets_per_second(switch)
+        oracle_upd_s = _oracle_updates_per_second(
+            p4info, entries, _probe_updates(routes, CHURN_PROBE, seed=5)
+        )
+
+        # Linear baseline: a small probe is enough — each update costs O(N).
+        linear_probe = max(4, min(40, 800_000 // total))
+        linear = _seeded_switch(program, p4info, entries, indexed=False)
+        linear_upd_s = _updates_per_second(
+            linear, _probe_updates(routes, linear_probe, seed=4)
+        )
+
+        per_update[total] = 1.0 / upd_s
+        per_packet[total] = 1.0 / pkt_s
+        speedups[total] = upd_s / linear_upd_s
+        rows.append(
+            [
+                f"{total:,}",
+                f"{upd_s:,.0f}",
+                f"{oracle_upd_s:,.0f}",
+                f"{pkt_s:,.0f}",
+                f"{linear_upd_s:,.1f}",
+                f"{speedups[total]:,.1f}x",
+            ]
+        )
+
+    print_table(
+        "Production-scale state (ToR model, pre-seeded, CRM churn probe)",
+        ["entries", "switch upd/s", "oracle upd/s", "pkt/s", "linear upd/s", "speedup"],
+        rows,
+    )
+
+    base = tiers[0]
+    top = tiers[-1]
+    # Near-flat per-update and per-packet cost across a 20x-1000x size span.
+    assert per_update[top] <= FLATNESS_BOUND * per_update[base], (
+        f"per-update cost grew {per_update[top] / per_update[base]:.1f}x "
+        f"from {base:,} to {top:,} entries"
+    )
+    assert per_packet[top] <= FLATNESS_BOUND * per_packet[base], (
+        f"per-packet cost grew {per_packet[top] / per_packet[base]:.1f}x "
+        f"from {base:,} to {top:,} entries"
+    )
+    # The gating speedup tier is the second one (100k at paper scale).
+    gate = tiers[1]
+    assert speedups[gate] >= min_speedup, (
+        f"indexed/linear speedup at {gate:,} entries is only "
+        f"{speedups[gate]:.1f}x (need >={min_speedup:.0f}x)"
+    )

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field as dc_field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.bmv2.entries import DecodedAction, DecodedActionSet, InstalledEntry
+from repro.bmv2.index import TableIndex
 from repro.bmv2.packet import Packet
 from repro.p4 import ast
 from repro.p4.ast import (
@@ -95,10 +96,28 @@ class SeededHash(HashProvider):
     """A concrete, vendor-style hash: CRC32 over selected field bytes.
 
     Models the real ASIC whose exact algorithm the P4 model deliberately
-    does not specify.
+    does not specify.  Every field is framed at its declared width:
+    minimal-length encoding would make distinct field tuples alias (e.g.
+    src=0x01,dst=0x02 vs src=0x0102,dst=0) and collapse WCMP spreading at
+    scale.  Widths default to the canonical 5-tuple fields and are bound
+    from the program by the interpreter; unknown fields fall back to a
+    length-prefixed encoding, which is alias-free as well.
     """
 
-    def __init__(self, seed: int = 0, fields: Sequence[str] = ()) -> None:
+    DEFAULT_WIDTHS = {
+        "ipv4.src_addr": 32,
+        "ipv4.dst_addr": 32,
+        "ipv4.protocol": 8,
+        "ipv6.src_addr": 128,
+        "ipv6.dst_addr": 128,
+    }
+
+    def __init__(
+        self,
+        seed: int = 0,
+        fields: Sequence[str] = (),
+        field_widths: Optional[Mapping[str, int]] = None,
+    ) -> None:
         self.seed = seed
         self.fields = tuple(fields) or (
             "ipv4.src_addr",
@@ -107,12 +126,33 @@ class SeededHash(HashProvider):
             "ipv6.src_addr",
             "ipv6.dst_addr",
         )
+        self.field_widths: Dict[str, int] = dict(self.DEFAULT_WIDTHS)
+        if field_widths:
+            self.field_widths.update(field_widths)
+
+    def bind_widths(self, width_of) -> None:
+        """Fill in missing field widths from a program's declarations."""
+        for name in self.fields:
+            if name in self.field_widths:
+                continue
+            try:
+                self.field_widths[name] = width_of(name)
+            except KeyError:
+                continue  # unknown to this program: length-prefixed fallback
 
     def _digest(self, packet_fields: Mapping[str, int]) -> int:
         material = bytearray(self.seed.to_bytes(4, "big"))
         for name in self.fields:
             value = packet_fields.get(name, 0)
-            material += value.to_bytes((value.bit_length() + 7) // 8 or 1, "big")
+            width = self.field_widths.get(name)
+            if width is None:
+                # No declared width: frame with an explicit length so
+                # adjacent fields can never alias.
+                encoded = value.to_bytes((value.bit_length() + 7) // 8 or 1, "big")
+                material += len(encoded).to_bytes(2, "big")
+                material += encoded
+            else:
+                material += value.to_bytes((width + 7) // 8, "big")
         return zlib.crc32(bytes(material))
 
     def select_weighted(
@@ -208,6 +248,10 @@ class Interpreter:
     * ``lpm_shortest_prefix_wins`` — the LPM comparator is inverted.
     """
 
+    # Below this many installed entries a linear scan beats index
+    # construction; standalone interpreters only auto-build above it.
+    INDEX_MIN_ENTRIES = 33
+
     def __init__(
         self,
         program: P4Program,
@@ -216,10 +260,14 @@ class Interpreter:
         optional_absent_matches_zero: bool = False,
         lpm_shortest_prefix_wins: bool = False,
         tie_break_round: int = 0,
+        table_indices: Optional[Mapping[str, "TableIndex"]] = None,
+        index_cache: Optional[Dict[str, Tuple[Sequence[InstalledEntry], "TableIndex"]]] = None,
     ) -> None:
         self.program = program
         self.state = state
         self.hash_provider = hash_provider or SeededHash()
+        if isinstance(self.hash_provider, SeededHash):
+            self.hash_provider.bind_widths(program.field_width)
         self.optional_absent_matches_zero = optional_absent_matches_zero
         self.lpm_shortest_prefix_wins = lpm_shortest_prefix_wins
         # Among same-priority candidates the P4Runtime spec does not fix a
@@ -228,6 +276,12 @@ class Interpreter:
         # rotates this index to visit every tied candidate.
         self.tie_break_round = tie_break_round
         self._tables_by_name = {t.name: t for t in program.tables()}
+        # Externally maintained indices (e.g. a switch's persistent state)
+        # take precedence; otherwise large tables get a lazily built index,
+        # shareable across interpreter instances via ``index_cache`` (the
+        # behaviour-set enumeration runs many rounds over one fixed state).
+        self._table_indices = dict(table_indices) if table_indices else {}
+        self._index_cache = index_cache if index_cache is not None else {}
 
     # ------------------------------------------------------------------
     # Entry point
@@ -315,11 +369,7 @@ class Interpreter:
     def _match(
         self, table: Table, entries: Sequence[InstalledEntry], fields
     ) -> Optional[InstalledEntry]:
-        candidates: List[Tuple[int, InstalledEntry]] = [
-            (order, entry)
-            for order, entry in enumerate(entries)
-            if self._entry_matches(table, entry, fields)
-        ]
+        candidates = self._candidates(table, entries, fields)
         if not candidates:
             return None
         if table.requires_priority:
@@ -341,6 +391,43 @@ class Interpreter:
 
             return max(candidates, key=lambda item: (prefix_of(item[1]), -item[0]))[1]
         return candidates[0][1]
+
+    def _candidates(
+        self, table: Table, entries: Sequence[InstalledEntry], fields
+    ) -> List[Tuple[int, InstalledEntry]]:
+        """Matching (order, entry) pairs, ascending by installation order.
+
+        An index (externally maintained, or lazily built for large states)
+        narrows the scan to the probed buckets; every candidate it yields is
+        re-verified with the same predicate the linear scan uses, so the
+        result — and with it every downstream priority/LPM/tie-break
+        decision — is identical entry-for-entry.
+        """
+        index = self._index_for(table, entries)
+        if index is not None:
+            return index.candidates(
+                fields, lambda entry: self._entry_matches(table, entry, fields)
+            )
+        return [
+            (order, entry)
+            for order, entry in enumerate(entries)
+            if self._entry_matches(table, entry, fields)
+        ]
+
+    def _index_for(
+        self, table: Table, entries: Sequence[InstalledEntry]
+    ) -> Optional[TableIndex]:
+        index = self._table_indices.get(table.name)
+        if index is not None:
+            return index
+        if len(entries) < self.INDEX_MIN_ENTRIES:
+            return None
+        cached = self._index_cache.get(table.name)
+        if cached is not None and cached[0] is entries:
+            return cached[1]
+        index = TableIndex.build(table, entries)
+        self._index_cache[table.name] = (entries, index)
+        return index
 
     def _entry_matches(self, table: Table, entry: InstalledEntry, fields) -> bool:
         for key in table.keys:

@@ -48,6 +48,10 @@ class Bmv2Simulator:
         # Seeded simulator bugs (Cerberus found 4 BMv2 bugs, Table 1):
         # consulted from the shared fault registry when one is provided.
         self._faults = faults
+        # Lookup indices for large tables, built once and shared by every
+        # enumeration round (behaviors() spins up many interpreters over
+        # this one frozen state).
+        self._index_cache: Dict[str, Tuple] = {}
 
     def _fault(self, name: str) -> bool:
         return self._faults is not None and self._faults.enabled(name)
@@ -67,6 +71,7 @@ class Bmv2Simulator:
             optional_absent_matches_zero=self._fault("bmv2_optional_zero_match"),
             lpm_shortest_prefix_wins=self._fault("bmv2_lpm_shortest_prefix"),
             tie_break_round=tie_break_round,
+            index_cache=self._index_cache,
         )
         return interp.run(packet.copy(), ingress_port)
 

@@ -24,11 +24,16 @@ from repro.bmv2.entries import EntryDecodeError, InstalledEntry, decode_table_en
 from repro.p4.constraints import parse_constraint
 from repro.p4.constraints.evaluator import evaluate_constraint
 from repro.p4.constraints.lang import ConstraintSyntaxError
-from repro.p4.constraints.refs import ReferenceGraph
+from repro.p4.constraints.refs import ReferenceGraph, ReferenceIndex
 from repro.p4.p4info import P4Info
 from repro.p4rt.messages import TableEntry, Update, UpdateType, WriteResponse
 from repro.p4rt.status import Code, Status
 from repro.switchv.report import Incident, IncidentKind, IncidentLog
+
+# Cached marker for wire entries that fail to decode: equal-but-undecodable
+# pairs must keep reporting mismatches, so decode *failures* are memoised
+# alongside successes (see Oracle._decode_cached).
+_DECODE_FAILED = object()
 
 
 @dataclass(frozen=True)
@@ -43,11 +48,32 @@ class Classified:
 
 
 class Oracle:
-    """Judges responses and read-backs against the instantiated spec."""
+    """Judges responses and read-backs against the instantiated spec.
 
-    def __init__(self, p4info: P4Info, strict_constraints: bool = False) -> None:
+    State bookkeeping is incremental by default: per-table entry counters,
+    a :class:`~repro.p4.constraints.refs.ReferenceIndex` answering the
+    dangling/orphan questions, and a decoded-form cache keyed by wire
+    entry, so per-update judging cost is independent of how many entries
+    are installed.  ``incremental=False`` keeps the original linear
+    recomputation — retained as the baseline the differential tests and
+    benchmarks compare against (verdicts are identical either way).
+    """
+
+    # Class-level default so whole campaigns can be flipped to the linear
+    # baseline without threading a parameter through every constructor.
+    default_incremental = True
+
+    def __init__(
+        self,
+        p4info: P4Info,
+        strict_constraints: bool = False,
+        incremental: Optional[bool] = None,
+    ) -> None:
         self.p4info = p4info
         self.refs = ReferenceGraph(p4info)
+        self.incremental = (
+            self.default_incremental if incremental is None else incremental
+        )
         self._constraints = {}
         # A malformed @entry_restriction must never *silently* disable
         # constraint checking for its table: that would suppress every
@@ -68,6 +94,11 @@ class Oracle:
         self.expected: Dict[Tuple, TableEntry] = {}
         # Incrementally maintained referenceable state (mirrors expected).
         self._available = self.refs.collect_state(())
+        # Incremental mode: per-table entry counts, the reverse-reference
+        # index, and the decoded-form cache for read-back diffing.
+        self._counts: Dict[int, int] = {}
+        self._index = ReferenceIndex(self.refs)
+        self._decoded: Dict[TableEntry, object] = {}
 
     def constraint_incidents(self) -> IncidentLog:
         """Model incidents for tables whose @entry_restriction failed to
@@ -183,7 +214,12 @@ class Oracle:
         table = self.p4info.tables[entry.table_id]
         exists = key in self.expected
         dangling = self.refs.dangling_references(entry, self._available_values())
-        table_count = sum(1 for k in self.expected if self._key_table(k) == entry.table_id)
+        if self.incremental:
+            table_count = self._counts.get(entry.table_id, 0)
+        else:
+            table_count = sum(
+                1 for k in self.expected if self._key_table(k) == entry.table_id
+            )
 
         if exists:
             if status.ok:
@@ -417,6 +453,18 @@ class Oracle:
                     source="p4-fuzzer",
                 )
             )
+        if len(missing) > 5:
+            log.report(
+                Incident(
+                    kind=IncidentKind.READBACK_MISMATCH,
+                    summary=f"{len(missing) - 5} further entries missing from "
+                    "read-back (suppressed)",
+                    expected=f"{len(missing)} expected entries present",
+                    observed=f"{len(missing)} entries absent; first 5 reported "
+                    "individually",
+                    source="p4-fuzzer",
+                )
+            )
         for key in extra[:5]:
             table = self.p4info.tables.get(self._key_table(key))
             log.report(
@@ -431,10 +479,27 @@ class Oracle:
                     source="p4-fuzzer",
                 )
             )
+        if len(extra) > 5:
+            log.report(
+                Incident(
+                    kind=IncidentKind.READBACK_MISMATCH,
+                    summary=f"{len(extra) - 5} further unexpected entries in "
+                    "read-back (suppressed)",
+                    expected="no unexpected entries",
+                    observed=f"{len(extra)} unexpected entries; first 5 reported "
+                    "individually",
+                    source="p4-fuzzer",
+                )
+            )
+        # Wire-level changes among common keys feed the incremental adopt
+        # diff; the semantic comparison below decides whether to report.
+        changed: List[Tuple] = []
         for key, entry in self.expected.items():
             other = observed.get(key)
             if other is None:
                 continue
+            if other is not entry and other != entry:
+                changed.append(key)
             if not self._same_entry(entry, other):
                 log.report(
                     Incident(
@@ -450,7 +515,7 @@ class Oracle:
                 )
         # Adopt the observed state so bookkeeping stays coherent even after
         # a mismatch (the paper's "forget the prior state" step).
-        self._adopt(observed)
+        self._adopt(observed, diff=(missing, extra, changed))
 
     # ------------------------------------------------------------------
     # Resynchronisation (§4.3 "adopt the observed state")
@@ -466,17 +531,74 @@ class Oracle:
         """
         self._adopt({entry.match_key(): entry for entry in read_back})
 
-    def _adopt(self, observed: Dict[Tuple, TableEntry]) -> None:
+    def _adopt(
+        self,
+        observed: Dict[Tuple, TableEntry],
+        diff: Optional[Tuple[List[Tuple], List[Tuple], List[Tuple]]] = None,
+    ) -> None:
+        if not self.incremental:
+            self.expected = observed
+            self._available = self.refs.collect_state(observed.values())
+            return
+        # When the observed state equals the projection (the common case —
+        # no diff entries at all), adopting is just swapping the dict; the
+        # index and counters already describe it.  Otherwise apply only the
+        # deltas instead of rebuilding the referenceable state from scratch.
+        if diff is None:
+            missing = [k for k in self.expected if k not in observed]
+            extra = [k for k in observed if k not in self.expected]
+            changed = [
+                k
+                for k, entry in observed.items()
+                if k in self.expected
+                and self.expected[k] is not entry
+                and self.expected[k] != entry
+            ]
+        else:
+            missing, extra, changed = diff
+        for key in missing:
+            self._index.delete(key)
+            self._bump(self._key_table(key), -1)
+        for key in extra:
+            self._index.insert(key, observed[key])
+            self._bump(self._key_table(key), +1)
+        for key in changed:
+            self._index.replace(key, observed[key])
         self.expected = observed
-        self._available = self.refs.collect_state(observed.values())
+        self._prune_decode_cache()
 
     def _same_entry(self, a: TableEntry, b: TableEntry) -> bool:
-        try:
-            da = decode_table_entry(self.p4info, a)
-            db = decode_table_entry(self.p4info, b)
-        except EntryDecodeError:
-            return False
-        return da == db
+        if not self.incremental:
+            try:
+                da = decode_table_entry(self.p4info, a)
+                db = decode_table_entry(self.p4info, b)
+            except EntryDecodeError:
+                return False
+            return da == db
+        da = self._decode_cached(a)
+        db = self._decode_cached(b)
+        return da is not _DECODE_FAILED and db is not _DECODE_FAILED and da == db
+
+    def _decode_cached(self, entry: TableEntry) -> object:
+        """Decode through a cache keyed by the (frozen, hashable) wire
+        entry.  Failures are cached too: an undecodable pair must keep
+        producing a mismatch verdict every batch, exactly as the uncached
+        path does."""
+        cached = self._decoded.get(entry)
+        if cached is None:
+            try:
+                cached = decode_table_entry(self.p4info, entry)
+            except EntryDecodeError:
+                cached = _DECODE_FAILED
+            self._decoded[entry] = cached
+        return cached
+
+    def _prune_decode_cache(self) -> None:
+        # The cache is repopulated on demand; dropping it wholesale when it
+        # has clearly outgrown the live state keeps memory bounded without
+        # per-entry eviction bookkeeping.
+        if len(self._decoded) > 2 * len(self.expected) + 1024:
+            self._decoded.clear()
 
     # ------------------------------------------------------------------
     # State helpers
@@ -485,25 +607,46 @@ class Oracle:
         key = update.entry.match_key()
         if update.type is UpdateType.DELETE:
             removed = self.expected.pop(key, None)
-            if removed is not None:
+            if removed is None:
+                return
+            if self.incremental:
+                self._index.delete(key)
+                self._bump(self._key_table(key), -1)
+            else:
                 exported = self.refs.exported_keyset(removed)
                 if exported is not None:
                     self._available.remove(*exported)
         else:
-            if key not in self.expected:
+            existed = key in self.expected
+            if self.incremental:
+                if existed:
+                    self._index.replace(key, update.entry)
+                else:
+                    self._index.insert(key, update.entry)
+                    self._bump(self._key_table(key), +1)
+            elif not existed:
                 exported = self.refs.exported_keyset(update.entry)
                 if exported is not None:
                     self._available.add(*exported)
             self.expected[key] = update.entry
+
+    def _bump(self, table_id: int, delta: int) -> None:
+        new = self._counts.get(table_id, 0) + delta
+        if new:
+            self._counts[table_id] = new
+        else:
+            self._counts.pop(table_id, None)
 
     @staticmethod
     def _key_table(key: Tuple) -> int:
         return key[0]
 
     def _available_values(self):
-        return self._available
+        return self._index.available if self.incremental else self._available
 
     def _delete_would_orphan(self, key: Tuple) -> bool:
+        if self.incremental:
+            return self._index.would_orphan(key)
         remaining = self.refs.collect_state(
             entry for other_key, entry in self.expected.items() if other_key != key
         )

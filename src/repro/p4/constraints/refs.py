@@ -22,7 +22,7 @@ Three subsystems consume this graph:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Set, Tuple
 
 from repro.p4.p4info import P4Info
 from repro.p4rt import codec
@@ -62,14 +62,26 @@ class AvailableState:
     Refcounted (distinct entries can export identical keysets, e.g. two
     priorities over the same matches) and incrementally maintainable, so
     long campaigns avoid rebuilding it per update.
+
+    A per-pair inverted index ((table, key, value) -> keysets containing
+    the pair) makes :meth:`satisfies` cost proportional to the *demand*,
+    not to the number of installed keysets — the difference between O(1)
+    and O(N) per referential-integrity check at production table sizes.
     """
 
     def __init__(self) -> None:
         self._by_table: Dict[str, Dict[KeySet, int]] = {}
+        # (table, (key, value)) -> keysets currently available that contain
+        # the pair.  Maintained only on 0<->1 refcount transitions.
+        self._by_pair: Dict[Tuple[str, Tuple[str, int]], Set[KeySet]] = {}
 
     def add(self, table: str, keyset: KeySet) -> None:
         counts = self._by_table.setdefault(table, {})
-        counts[keyset] = counts.get(keyset, 0) + 1
+        count = counts.get(keyset, 0)
+        counts[keyset] = count + 1
+        if count == 0:
+            for pair in keyset:
+                self._by_pair.setdefault((table, pair), set()).add(keyset)
 
     def remove(self, table: str, keyset: KeySet) -> None:
         counts = self._by_table.get(table)
@@ -78,13 +90,37 @@ class AvailableState:
         counts[keyset] -= 1
         if counts[keyset] <= 0:
             del counts[keyset]
+            for pair in keyset:
+                holders = self._by_pair.get((table, pair))
+                if holders is not None:
+                    holders.discard(keyset)
+                    if not holders:
+                        del self._by_pair[(table, pair)]
+
+    def count(self, table: str, keyset: KeySet) -> int:
+        """How many installed entries export exactly this keyset."""
+        return self._by_table.get(table, {}).get(keyset, 0)
+
+    def satisfying_keysets(self, table: str, pairs: Iterable[Tuple[str, int]]) -> Set[KeySet]:
+        """Available keysets of ``table`` containing *all* of ``pairs``."""
+        sets = []
+        for pair in pairs:
+            holders = self._by_pair.get((table, pair))
+            if not holders:
+                return set()
+            sets.append(holders)
+        if not sets:
+            # An empty demand is satisfied by any keyset of the table.
+            return set(self._by_table.get(table, ()))
+        if len(sets) == 1:
+            return set(sets[0])
+        sets.sort(key=len)
+        return sets[0].intersection(*sets[1:])
 
     def satisfies(self, reference: Reference) -> bool:
-        demanded = set(reference.pairs)
-        keysets = self._by_table.get(reference.target_table)
-        if not keysets:
-            return False
-        return any(demanded <= keyset for keyset in keysets)
+        return bool(
+            self.satisfying_keysets(reference.target_table, reference.pairs)
+        )
 
     def keysets(self, table: str) -> List[KeySet]:
         # Canonical order: dict iteration depends on insertion history, and
@@ -95,11 +131,12 @@ class AvailableState:
     def copy(self) -> "AvailableState":
         clone = AvailableState()
         clone._by_table = {t: dict(c) for t, c in self._by_table.items()}
+        clone._by_pair = {pair: set(ks) for pair, ks in self._by_pair.items()}
         return clone
 
     def __contains__(self, item: Tuple[str, str, int]) -> bool:
         table, key, value = item
-        return any((key, value) in keyset for keyset in self._by_table.get(table, ()))
+        return bool(self._by_pair.get((table, (key, value))))
 
 
 class ReferenceGraph:
@@ -281,6 +318,10 @@ class ReferenceGraph:
             ref for ref in self.references_of(entry) if not available.satisfies(ref)
         ]
 
+    def build_index(self) -> "ReferenceIndex":
+        """An empty incremental integrity index over this graph."""
+        return ReferenceIndex(self)
+
     def depends_on(self, entry: TableEntry, other: TableEntry) -> bool:
         """Whether ``entry`` references a keyset exported by ``other``.
 
@@ -298,3 +339,175 @@ class ReferenceGraph:
             if any(pair in keyset for pair in ref.pairs):
                 return True
         return False
+
+
+# A demand shared by every entry that references the same joint keyset:
+# (target table, the jointly-required (key, value) pairs).
+Demand = Tuple[str, KeySet]
+
+
+class ReferenceIndex:
+    """Incrementally maintained referential integrity over an entry store.
+
+    Mirrors a store of wire entries (the oracle's projection, or a switch's
+    installed state) and answers the two hot integrity questions in time
+    proportional to the *entry*, never to the store:
+
+    * :meth:`dangling` — which of an entry's references the current state
+      fails to satisfy (via the pair-indexed :class:`AvailableState`);
+    * :meth:`would_orphan` — whether deleting one entry would leave any
+      *other* entry with a dangling reference.
+
+    The orphan check decomposes exactly as the linear rebuild does.
+    Deleting D orphans iff (1) some other entry is *already* dangling in
+    the full state (removal cannot repair it — the remaining state is a
+    subset), or (2) D's exported keyset is the last copy (refcount 1) and
+    some demand held by another entry is satisfied by that keyset alone.
+    Both terms are answered from refcounted demand bookkeeping:
+    ``_holders`` counts how many installed reference instances share each
+    demand, ``_unsat`` tracks the demands unsatisfied in the full state,
+    and ``_by_pair`` finds the demands a disappearing keyset could strand.
+    """
+
+    def __init__(self, refs: ReferenceGraph) -> None:
+        self._refs = refs
+        self.available = AvailableState()
+        self._exports: Dict[Hashable, Tuple[str, KeySet]] = {}
+        self._demands: Dict[Hashable, Tuple[Demand, ...]] = {}
+        self._holders: Dict[Demand, int] = {}
+        self._unsat: Dict[Demand, int] = {}  # demand -> unsatisfied instances
+        self._by_pair: Dict[Tuple[str, Tuple[str, int]], Set[Demand]] = {}
+
+    # ------------------------------------------------------------------
+    # Store mirroring
+    # ------------------------------------------------------------------
+    def insert(self, key: Hashable, entry: TableEntry) -> None:
+        exported = self._refs.exported_keyset(entry)
+        if exported is not None:
+            self._exports[key] = exported
+            self._add_export(*exported)
+        demands = tuple(
+            (ref.target_table, frozenset(ref.pairs))
+            for ref in self._refs.references_of(entry)
+        )
+        if demands:
+            self._demands[key] = demands
+            for demand in demands:
+                self._register(demand)
+
+    def delete(self, key: Hashable) -> None:
+        for demand in self._demands.pop(key, ()):
+            self._unregister(demand)
+        exported = self._exports.pop(key, None)
+        if exported is not None:
+            self._remove_export(*exported)
+
+    def replace(self, key: Hashable, entry: TableEntry) -> None:
+        """MODIFY: same identity, possibly different references."""
+        self.delete(key)
+        self.insert(key, entry)
+
+    def rebuild(self, items: Iterable[Tuple[Hashable, TableEntry]]) -> None:
+        self.available = AvailableState()
+        self._exports.clear()
+        self._demands.clear()
+        self._holders.clear()
+        self._unsat.clear()
+        self._by_pair.clear()
+        for key, entry in items:
+            self.insert(key, entry)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def dangling(self, entry: TableEntry) -> List[Reference]:
+        return self._refs.dangling_references(entry, self.available)
+
+    def would_orphan(self, key: Hashable) -> bool:
+        mine: Dict[Demand, int] = {}
+        for demand in self._demands.get(key, ()):
+            mine[demand] = mine.get(demand, 0) + 1
+        # (1) Any dangling reference held by another entry stays dangling.
+        for demand, instances in self._unsat.items():
+            if instances > mine.get(demand, 0):
+                return True
+        # (2) Demands whose only satisfier is this entry's exported keyset.
+        exported = self._exports.get(key)
+        if exported is None:
+            return False
+        table, keyset = exported
+        if self.available.count(table, keyset) > 1:
+            return False  # another entry exports the same keyset
+        candidates: Set[Demand] = set()
+        for pair in keyset:
+            candidates.update(self._by_pair.get((table, pair), ()))
+        for demand in candidates:
+            target, pairs = demand
+            if target != table or not pairs <= keyset:
+                continue
+            if self._holders.get(demand, 0) <= mine.get(demand, 0):
+                continue  # held only by the entry being deleted
+            if len(self.available.satisfying_keysets(target, pairs)) == 1:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Demand bookkeeping
+    # ------------------------------------------------------------------
+    def _register(self, demand: Demand) -> None:
+        count = self._holders.get(demand, 0)
+        self._holders[demand] = count + 1
+        if count == 0:
+            target, pairs = demand
+            for pair in pairs:
+                self._by_pair.setdefault((target, pair), set()).add(demand)
+            if not self.available.satisfying_keysets(target, pairs):
+                self._unsat[demand] = 1
+        elif demand in self._unsat:
+            self._unsat[demand] += 1
+
+    def _unregister(self, demand: Demand) -> None:
+        count = self._holders.get(demand, 0)
+        if count <= 1:
+            self._holders.pop(demand, None)
+            self._unsat.pop(demand, None)
+            target, pairs = demand
+            for pair in pairs:
+                holders = self._by_pair.get((target, pair))
+                if holders is not None:
+                    holders.discard(demand)
+                    if not holders:
+                        del self._by_pair[(target, pair)]
+            return
+        self._holders[demand] = count - 1
+        if demand in self._unsat:
+            self._unsat[demand] -= 1
+            if self._unsat[demand] <= 0:
+                del self._unsat[demand]
+
+    def _add_export(self, table: str, keyset: KeySet) -> None:
+        fresh = self.available.count(table, keyset) == 0
+        self.available.add(table, keyset)
+        if not fresh:
+            return
+        # A newly available keyset can only *satisfy* demands.
+        for pair in keyset:
+            for demand in list(self._by_pair.get((table, pair), ())):
+                if demand in self._unsat and demand[1] <= keyset:
+                    del self._unsat[demand]
+
+    def _remove_export(self, table: str, keyset: KeySet) -> None:
+        self.available.remove(table, keyset)
+        if self.available.count(table, keyset) > 0:
+            return
+        # The keyset left the available state: demands it covered may now
+        # be unsatisfied.
+        candidates: Set[Demand] = set()
+        for pair in keyset:
+            candidates.update(self._by_pair.get((table, pair), ()))
+        for demand in candidates:
+            target, pairs = demand
+            if demand in self._unsat or not pairs <= keyset:
+                continue
+            if not self.available.satisfying_keysets(target, pairs):
+                self._unsat[demand] = self._holders.get(demand, 0)

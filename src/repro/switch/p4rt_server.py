@@ -26,7 +26,7 @@ from repro.p4.ast import MatchKind
 from repro.p4.constraints import parse_constraint
 from repro.p4.constraints.evaluator import evaluate_constraint
 from repro.p4.constraints.lang import ConstraintSyntaxError
-from repro.p4.constraints.refs import ReferenceGraph
+from repro.p4.constraints.refs import ReferenceGraph, ReferenceIndex
 from repro.p4.p4info import P4Info, TableInfo
 from repro.p4rt import codec
 from repro.p4rt.messages import (
@@ -71,16 +71,40 @@ class _StoredEntry:
 
 
 class P4RuntimeServer:
-    """The P4Runtime layer of the PINS stack."""
+    """The P4Runtime layer of the PINS stack.
 
-    def __init__(self, orchagent: OrchAgent, faults: FaultRegistry) -> None:
+    State bookkeeping is incremental by default (``indexed=True``):
+    per-table entry counters, a reverse-reference index answering the
+    delete-orphan question, and per-table read views — the paths that were
+    linear in store size.  ``indexed=False`` keeps the original linear
+    recomputation as the differential baseline; statuses and reads are
+    identical either way.  The index mirrors the *store*, so seeded faults
+    that desynchronise the store from hardware (``modify_keeps_old_params``)
+    desynchronise the index with it — exactly like the linear scans they
+    replace.
+    """
+
+    # Class-level default so whole campaigns can be flipped to the linear
+    # baseline without threading a parameter through every constructor.
+    default_indexed = True
+
+    def __init__(
+        self,
+        orchagent: OrchAgent,
+        faults: FaultRegistry,
+        indexed: Optional[bool] = None,
+    ) -> None:
         self._orchagent = orchagent
         self._faults = faults
+        self.indexed = self.default_indexed if indexed is None else indexed
         self._p4info: Optional[P4Info] = None
         self._refs: Optional[ReferenceGraph] = None
         self._store: Dict[Tuple, _StoredEntry] = {}
         self._constraints: Dict[int, object] = {}
         self._available = None  # incremental referenceable state
+        self._counts: Dict[str, int] = {}
+        self._refindex: Optional[ReferenceIndex] = None
+        self._by_table_wire: Dict[int, Dict[Tuple, TableEntry]] = {}
 
     # ------------------------------------------------------------------
     # Pipeline config
@@ -105,6 +129,9 @@ class P4RuntimeServer:
         self._available = self._refs.collect_state(
             stored.wire for stored in self._store.values()
         )
+        self._refindex = ReferenceIndex(self._refs)
+        for key, stored in self._store.items():
+            self._refindex.insert(key, stored.wire)
         return Status()
 
     @property
@@ -170,7 +197,10 @@ class P4RuntimeServer:
             if self._faults.enabled("duplicate_entry_wrong_error"):
                 return internal("could not program entry")  # wrong code
             return already_exists(f"entry already exists in {table.name}")
-        count = sum(1 for k in self._store if k[0] == table.name)
+        if self.indexed:
+            count = self._counts.get(table.name, 0)
+        else:
+            count = sum(1 for k in self._store if k[0] == table.name)
         if count >= table.size:
             # Rejecting beyond the guaranteed size is admissible.
             return resource_exhausted(f"table {table.name} is full ({table.size})")
@@ -186,7 +216,12 @@ class P4RuntimeServer:
         status = self._dispatch("insert", decoded)
         if status.ok:
             self._store[key] = _StoredEntry(wire=entry, decoded=decoded)
-            self._track_insert(entry)
+            if self.indexed:
+                self._counts[table.name] = self._counts.get(table.name, 0) + 1
+                self._refindex.insert(key, entry)
+                self._by_table_wire.setdefault(entry.table_id, {})[key] = entry
+            else:
+                self._track_insert(entry)
         return status
 
     def _modify(self, table, entry, decoded, key) -> Status:
@@ -204,10 +239,14 @@ class P4RuntimeServer:
         if status.ok:
             if self._faults.enabled("modify_keeps_old_params"):
                 # The new action parameters never reach the store or the
-                # hardware; the write still reports success.
+                # hardware; the write still reports success.  The index
+                # mirrors the store, so it keeps the old entry too.
                 pass
             else:
                 self._store[key] = _StoredEntry(wire=entry, decoded=decoded)
+                if self.indexed:
+                    self._refindex.replace(key, entry)
+                    self._by_table_wire.setdefault(entry.table_id, {})[key] = entry
         return status
 
     def _delete(self, table, decoded, key) -> Status:
@@ -216,18 +255,36 @@ class P4RuntimeServer:
             return not_found(f"no such entry in {table.name}")
         # Referential integrity: refuse to orphan existing references.
         if self._refs.is_referenced_table(table.name):
-            remaining = self._available_values(excluding=key)
-            for other_key, stored in self._store.items():
-                if other_key == key:
-                    continue
-                if self._refs.dangling_references(stored.wire, remaining):
+            if self.indexed:
+                if self._refindex.would_orphan(key):
                     return failed_precondition(
                         f"entry in {table.name} is still referenced"
                     )
+            else:
+                remaining = self._available_values(excluding=key)
+                for other_key, stored in self._store.items():
+                    if other_key == key:
+                        continue
+                    if self._refs.dangling_references(stored.wire, remaining):
+                        return failed_precondition(
+                            f"entry in {table.name} is still referenced"
+                        )
         status = self._dispatch("delete", decoded)
         if status.ok:
-            self._track_delete(self._store[key].wire)
+            wire = self._store[key].wire
             del self._store[key]
+            if self.indexed:
+                count = self._counts.get(table.name, 0) - 1
+                if count > 0:
+                    self._counts[table.name] = count
+                else:
+                    self._counts.pop(table.name, None)
+                self._refindex.delete(key)
+                per_table = self._by_table_wire.get(wire.table_id)
+                if per_table is not None:
+                    per_table.pop(key, None)
+            else:
+                self._track_delete(wire)
         return status
 
     def _dispatch(self, op: str, decoded: InstalledEntry) -> Status:
@@ -239,6 +296,8 @@ class P4RuntimeServer:
 
     def _available_values(self, excluding: Optional[Tuple] = None):
         if excluding is None:
+            if self.indexed:
+                return self._refindex.available
             return self._available
         # Delete checks need the state without one entry; derive it cheaply.
         derived = self._available.copy()
@@ -263,15 +322,21 @@ class P4RuntimeServer:
     # Reads
     # ------------------------------------------------------------------
     def read(self, request: ReadRequest) -> ReadResponse:
+        if request.table_id and self.indexed:
+            # Serve single-table reads from the per-table view instead of
+            # scanning the whole store (its order — insertion order with
+            # MODIFY in place — matches the store's filtered order).
+            wires = self._by_table_wire.get(request.table_id, {}).values()
+        else:
+            wires = (stored.wire for stored in self._store.values())
+        drop_ternary = self._faults.enabled("read_ternary_unsupported")
         entries = []
-        for stored in self._store.values():
-            if request.table_id and stored.wire.table_id != request.table_id:
+        for wire in wires:
+            if request.table_id and wire.table_id != request.table_id:
                 continue
-            if self._faults.enabled("read_ternary_unsupported") and any(
-                m.kind == "ternary" for m in stored.wire.matches
-            ):
+            if drop_ternary and any(m.kind == "ternary" for m in wire.matches):
                 continue  # silently omitted from the read-back
-            entries.append(stored.wire)
+            entries.append(wire)
         return ReadResponse(entries=tuple(entries))
 
     # ------------------------------------------------------------------

@@ -8,19 +8,30 @@ hash for forwarding).  Two uses:
   must report zero incidents (the "no false positives" invariant);
 * programs that do not fit the SAI shape (the toy program), where the
   layered PINS stack has no table mapping.
+
+State bookkeeping is incremental by default (``indexed=True``): per-table
+entry counters, per-table :class:`~repro.bmv2.index.TableIndex` lookup
+structures handed to every interpreter run, a
+:class:`~repro.p4.constraints.refs.ReferenceIndex` answering the
+dangling/orphan questions, and per-table read views — so per-update and
+per-packet cost is independent of how many entries are installed.
+``indexed=False`` keeps the original linear recomputation as the baseline
+the differential tests and benchmarks compare against; responses, reads
+and forwarding are identical either way.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bmv2.entries import EntryDecodeError, InstalledEntry, decode_table_entry
+from repro.bmv2.index import TableIndex
 from repro.bmv2.interpreter import Interpreter, SeededHash
 from repro.bmv2.packet import PacketError, deparse_packet, parse_packet
 from repro.p4.ast import P4Program
 from repro.p4.constraints import parse_constraint
 from repro.p4.constraints.evaluator import evaluate_constraint
-from repro.p4.constraints.refs import ReferenceGraph
+from repro.p4.constraints.refs import ReferenceGraph, ReferenceIndex
 from repro.p4.p4info import P4Info
 from repro.p4rt.messages import (
     PacketIn,
@@ -48,8 +59,18 @@ from repro.switch.stack import ObservedForwarding
 class ReferenceSwitch(P4RuntimeService):
     """A switch whose behaviour *is* the model's behaviour."""
 
-    def __init__(self, program: P4Program, hash_seed: int = 7) -> None:
+    # Class-level default so whole campaigns can be flipped to the linear
+    # baseline without threading a parameter through every constructor.
+    default_indexed = True
+
+    def __init__(
+        self,
+        program: P4Program,
+        hash_seed: int = 7,
+        indexed: Optional[bool] = None,
+    ) -> None:
         self.program = program
+        self.indexed = self.default_indexed if indexed is None else indexed
         self._hash = SeededHash(seed=hash_seed)
         self._p4info: Optional[P4Info] = None
         self._refs: Optional[ReferenceGraph] = None
@@ -57,6 +78,18 @@ class ReferenceSwitch(P4RuntimeService):
         self._store: Dict[Tuple, Tuple[TableEntry, InstalledEntry]] = {}
         self._packet_ins: List[PacketIn] = []
         self._egress_log: List[Tuple[int, bytes]] = []
+        # Incremental bookkeeping (mirrors _store; maintained when indexed).
+        self._tables_by_name = {t.name: t for t in program.tables()}
+        self._counts: Dict[str, int] = {}
+        self._orders: Dict[Tuple, int] = {}
+        self._next_order = 0
+        self._indices: Dict[str, TableIndex] = {}
+        self._refindex: Optional[ReferenceIndex] = None
+        self._by_table_wire: Dict[int, Dict[Tuple, TableEntry]] = {}
+        # Per-table decoded entries in install order (MODIFY keeps its
+        # position, matching the global store's dict semantics) — the
+        # interpreter's fallback for tables with no AST declaration.
+        self._decoded_by_table: Dict[str, Dict[Tuple, InstalledEntry]] = {}
 
     # ------------------------------------------------------------------
     # P4RuntimeService
@@ -69,6 +102,12 @@ class ReferenceSwitch(P4RuntimeService):
             for tid, t in p4info.tables.items()
             if t.entry_restriction
         }
+        # The reference index derives from the new p4info; the store (and
+        # the p4info-independent lookup structures) survive a config push,
+        # as they always have.
+        self._refindex = ReferenceIndex(self._refs)
+        for key, (wire, _decoded) in self._store.items():
+            self._refindex.insert(key, wire)
         return Status()
 
     def write(self, request: WriteRequest) -> WriteResponse:
@@ -99,26 +138,128 @@ class ReferenceSwitch(P4RuntimeService):
         if update.type is UpdateType.INSERT:
             if key in self._store:
                 return already_exists(table.name)
-            if sum(1 for k in self._store if k[0] == table.name) >= table.size:
+            if self._count(table.name) >= table.size:
                 return resource_exhausted(table.name)
             if self._dangling(update.entry):
                 return invalid_argument("dangling reference")
             self._store[key] = (update.entry, decoded)
+            if self.indexed:
+                self._track_insert(key, update.entry, decoded)
             return Status()
         if update.type is UpdateType.MODIFY:
             if key not in self._store:
                 return not_found(table.name)
             if self._dangling(update.entry):
                 return invalid_argument("dangling reference")
+            _old_wire, old_decoded = self._store[key]
             self._store[key] = (update.entry, decoded)
+            if self.indexed:
+                self._track_modify(key, old_decoded, update.entry, decoded)
             return Status()
         if key not in self._store:
             return not_found(table.name)
         if self._orphans(key):
             return failed_precondition("entry is still referenced")
-        del self._store[key]
+        old_wire, old_decoded = self._store.pop(key)
+        if self.indexed:
+            self._track_delete(key, old_wire, old_decoded)
         return Status()
 
+    # ------------------------------------------------------------------
+    # Incremental bookkeeping
+    # ------------------------------------------------------------------
+    def _track_insert(self, key: Tuple, wire: TableEntry, decoded: InstalledEntry) -> None:
+        name = decoded.table_name
+        order = self._next_order
+        self._next_order += 1
+        self._orders[key] = order
+        self._counts[name] = self._counts.get(name, 0) + 1
+        index = self._index_for(name)
+        if index is not None:
+            index.add(order, decoded)
+        self._decoded_by_table.setdefault(name, {})[key] = decoded
+        if self._refindex is not None:
+            self._refindex.insert(key, wire)
+        self._by_table_wire.setdefault(wire.table_id, {})[key] = wire
+
+    def _track_modify(
+        self,
+        key: Tuple,
+        old_decoded: InstalledEntry,
+        wire: TableEntry,
+        decoded: InstalledEntry,
+    ) -> None:
+        # Same identity, new action: the entry keeps its installation order
+        # (a MODIFY replaces in place; it does not move the entry), so
+        # relative match order is preserved exactly.
+        index = self._index_for(decoded.table_name)
+        if index is not None:
+            index.replace(old_decoded, self._orders[key], decoded)
+        self._decoded_by_table[decoded.table_name][key] = decoded
+        if self._refindex is not None:
+            self._refindex.replace(key, wire)
+        self._by_table_wire[wire.table_id][key] = wire
+
+    def _track_delete(self, key: Tuple, wire: TableEntry, decoded: InstalledEntry) -> None:
+        name = decoded.table_name
+        index = self._index_for(name)
+        if index is not None:
+            index.remove(decoded)
+        del self._decoded_by_table[name][key]
+        self._orders.pop(key, None)
+        count = self._counts.get(name, 0) - 1
+        if count > 0:
+            self._counts[name] = count
+        else:
+            self._counts.pop(name, None)
+        if self._refindex is not None:
+            self._refindex.delete(key)
+        per_table = self._by_table_wire.get(wire.table_id)
+        if per_table is not None:
+            per_table.pop(key, None)
+
+    def _index_for(self, table_name: str) -> Optional[TableIndex]:
+        index = self._indices.get(table_name)
+        if index is None:
+            table = self._tables_by_name.get(table_name)
+            if table is None:
+                return None  # no AST declaration: interpreter scans the list
+            index = self._indices[table_name] = TableIndex(table)
+        return index
+
+    def _count(self, table_name: str) -> int:
+        if self.indexed:
+            return self._counts.get(table_name, 0)
+        return sum(1 for k in self._store if k[0] == table_name)
+
+    def preload(self, entries: Sequence[TableEntry]) -> int:
+        """Bulk-load valid entries, bypassing per-update admission checks.
+
+        Benchmark/test seeding helper: installing N entries through
+        :meth:`write` costs O(N^2) on the linear baseline, which would make
+        comparing marginal per-update cost against a pre-seeded state
+        impossible at production scale.  Entries must decode; duplicates
+        overwrite (insert semantics are not enforced).
+        """
+        if self._p4info is None:
+            raise RuntimeError("preload requires a forwarding pipeline config")
+        loaded = 0
+        for wire in entries:
+            decoded = decode_table_entry(self._p4info, wire)
+            key = decoded.identity()
+            existed = self._store.get(key)
+            self._store[key] = (wire, decoded)
+            if self.indexed:
+                if existed is not None:
+                    self._track_modify(key, existed[1], wire, decoded)
+                else:
+                    self._track_insert(key, wire, decoded)
+            loaded += 1
+        return loaded
+
+    # ------------------------------------------------------------------
+    # Referential integrity
+    # ------------------------------------------------------------------
     def _available(self, excluding: Optional[Tuple] = None):
         return self._refs.collect_state(
             wire
@@ -127,9 +268,13 @@ class ReferenceSwitch(P4RuntimeService):
         )
 
     def _dangling(self, entry: TableEntry) -> bool:
+        if self.indexed and self._refindex is not None:
+            return bool(self._refs.dangling_references(entry, self._refindex.available))
         return bool(self._refs.dangling_references(entry, self._available()))
 
     def _orphans(self, key: Tuple) -> bool:
+        if self.indexed and self._refindex is not None:
+            return self._refindex.would_orphan(key)
         remaining = self._available(excluding=key)
         return any(
             self._refs.dangling_references(wire, remaining)
@@ -138,10 +283,17 @@ class ReferenceSwitch(P4RuntimeService):
         )
 
     def read(self, request: ReadRequest) -> ReadResponse:
+        if not request.table_id:
+            return ReadResponse(
+                entries=tuple(wire for wire, _decoded in self._store.values())
+            )
+        if self.indexed:
+            per_table = self._by_table_wire.get(request.table_id, {})
+            return ReadResponse(entries=tuple(per_table.values()))
         entries = [
             wire
             for _key, (wire, _decoded) in self._store.items()
-            if not request.table_id or wire.table_id == request.table_id
+            if wire.table_id == request.table_id
         ]
         return ReadResponse(entries=tuple(entries))
 
@@ -181,7 +333,20 @@ class ReferenceSwitch(P4RuntimeService):
 
     def send_packet(self, payload: bytes, ingress_port: int) -> ObservedForwarding:
         parsed = parse_packet(payload, self.program.parser.pattern)
-        interp = Interpreter(self.program, self._state(), self._hash)
+        if self.indexed:
+            # Every declared table has a persistently maintained index; the
+            # state mapping only covers tables the AST does not declare
+            # (the interpreter falls back to scanning those).
+            fallback = {
+                name: list(entries.values())
+                for name, entries in self._decoded_by_table.items()
+                if name not in self._indices and entries
+            }
+            interp = Interpreter(
+                self.program, fallback, self._hash, table_indices=self._indices
+            )
+        else:
+            interp = Interpreter(self.program, self._state(), self._hash)
         result = interp.run(parsed, ingress_port)
         if result.punted:
             self._packet_ins.append(

@@ -7,8 +7,23 @@
 * :mod:`repro.workloads.bug_catalog` — the Appendix-A bug data (component,
   discovering tool, days to resolution, trivial-test detectability) plus
   Table 1/2 aggregate counts, used by the campaign benchmarks.
+* :mod:`repro.workloads.scale` — production-scale helpers: table-size
+  rewrites so the shipped programs can hold 10^5-10^6 routes, and
+  CRM-style fill-to-capacity update sequences.
 """
 
 from repro.workloads.entries import EntryBuilder, baseline_entries, production_like_entries
+from repro.workloads.scale import (
+    crm_fill_updates,
+    production_scale_program,
+    scale_table_sizes,
+)
 
-__all__ = ["EntryBuilder", "baseline_entries", "production_like_entries"]
+__all__ = [
+    "EntryBuilder",
+    "baseline_entries",
+    "production_like_entries",
+    "crm_fill_updates",
+    "production_scale_program",
+    "scale_table_sizes",
+]

@@ -220,6 +220,18 @@ PUNT_CANARY_IP = 0x0AFFFF01  # 10.255.255.1
 # scaled to a fabric: /16..../28 heavy around /24).
 _PREFIX_MIX = [16] * 2 + [20] * 3 + [22] * 4 + [24] * 8 + [26] * 2 + [28] * 1
 
+# Wider mix for production-scale states (10^5-10^6 routes): every length
+# /16../28 is populated, which both tracks a full BGP-derived FIB more
+# closely and keeps the short-prefix spaces sparse enough that rejection
+# sampling stays cheap when a million distinct routes are drawn.
+_WIDE_PREFIX_MIX = (
+    [16] * 2 + [17] * 1 + [18] * 2 + [19] * 2 + [20] * 3 + [21] * 3
+    + [22] * 4 + [23] * 4 + [24] * 8 + [25] * 2 + [26] * 2 + [27] * 1 + [28] * 1
+)
+
+# Above this total the wide mix kicks in by default.
+_WIDE_MIX_THRESHOLD = 10_000
+
 
 def _role_specific_entries(p4info: P4Info, b: EntryBuilder) -> List[TableEntry]:
     """Entries exercising role-specific features: ICMP and TTL ACL matches
@@ -339,13 +351,20 @@ def production_like_entries(
     total: int,
     seed: int = 1,
     ports: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8),
+    prefix_mix: Optional[Sequence[int]] = None,
 ) -> List[TableEntry]:
     """A synthetic production replay of roughly ``total`` entries.
 
     Structure: the baseline scaffolding, a WCMP layer, then LPM routes
     (plus a sprinkle of ACL entries) filling the remaining budget.
-    Deterministic for a given seed.
+    Deterministic for a given seed.  Totals past
+    ``_WIDE_MIX_THRESHOLD`` switch to the wide prefix mix (override with
+    ``prefix_mix``); the paper-scale workloads are byte-identical to what
+    this function always produced.  Mind the target tables' guaranteed
+    sizes at large totals — :mod:`repro.workloads.scale` raises them.
     """
+    if prefix_mix is None:
+        prefix_mix = _PREFIX_MIX if total <= _WIDE_MIX_THRESHOLD else _WIDE_PREFIX_MIX
     rng = random.Random(seed)
     b = EntryBuilder(p4info)
     entries = baseline_entries(p4info, ports=ports)
@@ -386,7 +405,7 @@ def production_like_entries(
 
     while route_budget > 0:
         vrf = rng.choice(vrfs)
-        plen = rng.choice(_PREFIX_MIX)
+        plen = rng.choice(prefix_mix)
         prefix = rng.getrandbits(32) & codec.mask_for_prefix(plen, 32)
         if (vrf, prefix, plen) in seen_routes:
             continue
