@@ -1,0 +1,189 @@
+"""CNF kernel benchmarks: structural bit-blasting vs the Tseitin baseline.
+
+Packet generation's cost is dominated by the SMT layer, and the SMT
+layer's cost is dominated by the CNF it emits.  The structural encoder
+(:class:`repro.smt.bitblast.StructuralBitBlaster`) attacks the formula
+*before* the solver sees it — constant short-circuiting at the literal
+layer, gate-level structural hashing, and polarity-aware
+Plaisted–Greenbaum encoding — while the modernized kernel
+(:class:`repro.smt.sat.SatSolver`) attacks what remains with blocking
+literals, dedicated binary implication lists, on-the-fly learned-clause
+minimization, and LBD-based retention.
+
+The table measures both effects on cold entry-coverage generation across
+every shipped model: emitted clauses/variables (encoder economy),
+propagations/conflicts (kernel effort), and wall clock.  The gate pins
+the ISSUE's claims on the ToR model: **≥30% fewer emitted clauses** and
+**≥1.5× faster** than the retained ``tseitin``/``legacy`` pipeline.
+
+The identity smoke at the bottom gates CI (select with ``-k
+identity_smoke``): both pipelines must produce byte-identical packets and
+verdicts on all four models — the legacy paths are the differential
+baseline that makes the optimized numbers trustworthy.
+"""
+
+import time
+
+from conftest import print_table
+
+from repro.bmv2.entries import decode_table_entry
+from repro.p4.p4info import build_p4info
+from repro.p4.programs import (
+    build_cerberus_program,
+    build_tor_program,
+    build_toy_program,
+    build_wan_program,
+)
+from repro.symbolic import PacketGenerator
+from repro.symbolic.coverage import CoverageMode
+from repro.workloads import EntryBuilder, baseline_entries
+
+PIPELINES = {
+    "optimized": {"encoder": "structural", "kernel": "modern"},
+    "legacy": {"encoder": "tseitin", "kernel": "legacy"},
+}
+
+BUILDERS = [
+    build_toy_program,
+    build_tor_program,
+    build_wan_program,
+    build_cerberus_program,
+]
+
+
+def _decode_state(p4info, entries):
+    state = {}
+    for entry in entries:
+        decoded = decode_table_entry(p4info, entry)
+        state.setdefault(decoded.table_name, []).append(decoded)
+    return state
+
+
+def _state_for(program, p4info):
+    if program.name == "toy_router":
+        b = EntryBuilder(p4info)
+        entries = [
+            b.ternary("pre_ingress_tbl", {}, "set_vrf", {"vrf_id": 1}, priority=1),
+            b.exact("vrf_tbl", {"vrf_id": 1}, "NoAction"),
+            b.lpm("ipv4_tbl", {"vrf_id": 1}, "ipv4_dst", 0x0A000000, 8,
+                  "set_nexthop_id", {"nexthop_id": 3}),
+            b.lpm("ipv4_tbl", {"vrf_id": 1}, "ipv4_dst", 0x0A000000, 16,
+                  "set_nexthop_id", {"nexthop_id": 7}),
+        ]
+    else:
+        entries = baseline_entries(p4info)
+    return _decode_state(p4info, entries)
+
+
+def _cold_run(program, state, pipeline):
+    start = time.perf_counter()
+    result = PacketGenerator(program, state, **PIPELINES[pipeline]).generate(
+        CoverageMode.ENTRY
+    )
+    return time.perf_counter() - start, result
+
+
+def _packet_key(result):
+    return (
+        [(p.goal, p.profile, p.packet, p.ingress_port) for p in result.packets],
+        result.uncovered,
+    )
+
+
+# ----------------------------------------------------------------------
+# Table: clause economy + solve speed per shipped model
+# ----------------------------------------------------------------------
+
+
+def test_cnf_kernel_clause_economy_and_speed(scale):
+    """Cold entry-coverage generation, optimized vs legacy pipeline.
+
+    The ToR row carries the gate; every model must stay verdict-identical.
+    ToR timing takes the best of three runs per pipeline so a scheduler
+    hiccup cannot fail the 1.5× gate spuriously; clause counts are exact
+    and deterministic.
+    """
+    rows = []
+    tor_gate = None
+    for build in BUILDERS:
+        program = build()
+        p4info = build_p4info(program)
+        state = _state_for(program, p4info)
+        reps = 3 if program.name == "sai_tor" else 1
+
+        runs = {}
+        for pipeline in PIPELINES:
+            best = None
+            for _ in range(reps):
+                seconds, result = _cold_run(program, state, pipeline)
+                if best is None or seconds < best[0]:
+                    best = (seconds, result)
+            runs[pipeline] = best
+
+        (opt_s, opt), (leg_s, leg) = runs["optimized"], runs["legacy"]
+        assert _packet_key(opt) == _packet_key(leg), (
+            f"{program.name}: optimized pipeline diverged from legacy"
+        )
+
+        clause_ratio = opt.stats.cnf_clauses / max(leg.stats.cnf_clauses, 1)
+        speedup = leg_s / max(opt_s, 1e-9)
+        rows.append(
+            (program.name, opt.stats.goals_total,
+             leg.stats.cnf_clauses, opt.stats.cnf_clauses,
+             f"-{(1 - clause_ratio):.0%}",
+             leg.stats.sat_propagations, opt.stats.sat_propagations,
+             opt.stats.gates_shared,
+             f"{leg_s:.2f}s", f"{opt_s:.2f}s", f"{speedup:.2f}x")
+        )
+        if program.name == "sai_tor":
+            tor_gate = (clause_ratio, speedup, leg.stats.cnf_clauses,
+                        opt.stats.cnf_clauses, leg_s, opt_s)
+
+    print_table(
+        f"CNF kernel: structural+modern vs tseitin+legacy ({scale.name} scale)",
+        ["Model", "Goals", "Legacy clauses", "Opt clauses", "Clauses",
+         "Legacy props", "Opt props", "Gates shared",
+         "Legacy", "Opt", "Speedup"],
+        rows,
+    )
+
+    clause_ratio, speedup, leg_c, opt_c, leg_s, opt_s = tor_gate
+    assert clause_ratio <= 0.70, (
+        f"ToR: optimized encoder emitted {opt_c} clauses vs legacy {leg_c} "
+        f"({1 - clause_ratio:.0%} reduction; gate requires >=30%)"
+    )
+    assert speedup >= 1.5, (
+        f"ToR: optimized cold generation only {speedup:.2f}x over legacy "
+        f"(legacy {leg_s:.2f}s, optimized {opt_s:.2f}s; gate requires 1.5x)"
+    )
+
+
+# ----------------------------------------------------------------------
+# CI gate: optimized pipeline verdict-identical on every shipped model
+# ----------------------------------------------------------------------
+
+
+def test_cnf_kernel_identity_smoke():
+    """CI smoke (<120 s): the optimized pipeline's packets, verdicts, and
+    uncovered goals are byte-identical to the legacy pipeline's on all
+    four shipped models."""
+    rows = []
+    for build in BUILDERS:
+        program = build()
+        p4info = build_p4info(program)
+        state = _state_for(program, p4info)
+        _, opt = _cold_run(program, state, "optimized")
+        _, leg = _cold_run(program, state, "legacy")
+        assert _packet_key(opt) == _packet_key(leg), (
+            f"{program.name}: optimized pipeline diverged from legacy"
+        )
+        rows.append(
+            (program.name, opt.stats.goals_total, opt.stats.goals_covered,
+             leg.stats.cnf_clauses, opt.stats.cnf_clauses, "yes")
+        )
+    print_table(
+        "CNF kernel identity smoke (all shipped models)",
+        ["Model", "Goals", "Covered", "Legacy clauses", "Opt clauses",
+         "Identical"],
+        rows,
+    )

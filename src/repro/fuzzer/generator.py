@@ -37,8 +37,9 @@ from repro.p4rt.messages import (
     Update,
     UpdateType,
 )
-from repro.smt import Result, Solver
+from repro.smt import Solver
 from repro.smt import terms as T
+from repro.smt.minmodel import minimal_assignment
 from repro.smt.pool import SolverPool
 
 
@@ -98,7 +99,10 @@ class RequestGenerator:
         # check() assumptions, never permanent assertions, so the encoding
         # stays clean and reusable across campaigns.
         self._pool = solver_pool
-        self._constraint_solvers: Dict[int, Solver] = {}
+        # table.id -> (solver, constraint terms).  The constraints ride
+        # along because canonical model extraction must see them as
+        # assumptions (see repro.smt.minmodel's caveat).
+        self._constraint_solvers: Dict[int, Tuple[Solver, Tuple[T.Term, ...]]] = {}
         self.refs = ReferenceGraph(p4info)
         self.state = GeneratorState()
         self._available_cache = None
@@ -425,8 +429,8 @@ class RequestGenerator:
                 self._constraint_models[table.id] = cached
         if not cached:
             keys = SymbolicKeySet(table)
-            solver = self._constraint_solvers.get(table.id)
-            if solver is None:
+            entry = self._constraint_solvers.get(table.id)
+            if entry is None:
                 constraints = (
                     keys.wellformedness(),
                     encode_constraint(self._constraints[table.id], keys),
@@ -443,19 +447,36 @@ class RequestGenerator:
                 else:
                     solver = Solver()
                     solver.add(*constraints)
-                self._constraint_solvers[table.id] = solver
+                entry = (solver, constraints)
+                self._constraint_solvers[table.id] = entry
+            solver, constraints = entry
+            variables = {}
+            for mf in table.match_fields:
+                for var in (
+                    keys.value_vars[mf.name],
+                    keys.mask_vars[mf.name],
+                    keys.prefix_vars[mf.name],
+                ):
+                    variables[var.name] = var
             models: List[Dict[str, int]] = []
             # Collect a few diverse models by blocking previous ones.  The
             # blockers ride along as check() assumptions rather than
             # permanent assertions, so the cached solver still encodes
             # exactly wellformedness ∧ constraint afterwards and stays
             # reusable (across campaigns, and by anyone sharing the pool).
+            # Each model is the *lexicographically minimal* one under the
+            # current blockers — a pure function of the constraint terms,
+            # so encoder/kernel choice and pool warmth cannot change the
+            # request stream (the constraints are passed as assumptions
+            # because minmodel's evaluator fast path only sees assumptions).
             blocks: List[T.Term] = []
             for _ in range(4):
-                if solver.check(*blocks) is not Result.SAT:
+                model = minimal_assignment(
+                    solver, [*constraints, *blocks], variables
+                )
+                if model is None:
                     break
-                model = solver.model()
-                models.append(dict(model))
+                models.append(model)
                 # Block this exact assignment of the value variables.
                 blockers = []
                 for mf in table.match_fields:

@@ -8,15 +8,25 @@ equality, so we implement exactly that:
   and bitvectors) together with a concrete evaluator used for model
   validation and property tests.
 * :mod:`repro.smt.simplify` — constant folding and local rewriting.
-* :mod:`repro.smt.bitblast` — Tseitin bit-blasting of terms into CNF.
-* :mod:`repro.smt.sat` — a CDCL SAT solver (two-watched literals, VSIDS,
-  first-UIP clause learning, Luby restarts) that supports solving under
-  assumptions, which p4-symbolic uses to pose many coverage queries against
-  a single bit-blasted program encoding.
-* :mod:`repro.smt.solver` — the user-facing ``Solver`` with model extraction.
+* :mod:`repro.smt.bitblast` — two CNF encoders: the default
+  ``StructuralBitBlaster`` (constant folding at the literal layer,
+  gate-level structural hashing, polarity-aware Plaisted–Greenbaum
+  clause emission) and the retained Tseitin ``BitBlaster`` baseline.
+* :mod:`repro.smt.sat` — the default CDCL SAT kernel (two-watched literals
+  with blocking literals, dedicated binary-clause implication lists, VSIDS,
+  first-UIP learning with on-the-fly minimization, LBD-based clause
+  retention, Luby restarts) supporting solving under assumptions, which
+  p4-symbolic uses to pose many coverage queries against a single
+  bit-blasted program encoding.
+* :mod:`repro.smt.legacy_sat` — the pre-modernization kernel, kept as a
+  differential baseline behind ``Solver(kernel="legacy")``.
+* :mod:`repro.smt.solver` — the user-facing ``Solver`` with model extraction
+  and the ``encoder``/``kernel`` selection flags.
 * :mod:`repro.smt.compile` — postorder bytecode compilation of term DAGs for
   fast repeated concrete evaluation (subsumption, model checks, lint
   prefilters).
+* :mod:`repro.smt.minmodel` — lexicographically minimal (canonical) model
+  extraction, shared by witness minimization and fuzzer model sampling.
 * :mod:`repro.smt.pool` — keyed long-lived solvers reused across table
   states, the cross-state incremental-solving backbone of the harness.
 """

@@ -1,0 +1,451 @@
+"""The pre-modernization CDCL kernel, retained as a differential baseline.
+
+This is the solver :mod:`repro.smt.sat` shipped before blocking literals,
+binary implication lists, learned-clause minimization, and LBD retention
+landed: plain two-watched-literal propagation (watch lists hold bare
+clause indices), activity-only database reduction with a fixed trigger,
+and every clause — binary or long — in the clause database.
+
+It is selectable through ``Solver(kernel="legacy")`` /
+``SolverPool(kernel="legacy")`` and exists so the verdict-identity tests
+and the clause-economy benchmark (``benchmarks/test_cnf_kernel.py``) can
+compare the modern kernel against the exact shipped behavior, the same
+retained-baseline pattern as the linear state paths of
+``tests/test_scale_differential.py``.  Do not grow features here.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.smt.sat import FALSE, TRUE, UNASSIGNED, _luby, neg_lit, pos_lit, var_of
+
+
+class LegacySatSolver:
+    """CDCL SAT solver over integer-encoded literals (pre-PR-10 kernel)."""
+
+    def __init__(self) -> None:
+        self._num_vars = 0
+        # Clause storage: list of literal lists. Learned clauses are appended
+        # after the problem clauses; the first `_num_problem_clauses` are
+        # never deleted.
+        self._clauses: List[List[int]] = []
+        self._num_problem_clauses = 0
+        self._clause_activity: List[float] = []
+        self._watches: List[List[int]] = [[], []]  # lit -> clause indices
+        self._assign: List[int] = [UNASSIGNED]  # var -> TRUE/FALSE/UNASSIGNED
+        self._level: List[int] = [0]
+        self._reason: List[int] = [-1]  # var -> clause index or -1
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._prop_head = 0
+        self._activity: List[float] = [0.0]
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        self._cla_inc = 1.0
+        self._cla_decay = 0.999
+        # VSIDS order: a max-heap (negated activities) with lazy deletion.
+        self._order_heap: List[tuple] = []
+        self._in_heap: List[bool] = [False]
+        self._polarity: List[bool] = [False]  # phase saving
+        self._ok = True
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+        self.restarts = 0
+        self.clauses_received = 0
+        # When solving under assumptions that turn out to be unsatisfiable,
+        # this holds the subset of failing assumption literals.
+        self.failed_assumptions: List[int] = []
+
+    # ------------------------------------------------------------------
+    # Problem construction
+    # ------------------------------------------------------------------
+    def new_var(self) -> int:
+        """Allocate a fresh variable; returns its index (1-based)."""
+        self._num_vars += 1
+        self._assign.append(UNASSIGNED)
+        self._level.append(0)
+        self._reason.append(-1)
+        self._activity.append(0.0)
+        self._polarity.append(False)
+        self._watches.append([])
+        self._watches.append([])
+        self._in_heap.append(True)
+        heapq.heappush(self._order_heap, (0.0, self._num_vars))
+        return self._num_vars
+
+    @property
+    def num_vars(self) -> int:
+        return self._num_vars
+
+    def add_clause(self, lits: Sequence[int]) -> bool:
+        """Add a problem clause. Returns False if the formula became UNSAT.
+
+        Must be called at decision level 0 (i.e. before/between solves).
+        """
+        if not self._ok:
+            return False
+        self.clauses_received += 1
+        if self._trail_lim:
+            self._cancel_until(0)
+        # Simplify: drop duplicate and false literals, detect tautologies.
+        seen: Dict[int, bool] = {}
+        out: List[int] = []
+        for lit in lits:
+            if lit in seen:
+                continue
+            if (lit ^ 1) in seen:
+                return True  # tautology
+            val = self._lit_value(lit)
+            if val == TRUE and self._level[var_of(lit)] == 0:
+                return True  # already satisfied at the root
+            if val == FALSE and self._level[var_of(lit)] == 0:
+                continue  # permanently false literal
+            seen[lit] = True
+            out.append(lit)
+        if not out:
+            self._ok = False
+            return False
+        if len(out) == 1:
+            if not self._enqueue(out[0], -1):
+                self._ok = False
+                return False
+            conflict = self._propagate()
+            if conflict is not None:
+                self._ok = False
+                return False
+            return True
+        idx = len(self._clauses)
+        self._clauses.append(out)
+        self._clause_activity.append(0.0)
+        self._watches[out[0]].append(idx)
+        self._watches[out[1]].append(idx)
+        self._num_problem_clauses += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Assignment plumbing
+    # ------------------------------------------------------------------
+    def _lit_value(self, lit: int) -> int:
+        val = self._assign[var_of(lit)]
+        if val == UNASSIGNED:
+            return UNASSIGNED
+        return val ^ (lit & 1)
+
+    def _enqueue(self, lit: int, reason: int) -> bool:
+        val = self._lit_value(lit)
+        if val == FALSE:
+            return False
+        if val == TRUE:
+            return True
+        var = var_of(lit)
+        self._assign[var] = TRUE if not (lit & 1) else FALSE
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._trail.append(lit)
+        return True
+
+    def _propagate(self) -> Optional[int]:
+        """Unit propagation. Returns a conflicting clause index, or None."""
+        assign = self._assign
+        watches = self._watches
+        clauses = self._clauses
+        trail = self._trail
+        level = self._level
+        reason = self._reason
+        trail_lim_len = len(self._trail_lim)
+        while self._prop_head < len(trail):
+            lit = trail[self._prop_head]
+            self._prop_head += 1
+            self.propagations += 1
+            falsified = lit ^ 1
+            watch_list = watches[falsified]
+            i = 0
+            while i < len(watch_list):
+                cidx = watch_list[i]
+                clause = clauses[cidx]
+                # Normalise: watched literals are clause[0] and clause[1].
+                if clause[0] == falsified:
+                    clause[0], clause[1] = clause[1], clause[0]
+                # clause[1] == falsified now.
+                first = clause[0]
+                fval = assign[first >> 1]
+                if fval != UNASSIGNED and (fval ^ (first & 1)) == TRUE:
+                    i += 1
+                    continue
+                # Search for a new literal to watch.
+                moved = False
+                for k in range(2, len(clause)):
+                    other = clause[k]
+                    oval = assign[other >> 1]
+                    if oval == UNASSIGNED or (oval ^ (other & 1)) != FALSE:
+                        clause[1] = other
+                        clause[k] = falsified
+                        watches[other].append(cidx)
+                        watch_list[i] = watch_list[-1]
+                        watch_list.pop()
+                        moved = True
+                        break
+                if moved:
+                    continue
+                # Clause is unit or conflicting.
+                if fval != UNASSIGNED:  # and first is FALSE here
+                    self._prop_head = len(trail)
+                    return cidx
+                # Inlined _enqueue of an unassigned literal.
+                var = first >> 1
+                assign[var] = TRUE if not (first & 1) else FALSE
+                level[var] = trail_lim_len
+                reason[var] = cidx
+                trail.append(first)
+                i += 1
+        return None
+
+    # ------------------------------------------------------------------
+    # Conflict analysis (first UIP)
+    # ------------------------------------------------------------------
+    def _analyze(self, conflict: int) -> tuple[List[int], int]:
+        learned: List[int] = [0]  # placeholder for asserting literal
+        seen = [False] * (self._num_vars + 1)
+        counter = 0
+        lit = -1
+        cidx = conflict
+        index = len(self._trail) - 1
+        cur_level = len(self._trail_lim)
+
+        while True:
+            clause = self._clauses[cidx]
+            self._bump_clause(cidx)
+            resolved_var = var_of(lit) if lit != -1 else 0
+            for q in clause:
+                v = var_of(q)
+                if v == resolved_var:
+                    continue
+                if not seen[v] and self._level[v] > 0:
+                    seen[v] = True
+                    self._bump_var(v)
+                    if self._level[v] >= cur_level:
+                        counter += 1
+                    else:
+                        learned.append(q)
+            # Pick the next literal on the trail to resolve on.
+            while not seen[var_of(self._trail[index])]:
+                index -= 1
+            lit = self._trail[index]
+            v = var_of(lit)
+            seen[v] = False
+            counter -= 1
+            index -= 1
+            if counter == 0:
+                break
+            cidx = self._reason[v]
+        learned[0] = lit ^ 1
+
+        backjump = 0
+        if len(learned) > 1:
+            max_i = 1
+            for i in range(2, len(learned)):
+                if self._level[var_of(learned[i])] > self._level[var_of(learned[max_i])]:
+                    max_i = i
+            learned[1], learned[max_i] = learned[max_i], learned[1]
+            backjump = self._level[var_of(learned[1])]
+        return learned, backjump
+
+    def _bump_var(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for v in range(1, self._num_vars + 1):
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+            # All heap entries are now stale; rebuild.
+            self._order_heap = [
+                (-self._activity[v], v)
+                for v in range(1, self._num_vars + 1)
+                if self._assign[v] == UNASSIGNED
+            ]
+            heapq.heapify(self._order_heap)
+            for v in range(1, self._num_vars + 1):
+                self._in_heap[v] = self._assign[v] == UNASSIGNED
+            return
+        if not self._in_heap[var]:
+            self._in_heap[var] = True
+            heapq.heappush(self._order_heap, (-self._activity[var], var))
+
+    def _bump_clause(self, cidx: int) -> None:
+        self._clause_activity[cidx] += self._cla_inc
+        if self._clause_activity[cidx] > 1e20:
+            for i in range(len(self._clause_activity)):
+                self._clause_activity[i] *= 1e-20
+            self._cla_inc *= 1e-20
+
+    def _decay_activities(self) -> None:
+        self._var_inc /= self._var_decay
+        self._cla_inc /= self._cla_decay
+
+    # ------------------------------------------------------------------
+    # Backtracking
+    # ------------------------------------------------------------------
+    def _cancel_until(self, level: int) -> None:
+        if len(self._trail_lim) <= level:
+            return
+        bound = self._trail_lim[level]
+        for i in range(len(self._trail) - 1, bound - 1, -1):
+            lit = self._trail[i]
+            var = var_of(lit)
+            self._polarity[var] = not (lit & 1)
+            self._assign[var] = UNASSIGNED
+            self._reason[var] = -1
+            if not self._in_heap[var]:
+                self._in_heap[var] = True
+                heapq.heappush(self._order_heap, (-self._activity[var], var))
+        del self._trail[bound:]
+        del self._trail_lim[level:]
+        self._prop_head = len(self._trail)
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+    def _pick_branch_var(self) -> int:
+        while self._order_heap:
+            _neg_activity, var = heapq.heappop(self._order_heap)
+            self._in_heap[var] = False
+            if self._assign[var] == UNASSIGNED:
+                return var
+        return 0
+
+    # ------------------------------------------------------------------
+    # Learned clause DB reduction (activity-only, fixed trigger)
+    # ------------------------------------------------------------------
+    def _reduce_db(self) -> None:
+        learned_idx = list(range(self._num_problem_clauses, len(self._clauses)))
+        if len(learned_idx) < 2000:
+            return
+        learned_idx.sort(key=lambda i: self._clause_activity[i])
+        locked = {self._reason[var_of(lit)] for lit in self._trail}
+        to_remove = set()
+        for i in learned_idx[: len(learned_idx) // 2]:
+            if i in locked or len(self._clauses[i]) <= 2:
+                continue
+            to_remove.add(i)
+        if not to_remove:
+            return
+        # Compact only the learned suffix; problem-clause indices (below
+        # ``base``) never move.
+        base = self._num_problem_clauses
+        clauses = self._clauses
+        activity = self._clause_activity
+        remap: Dict[int, int] = {}
+        dirty = set()
+        write = base
+        for read in range(base, len(clauses)):
+            if read in to_remove:
+                c = clauses[read]
+                dirty.add(c[0])
+                dirty.add(c[1])
+                continue
+            if read != write:
+                remap[read] = write
+                c = clauses[read]
+                dirty.add(c[0])
+                dirty.add(c[1])
+            write += 1
+        for read, dst in remap.items():
+            clauses[dst] = clauses[read]
+            activity[dst] = activity[read]
+        del clauses[write:]
+        del activity[write:]
+        for lit in dirty:
+            self._watches[lit] = [
+                remap.get(i, i) for i in self._watches[lit] if i not in to_remove
+            ]
+        for lit in self._trail:
+            var = var_of(lit)
+            r = self._reason[var]
+            if r >= base:
+                self._reason[var] = remap.get(r, r)
+
+    # ------------------------------------------------------------------
+    # Main solve loop
+    # ------------------------------------------------------------------
+    def solve(self, assumptions: Iterable[int] = ()) -> bool:
+        """Solve the formula under ``assumptions`` (a list of literals)."""
+        self.failed_assumptions = []
+        if not self._ok:
+            return False
+        self._cancel_until(0)
+        conflict = self._propagate()
+        if conflict is not None:
+            self._ok = False
+            return False
+
+        assumptions = list(assumptions)
+        restart_count = 0
+        conflict_budget = 100 * _luby(restart_count + 1)
+        conflicts_here = 0
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.conflicts += 1
+                conflicts_here += 1
+                if len(self._trail_lim) == 0:
+                    self._ok = False
+                    return False
+                learned, backjump = self._analyze(conflict)
+                self._cancel_until(max(backjump, 0))
+                if len(learned) == 1:
+                    if not self._enqueue(learned[0], -1):
+                        self._ok = False
+                        return False
+                else:
+                    idx = len(self._clauses)
+                    self._clauses.append(learned)
+                    self._clause_activity.append(self._cla_inc)
+                    self._watches[learned[0]].append(idx)
+                    self._watches[learned[1]].append(idx)
+                    self._enqueue(learned[0], idx)
+                self._decay_activities()
+            else:
+                if conflicts_here >= conflict_budget:
+                    # Restart (but keep assumptions intact by redoing them).
+                    self.restarts += 1
+                    restart_count += 1
+                    conflict_budget = 100 * _luby(restart_count + 1)
+                    conflicts_here = 0
+                    self._cancel_until(0)
+                    self._reduce_db()
+                    continue
+                # Apply pending assumptions as pseudo-decisions.
+                next_lit = 0
+                depth = len(self._trail_lim)
+                if depth < len(assumptions):
+                    lit = assumptions[depth]
+                    val = self._lit_value(lit)
+                    if val == TRUE:
+                        self._trail_lim.append(len(self._trail))
+                        continue
+                    if val == FALSE:
+                        self.failed_assumptions = [lit]
+                        self._cancel_until(0)
+                        return False
+                    next_lit = lit
+                else:
+                    var = self._pick_branch_var()
+                    if var == 0:
+                        polarity = self._polarity
+                        for lit in self._trail:
+                            polarity[lit >> 1] = not (lit & 1)
+                        return True
+                    self.decisions += 1
+                    next_lit = pos_lit(var) if self._polarity[var] else neg_lit(var)
+                self._trail_lim.append(len(self._trail))
+                self._enqueue(next_lit, -1)
+
+    # ------------------------------------------------------------------
+    # Model access
+    # ------------------------------------------------------------------
+    def model_value(self, var: int) -> bool:
+        """Value of ``var`` in the satisfying assignment (False if unset)."""
+        return self._assign[var] == TRUE

@@ -46,7 +46,11 @@ MISS = object()
 class SolverPool:
     """Keyed, long-lived incremental solvers with assert-once constraints."""
 
-    def __init__(self) -> None:
+    def __init__(self, encoder: str = "structural", kernel: str = "modern") -> None:
+        # Encoder/kernel config applies to every solver the pool builds;
+        # legacy values turn the whole pool into a differential baseline.
+        self.encoder = encoder
+        self.kernel = kernel
         self._solvers: Dict[PoolKey, Solver] = {}
         # Terms already permanently asserted per solver.  Identity-keyed:
         # hash-consing makes "same structure" mean "same object", so an
@@ -87,7 +91,11 @@ class SolverPool:
         """
         solver = self._solvers.get(key)
         if solver is None:
-            solver = Solver(simplify_terms=simplify_terms)
+            solver = Solver(
+                simplify_terms=simplify_terms,
+                encoder=self.encoder,
+                kernel=self.kernel,
+            )
             self._solvers[key] = solver
             self._asserted[key] = set()
             self.misses += 1
@@ -137,10 +145,14 @@ class SolverPool:
     def stats(self) -> Dict[str, int]:
         """Aggregate SAT effort across every pooled solver."""
         out = {"solvers": len(self._solvers), "hits": self.hits, "misses": self.misses,
-               "conflicts": 0, "decisions": 0, "propagations": 0}
+               "conflicts": 0, "decisions": 0, "propagations": 0,
+               "sat_vars": 0, "cnf_clauses": 0, "gates_shared": 0}
         for solver in self._solvers.values():
             s = solver.stats
             out["conflicts"] += s["conflicts"]
             out["decisions"] += s["decisions"]
             out["propagations"] += s["propagations"]
+            out["sat_vars"] += s["sat_vars"]
+            out["cnf_clauses"] += s["cnf_clauses"]
+            out["gates_shared"] += s["gates_shared"]
         return out

@@ -2,24 +2,47 @@
 
 Implements the standard modern architecture:
 
-* two-watched-literal unit propagation,
-* first-UIP conflict analysis with clause learning and non-chronological
-  backjumping,
+* two-watched-literal unit propagation with *blocking literals* — watch
+  lists hold ``(clause_idx, blocker)`` pairs, so a watched clause whose
+  cached blocker is already satisfied is skipped without touching clause
+  storage at all,
+* dedicated binary-clause implication lists: two-literal clauses never
+  enter the clause database; falsifying one side walks a flat list of
+  implied literals (reasons are encoded as tagged integers, not clause
+  indices),
+* first-UIP conflict analysis with clause learning, non-chronological
+  backjumping, and on-the-fly learned-clause minimization (a learned
+  literal whose reason clause is already subsumed by the rest of the
+  learned clause is dropped — self-subsumption against reason clauses),
+* glucose-style clause retention: every learned clause records its LBD
+  ("glue" — the number of distinct decision levels among its literals);
+  database reduction removes the highest-LBD half, always keeping glue
+  clauses (LBD <= 2), with a geometric growth schedule on the trigger,
 * VSIDS-style activity-based decision heuristic with exponential decay,
-* Luby-sequence restarts,
-* learned-clause database reduction by activity,
+* Luby-sequence restarts and phase saving,
 * solving under *assumptions*, which lets the bit-blaster encode a formula
   once and answer many coverage queries (p4-symbolic poses one query per
   table entry / branch) without re-encoding.
 
+The previous activity-only kernel is retained verbatim as
+:class:`repro.smt.legacy_sat.LegacySatSolver` and selectable through
+``Solver(kernel="legacy")`` — the differential baseline for the verdict-
+identity tests and the clause-economy benchmark.
+
 Literal encoding: variable ``v`` (1-based) has positive literal ``2*v`` and
 negative literal ``2*v + 1``; ``lit ^ 1`` negates.
+
+Reason encoding: ``-1`` means "decision or root fact"; a value ``>= 0`` is
+an index into the clause database; a value ``<= -2`` is a *binary reason
+tag* ``-2 - partner_lit``, naming the (false) partner literal of the binary
+clause that propagated the assignment.  Tags keep binary propagation free
+of clause storage entirely.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 TRUE = 1
 FALSE = 0
@@ -64,16 +87,27 @@ class SatSolver:
 
     def __init__(self) -> None:
         self._num_vars = 0
-        # Clause storage: list of literal lists. Learned clauses are appended
-        # after the problem clauses; the first `_num_problem_clauses` are
-        # never deleted.
+        # Clause storage holds only clauses of length >= 3.  Problem and
+        # learned clauses interleave freely (incremental solving adds
+        # problem clauses between solves, after clauses were learned), so
+        # a parallel `_learned` flag — not a positional prefix — decides
+        # what database reduction may delete.
         self._clauses: List[List[int]] = []
-        self._num_problem_clauses = 0
+        self._learned: List[bool] = []
         self._clause_activity: List[float] = []
-        self._watches: List[List[int]] = [[], []]  # lit -> clause indices
+        self._clause_lbd: List[int] = []
+        self._num_problem_clauses = 0  # long problem clauses (informational)
+        # lit -> [(clause_idx, blocker), ...]: the clause is only fetched
+        # when the blocker (some other literal of the clause) isn't
+        # already satisfied.
+        self._watches: List[List[Tuple[int, int]]] = [[], []]
+        # lit -> implied literals: for every binary clause (l v o), o is in
+        # _bin_occurs[l] and l is in _bin_occurs[o].  Falsifying l implies
+        # every o with reason tag -2 - l.
+        self._bin_occurs: List[List[int]] = [[], []]
         self._assign: List[int] = [UNASSIGNED]  # var -> TRUE/FALSE/UNASSIGNED
         self._level: List[int] = [0]
-        self._reason: List[int] = [-1]  # var -> clause index or -1
+        self._reason: List[int] = [-1]
         self._trail: List[int] = []
         self._trail_lim: List[int] = []
         self._prop_head = 0
@@ -89,10 +123,22 @@ class SatSolver:
         self._in_heap: List[bool] = [False]
         self._polarity: List[bool] = [False]  # phase saving
         self._ok = True
+        # Database-reduction schedule: reduce when the count of deletable
+        # (long, learned) clauses reaches the cap; the cap then grows
+        # geometrically so a long-lived pooled solver keeps more of the
+        # clauses it spent conflicts learning.
+        self._reduce_cap = 2000.0
+        self._reduce_cap_mult = 1.5
+        self._learned_count = 0
         self.conflicts = 0
         self.decisions = 0
         self.propagations = 0
         self.restarts = 0
+        self.db_reductions = 0
+        self.minimized_literals = 0
+        # Clauses offered by the encoder (before root simplification) —
+        # the clause-economy number benchmark tables compare.
+        self.clauses_received = 0
         # When solving under assumptions that turn out to be unsatisfiable,
         # this holds the subset of failing assumption literals.
         self.failed_assumptions: List[int] = []
@@ -110,6 +156,8 @@ class SatSolver:
         self._polarity.append(False)
         self._watches.append([])
         self._watches.append([])
+        self._bin_occurs.append([])
+        self._bin_occurs.append([])
         self._in_heap.append(True)
         heapq.heappush(self._order_heap, (0.0, self._num_vars))
         return self._num_vars
@@ -125,6 +173,7 @@ class SatSolver:
         """
         if not self._ok:
             return False
+        self.clauses_received += 1
         # A previous solve() may have left a partial assignment on the trail;
         # clause addition reasons about root-level state only.
         if self._trail_lim:
@@ -156,11 +205,19 @@ class SatSolver:
                 self._ok = False
                 return False
             return True
+        if len(out) == 2:
+            # Binary clauses live in the implication lists, never in the
+            # clause database (and are therefore never deleted).
+            self._bin_occurs[out[0]].append(out[1])
+            self._bin_occurs[out[1]].append(out[0])
+            return True
         idx = len(self._clauses)
         self._clauses.append(out)
+        self._learned.append(False)
         self._clause_activity.append(0.0)
-        self._watches[out[0]].append(idx)
-        self._watches[out[1]].append(idx)
+        self._clause_lbd.append(0)
+        self._watches[out[0]].append((idx, out[1]))
+        self._watches[out[1]].append((idx, out[0]))
         self._num_problem_clauses += 1
         return True
 
@@ -186,15 +243,18 @@ class SatSolver:
         self._trail.append(lit)
         return True
 
-    def _propagate(self) -> Optional[int]:
-        """Unit propagation. Returns a conflicting clause index, or None.
+    def _propagate(self) -> Optional[Tuple[Sequence[int], int]]:
+        """Unit propagation. Returns ``(conflict_lits, clause_idx)`` or None.
 
-        This is the solver's hot loop; locals are cached and literal values
-        are computed inline (``assign[var] ^ (lit & 1)`` with the UNASSIGNED
-        sentinel checked explicitly) to keep the Python overhead down.
+        ``clause_idx`` is ``-1`` for a conflict in a binary clause (there is
+        no database entry to bump).  This is the solver's hot loop; locals
+        are cached and literal values are computed inline
+        (``assign[var] ^ (lit & 1)`` with the UNASSIGNED sentinel checked
+        explicitly) to keep the Python overhead down.
         """
         assign = self._assign
         watches = self._watches
+        bin_occurs = self._bin_occurs
         clauses = self._clauses
         trail = self._trail
         level = self._level
@@ -205,10 +265,29 @@ class SatSolver:
             self._prop_head += 1
             self.propagations += 1
             falsified = lit ^ 1
+            # Binary implications first: a flat list of implied literals,
+            # no clause storage touched, reasons are tagged integers.
+            for other in bin_occurs[falsified]:
+                oval = assign[other >> 1]
+                if oval == UNASSIGNED:
+                    var = other >> 1
+                    assign[var] = TRUE if not (other & 1) else FALSE
+                    level[var] = trail_lim_len
+                    reason[var] = -2 - falsified
+                    trail.append(other)
+                elif (oval ^ (other & 1)) == FALSE:
+                    self._prop_head = len(trail)
+                    return (other, falsified), -1
             watch_list = watches[falsified]
             i = 0
             while i < len(watch_list):
-                cidx = watch_list[i]
+                cidx, blocker = watch_list[i]
+                bval = assign[blocker >> 1]
+                if bval != UNASSIGNED and (bval ^ (blocker & 1)) == TRUE:
+                    # Blocking literal satisfied: clause satisfied, clause
+                    # storage never fetched.
+                    i += 1
+                    continue
                 clause = clauses[cidx]
                 # Normalise: watched literals are clause[0] and clause[1].
                 if clause[0] == falsified:
@@ -216,7 +295,14 @@ class SatSolver:
                 # clause[1] == falsified now.
                 first = clause[0]
                 fval = assign[first >> 1]
-                if fval != UNASSIGNED and (fval ^ (first & 1)) == TRUE:
+                if (
+                    first != blocker
+                    and fval != UNASSIGNED
+                    and (fval ^ (first & 1)) == TRUE
+                ):
+                    # Satisfied by the other watch: remember it as the
+                    # blocker for next time.
+                    watch_list[i] = (cidx, first)
                     i += 1
                     continue
                 # Search for a new literal to watch.
@@ -227,7 +313,7 @@ class SatSolver:
                     if oval == UNASSIGNED or (oval ^ (other & 1)) != FALSE:
                         clause[1] = other
                         clause[k] = falsified
-                        watches[other].append(cidx)
+                        watches[other].append((cidx, first))
                         watch_list[i] = watch_list[-1]
                         watch_list.pop()
                         moved = True
@@ -237,7 +323,7 @@ class SatSolver:
                 # Clause is unit or conflicting.
                 if fval != UNASSIGNED:  # and first is FALSE here
                     self._prop_head = len(trail)
-                    return cidx
+                    return clause, cidx
                 # Inlined _enqueue of an unassigned literal.
                 var = first >> 1
                 assign[var] = TRUE if not (first & 1) else FALSE
@@ -250,52 +336,109 @@ class SatSolver:
     # ------------------------------------------------------------------
     # Conflict analysis (first UIP)
     # ------------------------------------------------------------------
-    def _analyze(self, conflict: int) -> tuple[List[int], int]:
+    def _reason_lits(self, lit: int) -> Sequence[int]:
+        """The literals of the clause that propagated trail literal ``lit``.
+
+        For binary reasons the clause is reconstructed from the tag; the
+        caller must not mutate the result.
+        """
+        r = self._reason[lit >> 1]
+        if r >= 0:
+            return self._clauses[r]
+        return (lit, -2 - r)
+
+    def _analyze(self, conflict: Tuple[Sequence[int], int]) -> tuple[List[int], int, int]:
+        """First-UIP analysis. Returns (learned_clause, backjump_level, lbd).
+
+        The learned clause is minimized on the fly: a literal whose reason
+        clause's other literals are all already in the learned clause (or
+        root facts) is redundant — resolving it against its reason would
+        self-subsume — and is dropped.
+        """
         learned: List[int] = [0]  # placeholder for asserting literal
         seen = [False] * (self._num_vars + 1)
         counter = 0
         lit = -1
-        cidx = conflict
+        lits, cidx = conflict
         index = len(self._trail) - 1
         cur_level = len(self._trail_lim)
+        levels = self._level
 
         while True:
-            clause = self._clauses[cidx]
-            self._bump_clause(cidx)
-            resolved_var = var_of(lit) if lit != -1 else 0
-            for q in clause:
-                v = var_of(q)
+            if cidx >= 0:
+                self._bump_clause(cidx)
+            resolved_var = lit >> 1 if lit != -1 else 0
+            for q in lits:
+                v = q >> 1
                 if v == resolved_var:
                     continue
-                if not seen[v] and self._level[v] > 0:
+                if not seen[v] and levels[v] > 0:
                     seen[v] = True
                     self._bump_var(v)
-                    if self._level[v] >= cur_level:
+                    if levels[v] >= cur_level:
                         counter += 1
                     else:
                         learned.append(q)
             # Pick the next literal on the trail to resolve on.
-            while not seen[var_of(self._trail[index])]:
+            while not seen[self._trail[index] >> 1]:
                 index -= 1
             lit = self._trail[index]
-            v = var_of(lit)
+            v = lit >> 1
             seen[v] = False
             counter -= 1
             index -= 1
             if counter == 0:
                 break
-            cidx = self._reason[v]
+            r = self._reason[v]
+            if r >= 0:
+                cidx = r
+                lits = self._clauses[r]
+            else:
+                cidx = -1
+                lits = (lit, -2 - r)
         learned[0] = lit ^ 1
+
+        # On-the-fly minimization.  seen[] is True exactly for the vars of
+        # learned[1:] here (their flags were set during resolution and, at
+        # lower levels than the conflict, never consumed as pivots).  A
+        # removed literal keeps its flag: reason literals strictly precede
+        # their consequence on the trail, so redundancy chains stay
+        # well-founded in any processing order.
+        if len(learned) > 2:
+            kept = [learned[0]]
+            reasons = self._reason
+            clauses = self._clauses
+            for q in learned[1:]:
+                v = q >> 1
+                r = reasons[v]
+                if r == -1:
+                    kept.append(q)
+                    continue
+                rlits = clauses[r] if r >= 0 else (-2 - r,)
+                redundant = True
+                for u in rlits:
+                    uv = u >> 1
+                    if uv != v and not seen[uv] and levels[uv] > 0:
+                        redundant = False
+                        break
+                if redundant:
+                    self.minimized_literals += 1
+                else:
+                    kept.append(q)
+            learned = kept
 
         backjump = 0
         if len(learned) > 1:
             max_i = 1
             for i in range(2, len(learned)):
-                if self._level[var_of(learned[i])] > self._level[var_of(learned[max_i])]:
+                if levels[learned[i] >> 1] > levels[learned[max_i] >> 1]:
                     max_i = i
             learned[1], learned[max_i] = learned[max_i], learned[1]
-            backjump = self._level[var_of(learned[1])]
-        return learned, backjump
+            backjump = levels[learned[1] >> 1]
+        # LBD (glue): distinct decision levels among the learned literals,
+        # computed before backjumping invalidates the level array entries.
+        lbd = len({levels[q >> 1] for q in learned})
+        return learned, backjump, lbd
 
     def _bump_var(self, var: int) -> None:
         self._activity[var] += self._var_inc
@@ -363,34 +506,43 @@ class SatSolver:
         return 0
 
     # ------------------------------------------------------------------
-    # Learned clause DB reduction
+    # Learned clause DB reduction (glucose-style)
     # ------------------------------------------------------------------
     def _reduce_db(self) -> None:
-        learned_idx = list(range(self._num_problem_clauses, len(self._clauses)))
-        if len(learned_idx) < 2000:
+        if self._learned_count < self._reduce_cap:
             return
-        learned_idx.sort(key=lambda i: self._clause_activity[i])
-        locked = {self._reason[var_of(lit)] for lit in self._trail}
+        clauses = self._clauses
+        learned = self._learned
+        activity = self._clause_activity
+        lbd = self._clause_lbd
+        learned_idx = [i for i in range(len(clauses)) if learned[i]]
+        # Worst first: highest LBD, ties broken by lowest activity.  Glue
+        # clauses (LBD <= 2) and clauses locked as reasons survive.
+        learned_idx.sort(key=lambda i: (-lbd[i], activity[i]))
+        locked = {self._reason[lit >> 1] for lit in self._trail}
+        budget = len(learned_idx) // 2
         to_remove = set()
-        for i in learned_idx[: len(learned_idx) // 2]:
-            if i in locked or len(self._clauses[i]) <= 2:
+        for i in learned_idx:
+            if len(to_remove) >= budget:
+                break
+            if i in locked or lbd[i] <= 2:
                 continue
             to_remove.add(i)
+        # Geometric schedule: the cap grows by a constant factor on every
+        # reduction, so long-lived (pooled) solvers retain progressively
+        # more of what they learned.
+        self._reduce_cap *= self._reduce_cap_mult
+        self.db_reductions += 1
         if not to_remove:
             return
-        # Compact only the learned suffix.  Problem-clause indices (below
-        # ``base``) never move, so their watch entries and any reasons
-        # pointing at them stay valid untouched; only watch lists that
-        # actually contain a removed or relocated learned clause are
-        # rewritten, and every surviving clause keeps its two watched
-        # literals — no clearing and re-watching of the whole structure.
-        base = self._num_problem_clauses
-        clauses = self._clauses
-        activity = self._clause_activity
+        # Compact the database.  Problem and learned clauses interleave
+        # (incremental adds land after learned clauses), so every clause
+        # past the first removed index may relocate; watch entries and
+        # reasons are rewritten through the remap.
         remap: Dict[int, int] = {}
         dirty = set()
-        write = base
-        for read in range(base, len(clauses)):
+        write = 0
+        for read in range(len(clauses)):
             if read in to_remove:
                 c = clauses[read]
                 dirty.add(c[0])
@@ -402,21 +554,29 @@ class SatSolver:
                 dirty.add(c[0])
                 dirty.add(c[1])
             write += 1
-        for read, dst in remap.items():
+        for read in sorted(remap):
+            dst = remap[read]
             clauses[dst] = clauses[read]
             activity[dst] = activity[read]
+            lbd[dst] = lbd[read]
+            learned[dst] = learned[read]
         del clauses[write:]
         del activity[write:]
+        del lbd[write:]
+        del learned[write:]
+        self._learned_count -= len(to_remove)
         for lit in dirty:
             self._watches[lit] = [
-                remap.get(i, i) for i in self._watches[lit] if i not in to_remove
+                (remap.get(i, i), b)
+                for (i, b) in self._watches[lit]
+                if i not in to_remove
             ]
         # Reasons only exist for assigned vars, i.e. vars on the trail, and
         # a removed clause is never locked as a reason.
         for lit in self._trail:
-            var = var_of(lit)
+            var = lit >> 1
             r = self._reason[var]
-            if r >= base:
+            if r >= 0:
                 self._reason[var] = remap.get(r, r)
 
     # ------------------------------------------------------------------
@@ -451,18 +611,29 @@ class SatSolver:
                 if len(self._trail_lim) == 0:
                     self._ok = False
                     return False
-                learned, backjump = self._analyze(conflict)
+                learned, backjump, lbd = self._analyze(conflict)
                 self._cancel_until(max(backjump, 0))
                 if len(learned) == 1:
                     if not self._enqueue(learned[0], -1):
                         self._ok = False
                         return False
+                elif len(learned) == 2:
+                    # Learned binaries join the implication lists (never
+                    # deleted); the asserting literal's reason is the tag
+                    # naming its false partner.
+                    a, b = learned
+                    self._bin_occurs[a].append(b)
+                    self._bin_occurs[b].append(a)
+                    self._enqueue(a, -2 - b)
                 else:
                     idx = len(self._clauses)
                     self._clauses.append(learned)
+                    self._learned.append(True)
                     self._clause_activity.append(self._cla_inc)
-                    self._watches[learned[0]].append(idx)
-                    self._watches[learned[1]].append(idx)
+                    self._clause_lbd.append(lbd)
+                    self._watches[learned[0]].append((idx, learned[1]))
+                    self._watches[learned[1]].append((idx, learned[0]))
+                    self._learned_count += 1
                     self._enqueue(learned[0], idx)
                 self._decay_activities()
             else:

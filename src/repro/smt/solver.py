@@ -14,10 +14,14 @@ import enum
 from typing import Dict, Iterable, List, Mapping, Optional
 
 from repro.smt import terms as T
-from repro.smt.bitblast import BitBlaster
+from repro.smt.bitblast import BitBlaster, StructuralBitBlaster
 from repro.smt.compile import evaluate_compiled
+from repro.smt.legacy_sat import LegacySatSolver
 from repro.smt.sat import SatSolver
 from repro.smt.simplify import simplify
+
+_ENCODERS = {"structural": StructuralBitBlaster, "tseitin": BitBlaster}
+_KERNELS = {"modern": SatSolver, "legacy": LegacySatSolver}
 
 
 class Result(enum.Enum):
@@ -69,9 +73,25 @@ class Solver:
         assert s.model()["x"] < 10
     """
 
-    def __init__(self, simplify_terms: bool = True) -> None:
-        self._sat = SatSolver()
-        self._blaster = BitBlaster(self._sat)
+    def __init__(
+        self,
+        simplify_terms: bool = True,
+        encoder: str = "structural",
+        kernel: str = "modern",
+    ) -> None:
+        """``encoder`` picks the bit-blaster (``"structural"`` — polarity-aware
+        with gate sharing and constant folding — or the retained ``"tseitin"``
+        baseline); ``kernel`` picks the SAT core (``"modern"`` with blocking
+        literals/binary lists/LBD retention, or ``"legacy"``).  Both baselines
+        exist for differential testing; defaults are the fast paths."""
+        if encoder not in _ENCODERS:
+            raise ValueError(f"unknown encoder {encoder!r}; choose from {sorted(_ENCODERS)}")
+        if kernel not in _KERNELS:
+            raise ValueError(f"unknown kernel {kernel!r}; choose from {sorted(_KERNELS)}")
+        self.encoder = encoder
+        self.kernel = kernel
+        self._sat = _KERNELS[kernel]()
+        self._blaster = _ENCODERS[encoder](self._sat)
         self._simplify = simplify_terms
         self._assertions: List[T.Term] = []
         self._last_result: Optional[Result] = None
@@ -168,4 +188,8 @@ class Solver:
             "propagations": self._sat.propagations,
             "restarts": self._sat.restarts,
             "sat_vars": self._sat.num_vars,
+            "cnf_clauses": getattr(self._sat, "clauses_received", 0),
+            "gates_shared": getattr(self._blaster, "gates_shared", 0),
+            "db_reductions": getattr(self._sat, "db_reductions", 0),
+            "minimized_literals": getattr(self._sat, "minimized_literals", 0),
         }

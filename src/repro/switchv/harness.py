@@ -77,6 +77,9 @@ class DataPlaneStats:
     sat_conflicts: int = 0
     sat_decisions: int = 0
     sat_propagations: int = 0
+    cnf_vars: int = 0
+    cnf_clauses: int = 0
+    gates_shared: int = 0
     workers: int = 1
 
 
@@ -524,6 +527,9 @@ class SwitchVHarness:
         stats.sat_conflicts = result.stats.sat_conflicts
         stats.sat_decisions = result.stats.sat_decisions
         stats.sat_propagations = result.stats.sat_propagations
+        stats.cnf_vars = result.stats.cnf_vars
+        stats.cnf_clauses = result.stats.cnf_clauses
+        stats.gates_shared = result.stats.gates_shared
         stats.workers = result.stats.workers
         if key is not None:
             self.cache.store(key, result)

@@ -102,6 +102,9 @@ def render_generation_stats(stats) -> str:
         f" {stats.sat_conflicts} conflicts,"
         f" {stats.sat_decisions} decisions,"
         f" {stats.sat_propagations} propagations",
+        f"    cnf:          {getattr(stats, 'cnf_clauses', 0)} clauses /"
+        f" {getattr(stats, 'cnf_vars', 0)} vars emitted,"
+        f" {getattr(stats, 'gates_shared', 0)} gates shared",
     ]
     return "\n".join(lines)
 

@@ -67,6 +67,14 @@ class GenerationStats:
     sat_conflicts: int = 0
     sat_decisions: int = 0
     sat_propagations: int = 0
+    # CNF economy: SAT variables allocated, clauses received by the kernel,
+    # and gate lookups answered by the structural encoder's cache instead
+    # of fresh variables+clauses — the clause-economy counters that let
+    # benchmark tables attribute speedups to the encoding, not wall-clock
+    # noise.  Deltas over this generator's own work, like the effort above.
+    cnf_vars: int = 0
+    cnf_clauses: int = 0
+    gates_shared: int = 0
     # How many worker processes solved goals (1 = sequential).
     workers: int = 1
 
@@ -83,6 +91,9 @@ class GenerationStats:
         self.sat_conflicts += other.sat_conflicts
         self.sat_decisions += other.sat_decisions
         self.sat_propagations += other.sat_propagations
+        self.cnf_vars += other.cnf_vars
+        self.cnf_clauses += other.cnf_clauses
+        self.gates_shared += other.gates_shared
 
 
 @dataclass
@@ -101,10 +112,17 @@ class PacketGenerator:
         state: Mapping[str, Sequence[InstalledEntry]],
         valid_ports: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8),
         solver_pool: Optional[SolverPool] = None,
+        encoder: str = "structural",
+        kernel: str = "modern",
     ) -> None:
         self.program = program
         self.state = state
         self.valid_ports = tuple(valid_ports)
+        # Encoder/kernel selection for privately-built solvers.  When a
+        # pool is supplied its own configuration wins — every solver
+        # sharing a pool must agree on the encoding.
+        self.encoder = encoder
+        self.kernel = kernel
         # When a SolverPool is supplied, per-profile solvers are borrowed
         # from it instead of built fresh: across table states the profile
         # constraints are identical and unchanged goal subformulas are the
@@ -148,13 +166,16 @@ class PacketGenerator:
                     simplify_terms=False,
                 )
             else:
-                solver = Solver(simplify_terms=False)
+                solver = Solver(
+                    simplify_terms=False, encoder=self.encoder, kernel=self.kernel
+                )
                 for constraint in execution.constraints:
                     solver.add(constraint)
             self._solvers[name] = solver
             s = solver.stats
             self._effort_base[name] = (
                 s["conflicts"], s["decisions"], s["propagations"],
+                s["sat_vars"], s["cnf_clauses"], s["gates_shared"],
             )
         return solver
 
@@ -235,25 +256,31 @@ class PacketGenerator:
 
     # ------------------------------------------------------------------
     def _solver_effort(self) -> tuple:
-        """Cumulative (conflicts, decisions, propagations) over all solvers.
+        """Cumulative (conflicts, decisions, propagations, sat vars, cnf
+        clauses, gates shared) over all solvers.
 
         Measured relative to each solver's counters at acquisition, so a
         warm pooled solver only contributes work this generator caused.
         """
-        conflicts = decisions = propagations = 0
+        totals = [0] * 6
         for name, solver in self._solvers.items():
             s = solver.stats
-            base = self._effort_base.get(name, (0, 0, 0))
-            conflicts += s["conflicts"] - base[0]
-            decisions += s["decisions"] - base[1]
-            propagations += s["propagations"] - base[2]
-        return conflicts, decisions, propagations
+            base = self._effort_base.get(name, (0, 0, 0, 0, 0, 0))
+            for i, key in enumerate(
+                ("conflicts", "decisions", "propagations",
+                 "sat_vars", "cnf_clauses", "gates_shared")
+            ):
+                totals[i] += s[key] - (base[i] if i < len(base) else 0)
+        return tuple(totals)
 
     def _account_effort(self, stats: GenerationStats, before: tuple) -> None:
         after = self._solver_effort()
         stats.sat_conflicts += after[0] - before[0]
         stats.sat_decisions += after[1] - before[1]
         stats.sat_propagations += after[2] - before[2]
+        stats.cnf_vars += after[3] - before[3]
+        stats.cnf_clauses += after[4] - before[4]
+        stats.gates_shared += after[5] - before[5]
 
     def _goal_cache_key(self, goal: CoverageGoal, executions) -> str:
         """A digest of the goal's *solved formula*, not the whole run.

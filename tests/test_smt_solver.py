@@ -463,6 +463,94 @@ class TestReduceDb:
         assert s.solve([neg_lit(g)])
 
 
+class TestModernKernel:
+    """The modernized CDCL internals: binary implication lists, blocking
+    literals, on-the-fly minimization, and the geometric reduce schedule."""
+
+    def test_binary_clauses_bypass_clause_db(self):
+        s = SatSolver()
+        a, b, c = s.new_var(), s.new_var(), s.new_var()
+        s.add_clause([neg_lit(a), pos_lit(b)])  # a -> b
+        s.add_clause([neg_lit(b), pos_lit(c)])  # b -> c
+        # Binaries live in the implication lists, never in clause storage.
+        assert len(s._clauses) == 0
+        assert pos_lit(b) in s._bin_occurs[pos_lit(a) ^ 1]
+        d = s.new_var()
+        s.add_clause([pos_lit(a), pos_lit(b), pos_lit(d)])
+        assert len(s._clauses) == 1
+        assert s.solve([pos_lit(a)])
+        assert s.model_value(c) is True
+        # Binary propagation also produces usable conflict analysis:
+        # ¬c ripples back through the implication lists (¬b, then ¬a), and
+        # the ternary clause then forces d.
+        s.add_clause([neg_lit(c)])
+        assert not s.solve([pos_lit(a)])
+        assert s.solve()
+        assert s.model_value(d) is True
+
+    def test_geometric_reduce_schedule_two_reductions(self):
+        # Lower the cap so PHP(7,6) crosses it repeatedly: each reduction
+        # must grow the cap geometrically, and verdicts must survive
+        # several compaction waves.
+        s, g = _guarded_pigeonhole(7, 6)
+        s._reduce_cap = 50.0
+        s._reduce_cap_mult = 2.0
+        assert not s.solve([pos_lit(g)])
+        assert s.db_reductions >= 2
+        assert s._reduce_cap == 50.0 * 2.0 ** s.db_reductions
+        assert not s.solve([pos_lit(g)])
+        assert s.solve([neg_lit(g)])
+
+    def test_problem_clause_added_after_learning_survives_reduction(self):
+        # Incremental solving appends problem clauses *after* clauses were
+        # learned; reduction must key off the learned flag, not position.
+        s, g = _guarded_pigeonhole(7, 6)
+        s._reduce_cap = 50.0
+        assert not s.solve([pos_lit(g)])
+        x, y, z = s.new_var(), s.new_var(), s.new_var()
+        assert s.add_clause([pos_lit(x), pos_lit(y), pos_lit(z)])
+        assert s.add_clause([neg_lit(x)])
+        assert s.add_clause([neg_lit(y)])
+        before = s.db_reductions
+        s._cancel_until(0)
+        s._reduce_db()
+        assert s.db_reductions == before + 1
+        # The late problem clause still constrains: x, y false force z.
+        assert s.solve([neg_lit(g)])
+        assert s.model_value(z) is True
+        assert not s.solve([neg_lit(g), neg_lit(z)])
+
+    def test_on_the_fly_minimization_fires(self):
+        s, g = _guarded_pigeonhole(7, 6)
+        assert not s.solve([pos_lit(g)])
+        # Self-subsumption against reason clauses shortened learned clauses.
+        assert s.minimized_literals > 0
+
+    def test_clauses_received_counter(self):
+        s = SatSolver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([pos_lit(a)])
+        s.add_clause([neg_lit(a), pos_lit(b)])
+        s.add_clause([pos_lit(a), neg_lit(a)])  # tautology still counted
+        assert s.clauses_received == 3
+
+    def test_legacy_kernel_agrees_on_guarded_pigeonhole(self):
+        from repro.smt.legacy_sat import LegacySatSolver
+
+        for cls in (SatSolver, LegacySatSolver):
+            s = cls()
+            g = s.new_var()
+            p = [[s.new_var() for _ in range(4)] for _ in range(5)]
+            for i in range(5):
+                s.add_clause([neg_lit(g)] + [pos_lit(p[i][k]) for k in range(4)])
+            for k in range(4):
+                for i in range(5):
+                    for j in range(i + 1, 5):
+                        s.add_clause([neg_lit(g), neg_lit(p[i][k]), neg_lit(p[j][k])])
+            assert not s.solve([pos_lit(g)])
+            assert s.solve([neg_lit(g)])
+
+
 class TestSolverPool:
     def test_solver_reused_and_constraints_asserted_once(self):
         from repro.smt.pool import SolverPool
